@@ -1,0 +1,45 @@
+//! The common interface all baseline guessers expose.
+
+use rand::RngCore;
+
+/// A trained password guesser that can generate candidate passwords.
+///
+/// The trait is object-safe so the evaluation harness can hold a mixed
+/// collection of baselines (`Vec<Box<dyn PasswordGuesser>>`) and run the
+/// same guessing protocol over each of them.
+pub trait PasswordGuesser {
+    /// Human-readable name used as the row label in tables.
+    fn name(&self) -> &str;
+
+    /// Generates `n` password guesses.
+    ///
+    /// Guesses may repeat; deduplication (and the resulting unique counts)
+    /// is the responsibility of the evaluation protocol, exactly as in the
+    /// paper's Tables II and III.
+    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl PasswordGuesser for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn generate(&self, n: usize, _rng: &mut dyn RngCore) -> Vec<String> {
+            vec!["123456".to_string(); n]
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable_through_a_box() {
+        let guessers: Vec<Box<dyn PasswordGuesser>> = vec![Box::new(Fixed)];
+        let mut rng = passflow_nn::rng::seeded(1);
+        let out = guessers[0].generate(3, &mut rng);
+        assert_eq!(out.len(), 3);
+        assert_eq!(guessers[0].name(), "fixed");
+    }
+}

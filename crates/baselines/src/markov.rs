@@ -1,0 +1,241 @@
+//! Order-n character-level Markov model.
+//!
+//! This is the classic statistical password guesser (John the Ripper's
+//! Markov mode, reference [2] of the paper). It serves two purposes in the
+//! reproduction: a non-neural comparison point for the tables, and a sanity
+//! anchor for the synthetic corpus (a Markov model trained on a RockYou-like
+//! corpus should comfortably beat uniform random guessing).
+
+use std::collections::HashMap;
+
+use rand::{Rng, RngCore};
+
+use crate::guesser::PasswordGuesser;
+use passflow_nn::rng as nnrng;
+
+/// Special token marking the start/end of a password in the n-gram tables.
+const BOUNDARY: char = '\u{0}';
+
+/// An order-`n` character Markov model with add-k smoothing.
+#[derive(Clone, Debug)]
+pub struct MarkovModel {
+    order: usize,
+    max_len: usize,
+    smoothing: f64,
+    /// Transition counts: context (last `order` chars) → next char → count.
+    transitions: HashMap<String, HashMap<char, u32>>,
+    /// All characters observed during training (the sampling support).
+    vocabulary: Vec<char>,
+}
+
+impl MarkovModel {
+    /// Trains an order-`order` model on a password corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero or the corpus is empty.
+    pub fn train(passwords: &[String], order: usize, max_len: usize) -> Self {
+        assert!(order > 0, "order must be positive");
+        assert!(!passwords.is_empty(), "training corpus must not be empty");
+        let mut transitions: HashMap<String, HashMap<char, u32>> = HashMap::new();
+        let mut vocabulary: Vec<char> = Vec::new();
+
+        for password in passwords {
+            let chars: Vec<char> = std::iter::repeat(BOUNDARY)
+                .take(order)
+                .chain(password.chars())
+                .chain(std::iter::once(BOUNDARY))
+                .collect();
+            for window in chars.windows(order + 1) {
+                let context: String = window[..order].iter().collect();
+                let next = window[order];
+                *transitions.entry(context).or_default().entry(next).or_insert(0) += 1;
+                if next != BOUNDARY && !vocabulary.contains(&next) {
+                    vocabulary.push(next);
+                }
+            }
+        }
+        vocabulary.sort_unstable();
+
+        MarkovModel {
+            order,
+            max_len,
+            smoothing: 0.01,
+            transitions,
+            vocabulary,
+        }
+    }
+
+    /// Model order (context length in characters).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of distinct contexts observed during training.
+    pub fn num_contexts(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Characters the model can emit.
+    pub fn vocabulary(&self) -> &[char] {
+        &self.vocabulary
+    }
+
+    fn next_char<R: Rng + ?Sized>(&self, context: &str, rng: &mut R) -> char {
+        let options = self.transitions.get(context);
+        // Candidate set: observed vocabulary plus the end-of-password token.
+        let mut weights: Vec<f32> = Vec::with_capacity(self.vocabulary.len() + 1);
+        let mut symbols: Vec<char> = Vec::with_capacity(self.vocabulary.len() + 1);
+        for &c in self.vocabulary.iter().chain(std::iter::once(&BOUNDARY)) {
+            let count = options
+                .and_then(|m| m.get(&c))
+                .copied()
+                .unwrap_or(0) as f64;
+            symbols.push(c);
+            weights.push((count + self.smoothing) as f32);
+        }
+        symbols[nnrng::sample_discrete(&weights, rng)]
+    }
+
+    /// Samples a single password from the model.
+    pub fn sample_password<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let mut context: Vec<char> = vec![BOUNDARY; self.order];
+        let mut out = String::new();
+        while out.chars().count() < self.max_len {
+            let ctx: String = context.iter().collect();
+            let next = self.next_char(&ctx, rng);
+            if next == BOUNDARY {
+                if out.is_empty() {
+                    // Zero-length passwords are useless guesses; resample.
+                    continue;
+                }
+                break;
+            }
+            out.push(next);
+            context.rotate_left(1);
+            let last = context.len() - 1;
+            context[last] = next;
+        }
+        out
+    }
+
+    /// Log-probability of a password under the model (with smoothing),
+    /// including the end-of-password transition.
+    pub fn log_prob(&self, password: &str) -> f64 {
+        let chars: Vec<char> = std::iter::repeat(BOUNDARY)
+            .take(self.order)
+            .chain(password.chars())
+            .chain(std::iter::once(BOUNDARY))
+            .collect();
+        let vocab_size = (self.vocabulary.len() + 1) as f64;
+        let mut total = 0.0;
+        for window in chars.windows(self.order + 1) {
+            let context: String = window[..self.order].iter().collect();
+            let next = window[self.order];
+            let options = self.transitions.get(&context);
+            let count = options
+                .and_then(|m| m.get(&next))
+                .copied()
+                .unwrap_or(0) as f64;
+            let context_total: f64 = options
+                .map(|m| m.values().map(|&v| v as f64).sum())
+                .unwrap_or(0.0);
+            let p = (count + self.smoothing) / (context_total + self.smoothing * vocab_size);
+            total += p.ln();
+        }
+        total
+    }
+}
+
+impl PasswordGuesser for MarkovModel {
+    fn name(&self) -> &str {
+        "Markov"
+    }
+
+    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        (0..n).map(|_| self.sample_password(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+
+    fn corpus(n: usize) -> Vec<String> {
+        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(n))
+            .generate(41)
+            .into_passwords()
+    }
+
+    #[test]
+    fn training_builds_contexts_and_vocabulary() {
+        let model = MarkovModel::train(&corpus(2_000), 2, 10);
+        assert_eq!(model.order(), 2);
+        assert!(model.num_contexts() > 100);
+        assert!(model.vocabulary().len() > 20);
+        assert!(!model.vocabulary().contains(&BOUNDARY));
+    }
+
+    #[test]
+    fn samples_are_bounded_and_nonempty() {
+        let model = MarkovModel::train(&corpus(2_000), 2, 10);
+        let mut rng = nnrng::seeded(1);
+        for _ in 0..200 {
+            let p = model.sample_password(&mut rng);
+            assert!(!p.is_empty());
+            assert!(p.chars().count() <= 10);
+        }
+    }
+
+    #[test]
+    fn trained_model_prefers_real_passwords_over_noise() {
+        let model = MarkovModel::train(&corpus(5_000), 2, 10);
+        let real = model.log_prob("jessica1");
+        let noise = model.log_prob("xq9!zv#p");
+        assert!(
+            real > noise,
+            "expected human-like password to score higher: {real} vs {noise}"
+        );
+    }
+
+    #[test]
+    fn higher_order_fits_training_data_more_sharply() {
+        let data = corpus(3_000);
+        let o1 = MarkovModel::train(&data, 1, 10);
+        let o3 = MarkovModel::train(&data, 3, 10);
+        // A higher-order model assigns higher likelihood to a frequent
+        // training-set password.
+        assert!(o3.log_prob("123456") >= o1.log_prob("123456") - 1.0);
+        assert!(o3.num_contexts() > o1.num_contexts());
+    }
+
+    #[test]
+    fn generate_implements_guesser_trait() {
+        let model = MarkovModel::train(&corpus(1_000), 2, 10);
+        let mut rng = nnrng::seeded(2);
+        let guesses = model.generate(50, &mut rng);
+        assert_eq!(guesses.len(), 50);
+        assert_eq!(model.name(), "Markov");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = MarkovModel::train(&corpus(1_000), 2, 10);
+        let a: Vec<String> = model.generate(20, &mut nnrng::seeded(7));
+        let b: Vec<String> = model.generate(20, &mut nnrng::seeded(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_rejected() {
+        let _ = MarkovModel::train(&["a".to_string()], 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_corpus_rejected() {
+        let _ = MarkovModel::train(&[], 2, 10);
+    }
+}

@@ -1,0 +1,252 @@
+//! Weir-style probabilistic context-free grammar (PCFG) guesser.
+//!
+//! Weir et al. (S&P 2009, reference [43] of the paper) model passwords as a
+//! sequence of segments of a single character class (letters, digits,
+//! symbols). The grammar learns (1) the distribution over structure
+//! templates such as `L5 D2`, and (2) for digit and symbol segments, the
+//! distribution over concrete terminal strings; letter segments are filled
+//! from the frequency-ranked dictionary of letter segments seen in training.
+
+use std::collections::HashMap;
+
+use rand::{Rng, RngCore};
+
+use crate::guesser::PasswordGuesser;
+use passflow_nn::rng as nnrng;
+use passflow_passwords::stats::CharClass;
+
+/// One segment of a structure template: a character class and a length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Segment {
+    class: CharClass,
+    len: usize,
+}
+
+/// A Weir-style PCFG password guesser.
+#[derive(Clone, Debug)]
+pub struct PcfgModel {
+    /// Structure templates and their observed counts.
+    structures: Vec<(Vec<Segment>, u32)>,
+    /// Terminal strings per segment, with counts.
+    terminals: HashMap<Segment, Vec<(String, u32)>>,
+    max_len: usize,
+}
+
+fn segment_password(password: &str) -> Vec<(Segment, String)> {
+    let mut segments: Vec<(Segment, String)> = Vec::new();
+    for c in password.chars() {
+        let class = CharClass::of(c);
+        match segments.last_mut() {
+            Some((segment, text)) if segment.class == class => {
+                segment.len += 1;
+                text.push(c);
+            }
+            _ => segments.push((Segment { class, len: 1 }, c.to_string())),
+        }
+    }
+    segments
+}
+
+impl PcfgModel {
+    /// Learns structure and terminal distributions from a corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn train(passwords: &[String], max_len: usize) -> Self {
+        assert!(!passwords.is_empty(), "training corpus must not be empty");
+        let mut structure_counts: HashMap<Vec<Segment>, u32> = HashMap::new();
+        let mut terminal_counts: HashMap<Segment, HashMap<String, u32>> = HashMap::new();
+
+        for password in passwords {
+            if password.is_empty() || password.chars().count() > max_len {
+                continue;
+            }
+            let segments = segment_password(password);
+            let structure: Vec<Segment> = segments.iter().map(|(s, _)| *s).collect();
+            *structure_counts.entry(structure).or_default() += 1;
+            for (segment, text) in segments {
+                *terminal_counts
+                    .entry(segment)
+                    .or_default()
+                    .entry(text)
+                    .or_default() += 1;
+            }
+        }
+        assert!(
+            !structure_counts.is_empty(),
+            "no usable passwords in the training corpus"
+        );
+
+        let mut structures: Vec<(Vec<Segment>, u32)> = structure_counts.into_iter().collect();
+        structures.sort_by(|a, b| b.1.cmp(&a.1));
+        let terminals = terminal_counts
+            .into_iter()
+            .map(|(segment, counts)| {
+                let mut list: Vec<(String, u32)> = counts.into_iter().collect();
+                list.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                (segment, list)
+            })
+            .collect();
+
+        PcfgModel {
+            structures,
+            terminals,
+            max_len,
+        }
+    }
+
+    /// Number of distinct structure templates learned.
+    pub fn num_structures(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// The most frequent structure template, as a compact string such as
+    /// `"L6D2"`.
+    pub fn top_structure(&self) -> String {
+        Self::format_structure(&self.structures[0].0)
+    }
+
+    fn format_structure(structure: &[Segment]) -> String {
+        structure
+            .iter()
+            .map(|s| format!("{}{}", s.class.code(), s.len))
+            .collect()
+    }
+
+    fn sample_structure<R: Rng + ?Sized>(&self, rng: &mut R) -> &[Segment] {
+        let weights: Vec<f32> = self.structures.iter().map(|(_, c)| *c as f32).collect();
+        &self.structures[nnrng::sample_discrete(&weights, rng)].0
+    }
+
+    fn sample_terminal<R: Rng + ?Sized>(&self, segment: Segment, rng: &mut R) -> String {
+        match self.terminals.get(&segment) {
+            Some(list) => {
+                let weights: Vec<f32> = list.iter().map(|(_, c)| *c as f32).collect();
+                list[nnrng::sample_discrete(&weights, rng)].0.clone()
+            }
+            // Unseen segment (cannot happen for structures learned from the
+            // same corpus, but keep sampling total): fill with 'a' or '1'.
+            None => {
+                let filler = match segment.class {
+                    CharClass::Letter => 'a',
+                    CharClass::Digit => '1',
+                    CharClass::Symbol => '!',
+                };
+                std::iter::repeat(filler).take(segment.len).collect()
+            }
+        }
+    }
+
+    /// Samples a single password.
+    pub fn sample_password<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let structure = self.sample_structure(rng).to_vec();
+        let mut out = String::new();
+        for segment in structure {
+            out.push_str(&self.sample_terminal(segment, rng));
+        }
+        out.chars().take(self.max_len).collect()
+    }
+}
+
+impl PasswordGuesser for PcfgModel {
+    fn name(&self) -> &str {
+        "PCFG"
+    }
+
+    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        (0..n).map(|_| self.sample_password(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passflow_passwords::stats::structure_template;
+    use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+
+    fn corpus(n: usize) -> Vec<String> {
+        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(n))
+            .generate(53)
+            .into_passwords()
+    }
+
+    #[test]
+    fn segmentation_groups_runs_of_the_same_class() {
+        let segments = segment_password("abc12!x");
+        let classes: Vec<(char, usize)> = segments
+            .iter()
+            .map(|(s, _)| (s.class.code(), s.len))
+            .collect();
+        assert_eq!(classes, vec![('L', 3), ('D', 2), ('S', 1), ('L', 1)]);
+        let texts: Vec<&str> = segments.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["abc", "12", "!", "x"]);
+    }
+
+    #[test]
+    fn training_learns_structures_and_terminals() {
+        let model = PcfgModel::train(&corpus(3_000), 10);
+        assert!(model.num_structures() > 10);
+        // In a RockYou-like corpus the dominant structures are all-letters or
+        // letters+digits.
+        let top = model.top_structure();
+        assert!(top.starts_with('L'), "unexpected top structure {top}");
+    }
+
+    #[test]
+    fn samples_follow_learned_structures() {
+        let train = corpus(3_000);
+        let model = PcfgModel::train(&train, 10);
+        let mut rng = nnrng::seeded(2);
+        let train_templates: std::collections::HashSet<String> = train
+            .iter()
+            .map(|p| structure_template(p))
+            .collect();
+        for _ in 0..100 {
+            let p = model.sample_password(&mut rng);
+            assert!(!p.is_empty());
+            assert!(p.chars().count() <= 10);
+            assert!(
+                train_templates.contains(&structure_template(&p)),
+                "sample {p} has unseen structure"
+            );
+        }
+    }
+
+    #[test]
+    fn generates_some_training_passwords_verbatim() {
+        // A PCFG recombines observed terminals, so frequent training
+        // passwords should re-appear among a few thousand guesses.
+        let train = corpus(3_000);
+        let model = PcfgModel::train(&train, 10);
+        let mut rng = nnrng::seeded(3);
+        let guesses = model.generate(3_000, &mut rng);
+        let train_set: std::collections::HashSet<&String> = train.iter().collect();
+        let hits = guesses.iter().filter(|g| train_set.contains(g)).count();
+        assert!(hits > 0, "no guess ever matched the training corpus");
+    }
+
+    #[test]
+    fn guesser_trait_works() {
+        let model = PcfgModel::train(&corpus(500), 10);
+        let mut rng = nnrng::seeded(4);
+        assert_eq!(model.generate(10, &mut rng).len(), 10);
+        assert_eq!(model.name(), "PCFG");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_corpus_rejected() {
+        let _ = PcfgModel::train(&[], 10);
+    }
+
+    #[test]
+    fn long_passwords_are_ignored_during_training() {
+        let passwords = vec![
+            "short1".to_string(),
+            "waaaaaaaaaaaaytoolong123".to_string(),
+        ];
+        let model = PcfgModel::train(&passwords, 10);
+        assert_eq!(model.num_structures(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! masking strategy (Table VI), number of coupling layers and hidden width.
+//! These measure the *cost* side of the ablations (inference throughput);
+//! the quality side is measured by the `table6` experiment binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use passflow_core::{FlowConfig, MaskStrategy, PassFlow};
+use passflow_nn::rng as nnrng;
+
+fn make_flow(config: FlowConfig) -> PassFlow {
+    let mut rng = nnrng::seeded(17);
+    PassFlow::new(config, &mut rng).expect("valid config")
+}
+
+fn bench_masking_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masking_inverse_256");
+    group.throughput(Throughput::Elements(256));
+    for masking in [
+        MaskStrategy::CharRun(1),
+        MaskStrategy::CharRun(2),
+        MaskStrategy::Horizontal,
+    ] {
+        let flow = make_flow(FlowConfig::tiny().with_masking(masking));
+        let mut rng = nnrng::seeded(18);
+        let z = flow.sample_latent(256, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(masking.label()),
+            &z,
+            |b, z| b.iter(|| flow.inverse(z)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_layers_inverse_256");
+    group.throughput(Throughput::Elements(256));
+    for layers in [4usize, 8, 12, 18] {
+        let flow = make_flow(
+            FlowConfig::tiny()
+                .with_coupling_layers(layers)
+                .with_hidden_size(32),
+        );
+        let mut rng = nnrng::seeded(19);
+        let z = flow.sample_latent(256, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &z, |b, z| {
+            b.iter(|| flow.inverse(z))
+        });
+    }
+    group.finish();
+}
+
+fn bench_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hidden_width_inverse_256");
+    group.throughput(Throughput::Elements(256));
+    for hidden in [16usize, 64, 256] {
+        let flow = make_flow(FlowConfig::tiny().with_hidden_size(hidden));
+        let mut rng = nnrng::seeded(20);
+        let z = flow.sample_latent(256, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &z, |b, z| {
+            b.iter(|| flow.inverse(z))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_masking_strategies,
+    bench_depth_scaling,
+    bench_width_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the flow's core operations: encoding, the forward and
+//! inverse passes, exact log-probability computation and static sampling.
+//! These are the primitives every experiment in the paper is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use passflow_core::{FlowConfig, PassFlow};
+use passflow_nn::rng as nnrng;
+use passflow_nn::Tensor;
+use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+
+fn make_flow(config: FlowConfig) -> PassFlow {
+    let mut rng = nnrng::seeded(11);
+    PassFlow::new(config, &mut rng).expect("valid config")
+}
+
+fn password_batch(n: usize) -> Vec<String> {
+    SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(n))
+        .generate(13)
+        .into_passwords()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let flow = make_flow(FlowConfig::tiny());
+    let passwords = password_batch(1024);
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(passwords.len() as u64));
+    group.bench_function("encode_batch_1024", |b| {
+        b.iter(|| flow.encode_batch(&passwords).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_forward_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_pass");
+    for (label, config) in [
+        ("tiny_4x16", FlowConfig::tiny()),
+        (
+            "eval_6x48",
+            FlowConfig::evaluation()
+                .with_coupling_layers(6)
+                .with_hidden_size(48),
+        ),
+    ] {
+        let flow = make_flow(config);
+        let passwords = password_batch(256);
+        let x = flow.encode_batch(&passwords).unwrap();
+        let mut rng = nnrng::seeded(3);
+        let z = flow.sample_latent(256, &mut rng);
+
+        group.throughput(Throughput::Elements(256));
+        group.bench_with_input(BenchmarkId::new("forward_256", label), &x, |b, x| {
+            b.iter(|| flow.forward(x))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_256", label), &z, |b, z| {
+            b.iter(|| flow.inverse(z))
+        });
+        group.bench_with_input(BenchmarkId::new("log_prob_256", label), &x, |b, x| {
+            b.iter(|| flow.log_prob(x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let flow = make_flow(FlowConfig::tiny());
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("static_sample_512", |b| {
+        let mut rng = nnrng::seeded(5);
+        b.iter(|| flow.sample_passwords(512, &mut rng))
+    });
+    group.bench_function("sample_near_pivot_512", |b| {
+        let mut rng = nnrng::seeded(6);
+        b.iter(|| flow.sample_near("jimmy91", 0.12, 512, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let flow = make_flow(FlowConfig::tiny());
+    let passwords = password_batch(256);
+    let batch = flow.encode_batch(&passwords).unwrap();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(20);
+    group.bench_function("nll_loss_backward_256", |b| {
+        b.iter(|| {
+            let tape = passflow_nn::Tape::new();
+            let loss = flow.nll_loss(&tape, &batch);
+            loss.backward();
+            for p in flow.parameters() {
+                p.zero_grad();
+            }
+            loss.value()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tensor_matmul(c: &mut Criterion) {
+    let mut rng = nnrng::seeded(9);
+    let a = Tensor::randn(256, 64, &mut rng);
+    let b_mat = Tensor::randn(64, 64, &mut rng);
+    let mut group = c.benchmark_group("tensor");
+    group.throughput(Throughput::Elements((256 * 64 * 64) as u64));
+    group.bench_function("matmul_256x64x64", |bench| {
+        bench.iter(|| a.matmul(&b_mat))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_forward_inverse,
+    bench_sampling,
+    bench_training_step,
+    bench_tensor_matmul
+);
+criterion_main!(benches);

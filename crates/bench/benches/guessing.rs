@@ -1,0 +1,100 @@
+//! Macro-benchmarks of the guessing attack loop — the operation behind
+//! Tables II and III — for each of the paper's strategies, plus the baseline
+//! guessers' generation throughput.
+//!
+//! Budgets are kept small (the point is relative cost per strategy, not the
+//! paper's absolute 10⁸-guess runs); the experiment binaries in
+//! `src/bin/` regenerate the actual tables.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use passflow_baselines::{MarkovModel, PasswordGuesser, PcfgModel};
+use passflow_core::{
+    run_attack, train, AttackConfig, DynamicParams, FlowConfig, GaussianSmoothing,
+    GuessingStrategy, PassFlow, TrainConfig,
+};
+use passflow_nn::rng as nnrng;
+use passflow_passwords::{CorpusConfig, CorpusSplit, SyntheticCorpusGenerator};
+
+struct Fixture {
+    flow: PassFlow,
+    split: CorpusSplit,
+    targets: HashSet<String>,
+}
+
+fn fixture() -> Fixture {
+    let corpus =
+        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(6_000)).generate(21);
+    let split = corpus.paper_split(0.8, 2_000, 21);
+    let mut rng = nnrng::seeded(22);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).expect("valid config");
+    train(
+        &flow,
+        &split.train,
+        &TrainConfig::tiny().with_epochs(3).with_batch_size(256),
+    )
+    .expect("training succeeds");
+    let targets = split.test_set();
+    Fixture {
+        flow,
+        split,
+        targets,
+    }
+}
+
+fn bench_flow_strategies(c: &mut Criterion) {
+    let fixture = fixture();
+    let budget = 2_000u64;
+    let params = DynamicParams::paper_defaults(budget);
+    let strategies = [
+        ("static", GuessingStrategy::Static),
+        ("dynamic", GuessingStrategy::Dynamic(params)),
+        (
+            "dynamic_gs",
+            GuessingStrategy::DynamicWithSmoothing {
+                params,
+                smoothing: GaussianSmoothing::default(),
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("attack_2000_guesses");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(budget));
+    for (label, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, strategy| {
+            b.iter(|| {
+                run_attack(
+                    &fixture.flow,
+                    &fixture.targets,
+                    &AttackConfig::quick(budget).with_strategy(strategy.clone()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_generation(c: &mut Criterion) {
+    let fixture = fixture();
+    let markov = MarkovModel::train(&fixture.split.train, 3, 10);
+    let pcfg = PcfgModel::train(&fixture.split.train, 10);
+
+    let mut group = c.benchmark_group("baseline_generate_2000");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("markov", |b| {
+        let mut rng = nnrng::seeded(31);
+        b.iter(|| markov.generate(2_000, &mut rng))
+    });
+    group.bench_function("pcfg", |b| {
+        let mut rng = nnrng::seeded(32);
+        b.iter(|| pcfg.generate(2_000, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_strategies, bench_baseline_generation);
+criterion_main!(benches);

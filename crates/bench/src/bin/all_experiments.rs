@@ -1,0 +1,35 @@
+//! Regenerates every table and figure in one run, sharing a single trained
+//! workbench. This is the binary behind `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run --release -p passflow-bench --bin all_experiments -- --scale default
+//! ```
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::{figures, tables};
+
+fn main() -> passflow_core::Result<()> {
+    let scale = scale_from_env();
+    let workbench = prepare(scale)?;
+
+    emit(&tables::table1(&workbench.scale.budgets), "table1");
+    emit(&tables::table2(&workbench)?, "table2");
+    emit(&tables::table3(&workbench)?, "table3");
+    emit(&tables::table4(&workbench, 36), "table4");
+    emit(&tables::table5(&workbench, "jimmy91")?, "table5");
+    emit(&tables::table6(&workbench)?, "table6");
+
+    emit(
+        &figures::figure2(&workbench, &["jaram", "royal"], 40, 200)?,
+        "figure2",
+    );
+    emit(&figures::figure3(&workbench, "jimmy91", "123456", 12)?, "figure3");
+    let full = workbench.split.train.len();
+    let sizes = vec![full / 6, full / 3, (2 * full) / 3, full];
+    let budget = workbench.scale.max_budget().min(10_000).max(1_000);
+    emit(&figures::figure4(&workbench, &sizes, budget)?, "figure4");
+    emit(&figures::figure5(&workbench), "figure5");
+
+    eprintln!("all experiments complete; CSVs are under target/experiments/");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: t-SNE projection of latent neighbourhoods around
+//! the pivot passwords "jaram" and "royal".
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::figures;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = figures::figure2(&workbench, &["jaram", "royal"], 40, 200)?;
+    emit(&table, "figure2");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 3: latent interpolation from "jimmy91" to "123456".
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::figures;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = figures::figure3(&workbench, "jimmy91", "123456", 12)?;
+    emit(&table, "figure3");
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4: marginal improvement vs training-set size.
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::figures;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    // Training-set sizes mirroring the paper's sweep (50K baseline up to the
+    // full subsample), scaled to the workbench's training split.
+    let full = workbench.split.train.len();
+    let sizes = vec![full / 6, full / 3, (2 * full) / 3, full];
+    let budget = workbench.scale.max_budget().min(10_000).max(1_000);
+    let table = figures::figure4(&workbench, &sizes, budget)?;
+    emit(&table, "figure4");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 5: Dynamic Sampling with vs without the penalization
+//! function φ.
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::figures;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = figures::figure5(&workbench);
+    emit(&table, "figure5");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I: the Dynamic Sampling parameters per guess budget.
+
+use passflow_bench::{emit, scale_from_env};
+use passflow_eval::tables;
+
+fn main() {
+    let scale = scale_from_env();
+    let table = tables::table1(&scale.budgets);
+    emit(&table, "table1");
+}

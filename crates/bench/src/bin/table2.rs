@@ -1,0 +1,11 @@
+//! Regenerates Table II: % of matched passwords per method and guess budget.
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::tables;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = tables::table2(&workbench)?;
+    emit(&table, "table2");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table III: unique and matched passwords per latent-space model.
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::tables;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = tables::table3(&workbench)?;
+    emit(&table, "table3");
+    Ok(())
+}

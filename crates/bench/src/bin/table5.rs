@@ -1,0 +1,11 @@
+//! Regenerates Table V: bounded sampling around the pivot password "jimmy91".
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::tables;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = tables::table5(&workbench, "jimmy91")?;
+    emit(&table, "table5");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table VI: the masking-strategy ablation.
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_eval::tables;
+
+fn main() -> passflow_core::Result<()> {
+    let workbench = prepare(scale_from_env())?;
+    let table = tables::table6(&workbench)?;
+    emit(&table, "table6");
+    Ok(())
+}

@@ -1,0 +1,352 @@
+//! Model and training configuration.
+//!
+//! [`FlowConfig::paper`] reproduces the architecture of Section IV-D
+//! (18 coupling layers, residual `s`/`t` networks with 2 blocks of 256 hidden
+//! units, char-run-1 masking, passwords of length ≤ 10). Smaller presets are
+//! provided because the reproduction runs on CPU: the relative comparisons in
+//! the paper's tables are preserved at reduced scale, and the paper-scale
+//! configuration remains one call away.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FlowError, Result};
+use crate::mask::MaskStrategy;
+
+/// Architecture of a [`PassFlow`](crate::PassFlow) model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Maximum password length; also the dimensionality of the data and
+    /// latent spaces (flows cannot change dimensionality — Section V-A).
+    pub max_len: usize,
+    /// Number of affine coupling layers.
+    pub coupling_layers: usize,
+    /// Hidden width of the `s` and `t` residual networks.
+    pub hidden_size: usize,
+    /// Number of residual blocks in each `s`/`t` network.
+    pub residual_blocks: usize,
+    /// Masking strategy used to partition the input (Table VI ablation).
+    pub masking: MaskStrategy,
+}
+
+impl FlowConfig {
+    /// The paper's architecture: 18 coupling layers, 2 residual blocks of
+    /// 256 hidden units, char-run-1 masking, max length 10.
+    pub fn paper() -> Self {
+        FlowConfig {
+            max_len: 10,
+            coupling_layers: 18,
+            hidden_size: 256,
+            residual_blocks: 2,
+            masking: MaskStrategy::CharRun(1),
+        }
+    }
+
+    /// A reduced architecture for CPU-scale evaluation runs: same structure,
+    /// fewer/narrower layers. This is the default used by the experiment
+    /// harness.
+    pub fn evaluation() -> Self {
+        FlowConfig {
+            max_len: 10,
+            coupling_layers: 8,
+            hidden_size: 64,
+            residual_blocks: 2,
+            masking: MaskStrategy::CharRun(1),
+        }
+    }
+
+    /// A tiny architecture for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        FlowConfig {
+            max_len: 10,
+            coupling_layers: 4,
+            hidden_size: 16,
+            residual_blocks: 1,
+            masking: MaskStrategy::CharRun(1),
+        }
+    }
+
+    /// Sets the masking strategy (builder style).
+    #[must_use]
+    pub fn with_masking(mut self, masking: MaskStrategy) -> Self {
+        self.masking = masking;
+        self
+    }
+
+    /// Sets the number of coupling layers (builder style).
+    #[must_use]
+    pub fn with_coupling_layers(mut self, layers: usize) -> Self {
+        self.coupling_layers = layers;
+        self
+    }
+
+    /// Sets the hidden width (builder style).
+    #[must_use]
+    pub fn with_hidden_size(mut self, hidden: usize) -> Self {
+        self.hidden_size = hidden;
+        self
+    }
+
+    /// Sets the maximum password length (builder style).
+    #[must_use]
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] if any field is zero or if a
+    /// char-run mask length is not smaller than the password length.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_len == 0 {
+            return Err(FlowError::InvalidConfig("max_len must be positive".into()));
+        }
+        if self.coupling_layers == 0 {
+            return Err(FlowError::InvalidConfig(
+                "coupling_layers must be positive".into(),
+            ));
+        }
+        if self.coupling_layers % 2 != 0 {
+            return Err(FlowError::InvalidConfig(
+                "coupling_layers must be even so alternating masks cover all positions".into(),
+            ));
+        }
+        if self.hidden_size == 0 {
+            return Err(FlowError::InvalidConfig(
+                "hidden_size must be positive".into(),
+            ));
+        }
+        if self.residual_blocks == 0 {
+            return Err(FlowError::InvalidConfig(
+                "residual_blocks must be positive".into(),
+            ));
+        }
+        if let MaskStrategy::CharRun(m) = self.masking {
+            if m == 0 || m >= self.max_len {
+                return Err(FlowError::InvalidConfig(format!(
+                    "char-run length {m} must be in [1, max_len)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self::evaluation()
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set (400 in the paper).
+    pub epochs: usize,
+    /// Mini-batch size (512 in the paper).
+    pub batch_size: usize,
+    /// Adam learning rate (0.001 in the paper).
+    pub learning_rate: f32,
+    /// Amplitude of the uniform dequantization noise, expressed as a
+    /// fraction of the encoder's quantization step. Password encodings are
+    /// discrete; adding sub-quantization noise makes the density estimation
+    /// problem well-posed without changing which password a vector decodes
+    /// to.
+    pub dequantization: f32,
+    /// Gradient-clipping threshold (L2, per parameter). `None` disables
+    /// clipping.
+    pub clip_norm: Option<f32>,
+    /// RNG seed controlling shuffling, noise and initialization of the
+    /// optimizer state.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's training setup (400 epochs, batch 512, lr 0.001).
+    pub fn paper() -> Self {
+        TrainConfig {
+            epochs: 400,
+            batch_size: 512,
+            learning_rate: 1e-3,
+            dequantization: 1.0,
+            clip_norm: Some(5.0),
+            seed: 0,
+        }
+    }
+
+    /// A reduced setup for CPU-scale harness runs.
+    pub fn evaluation() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            dequantization: 1.0,
+            clip_norm: Some(5.0),
+            seed: 0,
+        }
+    }
+
+    /// A minimal setup for unit tests.
+    pub fn tiny() -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 128,
+            learning_rate: 2e-3,
+            dequantization: 1.0,
+            clip_norm: Some(5.0),
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of epochs (builder style).
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the batch size (builder style).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the learning rate (builder style).
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] on zero epochs/batch size or a
+    /// non-positive learning rate.
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(FlowError::InvalidConfig("epochs must be positive".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(FlowError::InvalidConfig(
+                "batch_size must be positive".into(),
+            ));
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(FlowError::InvalidConfig(
+                "learning_rate must be positive and finite".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.dequantization) {
+            return Err(FlowError::InvalidConfig(
+                "dequantization must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::evaluation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_iv_d() {
+        let c = FlowConfig::paper();
+        assert_eq!(c.max_len, 10);
+        assert_eq!(c.coupling_layers, 18);
+        assert_eq!(c.hidden_size, 256);
+        assert_eq!(c.residual_blocks, 2);
+        assert_eq!(c.masking, MaskStrategy::CharRun(1));
+        assert!(c.validate().is_ok());
+
+        let t = TrainConfig::paper();
+        assert_eq!(t.epochs, 400);
+        assert_eq!(t.batch_size, 512);
+        assert!((t.learning_rate - 1e-3).abs() < 1e-9);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn presets_are_valid_and_ordered_by_size() {
+        for c in [FlowConfig::tiny(), FlowConfig::evaluation(), FlowConfig::paper()] {
+            assert!(c.validate().is_ok());
+        }
+        assert!(FlowConfig::tiny().hidden_size < FlowConfig::evaluation().hidden_size);
+        assert!(FlowConfig::evaluation().hidden_size < FlowConfig::paper().hidden_size);
+        for t in [TrainConfig::tiny(), TrainConfig::evaluation(), TrainConfig::paper()] {
+            assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let c = FlowConfig::tiny()
+            .with_masking(MaskStrategy::Horizontal)
+            .with_coupling_layers(6)
+            .with_hidden_size(24)
+            .with_max_len(8);
+        assert_eq!(c.masking, MaskStrategy::Horizontal);
+        assert_eq!(c.coupling_layers, 6);
+        assert_eq!(c.hidden_size, 24);
+        assert_eq!(c.max_len, 8);
+
+        let t = TrainConfig::tiny()
+            .with_epochs(7)
+            .with_batch_size(32)
+            .with_seed(99)
+            .with_learning_rate(0.01);
+        assert_eq!(t.epochs, 7);
+        assert_eq!(t.batch_size, 32);
+        assert_eq!(t.seed, 99);
+        assert!((t.learning_rate - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_flow_configs_are_rejected() {
+        assert!(FlowConfig::tiny().with_coupling_layers(0).validate().is_err());
+        assert!(FlowConfig::tiny().with_coupling_layers(3).validate().is_err());
+        assert!(FlowConfig::tiny().with_hidden_size(0).validate().is_err());
+        assert!(FlowConfig::tiny().with_max_len(0).validate().is_err());
+        assert!(FlowConfig::tiny()
+            .with_masking(MaskStrategy::CharRun(10))
+            .validate()
+            .is_err());
+        let mut c = FlowConfig::tiny();
+        c.residual_blocks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_train_configs_are_rejected() {
+        assert!(TrainConfig::tiny().with_epochs(0).validate().is_err());
+        assert!(TrainConfig::tiny().with_batch_size(0).validate().is_err());
+        assert!(TrainConfig::tiny().with_learning_rate(-1.0).validate().is_err());
+        let mut t = TrainConfig::tiny();
+        t.dequantization = 2.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_are_the_evaluation_presets() {
+        assert_eq!(FlowConfig::default(), FlowConfig::evaluation());
+        assert_eq!(TrainConfig::default(), TrainConfig::evaluation());
+    }
+}

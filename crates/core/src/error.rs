@@ -1,0 +1,89 @@
+//! Error type for the PassFlow core crate.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, FlowError>;
+
+/// Errors surfaced by the PassFlow public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A password could not be encoded by the flow's encoder (too long or
+    /// containing characters outside the alphabet).
+    UnencodablePassword(String),
+    /// A latent vector or feature vector had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality (the flow's `max_len`).
+        expected: usize,
+        /// Dimensionality that was provided.
+        actual: usize,
+    },
+    /// The training set was empty or became empty after encoding.
+    EmptyTrainingSet,
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// Training diverged (non-finite loss).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// Serialized weights are incompatible with the current architecture.
+    IncompatibleWeights(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnencodablePassword(p) => {
+                write!(f, "password {p:?} cannot be encoded by this flow")
+            }
+            FlowError::DimensionMismatch { expected, actual } => {
+                write!(f, "expected dimension {expected}, got {actual}")
+            }
+            FlowError::EmptyTrainingSet => write!(f, "training set is empty after encoding"),
+            FlowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FlowError::Diverged { epoch } => {
+                write!(f, "training diverged (non-finite loss) at epoch {epoch}")
+            }
+            FlowError::IncompatibleWeights(msg) => write!(f, "incompatible weights: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(FlowError, &str)> = vec![
+            (
+                FlowError::UnencodablePassword("héllo".into()),
+                "cannot be encoded",
+            ),
+            (
+                FlowError::DimensionMismatch {
+                    expected: 10,
+                    actual: 8,
+                },
+                "expected dimension 10",
+            ),
+            (FlowError::EmptyTrainingSet, "empty"),
+            (FlowError::InvalidConfig("bad".into()), "bad"),
+            (FlowError::Diverged { epoch: 3 }, "epoch 3"),
+            (FlowError::IncompatibleWeights("n".into()), "incompatible"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Latent-space interpolation between passwords (Algorithm 2, Figure 3).
+//!
+//! Given a start and a target password, both are mapped to the latent space,
+//! the straight line between them is discretized into `steps` segments, and
+//! every intermediate latent point is mapped back through the inverse flow
+//! and decoded. Because the learned latent space is smooth, intermediate
+//! points decode to realistic, human-like passwords (Section V-B).
+
+use passflow_nn::Tensor;
+
+use crate::error::{FlowError, Result};
+use crate::flow::PassFlow;
+
+/// A single step of an interpolation path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterpolationPoint {
+    /// Step index, from 0 (start password) to `steps` (target password).
+    pub step: usize,
+    /// The latent point at this step.
+    pub latent: Vec<f32>,
+    /// The decoded password at this step.
+    pub password: String,
+}
+
+/// Interpolates between two passwords in the latent space (Algorithm 2).
+///
+/// Returns `steps + 1` points; the first decodes (approximately) to `start`
+/// and the last to `target`.
+///
+/// # Errors
+///
+/// * [`FlowError::UnencodablePassword`] if either endpoint cannot be encoded.
+/// * [`FlowError::InvalidConfig`] if `steps` is zero.
+pub fn interpolate(
+    flow: &PassFlow,
+    start: &str,
+    target: &str,
+    steps: usize,
+) -> Result<Vec<InterpolationPoint>> {
+    if steps == 0 {
+        return Err(FlowError::InvalidConfig(
+            "interpolation needs at least one step".into(),
+        ));
+    }
+    let z1 = flow
+        .latent_of(start)
+        .ok_or_else(|| FlowError::UnencodablePassword(start.to_string()))?;
+    let z2 = flow
+        .latent_of(target)
+        .ok_or_else(|| FlowError::UnencodablePassword(target.to_string()))?;
+
+    // δ = (z2 − z1) / steps, intermediate point i = z1 + δ·i  (Algorithm 2).
+    let delta: Vec<f32> = z1
+        .iter()
+        .zip(z2.iter())
+        .map(|(a, b)| (b - a) / steps as f32)
+        .collect();
+
+    let mut latents = Tensor::zeros(steps + 1, flow.dim());
+    for i in 0..=steps {
+        for j in 0..flow.dim() {
+            latents.set(i, j, z1[j] + delta[j] * i as f32);
+        }
+    }
+    let decoded = flow.decode_batch(&flow.inverse(&latents));
+
+    Ok(decoded
+        .into_iter()
+        .enumerate()
+        .map(|(step, password)| InterpolationPoint {
+            step,
+            latent: latents.row_slice(step).to_vec(),
+            password,
+        })
+        .collect())
+}
+
+/// Convenience wrapper returning only the decoded passwords along the path.
+///
+/// # Errors
+///
+/// Same as [`interpolate`].
+pub fn interpolate_passwords(
+    flow: &PassFlow,
+    start: &str,
+    target: &str,
+    steps: usize,
+) -> Result<Vec<String>> {
+    Ok(interpolate(flow, start, target, steps)?
+        .into_iter()
+        .map(|p| p.password)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConfig;
+    use passflow_nn::rng as nnrng;
+
+    fn tiny_flow(seed: u64) -> PassFlow {
+        let mut rng = nnrng::seeded(seed);
+        PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn endpoints_decode_to_the_original_passwords() {
+        let flow = tiny_flow(1);
+        let path = interpolate(&flow, "jimmy91", "123456", 8).unwrap();
+        assert_eq!(path.len(), 9);
+        assert_eq!(path.first().unwrap().password, "jimmy91");
+        assert_eq!(path.last().unwrap().password, "123456");
+        assert_eq!(path.first().unwrap().step, 0);
+        assert_eq!(path.last().unwrap().step, 8);
+    }
+
+    #[test]
+    fn latent_path_is_a_straight_line() {
+        let flow = tiny_flow(2);
+        let path = interpolate(&flow, "monkey", "dragon", 4).unwrap();
+        let z0 = &path[0].latent;
+        let z4 = &path[4].latent;
+        let mid = &path[2].latent;
+        for j in 0..z0.len() {
+            let expected = 0.5 * (z0[j] + z4[j]);
+            assert!((mid[j] - expected).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_intermediate_points_decode_to_valid_strings() {
+        let flow = tiny_flow(3);
+        let path = interpolate_passwords(&flow, "sunshine", "qwerty12", 10).unwrap();
+        assert_eq!(path.len(), 11);
+        for p in &path {
+            assert!(p.chars().count() <= 10);
+            assert!(flow.encoder().can_encode(p), "invalid interpolation {p:?}");
+        }
+    }
+
+    #[test]
+    fn single_step_gives_just_the_endpoints() {
+        let flow = tiny_flow(4);
+        let path = interpolate_passwords(&flow, "hello1", "world2", 1).unwrap();
+        assert_eq!(path, vec!["hello1".to_string(), "world2".to_string()]);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let flow = tiny_flow(5);
+        assert!(matches!(
+            interpolate(&flow, "waytoolongpassword", "ok", 4),
+            Err(FlowError::UnencodablePassword(_))
+        ));
+        assert!(matches!(
+            interpolate(&flow, "ok", "ok2", 0),
+            Err(FlowError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn interpolating_a_password_with_itself_is_constant() {
+        let flow = tiny_flow(6);
+        let path = interpolate_passwords(&flow, "shadow7", "shadow7", 5).unwrap();
+        assert!(path.iter().all(|p| p == "shadow7"));
+    }
+}

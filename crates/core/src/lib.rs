@@ -1,0 +1,70 @@
+//! # passflow-core
+//!
+//! A Rust implementation of **PassFlow** (Pagnotta, Hitaj, De Gaspari,
+//! Mancini — DSN 2022): password guessing with generative normalizing flows.
+//!
+//! The model is a RealNVP-style stack of affine [`coupling
+//! layers`](CouplingLayer) mapping fixed-length password encodings to a
+//! Gaussian latent space. Because the map is invertible with a tractable
+//! Jacobian, the model offers exact log-likelihoods, exact latent inference,
+//! and closed-form inversion for sampling — the properties the paper
+//! leverages for its guessing strategies:
+//!
+//! * **static sampling** ([`PassFlow::sample_passwords`]),
+//! * **Dynamic Sampling with penalization** ([`DynamicParams`],
+//!   Algorithm 1),
+//! * **data-space Gaussian smoothing** ([`GaussianSmoothing`],
+//!   Section III-C),
+//! * **latent-space operations**: neighbourhood sampling around a pivot
+//!   ([`PassFlow::sample_near`], Table V) and interpolation
+//!   ([`interpolate`], Algorithm 2 / Figure 3).
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use passflow_core::{AttackConfig, FlowConfig, PassFlow, TrainConfig, run_attack, train};
+//! use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+//! use rand::SeedableRng;
+//!
+//! // A tiny corpus and model so the example runs in a moment; see
+//! // `FlowConfig::paper()` / `TrainConfig::paper()` for the paper's setup.
+//! let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(3_000)).generate(1);
+//! let split = corpus.paper_split(0.8, 1_000, 1);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+//! train(&flow, &split.train, &TrainConfig::tiny())?;
+//!
+//! let outcome = run_attack(&flow, &split.test_set(), &AttackConfig::quick(2_000));
+//! println!("matched {}% of the test set", outcome.final_report().matched_percent);
+//! # Ok::<(), passflow_core::FlowError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod conditional;
+mod config;
+mod coupling;
+mod error;
+mod flow;
+mod guess;
+mod interpolate;
+mod mask;
+mod persist;
+mod prior;
+mod sample;
+mod train;
+
+pub use conditional::{conditional_guess, ConditionalConfig, ConditionalGuess, PasswordTemplate};
+pub use config::{FlowConfig, TrainConfig};
+pub use coupling::CouplingLayer;
+pub use error::{FlowError, Result};
+pub use flow::PassFlow;
+pub use guess::{run_attack, AttackConfig, AttackOutcome, CheckpointReport};
+pub use interpolate::{interpolate, interpolate_passwords, InterpolationPoint};
+pub use mask::MaskStrategy;
+pub use persist::{load_flow, load_flow_from_reader, save_flow, save_flow_to_writer};
+pub use prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
+pub use sample::{DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization};
+pub use train::{train, EpochStats, TrainingReport};

@@ -1,0 +1,176 @@
+//! Coupling-layer masking strategies (Section III-A.1 and Section V-C).
+//!
+//! A coupling layer conditions half of the input dimensions on the other
+//! half. Which dimensions go in which half is decided by a binary mask `b`;
+//! consecutive coupling layers alternate between `b` and `1 − b` so every
+//! dimension is transformed (Figure 1 of the paper).
+//!
+//! The paper evaluates three strategies (Table VI):
+//!
+//! * **char-run m** — runs of `m` consecutive zeros and ones
+//!   (`m = 1` → `0101…`, `m = 2` → `0011 0011…`); `m = 1` performs best and
+//!   is the default,
+//! * **horizontal** — the first half of the password conditions the second
+//!   half (`000…0111…1`).
+
+use serde::{Deserialize, Serialize};
+
+/// How coupling-layer binary masks are constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaskStrategy {
+    /// Alternating runs of `m` zeros and `m` ones (the paper's "char-run m").
+    CharRun(usize),
+    /// First half zeros, second half ones (the paper's "horizontal" masking).
+    Horizontal,
+}
+
+impl Default for MaskStrategy {
+    /// Char-run masking with `m = 1`, the best-performing strategy in
+    /// Table VI.
+    fn default() -> Self {
+        MaskStrategy::CharRun(1)
+    }
+}
+
+impl std::fmt::Display for MaskStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaskStrategy::CharRun(m) => write!(f, "char-run {m}"),
+            MaskStrategy::Horizontal => write!(f, "horizontal"),
+        }
+    }
+}
+
+impl MaskStrategy {
+    /// Builds the base binary mask `b` for a `dim`-dimensional input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or if a `CharRun` strategy has `m = 0`.
+    pub fn base_mask(&self, dim: usize) -> Vec<f32> {
+        assert!(dim > 0, "mask dimension must be positive");
+        match *self {
+            MaskStrategy::CharRun(m) => {
+                assert!(m > 0, "char-run length must be positive");
+                (0..dim)
+                    .map(|i| if (i / m) % 2 == 0 { 1.0 } else { 0.0 })
+                    .collect()
+            }
+            MaskStrategy::Horizontal => {
+                let half = dim / 2;
+                (0..dim).map(|i| if i < half { 1.0 } else { 0.0 }).collect()
+            }
+        }
+    }
+
+    /// Returns the mask for coupling layer `layer_index`: even layers use the
+    /// base mask `b`, odd layers use the complement `1 − b`, so consecutive
+    /// layers transform complementary subsets of the dimensions.
+    pub fn mask_for_layer(&self, layer_index: usize, dim: usize) -> Vec<f32> {
+        let base = self.base_mask(dim);
+        if layer_index % 2 == 0 {
+            base
+        } else {
+            base.into_iter().map(|v| 1.0 - v).collect()
+        }
+    }
+
+    /// Human-readable identifier used in reports and benchmarks.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_run_1_alternates_every_position() {
+        let b = MaskStrategy::CharRun(1).base_mask(6);
+        assert_eq!(b, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn char_run_2_alternates_in_pairs() {
+        let b = MaskStrategy::CharRun(2).base_mask(8);
+        assert_eq!(b, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn horizontal_splits_in_half() {
+        let b = MaskStrategy::Horizontal.base_mask(10);
+        assert_eq!(b[..5], [1.0; 5]);
+        assert_eq!(b[5..], [0.0; 5]);
+        // Odd dimension: first floor(dim/2) are ones.
+        let b = MaskStrategy::Horizontal.base_mask(5);
+        assert_eq!(b, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn layers_alternate_mask_and_complement() {
+        let strategy = MaskStrategy::CharRun(1);
+        let even = strategy.mask_for_layer(0, 4);
+        let odd = strategy.mask_for_layer(1, 4);
+        for (a, b) in even.iter().zip(odd.iter()) {
+            assert_eq!(a + b, 1.0);
+        }
+        assert_eq!(strategy.mask_for_layer(2, 4), even);
+    }
+
+    #[test]
+    fn every_position_is_transformed_across_two_layers() {
+        // A position is transformed by a layer when its mask value is 0.
+        for strategy in [
+            MaskStrategy::CharRun(1),
+            MaskStrategy::CharRun(2),
+            MaskStrategy::Horizontal,
+        ] {
+            let dim = 10;
+            let l0 = strategy.mask_for_layer(0, dim);
+            let l1 = strategy.mask_for_layer(1, dim);
+            for i in 0..dim {
+                assert!(
+                    l0[i] == 0.0 || l1[i] == 0.0,
+                    "{strategy}: position {i} never transformed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_are_binary() {
+        for strategy in [
+            MaskStrategy::CharRun(1),
+            MaskStrategy::CharRun(3),
+            MaskStrategy::Horizontal,
+        ] {
+            for v in strategy.base_mask(10) {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_char_run_1() {
+        assert_eq!(MaskStrategy::default(), MaskStrategy::CharRun(1));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(MaskStrategy::CharRun(2).label(), "char-run 2");
+        assert_eq!(MaskStrategy::Horizontal.label(), "horizontal");
+    }
+
+    #[test]
+    #[should_panic(expected = "char-run length must be positive")]
+    fn zero_run_length_rejected() {
+        let _ = MaskStrategy::CharRun(0).base_mask(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = MaskStrategy::CharRun(1).base_mask(0);
+    }
+}

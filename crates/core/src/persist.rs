@@ -1,0 +1,287 @@
+//! Model persistence: saving and loading trained flows.
+//!
+//! The format is a small, self-describing text format (`PASSFLOW v1`) so
+//! checkpoints remain inspectable and diff-able, and no extra serialization
+//! dependency is needed. Weights are stored as hexadecimal IEEE-754 bit
+//! patterns, so a save/load round trip is bit-exact.
+//!
+//! ```text
+//! PASSFLOW v1
+//! max_len 10
+//! coupling_layers 18
+//! hidden_size 256
+//! residual_blocks 2
+//! masking char-run 1
+//! tensors 216
+//! tensor 10 256
+//! 3f80000 bf000000 …
+//! …
+//! ```
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use rand::SeedableRng;
+
+use crate::config::FlowConfig;
+use crate::error::{FlowError, Result};
+use crate::flow::PassFlow;
+use crate::mask::MaskStrategy;
+use passflow_nn::Tensor;
+
+const MAGIC: &str = "PASSFLOW v1";
+
+fn masking_to_string(masking: MaskStrategy) -> String {
+    match masking {
+        MaskStrategy::CharRun(m) => format!("char-run {m}"),
+        MaskStrategy::Horizontal => "horizontal".to_string(),
+    }
+}
+
+fn masking_from_string(text: &str) -> Result<MaskStrategy> {
+    let text = text.trim();
+    if text == "horizontal" {
+        return Ok(MaskStrategy::Horizontal);
+    }
+    if let Some(rest) = text.strip_prefix("char-run ") {
+        let m: usize = rest
+            .trim()
+            .parse()
+            .map_err(|_| FlowError::IncompatibleWeights(format!("bad masking {text:?}")))?;
+        return Ok(MaskStrategy::CharRun(m));
+    }
+    Err(FlowError::IncompatibleWeights(format!(
+        "unknown masking strategy {text:?}"
+    )))
+}
+
+/// Serializes a flow's architecture and weights to a writer.
+///
+/// # Errors
+///
+/// Returns [`FlowError::IncompatibleWeights`] wrapping any I/O failure.
+pub fn save_flow_to_writer<W: Write>(flow: &PassFlow, writer: &mut W) -> Result<()> {
+    let io_err = |e: std::io::Error| FlowError::IncompatibleWeights(format!("write failed: {e}"));
+    let config = flow.config();
+    writeln!(writer, "{MAGIC}").map_err(io_err)?;
+    writeln!(writer, "max_len {}", config.max_len).map_err(io_err)?;
+    writeln!(writer, "coupling_layers {}", config.coupling_layers).map_err(io_err)?;
+    writeln!(writer, "hidden_size {}", config.hidden_size).map_err(io_err)?;
+    writeln!(writer, "residual_blocks {}", config.residual_blocks).map_err(io_err)?;
+    writeln!(writer, "masking {}", masking_to_string(config.masking)).map_err(io_err)?;
+    let snapshot = flow.weight_snapshot();
+    writeln!(writer, "tensors {}", snapshot.len()).map_err(io_err)?;
+    for tensor in &snapshot {
+        writeln!(writer, "tensor {} {}", tensor.rows(), tensor.cols()).map_err(io_err)?;
+        let words: Vec<String> = tensor
+            .as_slice()
+            .iter()
+            .map(|v| format!("{:08x}", v.to_bits()))
+            .collect();
+        writeln!(writer, "{}", words.join(" ")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Saves a flow to a file. See [`save_flow_to_writer`] for the format.
+///
+/// # Errors
+///
+/// Returns [`FlowError::IncompatibleWeights`] wrapping any I/O failure.
+pub fn save_flow(flow: &PassFlow, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = fs::File::create(path.as_ref())
+        .map_err(|e| FlowError::IncompatibleWeights(format!("cannot create file: {e}")))?;
+    save_flow_to_writer(flow, &mut file)
+}
+
+fn parse_header_line(line: Option<std::io::Result<String>>, key: &str) -> Result<String> {
+    let line = line
+        .ok_or_else(|| FlowError::IncompatibleWeights(format!("missing {key} line")))?
+        .map_err(|e| FlowError::IncompatibleWeights(format!("read failed: {e}")))?;
+    line.strip_prefix(key)
+        .map(|rest| rest.trim().to_string())
+        .ok_or_else(|| FlowError::IncompatibleWeights(format!("expected {key:?}, got {line:?}")))
+}
+
+fn parse_usize(text: &str, key: &str) -> Result<usize> {
+    text.parse()
+        .map_err(|_| FlowError::IncompatibleWeights(format!("bad {key} value {text:?}")))
+}
+
+/// Loads a flow from a reader in the format produced by
+/// [`save_flow_to_writer`].
+///
+/// # Errors
+///
+/// Returns [`FlowError::IncompatibleWeights`] if the stream is not a valid
+/// checkpoint, or any construction error from [`PassFlow::new`].
+pub fn load_flow_from_reader<R: Read>(reader: R) -> Result<PassFlow> {
+    let mut lines = BufReader::new(reader).lines();
+    let magic = lines
+        .next()
+        .ok_or_else(|| FlowError::IncompatibleWeights("empty checkpoint".into()))?
+        .map_err(|e| FlowError::IncompatibleWeights(format!("read failed: {e}")))?;
+    if magic.trim() != MAGIC {
+        return Err(FlowError::IncompatibleWeights(format!(
+            "bad magic line {magic:?}"
+        )));
+    }
+    let max_len = parse_usize(&parse_header_line(lines.next(), "max_len")?, "max_len")?;
+    let coupling_layers = parse_usize(
+        &parse_header_line(lines.next(), "coupling_layers")?,
+        "coupling_layers",
+    )?;
+    let hidden_size = parse_usize(
+        &parse_header_line(lines.next(), "hidden_size")?,
+        "hidden_size",
+    )?;
+    let residual_blocks = parse_usize(
+        &parse_header_line(lines.next(), "residual_blocks")?,
+        "residual_blocks",
+    )?;
+    let masking = masking_from_string(&parse_header_line(lines.next(), "masking")?)?;
+    let num_tensors = parse_usize(&parse_header_line(lines.next(), "tensors")?, "tensors")?;
+
+    let config = FlowConfig {
+        max_len,
+        coupling_layers,
+        hidden_size,
+        residual_blocks,
+        masking,
+    };
+    // The RNG only provides the initial weights, which are immediately
+    // overwritten by the checkpoint, so any seed works.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let flow = PassFlow::new(config, &mut rng)?;
+
+    let mut tensors = Vec::with_capacity(num_tensors);
+    for index in 0..num_tensors {
+        let shape_line = parse_header_line(lines.next(), "tensor")?;
+        let mut parts = shape_line.split_whitespace();
+        let rows = parse_usize(parts.next().unwrap_or(""), "tensor rows")?;
+        let cols = parse_usize(parts.next().unwrap_or(""), "tensor cols")?;
+        let data_line = lines
+            .next()
+            .ok_or_else(|| {
+                FlowError::IncompatibleWeights(format!("missing data for tensor {index}"))
+            })?
+            .map_err(|e| FlowError::IncompatibleWeights(format!("read failed: {e}")))?;
+        let values: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|word| {
+                u32::from_str_radix(word, 16)
+                    .map(f32::from_bits)
+                    .map_err(|_| {
+                        FlowError::IncompatibleWeights(format!("bad weight word {word:?}"))
+                    })
+            })
+            .collect::<Result<Vec<f32>>>()?;
+        let tensor = Tensor::from_vec(rows, cols, values).map_err(|e| {
+            FlowError::IncompatibleWeights(format!("tensor {index} has wrong size: {e}"))
+        })?;
+        tensors.push(tensor);
+    }
+    flow.load_weights(&tensors)?;
+    Ok(flow)
+}
+
+/// Loads a flow from a checkpoint file written by [`save_flow`].
+///
+/// # Errors
+///
+/// See [`load_flow_from_reader`].
+pub fn load_flow(path: impl AsRef<Path>) -> Result<PassFlow> {
+    let file = fs::File::open(path.as_ref())
+        .map_err(|e| FlowError::IncompatibleWeights(format!("cannot open file: {e}")))?;
+    load_flow_from_reader(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passflow_nn::rng as nnrng;
+
+    fn tiny_flow(seed: u64) -> PassFlow {
+        let mut rng = nnrng::seeded(seed);
+        PassFlow::new(FlowConfig::tiny().with_masking(MaskStrategy::CharRun(2)), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let flow = tiny_flow(1);
+        let mut buffer = Vec::new();
+        save_flow_to_writer(&flow, &mut buffer).unwrap();
+        let restored = load_flow_from_reader(buffer.as_slice()).unwrap();
+
+        assert_eq!(restored.config(), flow.config());
+        // Same exact densities for a handful of passwords.
+        for pw in ["jimmy91", "123456", "qwerty"] {
+            assert_eq!(
+                flow.log_prob_password(pw).unwrap().to_bits(),
+                restored.log_prob_password(pw).unwrap().to_bits(),
+                "density mismatch for {pw}"
+            );
+        }
+        // And bit-exact weights.
+        for (a, b) in flow
+            .weight_snapshot()
+            .iter()
+            .zip(restored.weight_snapshot().iter())
+        {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_works() {
+        let flow = tiny_flow(2);
+        let path = std::env::temp_dir().join("passflow_persist_test.pfw");
+        save_flow(&flow, &path).unwrap();
+        let restored = load_flow(&path).unwrap();
+        assert_eq!(restored.config(), flow.config());
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_rejected() {
+        // Wrong magic.
+        assert!(matches!(
+            load_flow_from_reader("NOT A CHECKPOINT".as_bytes()),
+            Err(FlowError::IncompatibleWeights(_))
+        ));
+        // Truncated file: header only.
+        let flow = tiny_flow(3);
+        let mut buffer = Vec::new();
+        save_flow_to_writer(&flow, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let truncated: String = text.lines().take(7).collect::<Vec<_>>().join("\n");
+        assert!(load_flow_from_reader(truncated.as_bytes()).is_err());
+        // Corrupted weight word.
+        let corrupted = text.replacen("tensor", "tensor_bad", 1);
+        assert!(load_flow_from_reader(corrupted.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn masking_strings_round_trip() {
+        for masking in [
+            MaskStrategy::CharRun(1),
+            MaskStrategy::CharRun(3),
+            MaskStrategy::Horizontal,
+        ] {
+            assert_eq!(
+                masking_from_string(&masking_to_string(masking)).unwrap(),
+                masking
+            );
+        }
+        assert!(masking_from_string("diagonal").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(matches!(
+            load_flow("/definitely/not/a/real/path.pfw"),
+            Err(FlowError::IncompatibleWeights(_))
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Dynamic Sampling with penalization (Section III-B, Algorithm 1, Table I).
+//!
+//! Static sampling explores the latent space uniformly under the prior.
+//! Dynamic Sampling conditions the prior on the set `M` of latent points
+//! whose decoded passwords have already matched the target set: once more
+//! than `α` matches are known, latent samples are drawn from the Gaussian
+//! mixture of Equation 14, `p_z(z | M) = Σ_i φ(z_i) · N(z_i, σ)`.
+//!
+//! The penalization function φ prevents the sampler from stagnating around
+//! the same matches forever: the paper's φ is a step function that drops a
+//! component's weight to zero after it has been used `γ` times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prior::GaussianMixturePrior;
+
+/// The penalization function φ applied to matched latent points.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Penalization {
+    /// The paper's step function: weight 1 while the component has been used
+    /// fewer than `gamma` times, 0 afterwards.
+    Step {
+        /// Usage threshold γ.
+        gamma: u32,
+    },
+    /// No penalization (φ ≡ 1) — the "without φ" configuration of Figure 5,
+    /// equivalent to the uniform weighting used by Pasquini et al.
+    None,
+}
+
+impl Penalization {
+    /// Evaluates φ for a component that has been used `usage` times.
+    pub fn weight(&self, usage: u32) -> f32 {
+        match *self {
+            Penalization::Step { gamma } => {
+                if usage < gamma {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Penalization::None => 1.0,
+        }
+    }
+}
+
+/// Parameters of the Dynamic Sampling algorithm (Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicParams {
+    /// Number of matches required before the mixture prior is activated (α).
+    pub alpha: usize,
+    /// Standard deviation of each mixture component (σ).
+    pub sigma: f32,
+    /// Penalization function φ (the paper's step function with threshold γ).
+    pub penalization: Penalization,
+}
+
+impl Default for DynamicParams {
+    /// The Table I parameters for the 10⁶-guess budget.
+    fn default() -> Self {
+        DynamicParams::paper_defaults(1_000_000)
+    }
+}
+
+impl DynamicParams {
+    /// Creates parameters with a step-function penalization.
+    pub fn new(alpha: usize, sigma: f32, gamma: u32) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        DynamicParams {
+            alpha,
+            sigma,
+            penalization: Penalization::Step { gamma },
+        }
+    }
+
+    /// Disables the penalization function (φ ≡ 1), keeping α and σ — the
+    /// "without φ" ablation of Figure 5.
+    #[must_use]
+    pub fn without_penalization(mut self) -> Self {
+        self.penalization = Penalization::None;
+        self
+    }
+
+    /// The parameters the paper reports in Table I for each guess budget:
+    ///
+    /// | Guesses | α  | σ    | γ  |
+    /// |---------|----|------|----|
+    /// | 10⁴     | 1  | 0.12 | 2  |
+    /// | 10⁵     | 1  | 0.12 | 2  |
+    /// | 10⁶     | 5  | 0.12 | 2  |
+    /// | 10⁷     | 50 | 0.12 | 10 |
+    /// | 10⁸     | 50 | 0.15 | 10 |
+    ///
+    /// Budgets between rows use the closest (lower) row.
+    pub fn paper_defaults(num_guesses: u64) -> Self {
+        if num_guesses >= 100_000_000 {
+            DynamicParams::new(50, 0.15, 10)
+        } else if num_guesses >= 10_000_000 {
+            DynamicParams::new(50, 0.12, 10)
+        } else if num_guesses >= 1_000_000 {
+            DynamicParams::new(5, 0.12, 2)
+        } else {
+            DynamicParams::new(1, 0.12, 2)
+        }
+    }
+}
+
+/// The evolving set `M` of matched latent points together with the usage
+/// dictionary `Mh` of Algorithm 1.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MatchedLatents {
+    points: Vec<Vec<f32>>,
+    usage: Vec<u32>,
+}
+
+impl MatchedLatents {
+    /// Creates an empty matched set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of matched latent points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no matches have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Records the latent point of a newly matched password
+    /// (Algorithm 1, lines 7–9).
+    pub fn insert(&mut self, latent: Vec<f32>) {
+        self.points.push(latent);
+        self.usage.push(0);
+    }
+
+    /// Usage counts (the `Mh` dictionary).
+    pub fn usage_counts(&self) -> &[u32] {
+        &self.usage
+    }
+
+    /// Builds the mixture prior of Equation 14 if dynamic sampling should be
+    /// active, and advances the usage counter of every component included in
+    /// the mixture.
+    ///
+    /// Returns `None` when the mixture should not (or cannot) be used:
+    /// either fewer than `α` matches exist yet, or the penalization has
+    /// driven every component's weight to zero — in both cases the caller
+    /// falls back to the standard-normal prior.
+    pub fn build_prior(&mut self, params: &DynamicParams) -> Option<GaussianMixturePrior> {
+        if self.len() <= params.alpha {
+            return None;
+        }
+        let weights: Vec<f32> = self
+            .usage
+            .iter()
+            .map(|&u| params.penalization.weight(u))
+            .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            return None;
+        }
+        // Every component with positive weight participates in conditioning
+        // this round; record the usage so φ can penalize it later.
+        for (usage, weight) in self.usage.iter_mut().zip(weights.iter()) {
+            if *weight > 0.0 {
+                *usage += 1;
+            }
+        }
+        Some(GaussianMixturePrior::new(
+            self.points.clone(),
+            params.sigma,
+            weights,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::Prior;
+
+    #[test]
+    fn paper_defaults_match_table_one() {
+        let cases = [
+            (10_000u64, 1usize, 0.12f32, 2u32),
+            (100_000, 1, 0.12, 2),
+            (1_000_000, 5, 0.12, 2),
+            (10_000_000, 50, 0.12, 10),
+            (100_000_000, 50, 0.15, 10),
+        ];
+        for (guesses, alpha, sigma, gamma) in cases {
+            let p = DynamicParams::paper_defaults(guesses);
+            assert_eq!(p.alpha, alpha, "alpha for {guesses}");
+            assert!((p.sigma - sigma).abs() < 1e-6, "sigma for {guesses}");
+            assert_eq!(
+                p.penalization,
+                Penalization::Step { gamma },
+                "gamma for {guesses}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_penalization_cuts_off_at_gamma() {
+        let phi = Penalization::Step { gamma: 2 };
+        assert_eq!(phi.weight(0), 1.0);
+        assert_eq!(phi.weight(1), 1.0);
+        assert_eq!(phi.weight(2), 0.0);
+        assert_eq!(phi.weight(10), 0.0);
+        assert_eq!(Penalization::None.weight(1_000), 1.0);
+    }
+
+    #[test]
+    fn prior_activates_only_after_alpha_matches() {
+        let params = DynamicParams::new(2, 0.1, 5);
+        let mut matched = MatchedLatents::new();
+        matched.insert(vec![0.0, 0.0]);
+        assert!(matched.build_prior(&params).is_none());
+        matched.insert(vec![1.0, 1.0]);
+        assert!(matched.build_prior(&params).is_none(), "needs strictly more than alpha");
+        matched.insert(vec![2.0, 2.0]);
+        assert!(matched.build_prior(&params).is_some());
+        assert_eq!(matched.len(), 3);
+        assert!(!matched.is_empty());
+    }
+
+    #[test]
+    fn usage_counts_increase_each_time_the_prior_is_built() {
+        let params = DynamicParams::new(0, 0.1, 3);
+        let mut matched = MatchedLatents::new();
+        matched.insert(vec![0.0]);
+        for expected in 1..=3u32 {
+            assert!(matched.build_prior(&params).is_some());
+            assert_eq!(matched.usage_counts(), &[expected]);
+        }
+        // After γ = 3 uses the single component is penalized to zero weight
+        // and the caller must fall back to the standard prior.
+        assert!(matched.build_prior(&params).is_none());
+        // Falling back does not advance usage further.
+        assert_eq!(matched.usage_counts(), &[3]);
+    }
+
+    #[test]
+    fn without_penalization_components_never_expire() {
+        let params = DynamicParams::new(0, 0.1, 1).without_penalization();
+        let mut matched = MatchedLatents::new();
+        matched.insert(vec![0.5, -0.5]);
+        for _ in 0..20 {
+            assert!(matched.build_prior(&params).is_some());
+        }
+    }
+
+    #[test]
+    fn built_prior_samples_near_matched_points() {
+        let params = DynamicParams::new(0, 0.05, 100);
+        let mut matched = MatchedLatents::new();
+        matched.insert(vec![3.0, 3.0]);
+        let prior = matched.build_prior(&params).unwrap();
+        let mut rng = passflow_nn::rng::seeded(1);
+        let samples = prior.sample(100, &mut rng);
+        for i in 0..samples.rows() {
+            assert!((samples.get(i, 0) - 3.0).abs() < 1.0);
+            assert!((samples.get(i, 1) - 3.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn expired_components_are_excluded_from_the_mixture() {
+        let params = DynamicParams::new(0, 0.05, 1);
+        let mut matched = MatchedLatents::new();
+        matched.insert(vec![10.0]);
+        // First build uses the first component and expires it (γ = 1).
+        assert!(matched.build_prior(&params).is_some());
+        // A newly matched point keeps dynamic sampling alive.
+        matched.insert(vec![-10.0]);
+        let prior = matched.build_prior(&params).unwrap();
+        let mut rng = passflow_nn::rng::seeded(2);
+        let samples = prior.sample(50, &mut rng);
+        for i in 0..samples.rows() {
+            assert!(
+                samples.get(i, 0) < 0.0,
+                "sample {} came from the expired component",
+                samples.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn non_positive_sigma_rejected() {
+        let _ = DynamicParams::new(1, 0.0, 2);
+    }
+}

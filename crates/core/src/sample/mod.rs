@@ -1,0 +1,106 @@
+//! Sampling strategies for password guessing.
+//!
+//! The paper evaluates three generation strategies (Table II):
+//!
+//! * **PassFlow-Static** — sample the standard-normal prior and invert the
+//!   flow,
+//! * **PassFlow-Dynamic** — Dynamic Sampling with penalization
+//!   ([`DynamicParams`], Algorithm 1): once enough guesses have matched, the
+//!   prior becomes a Gaussian mixture centred on the matched latent points,
+//! * **PassFlow-Dynamic+GS** — Dynamic Sampling plus data-space
+//!   [`GaussianSmoothing`] to reduce collisions (Section III-C).
+
+mod dynamic;
+mod smoothing;
+
+pub use dynamic::{DynamicParams, MatchedLatents, Penalization};
+pub use smoothing::GaussianSmoothing;
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's generation strategies a guessing attack uses.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GuessingStrategy {
+    /// Static sampling from the standard-normal prior (PassFlow-Static).
+    Static,
+    /// Dynamic Sampling with penalization (PassFlow-Dynamic).
+    Dynamic(DynamicParams),
+    /// Dynamic Sampling plus data-space Gaussian smoothing
+    /// (PassFlow-Dynamic+GS).
+    DynamicWithSmoothing {
+        /// Dynamic-sampling parameters.
+        params: DynamicParams,
+        /// Data-space smoothing parameters.
+        smoothing: GaussianSmoothing,
+    },
+}
+
+impl GuessingStrategy {
+    /// The strategy label used in tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuessingStrategy::Static => "PassFlow-Static",
+            GuessingStrategy::Dynamic(_) => "PassFlow-Dynamic",
+            GuessingStrategy::DynamicWithSmoothing { .. } => "PassFlow-Dynamic+GS",
+        }
+    }
+
+    /// The paper's default strategy for a given guess budget: dynamic
+    /// sampling with Table I parameters and Gaussian smoothing.
+    pub fn paper_default(num_guesses: u64) -> Self {
+        GuessingStrategy::DynamicWithSmoothing {
+            params: DynamicParams::paper_defaults(num_guesses),
+            smoothing: GaussianSmoothing::default(),
+        }
+    }
+
+    /// Returns the dynamic-sampling parameters if this strategy uses them.
+    pub fn dynamic_params(&self) -> Option<&DynamicParams> {
+        match self {
+            GuessingStrategy::Static => None,
+            GuessingStrategy::Dynamic(p) => Some(p),
+            GuessingStrategy::DynamicWithSmoothing { params, .. } => Some(params),
+        }
+    }
+
+    /// Returns the smoothing configuration if this strategy uses it.
+    pub fn smoothing(&self) -> Option<&GaussianSmoothing> {
+        match self {
+            GuessingStrategy::DynamicWithSmoothing { smoothing, .. } => Some(smoothing),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper_rows() {
+        assert_eq!(GuessingStrategy::Static.label(), "PassFlow-Static");
+        assert_eq!(
+            GuessingStrategy::Dynamic(DynamicParams::default()).label(),
+            "PassFlow-Dynamic"
+        );
+        assert_eq!(
+            GuessingStrategy::paper_default(100_000).label(),
+            "PassFlow-Dynamic+GS"
+        );
+    }
+
+    #[test]
+    fn accessors_expose_strategy_components() {
+        let s = GuessingStrategy::Static;
+        assert!(s.dynamic_params().is_none());
+        assert!(s.smoothing().is_none());
+
+        let d = GuessingStrategy::Dynamic(DynamicParams::default());
+        assert!(d.dynamic_params().is_some());
+        assert!(d.smoothing().is_none());
+
+        let gs = GuessingStrategy::paper_default(1_000_000);
+        assert!(gs.dynamic_params().is_some());
+        assert!(gs.smoothing().is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! Guessing-attack evaluation for baseline guessers.
+//!
+//! PassFlow attacks are run through [`passflow_core::run_attack`], which
+//! needs access to the flow's latent space (for dynamic sampling). The
+//! baselines only expose sampling, so this module implements the same
+//! evaluation protocol — count unique guesses and matched test-set passwords
+//! at each budget checkpoint — for any [`PasswordGuesser`].
+
+use std::collections::HashSet;
+
+use passflow_baselines::PasswordGuesser;
+use passflow_core::CheckpointReport;
+use passflow_nn::rng as nnrng;
+
+/// Runs a guessing attack with a baseline guesser and reports statistics at
+/// each checkpoint budget (ascending). The final budget is always included.
+pub fn evaluate_guesser(
+    guesser: &dyn PasswordGuesser,
+    targets: &HashSet<String>,
+    budgets: &[u64],
+    batch_size: usize,
+    seed: u64,
+) -> Vec<CheckpointReport> {
+    let mut checkpoints: Vec<u64> = budgets.iter().copied().filter(|&b| b > 0).collect();
+    checkpoints.sort_unstable();
+    checkpoints.dedup();
+    if checkpoints.is_empty() {
+        return Vec::new();
+    }
+    let total = *checkpoints.last().expect("non-empty checkpoints");
+
+    let mut rng = nnrng::seeded(seed);
+    let mut generated: HashSet<String> = HashSet::new();
+    let mut matched: HashSet<String> = HashSet::new();
+    let mut reports = Vec::with_capacity(checkpoints.len());
+
+    let mut guesses_made: u64 = 0;
+    let mut next_checkpoint = 0usize;
+    while guesses_made < total {
+        let until_checkpoint = checkpoints[next_checkpoint] - guesses_made;
+        let n = (batch_size as u64).min(until_checkpoint) as usize;
+        let batch = guesser.generate(n, &mut rng);
+        for guess in batch {
+            guesses_made += 1;
+            if targets.contains(&guess) {
+                matched.insert(guess.clone());
+            }
+            generated.insert(guess);
+        }
+        while next_checkpoint < checkpoints.len() && guesses_made >= checkpoints[next_checkpoint] {
+            reports.push(CheckpointReport {
+                guesses: checkpoints[next_checkpoint],
+                unique: generated.len() as u64,
+                matched: matched.len() as u64,
+                matched_percent: if targets.is_empty() {
+                    0.0
+                } else {
+                    100.0 * matched.len() as f64 / targets.len() as f64
+                },
+            });
+            next_checkpoint += 1;
+        }
+        if next_checkpoint >= checkpoints.len() {
+            break;
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    /// A guesser that cycles through a fixed list.
+    struct Cycler(Vec<String>);
+
+    impl PasswordGuesser for Cycler {
+        fn name(&self) -> &str {
+            "cycler"
+        }
+        fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+            (0..n)
+                .map(|_| self.0[(rng.next_u32() as usize) % self.0.len()].clone())
+                .collect()
+        }
+    }
+
+    fn targets() -> HashSet<String> {
+        ["hit1", "hit2", "hit3", "neverguessed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn reports_land_on_requested_budgets() {
+        let guesser = Cycler(vec![
+            "hit1".into(),
+            "miss1".into(),
+            "hit2".into(),
+            "miss2".into(),
+        ]);
+        let reports = evaluate_guesser(&guesser, &targets(), &[100, 400], 64, 1);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].guesses, 100);
+        assert_eq!(reports[1].guesses, 400);
+        // With only 4 distinct guesses, unique saturates at 4 and matched at 2.
+        assert!(reports[1].unique <= 4);
+        assert_eq!(reports[1].matched, 2);
+        assert!((reports[1].matched_percent - 50.0).abs() < 1e-9);
+        // Monotone in the budget.
+        assert!(reports[1].unique >= reports[0].unique);
+        assert!(reports[1].matched >= reports[0].matched);
+    }
+
+    #[test]
+    fn empty_budgets_and_zero_budgets_are_handled() {
+        let guesser = Cycler(vec!["x".into()]);
+        assert!(evaluate_guesser(&guesser, &targets(), &[], 64, 1).is_empty());
+        assert!(evaluate_guesser(&guesser, &targets(), &[0], 64, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_target_set_gives_zero_percent() {
+        let guesser = Cycler(vec!["x".into()]);
+        let reports = evaluate_guesser(&guesser, &HashSet::new(), &[50], 16, 1);
+        assert_eq!(reports[0].matched, 0);
+        assert_eq!(reports[0].matched_percent, 0.0);
+    }
+
+    #[test]
+    fn unique_never_exceeds_guesses() {
+        let guesser = Cycler(vec!["a".into(), "b".into(), "c".into()]);
+        let reports = evaluate_guesser(&guesser, &targets(), &[10, 20, 30], 7, 3);
+        for r in &reports {
+            assert!(r.unique <= r.guesses);
+        }
+    }
+}

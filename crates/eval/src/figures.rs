@@ -1,0 +1,297 @@
+//! Drivers regenerating the paper's figures (as data tables/CSV series).
+//!
+//! The paper's figures are plots; these drivers produce the underlying data
+//! series so the same curves can be regenerated with any plotting tool (the
+//! bench binaries write both the rendered table and a CSV file).
+
+use passflow_core::{
+    interpolate, run_attack, AttackConfig, DynamicParams, GuessingStrategy, PassFlow, Result,
+};
+use passflow_nn::rng as nnrng;
+use passflow_nn::Tensor;
+
+use crate::projection::{tsne, TsneConfig};
+use crate::report::{format_budget, format_percent, Table};
+use crate::scale::Workbench;
+use crate::tables::flow_attack;
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Figure 2: a 2-D projection (t-SNE) of latent points sampled in the
+/// neighbourhood of pivot passwords, over a background of prior samples.
+///
+/// Each output row is a projected point: `x`, `y`, `group` (either
+/// `background` or the pivot password) and the decoded password.
+///
+/// # Errors
+///
+/// Returns an error if a pivot cannot be encoded.
+pub fn figure2(
+    wb: &Workbench,
+    pivots: &[&str],
+    neighbours_per_pivot: usize,
+    background_points: usize,
+) -> Result<Table> {
+    let mut rng = nnrng::derived(wb.scale.seed, 400);
+    let mut latents: Vec<Vec<f32>> = Vec::new();
+    let mut groups: Vec<String> = Vec::new();
+
+    // Background: latent images of real test passwords (the "latent space
+    // learned by the model" backdrop of the figure).
+    for password in wb.split.test_unique.iter().take(background_points) {
+        if let Some(z) = wb.flow.latent_of(password) {
+            latents.push(z);
+            groups.push("background".to_string());
+        }
+    }
+    // Neighbourhoods around each pivot.
+    for pivot in pivots {
+        let center = wb
+            .flow
+            .latent_of(pivot)
+            .ok_or_else(|| passflow_core::FlowError::UnencodablePassword(pivot.to_string()))?;
+        for _ in 0..neighbours_per_pivot {
+            let z: Vec<f32> = center
+                .iter()
+                .map(|&c| c + 0.08 * nnrng::standard_normal(&mut rng))
+                .collect();
+            latents.push(z);
+            groups.push((*pivot).to_string());
+        }
+    }
+
+    let data = Tensor::from_rows(&latents);
+    let embedding = tsne(
+        &data,
+        &TsneConfig {
+            perplexity: 15.0,
+            iterations: 250,
+            learning_rate: 40.0,
+            seed: wb.scale.seed,
+        },
+    );
+    let decoded = wb.flow.decode_batch(&wb.flow.inverse(&data));
+
+    let mut table = Table::new(
+        "Figure 2: t-SNE projection of latent neighbourhoods",
+        vec![
+            "x".to_string(),
+            "y".to_string(),
+            "group".to_string(),
+            "password".to_string(),
+        ],
+    );
+    for i in 0..embedding.rows() {
+        table.push_row(vec![
+            format!("{:.4}", embedding.get(i, 0)),
+            format!("{:.4}", embedding.get(i, 1)),
+            groups[i].clone(),
+            decoded[i].clone(),
+        ]);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// Figure 3: latent interpolation between two passwords, mapped back to the
+/// password space at each step.
+///
+/// # Errors
+///
+/// Returns an error if either endpoint cannot be encoded.
+pub fn figure3(wb: &Workbench, start: &str, target: &str, steps: usize) -> Result<Table> {
+    let path = interpolate(&wb.flow, start, target, steps)?;
+    let mut table = Table::new(
+        format!("Figure 3: interpolation from {start:?} to {target:?}"),
+        vec![
+            "step".to_string(),
+            "password".to_string(),
+            "log-prob".to_string(),
+        ],
+    );
+    for point in path {
+        let log_prob = wb
+            .flow
+            .log_prob_password(&point.password)
+            .unwrap_or(f32::NAN);
+        table.push_row(vec![
+            point.step.to_string(),
+            point.password,
+            format!("{log_prob:.2}"),
+        ]);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Figure 4: marginal improvement in matches as the training-set size grows,
+/// relative to the smallest training set in `sizes`.
+///
+/// A fresh flow is trained per size on a prefix of the workbench's training
+/// split; all models are evaluated with static sampling at `budget` guesses
+/// against the full test set.
+///
+/// # Errors
+///
+/// Propagates training errors from the core crate.
+pub fn figure4(wb: &Workbench, sizes: &[usize], budget: u64) -> Result<Table> {
+    assert!(
+        sizes.len() >= 2,
+        "figure 4 needs at least a baseline size and one comparison size"
+    );
+    let targets = wb.test_set();
+    let mut matches_per_size: Vec<(usize, u64, f64)> = Vec::new();
+
+    for (i, &size) in sizes.iter().enumerate() {
+        let size = size.min(wb.split.train.len());
+        let train_slice = &wb.split.train[..size];
+        let mut rng = nnrng::derived(wb.scale.seed, 500 + i as u64);
+        let flow = PassFlow::new(wb.scale.flow_config.clone(), &mut rng)?;
+        passflow_core::train(&flow, train_slice, &wb.scale.train_config)?;
+        let outcome = run_attack(
+            &flow,
+            &targets,
+            &AttackConfig {
+                num_guesses: budget,
+                batch_size: wb.scale.attack_batch,
+                strategy: GuessingStrategy::Static,
+                checkpoints: vec![budget],
+                seed: wb.scale.seed ^ 0xF16,
+                nonmatched_sample_size: 0,
+            },
+        );
+        let report = outcome.final_report();
+        matches_per_size.push((size, report.matched, report.matched_percent));
+    }
+
+    let baseline = matches_per_size[0].1;
+    let mut table = Table::new(
+        "Figure 4: marginal improvement vs training-set size",
+        vec![
+            "train size".to_string(),
+            "matched".to_string(),
+            "matched %".to_string(),
+            "marginal improvement %".to_string(),
+        ],
+    );
+    for (size, matched, percent) in &matches_per_size {
+        let improvement =
+            100.0 * (*matched as f64 - baseline as f64) / baseline.max(1) as f64;
+        table.push_row(vec![
+            size.to_string(),
+            matched.to_string(),
+            format_percent(*percent),
+            format!("{improvement:.1}"),
+        ]);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Figure 5: matches achieved by Dynamic Sampling with and without the
+/// penalization function φ, at each budget of the workbench's scale.
+pub fn figure5(wb: &Workbench) -> Table {
+    let params = DynamicParams::paper_defaults(wb.scale.max_budget());
+    let with_phi = flow_attack(wb, GuessingStrategy::Dynamic(params));
+    let without_phi = flow_attack(
+        wb,
+        GuessingStrategy::Dynamic(params.without_penalization()),
+    );
+
+    let mut table = Table::new(
+        "Figure 5: matches with and without the penalization function phi",
+        vec![
+            "Guesses".to_string(),
+            "without phi (%)".to_string(),
+            "with phi (%)".to_string(),
+        ],
+    );
+    for (without, with) in without_phi.checkpoints.iter().zip(with_phi.checkpoints.iter()) {
+        table.push_row(vec![
+            format_budget(with.guesses),
+            format_percent(without.matched_percent),
+            format_percent(with.matched_percent),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::EvalScale;
+    use std::sync::OnceLock;
+
+    fn workbench() -> &'static Workbench {
+        static WB: OnceLock<Workbench> = OnceLock::new();
+        WB.get_or_init(|| Workbench::prepare(EvalScale::smoke()).unwrap())
+    }
+
+    #[test]
+    fn figure2_projects_background_and_neighbourhoods() {
+        let t = figure2(workbench(), &["jaram", "royal"], 15, 60).unwrap();
+        assert!(t.num_rows() >= 60);
+        let groups: std::collections::HashSet<&str> =
+            t.rows.iter().map(|r| r[2].as_str()).collect();
+        assert!(groups.contains("background"));
+        assert!(groups.contains("jaram"));
+        assert!(groups.contains("royal"));
+        // Coordinates parse as finite numbers.
+        for row in &t.rows {
+            let x: f32 = row[0].parse().unwrap();
+            let y: f32 = row[1].parse().unwrap();
+            assert!(x.is_finite() && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn figure2_rejects_unencodable_pivot() {
+        assert!(figure2(workbench(), &["definitely too long to encode"], 5, 10).is_err());
+    }
+
+    #[test]
+    fn figure3_path_has_expected_endpoints() {
+        let t = figure3(workbench(), "jimmy91", "123456", 6).unwrap();
+        assert_eq!(t.num_rows(), 7);
+        assert_eq!(t.rows[0][1], "jimmy91");
+        assert_eq!(t.rows[6][1], "123456");
+        // Log-probabilities are present and finite.
+        for row in &t.rows {
+            let lp: f32 = row[2].parse().unwrap();
+            assert!(lp.is_finite());
+        }
+    }
+
+    #[test]
+    fn figure4_reports_improvement_relative_to_baseline() {
+        let wb = workbench();
+        let sizes = vec![200, wb.split.train.len()];
+        let t = figure4(wb, &sizes, 1_500).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        // The baseline row reports zero improvement by construction.
+        assert_eq!(t.rows[0][3], "0.0");
+    }
+
+    #[test]
+    fn figure5_reports_both_configurations_per_budget() {
+        let t = figure5(workbench());
+        assert_eq!(t.num_rows(), workbench().scale.budgets.len());
+        for row in &t.rows {
+            let without: f64 = row[1].parse().unwrap();
+            let with: f64 = row[2].parse().unwrap();
+            assert!((0.0..=100.0).contains(&without));
+            assert!((0.0..=100.0).contains(&with));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! 2-D projection of latent points (Figure 2).
+//!
+//! The paper visualizes latent neighbourhoods with t-SNE. This module
+//! provides a [`pca`] projection (deterministic, used for quick looks and as
+//! the t-SNE initialization) and a small exact [`tsne`] implementation
+//! (pairwise affinities with per-point perplexity calibration, gradient
+//! descent with momentum and early exaggeration), sufficient for the few
+//! hundred points the figure plots.
+
+use passflow_nn::rng as nnrng;
+use passflow_nn::Tensor;
+
+/// Projects the rows of `data` onto their top two principal components.
+///
+/// Returns an `n × 2` tensor. Components are computed by power iteration
+/// with deflation, which is plenty for visualization purposes.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than 2 columns or no rows.
+pub fn pca(data: &Tensor) -> Tensor {
+    assert!(data.rows() > 0, "pca requires at least one point");
+    assert!(data.cols() >= 2, "pca requires at least two dimensions");
+    let n = data.rows();
+    let d = data.cols();
+
+    // Center the data.
+    let mean = data.mean_cols();
+    let centered = {
+        let mut out = data.clone();
+        for i in 0..n {
+            for j in 0..d {
+                out.set(i, j, data.get(i, j) - mean.get(0, j));
+            }
+        }
+        out
+    };
+
+    // Covariance matrix (d × d).
+    let cov = centered
+        .transpose()
+        .matmul(&centered)
+        .scale(1.0 / (n.max(2) - 1) as f32);
+
+    let mut rng = nnrng::seeded(0xFACADE);
+    let mut components: Vec<Tensor> = Vec::new();
+    let mut deflated = cov;
+    for _ in 0..2 {
+        // Power iteration.
+        let mut v = Tensor::randn(d, 1, &mut rng);
+        for _ in 0..100 {
+            let next = deflated.matmul(&v);
+            let norm = next.norm();
+            if norm < 1e-12 {
+                break;
+            }
+            v = next.scale(1.0 / norm);
+        }
+        // Deflate: cov <- cov − λ v vᵀ.
+        let lambda = v.transpose().matmul(&deflated).matmul(&v).get(0, 0);
+        let outer = v.matmul(&v.transpose()).scale(lambda);
+        deflated = deflated.sub(&outer);
+        components.push(v);
+    }
+
+    let mut out = Tensor::zeros(n, 2);
+    for i in 0..n {
+        for (c, comp) in components.iter().enumerate() {
+            let mut dot = 0.0f32;
+            for j in 0..d {
+                dot += centered.get(i, j) * comp.get(j, 0);
+            }
+            out.set(i, c, dot);
+        }
+    }
+    out
+}
+
+/// Configuration for the exact t-SNE implementation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbours per point).
+    pub perplexity: f32,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// RNG seed for the initial embedding jitter.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 50.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Computes a 2-D t-SNE embedding of the rows of `data`.
+///
+/// This is the exact O(n²) algorithm of van der Maaten & Hinton, intended
+/// for the few hundred points plotted in Figure 2.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than 3 rows.
+pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
+    let n = data.rows();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let perplexity = config.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in the high-dimensional space.
+    let mut sq_dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f32 = data
+                .row_slice(i)
+                .iter()
+                .zip(data.row_slice(j).iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            sq_dist[i * n + j] = d;
+            sq_dist[j * n + i] = d;
+        }
+    }
+
+    // Per-point precision calibrated to the target perplexity.
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f32;
+        let mut beta_min = f32::NEG_INFINITY;
+        let mut beta_max = f32::INFINITY;
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            let mut weighted = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = (-beta * sq_dist[i * n + j]).exp();
+                sum += w;
+                weighted += w * sq_dist[i * n + j];
+            }
+            let sum = sum.max(1e-12);
+            let entropy = beta * weighted / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if i != j {
+                let w = (-beta * sq_dist[i * n + j]).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        let sum = sum.max(1e-12);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    // Symmetrize.
+    let mut p_sym = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p_sym[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D embedding.
+    let mut rng = nnrng::seeded(config.seed);
+    let init = pca(data);
+    let init_scale = init.abs().max().max(1e-6);
+    let mut y: Vec<[f32; 2]> = (0..n)
+        .map(|i| {
+            [
+                init.get(i, 0) / init_scale * 1e-2 + 1e-4 * nnrng::standard_normal(&mut rng),
+                init.get(i, 1) / init_scale * 1e-2 + 1e-4 * nnrng::standard_normal(&mut rng),
+            ]
+        })
+        .collect();
+    let mut velocity = vec![[0.0f32; 2]; n];
+
+    for iteration in 0..config.iterations {
+        // Early exaggeration for the first quarter of the iterations.
+        let exaggeration = if iteration < config.iterations / 4 { 4.0 } else { 1.0 };
+
+        // Low-dimensional affinities (Student-t kernel).
+        let mut q = vec![0.0f32; n * n];
+        let mut q_sum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        let momentum = if iteration < 50 { 0.5 } else { 0.8 };
+        // Trust region: cap each point's per-iteration displacement so large
+        // learning rates cannot make the embedding diverge on small inputs.
+        let max_step = 1.0f32;
+        for i in 0..n {
+            let mut grad = [0.0f32; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let q_ij = (w / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * p_sym[i * n + j] - q_ij) * w;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                velocity[i][k] = momentum * velocity[i][k] - config.learning_rate * grad[k];
+            }
+            let step_norm = (velocity[i][0] * velocity[i][0] + velocity[i][1] * velocity[i][1]).sqrt();
+            if step_norm > max_step {
+                velocity[i][0] *= max_step / step_norm;
+                velocity[i][1] *= max_step / step_norm;
+            }
+            for k in 0..2 {
+                y[i][k] += velocity[i][k];
+            }
+        }
+    }
+
+    let rows: Vec<Vec<f32>> = y.iter().map(|p| vec![p[0], p[1]]).collect();
+    Tensor::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10 dimensions.
+    fn two_blobs(per_cluster: usize) -> (Tensor, usize) {
+        let mut rng = nnrng::seeded(3);
+        let mut rows = Vec::new();
+        for _ in 0..per_cluster {
+            let row: Vec<f32> = (0..10).map(|_| 5.0 + 0.2 * nnrng::standard_normal(&mut rng)).collect();
+            rows.push(row);
+        }
+        for _ in 0..per_cluster {
+            let row: Vec<f32> = (0..10).map(|_| -5.0 + 0.2 * nnrng::standard_normal(&mut rng)).collect();
+            rows.push(row);
+        }
+        (Tensor::from_rows(&rows), per_cluster)
+    }
+
+    fn cluster_separation(embedding: &Tensor, per_cluster: usize) -> f32 {
+        let mean = |range: std::ops::Range<usize>| -> [f32; 2] {
+            let mut m = [0.0f32; 2];
+            for i in range.clone() {
+                m[0] += embedding.get(i, 0);
+                m[1] += embedding.get(i, 1);
+            }
+            [m[0] / range.len() as f32, m[1] / range.len() as f32]
+        };
+        let spread = |range: std::ops::Range<usize>, center: [f32; 2]| -> f32 {
+            range
+                .clone()
+                .map(|i| {
+                    let dx = embedding.get(i, 0) - center[0];
+                    let dy = embedding.get(i, 1) - center[1];
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .sum::<f32>()
+                / range.len() as f32
+        };
+        let a = mean(0..per_cluster);
+        let b = mean(per_cluster..2 * per_cluster);
+        let between = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let within = spread(0..per_cluster, a) + spread(per_cluster..2 * per_cluster, b);
+        between / within.max(1e-6)
+    }
+
+    #[test]
+    fn pca_separates_well_separated_clusters() {
+        let (data, per_cluster) = two_blobs(20);
+        let projected = pca(&data);
+        assert_eq!(projected.shape(), (40, 2));
+        assert!(projected.is_finite());
+        assert!(
+            cluster_separation(&projected, per_cluster) > 3.0,
+            "separation {}",
+            cluster_separation(&projected, per_cluster)
+        );
+    }
+
+    #[test]
+    fn pca_is_deterministic() {
+        let (data, _) = two_blobs(10);
+        let a = pca(&data);
+        let b = pca(&data);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn tsne_separates_well_separated_clusters() {
+        let (data, per_cluster) = two_blobs(15);
+        let embedding = tsne(
+            &data,
+            &TsneConfig {
+                perplexity: 5.0,
+                iterations: 150,
+                learning_rate: 30.0,
+                seed: 1,
+            },
+        );
+        assert_eq!(embedding.shape(), (30, 2));
+        assert!(embedding.is_finite());
+        assert!(
+            cluster_separation(&embedding, per_cluster) > 2.0,
+            "separation {}",
+            cluster_separation(&embedding, per_cluster)
+        );
+    }
+
+    #[test]
+    fn tsne_handles_small_inputs() {
+        let data = Tensor::from_rows(&[
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+        ]);
+        let embedding = tsne(&data, &TsneConfig::default());
+        assert_eq!(embedding.shape(), (3, 2));
+        assert!(embedding.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn tsne_rejects_tiny_inputs() {
+        let data = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let _ = tsne(&data, &TsneConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two dimensions")]
+    fn pca_rejects_one_dimensional_data() {
+        let data = Tensor::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = pca(&data);
+    }
+}

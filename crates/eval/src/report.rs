@@ -1,0 +1,215 @@
+//! Plain-text table rendering and CSV emission for experiment results.
+//!
+//! Every table and figure driver in this crate produces a [`Table`], which
+//! can be rendered for the terminal (aligned columns, the same rows the
+//! paper reports) or exported as CSV for plotting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular result table with a title, column headers and string cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption, e.g. `"Table II: % of matched passwords"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the table as CSV (headers first, comma-separated, quotes
+    /// around cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a fraction as the percentage style used throughout the paper's
+/// tables (two decimals).
+pub fn format_percent(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a large count with thousands separators, as in Table III.
+pub fn format_count(value: u64) -> String {
+    let digits: Vec<char> = value.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+/// Formats a guess budget as a power of ten when exact (e.g. `10^5`),
+/// otherwise as a plain count.
+pub fn format_budget(budget: u64) -> String {
+    if budget == 0 {
+        return "0".to_string();
+    }
+    let mut value = budget;
+    let mut exponent = 0u32;
+    while value % 10 == 0 {
+        value /= 10;
+        exponent += 1;
+    }
+    if value == 1 && exponent > 0 {
+        format!("10^{exponent}")
+    } else {
+        format_count(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(
+            "Table X: demo",
+            vec!["Method".to_string(), "Matches".to_string()],
+        );
+        t.push_row(vec!["PassFlow".to_string(), "9.92".to_string()]);
+        t.push_row(vec!["PassGAN".to_string(), "6.63".to_string()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns_and_contains_all_cells() {
+        let rendered = sample_table().render();
+        assert!(rendered.contains("Table X: demo"));
+        assert!(rendered.contains("Method"));
+        assert!(rendered.contains("PassFlow"));
+        assert!(rendered.contains("6.63"));
+        // Header row and the two data rows all start at the same column.
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample_table();
+        assert_eq!(t.to_string(), t.render());
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", vec!["a".to_string(), "b".to_string()]);
+        t.push_row(vec!["x,y".to_string(), "he said \"hi\"".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_length_rejected() {
+        let mut t = Table::new("t", vec!["a".to_string()]);
+        t.push_row(vec!["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(format_percent(9.916), "9.92");
+        assert_eq!(format_count(1_234_567), "1,234,567");
+        assert_eq!(format_count(42), "42");
+        assert_eq!(format_budget(100_000), "10^5");
+        assert_eq!(format_budget(1_000), "10^3");
+        assert_eq!(format_budget(2_500), "2,500");
+        assert_eq!(format_budget(0), "0");
+    }
+}

@@ -1,0 +1,465 @@
+//! Drivers regenerating the paper's tables.
+//!
+//! Each function produces a [`Table`] with the same rows/columns as the
+//! corresponding table in the paper, measured on the synthetic corpus at the
+//! workbench's scale. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+
+use passflow_baselines::{Cwae, MarkovModel, PassGan, PasswordGuesser, PcfgModel};
+use passflow_core::{
+    run_attack, AttackConfig, AttackOutcome, DynamicParams, GaussianSmoothing, GuessingStrategy,
+    MaskStrategy, PassFlow, Result,
+};
+use passflow_nn::rng as nnrng;
+use passflow_passwords::stats::CorpusStats;
+
+use crate::attack::evaluate_guesser;
+use crate::report::{format_budget, format_count, format_percent, Table};
+use crate::scale::Workbench;
+
+/// Runs a PassFlow attack with the given strategy over every budget of the
+/// workbench's scale and returns the outcome.
+pub fn flow_attack(wb: &Workbench, strategy: GuessingStrategy) -> AttackOutcome {
+    use rand::RngCore;
+    let config = AttackConfig {
+        num_guesses: wb.scale.max_budget(),
+        batch_size: wb.scale.attack_batch,
+        strategy,
+        checkpoints: wb.scale.budgets.clone(),
+        seed: nnrng::derived(wb.scale.seed, 100).next_u64(),
+        nonmatched_sample_size: 64,
+    };
+    run_attack(&wb.flow, &wb.test_set(), &config)
+}
+
+/// The three PassFlow strategies of Tables II and III, with the paper's
+/// Table I dynamic-sampling parameters for the workbench's maximum budget.
+pub fn flow_strategies(wb: &Workbench) -> Vec<GuessingStrategy> {
+    let params = DynamicParams::paper_defaults(wb.scale.max_budget());
+    vec![
+        GuessingStrategy::Static,
+        GuessingStrategy::Dynamic(params),
+        GuessingStrategy::DynamicWithSmoothing {
+            params,
+            smoothing: GaussianSmoothing::default(),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Table I: the Dynamic Sampling parameters (α, σ, γ) used at each guess
+/// budget.
+pub fn table1(budgets: &[u64]) -> Table {
+    let mut table = Table::new(
+        "Table I: dynamic sampling parameters per guess budget",
+        vec![
+            "Guesses".to_string(),
+            "alpha".to_string(),
+            "sigma".to_string(),
+            "gamma".to_string(),
+        ],
+    );
+    for &budget in budgets {
+        let params = DynamicParams::paper_defaults(budget);
+        let gamma = match params.penalization {
+            passflow_core::Penalization::Step { gamma } => gamma.to_string(),
+            passflow_core::Penalization::None => "-".to_string(),
+        };
+        table.push_row(vec![
+            format_budget(budget),
+            params.alpha.to_string(),
+            format!("{:.2}", params.sigma),
+            gamma,
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+/// Table II: percentage of test-set passwords matched by every method at
+/// each guess budget.
+///
+/// Rows: the GAN and CWAE baselines (trained on the same split), the classic
+/// Markov and PCFG guessers (extra sanity rows not in the paper's table),
+/// and the three PassFlow strategies.
+///
+/// # Errors
+///
+/// Propagates training errors from the core crate.
+pub fn table2(wb: &Workbench) -> Result<Table> {
+    let targets = wb.test_set();
+    let budgets = &wb.scale.budgets;
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(budgets.iter().map(|b| format_budget(*b)));
+    let mut table = Table::new(
+        "Table II: % of matched passwords over the test set",
+        headers,
+    );
+
+    // Baselines trained on the same training split.
+    let encoder = wb.flow.encoder().clone();
+    let gan = PassGan::train(
+        &wb.split.train,
+        encoder.clone(),
+        wb.scale.gan_config.clone().with_seed(wb.scale.seed),
+    );
+    let cwae = Cwae::train(
+        &wb.split.train,
+        encoder,
+        wb.scale.cwae_config.clone().with_seed(wb.scale.seed),
+    );
+    let markov = MarkovModel::train(&wb.split.train, 3, wb.flow.encoder().max_len());
+    let pcfg = PcfgModel::train(&wb.split.train, wb.flow.encoder().max_len());
+
+    let baselines: Vec<&dyn PasswordGuesser> = vec![&gan, &cwae, &markov, &pcfg];
+    for guesser in baselines {
+        let reports = evaluate_guesser(
+            guesser,
+            &targets,
+            budgets,
+            wb.scale.attack_batch,
+            wb.scale.seed ^ 0xBA5E,
+        );
+        let mut row = vec![guesser.name().to_string()];
+        row.extend(reports.iter().map(|r| format_percent(r.matched_percent)));
+        table.push_row(row);
+    }
+
+    // PassFlow strategies.
+    for strategy in flow_strategies(wb) {
+        let outcome = flow_attack(wb, strategy);
+        let mut row = vec![outcome.strategy.clone()];
+        row.extend(
+            outcome
+                .checkpoints
+                .iter()
+                .map(|r| format_percent(r.matched_percent)),
+        );
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Table III
+// ---------------------------------------------------------------------------
+
+/// Table III: unique and matched guess counts for the latent-space models
+/// (CWAE and the three PassFlow strategies) at each budget.
+///
+/// # Errors
+///
+/// Propagates training errors from the core crate.
+pub fn table3(wb: &Workbench) -> Result<Table> {
+    let targets = wb.test_set();
+    let budgets = &wb.scale.budgets;
+
+    let cwae = Cwae::train(
+        &wb.split.train,
+        wb.flow.encoder().clone(),
+        wb.scale.cwae_config.clone().with_seed(wb.scale.seed),
+    );
+    let cwae_reports = evaluate_guesser(
+        &cwae,
+        &targets,
+        budgets,
+        wb.scale.attack_batch,
+        wb.scale.seed ^ 0xBA5E,
+    );
+
+    let mut columns: Vec<(String, Vec<(u64, u64)>)> = vec![(
+        "CWAE".to_string(),
+        cwae_reports.iter().map(|r| (r.unique, r.matched)).collect(),
+    )];
+    for strategy in flow_strategies(wb) {
+        let outcome = flow_attack(wb, strategy);
+        columns.push((
+            outcome.strategy.clone(),
+            outcome
+                .checkpoints
+                .iter()
+                .map(|r| (r.unique, r.matched))
+                .collect(),
+        ));
+    }
+
+    let mut headers = vec!["Guesses".to_string()];
+    for (name, _) in &columns {
+        headers.push(format!("{name} unique"));
+        headers.push(format!("{name} matched"));
+    }
+    let mut table = Table::new(
+        "Table III: unique and matched passwords per method",
+        headers,
+    );
+    for (i, &budget) in budgets.iter().enumerate() {
+        let mut row = vec![format_budget(budget)];
+        for (_, cells) in &columns {
+            let (unique, matched) = cells.get(i).copied().unwrap_or((0, 0));
+            row.push(format_count(unique));
+            row.push(format_count(matched));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------------
+
+/// Table IV: a sample of generated guesses that did *not* match the test
+/// set, together with structural statistics showing they still follow the
+/// human-password distribution.
+pub fn table4(wb: &Workbench, num_samples: usize) -> Table {
+    let outcome = flow_attack(wb, GuessingStrategy::Static);
+    let samples: Vec<String> = outcome
+        .nonmatched_samples
+        .iter()
+        .take(num_samples)
+        .cloned()
+        .collect();
+
+    let mut table = Table::new(
+        "Table IV: non-matched samples generated by PassFlow",
+        vec![
+            "Sample 1".to_string(),
+            "Sample 2".to_string(),
+            "Sample 3".to_string(),
+            "Sample 4".to_string(),
+        ],
+    );
+    for chunk in samples.chunks(4) {
+        let mut row: Vec<String> = chunk.to_vec();
+        while row.len() < 4 {
+            row.push(String::new());
+        }
+        table.push_row(row);
+    }
+
+    // Quantitative footing: compare character statistics of non-matched
+    // samples against the real test set.
+    let real_stats = CorpusStats::compute(wb.split.test_unique.iter().map(String::as_str));
+    let sample_stats = CorpusStats::compute(samples.iter().map(String::as_str));
+    let js = real_stats.char_js_divergence(&sample_stats);
+    let coverage = real_stats.template_coverage(samples.iter().map(String::as_str));
+    table.push_row(vec![
+        format!("char JS divergence vs test set: {js:.3}"),
+        format!("template coverage: {:.2}", coverage),
+        format!("mean length: {:.2}", sample_stats.mean_length),
+        format!("letter fraction: {:.2}", sample_stats.letter_fraction),
+    ]);
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Table V
+// ---------------------------------------------------------------------------
+
+/// Table V: the first 10 unique passwords obtained by sampling around a
+/// pivot password at increasing σ.
+///
+/// # Errors
+///
+/// Returns an error if the pivot cannot be encoded.
+pub fn table5(wb: &Workbench, pivot: &str) -> Result<Table> {
+    let sigmas = [0.05f32, 0.08, 0.10, 0.15];
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for (i, &sigma) in sigmas.iter().enumerate() {
+        let mut rng = nnrng::derived(wb.scale.seed, 200 + i as u64);
+        let mut unique: Vec<String> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Sample in chunks until 10 unique neighbours are collected.
+        let mut attempts = 0;
+        while unique.len() < 10 && attempts < 50 {
+            for candidate in wb.flow.sample_near(pivot, sigma, 64, &mut rng)? {
+                if !candidate.is_empty() && seen.insert(candidate.clone()) {
+                    unique.push(candidate);
+                    if unique.len() == 10 {
+                        break;
+                    }
+                }
+            }
+            attempts += 1;
+        }
+        columns.push(unique);
+    }
+
+    let mut table = Table::new(
+        format!("Table V: first 10 unique passwords sampled around the pivot {pivot:?}"),
+        sigmas.iter().map(|s| format!("sigma = {s:.2}")).collect(),
+    );
+    for row_idx in 0..10 {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|col| col.get(row_idx).cloned().unwrap_or_default())
+            .collect();
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Table VI
+// ---------------------------------------------------------------------------
+
+/// Table VI: the masking ablation — matched counts for flows trained with
+/// horizontal, char-run-2 and char-run-1 masking.
+///
+/// The workbench's own flow is reused for the char-run-1 column (the default
+/// masking); the other two maskings are trained from scratch on the same
+/// split.
+///
+/// # Errors
+///
+/// Propagates training errors from the core crate.
+pub fn table6(wb: &Workbench) -> Result<Table> {
+    let strategies = [
+        MaskStrategy::Horizontal,
+        MaskStrategy::CharRun(2),
+        MaskStrategy::CharRun(1),
+    ];
+    let targets = wb.test_set();
+    let budgets = &wb.scale.budgets;
+
+    let mut per_masking: Vec<(String, Vec<u64>)> = Vec::new();
+    for (i, masking) in strategies.iter().enumerate() {
+        let flow = if *masking == wb.scale.flow_config.masking {
+            wb.flow.clone()
+        } else {
+            let config = wb.scale.flow_config.clone().with_masking(*masking);
+            let mut rng = nnrng::derived(wb.scale.seed, 300 + i as u64);
+            let flow = PassFlow::new(config, &mut rng)?;
+            passflow_core::train(&flow, &wb.split.train, &wb.scale.train_config)?;
+            flow
+        };
+        let config = AttackConfig {
+            num_guesses: wb.scale.max_budget(),
+            batch_size: wb.scale.attack_batch,
+            strategy: GuessingStrategy::Static,
+            checkpoints: budgets.clone(),
+            seed: wb.scale.seed ^ 0x6A5,
+            nonmatched_sample_size: 0,
+        };
+        let outcome = run_attack(&flow, &targets, &config);
+        per_masking.push((
+            masking.label(),
+            outcome.checkpoints.iter().map(|r| r.matched).collect(),
+        ));
+    }
+
+    let mut headers = vec!["Guesses".to_string()];
+    headers.extend(per_masking.iter().map(|(name, _)| format!("{name} matched")));
+    let mut table = Table::new(
+        "Table VI: matched passwords per masking strategy (static sampling)",
+        headers,
+    );
+    for (i, &budget) in budgets.iter().enumerate() {
+        let mut row = vec![format_budget(budget)];
+        for (_, matches) in &per_masking {
+            row.push(format_count(matches.get(i).copied().unwrap_or(0)));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::EvalScale;
+    use std::sync::OnceLock;
+
+    /// The smoke-scale workbench is expensive enough that the table tests
+    /// share one instance.
+    fn workbench() -> &'static Workbench {
+        static WB: OnceLock<Workbench> = OnceLock::new();
+        WB.get_or_init(|| Workbench::prepare(EvalScale::smoke()).unwrap())
+    }
+
+    #[test]
+    fn table1_reports_one_row_per_budget() {
+        let t = table1(&[10_000, 1_000_000, 100_000_000]);
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.render().contains("10^4"));
+        assert!(t.rows[2][1].contains("50"));
+    }
+
+    #[test]
+    fn table2_contains_all_methods_and_valid_percentages() {
+        let t = table2(workbench()).unwrap();
+        let rendered = t.render();
+        for method in [
+            "PassGAN (WGAN)",
+            "CWAE",
+            "Markov",
+            "PCFG",
+            "PassFlow-Static",
+            "PassFlow-Dynamic",
+            "PassFlow-Dynamic+GS",
+        ] {
+            assert!(rendered.contains(method), "missing row {method}");
+        }
+        assert_eq!(t.num_rows(), 7);
+        // Every percentage cell parses and is within [0, 100].
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn table3_counts_are_consistent() {
+        let t = table3(workbench()).unwrap();
+        assert_eq!(t.num_rows(), workbench().scale.budgets.len());
+        // Unique counts never exceed the budget.
+        for (row, &budget) in t.rows.iter().zip(workbench().scale.budgets.iter()) {
+            for pair in row[1..].chunks(2) {
+                let unique: u64 = pair[0].replace(',', "").parse().unwrap();
+                let matched: u64 = pair[1].replace(',', "").parse().unwrap();
+                assert!(unique <= budget);
+                assert!(matched <= unique);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_reports_samples_and_statistics() {
+        let t = table4(workbench(), 12);
+        assert!(t.num_rows() >= 3);
+        let rendered = t.render();
+        assert!(rendered.contains("JS divergence"));
+        assert!(rendered.contains("template coverage"));
+    }
+
+    #[test]
+    fn table5_has_ten_rows_of_neighbours() {
+        let t = table5(workbench(), "jimmy91").unwrap();
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.headers.len(), 4);
+        // At least the small-sigma column should be mostly filled.
+        let filled = t.rows.iter().filter(|r| !r[0].is_empty()).count();
+        assert!(filled >= 5, "only {filled} neighbours found");
+    }
+
+    #[test]
+    fn table5_rejects_unencodable_pivot() {
+        assert!(table5(workbench(), "definitely too long to encode").is_err());
+    }
+
+    #[test]
+    fn flow_strategies_match_paper_rows() {
+        let strategies = flow_strategies(workbench());
+        assert_eq!(strategies.len(), 3);
+        assert_eq!(strategies[0].label(), "PassFlow-Static");
+        assert_eq!(strategies[2].label(), "PassFlow-Dynamic+GS");
+    }
+}

@@ -1,0 +1,731 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The [`Tape`] records every operation performed on [`Var`] handles during a
+//! forward pass. Calling [`Var::backward`] on a scalar output propagates
+//! gradients back through the recorded graph and accumulates them into any
+//! [`Parameter`] leaves that participated in the computation.
+//!
+//! The design intentionally mirrors the "define-by-run" style of mainstream
+//! frameworks: layers hold [`Parameter`]s, each forward pass registers them on
+//! a fresh tape, and an optimizer consumes the accumulated gradients.
+
+use parking_lot::RwLock;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Parameters
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ParamData {
+    value: Tensor,
+    grad: Tensor,
+    name: String,
+}
+
+/// A trainable parameter shared between a model and the optimizer.
+///
+/// Cloning a `Parameter` is cheap and yields a handle to the same underlying
+/// storage, so layers can hand out their parameters to optimizers without
+/// copying weights. Parameters are `Send + Sync` (storage is behind an
+/// `Arc<RwLock>`), so trained models can be moved across threads.
+#[derive(Clone, Debug)]
+pub struct Parameter(Arc<RwLock<ParamData>>);
+
+impl Parameter {
+    /// Creates a parameter from an initial value.
+    pub fn new(value: Tensor, name: impl Into<String>) -> Self {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        Parameter(Arc::new(RwLock::new(ParamData {
+            value,
+            grad,
+            name: name.into(),
+        })))
+    }
+
+    /// Returns a copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.0.read().value.clone()
+    }
+
+    /// Replaces the current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value has a different shape from the old one.
+    pub fn set_value(&self, value: Tensor) {
+        let mut data = self.0.write();
+        assert_eq!(
+            data.value.shape(),
+            value.shape(),
+            "parameter {} shape cannot change",
+            data.name
+        );
+        data.value = value;
+    }
+
+    /// Returns a copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.0.read().grad.clone()
+    }
+
+    /// Adds `delta` to the accumulated gradient.
+    pub fn accumulate_grad(&self, delta: &Tensor) {
+        self.0.write().grad.add_assign(delta);
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut data = self.0.write();
+        let (r, c) = data.value.shape();
+        data.grad = Tensor::zeros(r, c);
+    }
+
+    /// Parameter name (used for debugging and serialization).
+    pub fn name(&self) -> String {
+        self.0.read().name.clone()
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.0.read().value.len()
+    }
+
+    /// Returns `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `f` to the value in place: `value <- f(value, grad)`.
+    ///
+    /// This is the primitive optimizers use to update weights.
+    pub fn update_value(&self, f: impl FnOnce(&Tensor, &Tensor) -> Tensor) {
+        let mut data = self.0.write();
+        let new = f(&data.value, &data.grad);
+        assert_eq!(
+            new.shape(),
+            data.value.shape(),
+            "update must preserve parameter shape"
+        );
+        data.value = new;
+    }
+
+    /// Returns `true` if the two handles refer to the same underlying storage.
+    pub fn ptr_eq(&self, other: &Parameter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tape
+// ---------------------------------------------------------------------------
+
+/// Operation recorded on the tape; indices refer to parent nodes.
+enum Op {
+    Constant,
+    Param(Parameter),
+    MatMul(usize, usize),
+    Add(usize, usize),
+    AddRow(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Neg(usize),
+    Exp(usize),
+    Ln(usize),
+    Tanh(usize),
+    Relu(usize),
+    Sigmoid(usize),
+    Square(usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    MulConst(usize, Tensor),
+    Sum(usize),
+    Mean(usize),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+#[derive(Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+}
+
+/// A recording of a differentiable computation.
+///
+/// Create one tape per forward pass, build the computation with [`Var`]
+/// methods, then call [`Var::backward`] on the (scalar) loss.
+#[derive(Clone)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.inner.borrow().nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            inner: Rc::new(RefCell::new(TapeInner::default())),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Returns `true` if no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var {
+            tape: self.clone(),
+            id,
+        }
+    }
+
+    /// Registers a constant (non-differentiable) tensor on the tape.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Registers a trainable parameter on the tape. Gradients flowing into
+    /// this node during [`Var::backward`] are accumulated into the parameter.
+    pub fn param(&self, parameter: &Parameter) -> Var {
+        self.push(parameter.value(), Op::Param(parameter.clone()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Var
+// ---------------------------------------------------------------------------
+
+/// A handle to a node on a [`Tape`].
+///
+/// All arithmetic methods record a new node and return its handle. `Var` is
+/// cheap to clone (it is an index plus a reference-counted tape handle).
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    id: usize,
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(id={}, shape={:?})", self.id, self.value().shape())
+    }
+}
+
+impl Var {
+    /// Returns a copy of this node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.inner.borrow().nodes[self.id].value.clone()
+    }
+
+    /// Shape of this node's value.
+    pub fn shape(&self) -> (usize, usize) {
+        let inner = self.tape.inner.borrow();
+        inner.nodes[self.id].value.shape()
+    }
+
+    /// Returns the gradient computed for this node by the last
+    /// [`Var::backward`] call, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.tape.inner.borrow().nodes[self.id].grad.clone()
+    }
+
+    fn same_tape(&self, other: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "variables belong to different tapes"
+        );
+    }
+
+    fn unary(&self, value: Tensor, op: Op) -> Var {
+        self.tape.push(value, op)
+    }
+
+    // -- binary ops --------------------------------------------------------
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let value = self.value().matmul(&other.value());
+        self.tape.push(value, Op::MatMul(self.id, other.id))
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let value = self.value().add(&other.value());
+        self.tape.push(value, Op::Add(self.id, other.id))
+    }
+
+    /// Adds a `1 × cols` bias row vector to every row of `self`.
+    pub fn add_row(&self, bias: &Var) -> Var {
+        self.same_tape(bias);
+        let value = self.value().add_row_broadcast(&bias.value());
+        self.tape.push(value, Op::AddRow(self.id, bias.id))
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let value = self.value().sub(&other.value());
+        self.tape.push(value, Op::Sub(self.id, other.id))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Var) -> Var {
+        self.same_tape(other);
+        let value = self.value().mul(&other.value());
+        self.tape.push(value, Op::Mul(self.id, other.id))
+    }
+
+    // -- unary ops ----------------------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        self.unary(self.value().neg(), Op::Neg(self.id))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        self.unary(self.value().exp(), Op::Exp(self.id))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Var {
+        self.unary(self.value().ln(), Op::Ln(self.id))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        self.unary(self.value().tanh(), Op::Tanh(self.id))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Var {
+        self.unary(self.value().relu(), Op::Relu(self.id))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        self.unary(self.value().sigmoid(), Op::Sigmoid(self.id))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        self.unary(self.value().square(), Op::Square(self.id))
+    }
+
+    /// Multiplies every element by a scalar constant.
+    pub fn scale(&self, factor: f32) -> Var {
+        self.unary(self.value().scale(factor), Op::Scale(self.id, factor))
+    }
+
+    /// Adds a scalar constant to every element.
+    pub fn add_scalar(&self, value: f32) -> Var {
+        self.unary(self.value().add_scalar(value), Op::AddScalar(self.id))
+    }
+
+    /// Elementwise product with a constant tensor (e.g. a binary mask).
+    ///
+    /// The constant is not differentiated through.
+    pub fn mul_const(&self, constant: &Tensor) -> Var {
+        let value = self.value().mul(constant);
+        self.unary(value, Op::MulConst(self.id, constant.clone()))
+    }
+
+    // -- reductions ---------------------------------------------------------
+
+    /// Sum of all elements (produces a `1 × 1` node).
+    pub fn sum(&self) -> Var {
+        self.unary(Tensor::scalar(self.value().sum()), Op::Sum(self.id))
+    }
+
+    /// Mean of all elements (produces a `1 × 1` node).
+    pub fn mean(&self) -> Var {
+        self.unary(Tensor::scalar(self.value().mean()), Op::Mean(self.id))
+    }
+
+    // -- backward -----------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from this node.
+    ///
+    /// The node is seeded with a gradient of ones (it is normally a `1 × 1`
+    /// loss). Gradients are accumulated into every [`Parameter`] leaf that
+    /// participated in the computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any intermediate gradient has an unexpected shape, which
+    /// indicates a bug in an operation's gradient rule.
+    pub fn backward(&self) {
+        let mut inner = self.tape.inner.borrow_mut();
+        let n = inner.nodes.len();
+        // Reset gradients from any previous backward pass on this tape.
+        for node in inner.nodes.iter_mut() {
+            node.grad = None;
+        }
+        let (r, c) = inner.nodes[self.id].value.shape();
+        inner.nodes[self.id].grad = Some(Tensor::ones(r, c));
+
+        for id in (0..n).rev() {
+            let grad = match inner.nodes[id].grad.clone() {
+                Some(g) => g,
+                None => continue,
+            };
+            // Collect the (parent, contribution) pairs for this node.
+            let mut contributions: Vec<(usize, Tensor)> = Vec::new();
+            match &inner.nodes[id].op {
+                Op::Constant => {}
+                Op::Param(p) => p.accumulate_grad(&grad),
+                Op::MatMul(a, b) => {
+                    let a_val = inner.nodes[*a].value.clone();
+                    let b_val = inner.nodes[*b].value.clone();
+                    contributions.push((*a, grad.matmul(&b_val.transpose())));
+                    contributions.push((*b, a_val.transpose().matmul(&grad)));
+                }
+                Op::Add(a, b) => {
+                    contributions.push((*a, grad.clone()));
+                    contributions.push((*b, grad));
+                }
+                Op::AddRow(a, b) => {
+                    contributions.push((*a, grad.clone()));
+                    contributions.push((*b, grad.sum_cols()));
+                }
+                Op::Sub(a, b) => {
+                    contributions.push((*a, grad.clone()));
+                    contributions.push((*b, grad.neg()));
+                }
+                Op::Mul(a, b) => {
+                    let a_val = inner.nodes[*a].value.clone();
+                    let b_val = inner.nodes[*b].value.clone();
+                    contributions.push((*a, grad.mul(&b_val)));
+                    contributions.push((*b, grad.mul(&a_val)));
+                }
+                Op::Neg(a) => contributions.push((*a, grad.neg())),
+                Op::Exp(a) => {
+                    let out = inner.nodes[id].value.clone();
+                    contributions.push((*a, grad.mul(&out)));
+                }
+                Op::Ln(a) => {
+                    let x = inner.nodes[*a].value.clone();
+                    contributions.push((*a, grad.div(&x)));
+                }
+                Op::Tanh(a) => {
+                    let out = inner.nodes[id].value.clone();
+                    let one_minus = out.square().neg().add_scalar(1.0);
+                    contributions.push((*a, grad.mul(&one_minus)));
+                }
+                Op::Relu(a) => {
+                    let x = inner.nodes[*a].value.clone();
+                    let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    contributions.push((*a, grad.mul(&mask)));
+                }
+                Op::Sigmoid(a) => {
+                    let out = inner.nodes[id].value.clone();
+                    let d = out.mul(&out.neg().add_scalar(1.0));
+                    contributions.push((*a, grad.mul(&d)));
+                }
+                Op::Square(a) => {
+                    let x = inner.nodes[*a].value.clone();
+                    contributions.push((*a, grad.mul(&x.scale(2.0))));
+                }
+                Op::Scale(a, f) => contributions.push((*a, grad.scale(*f))),
+                Op::AddScalar(a) => contributions.push((*a, grad)),
+                Op::MulConst(a, constant) => contributions.push((*a, grad.mul(constant))),
+                Op::Sum(a) => {
+                    let (r, c) = inner.nodes[*a].value.shape();
+                    let g = grad.get(0, 0);
+                    contributions.push((*a, Tensor::full(r, c, g)));
+                }
+                Op::Mean(a) => {
+                    let (r, c) = inner.nodes[*a].value.shape();
+                    let g = grad.get(0, 0) / (r * c) as f32;
+                    contributions.push((*a, Tensor::full(r, c, g)));
+                }
+            }
+            for (parent, contribution) in contributions {
+                match &mut inner.nodes[parent].grad {
+                    Some(existing) => existing.add_assign(&contribution),
+                    slot @ None => *slot = Some(contribution),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    /// Numerically estimates d loss / d param[i][j] by central differences.
+    fn finite_diff(
+        param: &Parameter,
+        loss_fn: &dyn Fn() -> f32,
+        row: usize,
+        col: usize,
+        eps: f32,
+    ) -> f32 {
+        let original = param.value();
+        let mut plus = original.clone();
+        plus.set(row, col, original.get(row, col) + eps);
+        param.set_value(plus);
+        let loss_plus = loss_fn();
+        let mut minus = original.clone();
+        minus.set(row, col, original.get(row, col) - eps);
+        param.set_value(minus);
+        let loss_minus = loss_fn();
+        param.set_value(original);
+        (loss_plus - loss_minus) / (2.0 * eps)
+    }
+
+    #[test]
+    fn parameter_accumulates_and_zeroes_grad() {
+        let p = Parameter::new(Tensor::zeros(2, 2), "w");
+        p.accumulate_grad(&Tensor::ones(2, 2));
+        p.accumulate_grad(&Tensor::ones(2, 2));
+        assert_eq!(p.grad().sum(), 8.0);
+        p.zero_grad();
+        assert_eq!(p.grad().sum(), 0.0);
+    }
+
+    #[test]
+    fn parameter_ptr_eq_distinguishes_handles() {
+        let p = Parameter::new(Tensor::zeros(1, 1), "a");
+        let q = p.clone();
+        let r = Parameter::new(Tensor::zeros(1, 1), "a");
+        assert!(p.ptr_eq(&q));
+        assert!(!p.ptr_eq(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape cannot change")]
+    fn parameter_rejects_shape_change() {
+        let p = Parameter::new(Tensor::zeros(2, 2), "w");
+        p.set_value(Tensor::zeros(3, 3));
+    }
+
+    #[test]
+    fn simple_chain_gradient() {
+        // loss = mean((x * 3 + 1)^2), x = [1, 2]
+        let tape = Tape::new();
+        let p = Parameter::new(Tensor::row(&[1.0, 2.0]), "x");
+        let x = tape.param(&p);
+        let y = x.scale(3.0).add_scalar(1.0).square().mean();
+        y.backward();
+        // d/dx_i mean((3x+1)^2) = (1/N) * 2 * 3 * (3x_i+1) = 3*(3x_i+1) for N=2.
+        let grad = p.grad();
+        assert!((grad.get(0, 0) - 3.0 * 4.0).abs() < 1e-5);
+        assert!((grad.get(0, 1) - 3.0 * 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut r = rng();
+        let w = Parameter::new(Tensor::randn(3, 2, &mut r), "w");
+        let x = Tensor::randn(4, 3, &mut r);
+
+        let loss_fn = {
+            let w = w.clone();
+            let x = x.clone();
+            move || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(&w);
+                xv.matmul(&wv).square().sum().value().get(0, 0)
+            }
+        };
+
+        // Analytic gradient.
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let wv = tape.param(&w);
+        w.zero_grad();
+        xv.matmul(&wv).square().sum().backward();
+        let analytic = w.grad();
+
+        for row in 0..3 {
+            for col in 0..2 {
+                let numeric = finite_diff(&w, &loss_fn, row, col, 1e-2);
+                let a = analytic.get(row, col);
+                assert!(
+                    (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "grad mismatch at ({row},{col}): analytic={a}, numeric={numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinearity_gradcheck() {
+        let mut r = rng();
+        let w = Parameter::new(Tensor::randn(1, 5, &mut r), "w");
+
+        let loss_fn = {
+            let w = w.clone();
+            move || {
+                let tape = Tape::new();
+                let wv = tape.param(&w);
+                wv.tanh()
+                    .mul(&wv.sigmoid())
+                    .add(&wv.relu())
+                    .exp()
+                    .mean()
+                    .value()
+                    .get(0, 0)
+            }
+        };
+
+        let tape = Tape::new();
+        let wv = tape.param(&w);
+        w.zero_grad();
+        wv.tanh()
+            .mul(&wv.sigmoid())
+            .add(&wv.relu())
+            .exp()
+            .mean()
+            .backward();
+        let analytic = w.grad();
+
+        for col in 0..5 {
+            let numeric = finite_diff(&w, &loss_fn, 0, col, 1e-3);
+            let a = analytic.get(0, col);
+            assert!(
+                (a - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "grad mismatch at col {col}: analytic={a}, numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_const_masks_gradient() {
+        let p = Parameter::new(Tensor::row(&[1.0, 2.0, 3.0]), "p");
+        let mask = Tensor::row(&[1.0, 0.0, 1.0]);
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        x.mul_const(&mask).sum().backward();
+        assert_eq!(p.grad().as_slice(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_gradient_sums_over_batch() {
+        let bias = Parameter::new(Tensor::row(&[0.0, 0.0]), "b");
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(4, 2));
+        let b = tape.param(&bias);
+        x.add_row(&b).sum().backward();
+        // Each bias element receives a gradient contribution from all 4 rows.
+        assert_eq!(bias.grad().as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn sub_and_neg_gradients() {
+        let p = Parameter::new(Tensor::row(&[2.0, 4.0]), "p");
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = tape.constant(Tensor::row(&[1.0, 1.0]));
+        y.sub(&x).sum().backward();
+        assert_eq!(p.grad().as_slice(), &[-1.0, -1.0]);
+
+        p.zero_grad();
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        x.neg().sum().backward();
+        assert_eq!(p.grad().as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn ln_gradient() {
+        let p = Parameter::new(Tensor::row(&[2.0, 4.0]), "p");
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        x.ln().sum().backward();
+        let g = p.grad();
+        assert!((g.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((g.get(0, 1) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let p = Parameter::new(Tensor::row(&[1.0]), "p");
+        for _ in 0..3 {
+            let tape = Tape::new();
+            let x = tape.param(&p);
+            x.scale(2.0).sum().backward();
+        }
+        assert_eq!(p.grad().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = x*x + x  => dy/dx = 2x + 1
+        let p = Parameter::new(Tensor::row(&[3.0]), "p");
+        let tape = Tape::new();
+        let x = tape.param(&p);
+        let y = x.mul(&x).add(&x).sum();
+        y.backward();
+        assert!((p.grad().get(0, 0) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tapes")]
+    fn mixing_tapes_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.constant(Tensor::ones(1, 1));
+        let b = t2.constant(Tensor::ones(1, 1));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn tape_len_tracks_nodes() {
+        let tape = Tape::new();
+        assert!(tape.is_empty());
+        let a = tape.constant(Tensor::ones(1, 1));
+        let _ = a.exp();
+        assert_eq!(tape.len(), 2);
+    }
+
+    #[test]
+    fn var_debug_contains_shape() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::ones(2, 3));
+        assert!(format!("{a:?}").contains("(2, 3)"));
+    }
+}

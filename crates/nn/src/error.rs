@@ -1,0 +1,96 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Errors produced by tensor and network operations.
+///
+/// Most tensor operations panic on shape mismatch (they indicate programmer
+/// error, as in other numerics libraries); `NnError` is reserved for
+/// conditions a caller can reasonably handle, such as deserializing a model
+/// with incompatible dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Two tensors had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A tensor could not be constructed because the data length does not
+    /// match the requested shape.
+    InvalidShape {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// A non-finite value (NaN or infinity) was encountered where finite
+    /// values are required.
+    NonFinite {
+        /// Context in which the non-finite value appeared.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NnError::InvalidShape { rows, cols, len } => write!(
+                f,
+                "cannot reshape buffer of length {len} into {rows}x{cols}"
+            ),
+            NnError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = NnError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn invalid_shape_display() {
+        let err = NnError::InvalidShape {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        };
+        assert!(err.to_string().contains("length 3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(NnError::NonFinite { context: "loss" });
+        assert!(err.to_string().contains("loss"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Weight initializers.
+//!
+//! The coupling networks in PassFlow are small residual MLPs; initialization
+//! matters because a flow's scale network sits inside an `exp`, so weights
+//! that are too large immediately blow up the log-determinant. The defaults
+//! here match the common practice for RealNVP-style models: Xavier/He for the
+//! hidden layers and near-zero for the final projection of the scale network.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Appropriate for layers followed by `tanh` or `sigmoid` activations.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// Appropriate for layers followed by ReLU activations.
+pub fn he_normal<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(fan_in, fan_out, rng).scale(std)
+}
+
+/// Normal initialization with the given standard deviation.
+pub fn normal<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Tensor {
+    Tensor::randn(rows, cols, rng).scale(std)
+}
+
+/// Near-zero initialization used for the output projection of scale networks
+/// so a freshly constructed flow starts close to the identity map.
+pub fn near_zero<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+    normal(rows, cols, 1e-3, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut r = rng();
+        let w = xavier_uniform(64, 64, &mut r);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(w.max() <= bound);
+        assert!(w.min() >= -bound);
+        assert_eq!(w.shape(), (64, 64));
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut r = rng();
+        let w = he_normal(100, 200, &mut r);
+        let std = (w.square().mean() - w.mean() * w.mean()).sqrt();
+        let expected = (2.0f32 / 100.0).sqrt();
+        assert!(
+            (std - expected).abs() < expected * 0.2,
+            "std={std}, expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn near_zero_is_tiny() {
+        let mut r = rng();
+        let w = near_zero(10, 10, &mut r);
+        assert!(w.abs().max() < 0.01);
+    }
+
+    #[test]
+    fn normal_scales_std() {
+        let mut r = rng();
+        let w = normal(80, 80, 0.5, &mut r);
+        let std = (w.square().mean() - w.mean() * w.mean()).sqrt();
+        assert!((std - 0.5).abs() < 0.1, "std={std}");
+    }
+}

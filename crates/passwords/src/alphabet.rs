@@ -1,0 +1,155 @@
+//! The password character set.
+//!
+//! PassFlow encodes each character as its index in a fixed alphabet,
+//! normalized by the alphabet size. Index `0` is reserved for the padding
+//! symbol that fills positions beyond the end of a password, so a password of
+//! length `k < max_len` occupies the first `k` slots of its feature vector.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default character set: lowercase, uppercase, digits and common symbols —
+/// the characters that dominate leaked password corpora.
+const DEFAULT_CHARS: &str =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!@#$%^&*()-_+=.?";
+
+/// A bidirectional mapping between characters and dense indices.
+///
+/// Index `0` is always the padding symbol; real characters occupy indices
+/// `1..=len()`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alphabet {
+    chars: Vec<char>,
+}
+
+impl Default for Alphabet {
+    fn default() -> Self {
+        Self::from_chars(DEFAULT_CHARS.chars())
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Alphabet({} symbols)", self.chars.len())
+    }
+}
+
+impl Alphabet {
+    /// Builds an alphabet from an iterator of characters, preserving first
+    /// occurrence order and dropping duplicates.
+    pub fn from_chars(chars: impl IntoIterator<Item = char>) -> Self {
+        let mut seen = Vec::new();
+        for c in chars {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        Alphabet { chars: seen }
+    }
+
+    /// Builds the smallest alphabet covering every character in the given
+    /// passwords (useful for tests with restricted corpora).
+    pub fn from_passwords<'a>(passwords: impl IntoIterator<Item = &'a str>) -> Self {
+        Self::from_chars(passwords.into_iter().flat_map(|p| p.chars()))
+    }
+
+    /// Number of real characters (excluding the padding symbol).
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Returns `true` if the alphabet contains no characters.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Total number of symbols including padding; this is the normalization
+    /// constant used by the encoder.
+    pub fn num_symbols(&self) -> usize {
+        self.chars.len() + 1
+    }
+
+    /// Index of a character (1-based; 0 is padding), or `None` if the
+    /// character is not part of the alphabet.
+    pub fn index_of(&self, c: char) -> Option<usize> {
+        self.chars.iter().position(|&x| x == c).map(|i| i + 1)
+    }
+
+    /// Character at the given index, or `None` for index 0 (padding) and
+    /// out-of-range indices.
+    pub fn char_at(&self, index: usize) -> Option<char> {
+        if index == 0 {
+            None
+        } else {
+            self.chars.get(index - 1).copied()
+        }
+    }
+
+    /// Returns `true` if every character of `password` is in the alphabet.
+    pub fn covers(&self, password: &str) -> bool {
+        password.chars().all(|c| self.index_of(c).is_some())
+    }
+
+    /// Iterator over the real characters in index order.
+    pub fn iter(&self) -> impl Iterator<Item = char> + '_ {
+        self.chars.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alphabet_covers_common_passwords() {
+        let a = Alphabet::default();
+        assert!(a.covers("password123"));
+        assert!(a.covers("P@ssw0rd!"));
+        assert!(a.covers("jimmy91"));
+        assert!(!a.covers("contraseña"));
+    }
+
+    #[test]
+    fn indices_are_one_based_and_round_trip() {
+        let a = Alphabet::default();
+        for c in "az09!".chars() {
+            let idx = a.index_of(c).unwrap();
+            assert!(idx >= 1);
+            assert_eq!(a.char_at(idx), Some(c));
+        }
+        assert_eq!(a.char_at(0), None);
+        assert_eq!(a.char_at(a.num_symbols() + 5), None);
+    }
+
+    #[test]
+    fn from_chars_deduplicates_preserving_order() {
+        let a = Alphabet::from_chars("abca".chars());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.index_of('a'), Some(1));
+        assert_eq!(a.index_of('b'), Some(2));
+        assert_eq!(a.index_of('c'), Some(3));
+    }
+
+    #[test]
+    fn from_passwords_builds_minimal_cover() {
+        let a = Alphabet::from_passwords(["abc", "cde"]);
+        assert_eq!(a.len(), 5);
+        assert!(a.covers("abcde"));
+        assert!(!a.covers("f"));
+    }
+
+    #[test]
+    fn num_symbols_includes_padding() {
+        let a = Alphabet::from_chars("xyz".chars());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.num_symbols(), 4);
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let a = Alphabet::from_chars("ab".chars());
+        assert!(a.to_string().contains('2'));
+        assert_eq!(a.iter().collect::<String>(), "ab");
+        assert!(!a.is_empty());
+    }
+}

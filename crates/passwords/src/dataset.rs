@@ -1,0 +1,332 @@
+//! Corpus container and the paper's train/test preparation pipeline.
+//!
+//! Section IV-D of the paper: the RockYou corpus is filtered to passwords of
+//! length ≤ 10, split 80/20 into train/test, the *training* side is
+//! subsampled to 300K instances, and the *test* side is cleaned by removing
+//! duplicates and any password that also appears in the training set,
+//! leaving ~1.94M unique test passwords. [`PasswordCorpus::paper_split`]
+//! reproduces exactly that pipeline at configurable scale.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+use passflow_nn::rng as nnrng;
+
+/// A multiset of password instances (duplicates allowed, as in a real leak).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PasswordCorpus {
+    passwords: Vec<String>,
+}
+
+/// The result of the paper's train/test preparation pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusSplit {
+    /// Training instances (possibly subsampled, duplicates retained as in the
+    /// paper, since the model learns the empirical distribution).
+    pub train: Vec<String>,
+    /// Unique test passwords with the train ∩ test intersection removed.
+    /// This is the set guesses are matched against.
+    pub test_unique: Vec<String>,
+}
+
+impl PasswordCorpus {
+    /// Creates a corpus from raw password instances.
+    pub fn new(passwords: Vec<String>) -> Self {
+        PasswordCorpus { passwords }
+    }
+
+    /// Creates a corpus by parsing one password per line, skipping empty
+    /// lines. This accepts the format of common password-list files, so a
+    /// real corpus (e.g. an authorized copy of RockYou) can be dropped in.
+    pub fn from_lines(text: &str) -> Self {
+        PasswordCorpus {
+            passwords: text
+                .lines()
+                .map(str::trim_end)
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Number of password instances (with duplicates).
+    pub fn len(&self) -> usize {
+        self.passwords.len()
+    }
+
+    /// Returns `true` if the corpus contains no passwords.
+    pub fn is_empty(&self) -> bool {
+        self.passwords.is_empty()
+    }
+
+    /// Iterator over the password instances.
+    pub fn iter(&self) -> std::slice::Iter<'_, String> {
+        self.passwords.iter()
+    }
+
+    /// Borrow of the underlying instances.
+    pub fn passwords(&self) -> &[String] {
+        &self.passwords
+    }
+
+    /// Consumes the corpus and returns the underlying instances.
+    pub fn into_passwords(self) -> Vec<String> {
+        self.passwords
+    }
+
+    /// Number of distinct passwords.
+    pub fn unique_count(&self) -> usize {
+        self.passwords.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Returns a new corpus containing only passwords of length ≤ `max_len`
+    /// (in characters), the paper's length-10 filter.
+    #[must_use]
+    pub fn filter_max_len(&self, max_len: usize) -> PasswordCorpus {
+        PasswordCorpus {
+            passwords: self
+                .passwords
+                .iter()
+                .filter(|p| p.chars().count() <= max_len)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Randomly splits the corpus instances into two parts; `ratio` is the
+    /// fraction assigned to the first part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1)`.
+    pub fn split(&self, ratio: f64, seed: u64) -> (PasswordCorpus, PasswordCorpus) {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+        let mut rng = nnrng::seeded(seed);
+        let mut shuffled = self.passwords.clone();
+        shuffled.shuffle(&mut rng);
+        let cut = ((shuffled.len() as f64) * ratio).round() as usize;
+        let cut = cut.min(shuffled.len());
+        let (first, second) = shuffled.split_at(cut);
+        (
+            PasswordCorpus::new(first.to_vec()),
+            PasswordCorpus::new(second.to_vec()),
+        )
+    }
+
+    /// Randomly subsamples `n` instances (without replacement if `n ≤ len`,
+    /// otherwise returns a shuffled copy of everything).
+    #[must_use]
+    pub fn subsample(&self, n: usize, seed: u64) -> PasswordCorpus {
+        let mut rng = nnrng::seeded(seed);
+        let mut shuffled = self.passwords.clone();
+        shuffled.shuffle(&mut rng);
+        shuffled.truncate(n);
+        PasswordCorpus::new(shuffled)
+    }
+
+    /// Samples `n` instances **with replacement** — handy for bootstrap
+    /// analyses of guessing results.
+    #[must_use]
+    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<String> {
+        assert!(!self.is_empty(), "cannot sample from an empty corpus");
+        (0..n)
+            .map(|_| self.passwords[rng.gen_range(0..self.passwords.len())].clone())
+            .collect()
+    }
+
+    /// Returns the distinct passwords in first-occurrence order.
+    pub fn unique(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for p in &self.passwords {
+            if seen.insert(p.as_str()) {
+                out.push(p.clone());
+            }
+        }
+        out
+    }
+
+    /// The paper's full preparation pipeline:
+    ///
+    /// 1. split instances `train_ratio` / `1 - train_ratio` (80/20 in the
+    ///    paper),
+    /// 2. subsample the training side down to `train_subsample` instances
+    ///    (300K in the paper; pass `usize::MAX` to keep everything),
+    /// 3. deduplicate the test side and remove every password that also
+    ///    occurs in the (full, pre-subsampling) training side.
+    pub fn paper_split(&self, train_ratio: f64, train_subsample: usize, seed: u64) -> CorpusSplit {
+        let (train_full, test_raw) = self.split(train_ratio, seed);
+        let train_set: HashSet<&String> = train_full.passwords.iter().collect();
+        let mut test_seen = HashSet::new();
+        let mut test_unique = Vec::new();
+        for p in test_raw.iter() {
+            if !train_set.contains(p) && test_seen.insert(p.clone()) {
+                test_unique.push(p.clone());
+            }
+        }
+        let train = if train_subsample >= train_full.len() {
+            train_full.into_passwords()
+        } else {
+            train_full
+                .subsample(train_subsample, seed.wrapping_add(1))
+                .into_passwords()
+        };
+        CorpusSplit { train, test_unique }
+    }
+}
+
+impl FromIterator<String> for PasswordCorpus {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        PasswordCorpus::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<String> for PasswordCorpus {
+    fn extend<T: IntoIterator<Item = String>>(&mut self, iter: T) {
+        self.passwords.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PasswordCorpus {
+    type Item = &'a String;
+    type IntoIter = std::slice::Iter<'a, String>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.passwords.iter()
+    }
+}
+
+impl CorpusSplit {
+    /// Test set as a hash set for O(1) membership checks during guessing.
+    pub fn test_set(&self) -> HashSet<String> {
+        self.test_unique.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, SyntheticCorpusGenerator};
+
+    fn sample_corpus() -> PasswordCorpus {
+        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000)).generate(17)
+    }
+
+    #[test]
+    fn from_lines_parses_and_skips_blanks() {
+        let corpus = PasswordCorpus::from_lines("alpha\n\nbeta\ngamma\n");
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.passwords()[1], "beta");
+    }
+
+    #[test]
+    fn filter_max_len_removes_long_passwords() {
+        let corpus = PasswordCorpus::new(vec![
+            "short".into(),
+            "exactlyten".into(),
+            "elevenchars".into(),
+        ]);
+        let filtered = corpus.filter_max_len(10);
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.iter().all(|p| p.chars().count() <= 10));
+    }
+
+    #[test]
+    fn split_partitions_all_instances() {
+        let corpus = sample_corpus();
+        let (a, b) = corpus.split(0.8, 3);
+        assert_eq!(a.len() + b.len(), corpus.len());
+        let ratio = a.len() as f64 / corpus.len() as f64;
+        assert!((ratio - 0.8).abs() < 0.01, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let corpus = sample_corpus();
+        let (a1, _) = corpus.split(0.5, 7);
+        let (a2, _) = corpus.split(0.5, 7);
+        let (a3, _) = corpus.split(0.5, 8);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn subsample_returns_requested_count_without_duplication_bias() {
+        let corpus = sample_corpus();
+        let sub = corpus.subsample(500, 1);
+        assert_eq!(sub.len(), 500);
+        // Oversized request returns the whole corpus.
+        let all = corpus.subsample(corpus.len() + 10, 1);
+        assert_eq!(all.len(), corpus.len());
+    }
+
+    #[test]
+    fn unique_preserves_first_occurrence_order() {
+        let corpus = PasswordCorpus::new(vec![
+            "b".into(),
+            "a".into(),
+            "b".into(),
+            "c".into(),
+            "a".into(),
+        ]);
+        assert_eq!(corpus.unique(), vec!["b", "a", "c"]);
+        assert_eq!(corpus.unique_count(), 3);
+    }
+
+    #[test]
+    fn paper_split_removes_train_test_intersection_and_duplicates() {
+        let corpus = sample_corpus();
+        let split = corpus.paper_split(0.8, 2_000, 5);
+        assert_eq!(split.train.len(), 2_000);
+        // Test set is unique.
+        let unique: HashSet<&String> = split.test_unique.iter().collect();
+        assert_eq!(unique.len(), split.test_unique.len());
+        // No test password appears in the full training partition. We can't
+        // check against the discarded full partition directly, but the
+        // subsampled training set must certainly be disjoint.
+        let train_set: HashSet<&String> = split.train.iter().collect();
+        assert!(split.test_unique.iter().all(|p| !train_set.contains(p)));
+    }
+
+    #[test]
+    fn paper_split_keeps_all_train_when_subsample_is_large() {
+        let corpus = sample_corpus();
+        let split = corpus.paper_split(0.8, usize::MAX, 5);
+        assert_eq!(split.train.len(), (corpus.len() as f64 * 0.8) as usize);
+    }
+
+    #[test]
+    fn test_set_matches_test_unique() {
+        let corpus = sample_corpus();
+        let split = corpus.paper_split(0.8, 1_000, 2);
+        let set = split.test_set();
+        assert_eq!(set.len(), split.test_unique.len());
+        assert!(split.test_unique.iter().all(|p| set.contains(p)));
+    }
+
+    #[test]
+    fn sample_with_replacement_draws_from_corpus() {
+        let corpus = PasswordCorpus::new(vec!["only".into()]);
+        let mut rng = nnrng::seeded(4);
+        let sample = corpus.sample_with_replacement(5, &mut rng);
+        assert_eq!(sample, vec!["only"; 5]);
+    }
+
+    #[test]
+    fn collection_traits_work() {
+        let mut corpus: PasswordCorpus = vec!["a".to_string()].into_iter().collect();
+        corpus.extend(vec!["b".to_string()]);
+        assert_eq!(corpus.len(), 2);
+        let collected: Vec<&String> = (&corpus).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0, 1)")]
+    fn split_rejects_bad_ratio() {
+        let corpus = sample_corpus();
+        let _ = corpus.split(1.0, 1);
+    }
+}

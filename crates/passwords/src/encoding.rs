@@ -1,0 +1,269 @@
+//! Password ↔ feature-vector encoding.
+//!
+//! Section IV-D of the paper: *"Before feeding the data for training we
+//! convert the passwords in feature vectors that contain their numerical
+//! representation and then we normalize by the size of the alphabet."*
+//!
+//! A password of at most `max_len` characters becomes a `max_len`-dimensional
+//! vector; position `i` holds `index(char_i) / num_symbols`, and positions
+//! past the end of the password hold the padding value `0`. Decoding rounds
+//! each component back to the nearest symbol index, which is also how
+//! continuous samples produced by the flow are mapped back to strings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::Alphabet;
+
+/// Maximum password length used throughout the paper's evaluation.
+pub const PAPER_MAX_LEN: usize = 10;
+
+/// Encodes passwords into fixed-length normalized feature vectors and decodes
+/// continuous vectors back into passwords.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PasswordEncoder {
+    alphabet: Alphabet,
+    max_len: usize,
+}
+
+impl Default for PasswordEncoder {
+    /// The paper's setting: default alphabet, maximum length 10.
+    fn default() -> Self {
+        PasswordEncoder::new(Alphabet::default(), PAPER_MAX_LEN)
+    }
+}
+
+impl PasswordEncoder {
+    /// Creates an encoder over the given alphabet and maximum length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len` is zero or the alphabet is empty.
+    pub fn new(alphabet: Alphabet, max_len: usize) -> Self {
+        assert!(max_len > 0, "max_len must be positive");
+        assert!(!alphabet.is_empty(), "alphabet must not be empty");
+        PasswordEncoder { alphabet, max_len }
+    }
+
+    /// The alphabet used by this encoder.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Dimensionality of the feature vectors (= maximum password length).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Normalization constant: number of symbols including padding.
+    pub fn num_symbols(&self) -> usize {
+        self.alphabet.num_symbols()
+    }
+
+    /// Returns `true` if the password can be encoded (length and character
+    /// coverage).
+    pub fn can_encode(&self, password: &str) -> bool {
+        password.chars().count() <= self.max_len && self.alphabet.covers(password)
+    }
+
+    /// Encodes a password into a normalized feature vector of length
+    /// [`max_len`](Self::max_len).
+    ///
+    /// Returns `None` if the password is too long or contains characters
+    /// outside the alphabet.
+    pub fn encode(&self, password: &str) -> Option<Vec<f32>> {
+        if password.chars().count() > self.max_len {
+            return None;
+        }
+        let norm = self.num_symbols() as f32;
+        let mut features = vec![0.0f32; self.max_len];
+        for (i, c) in password.chars().enumerate() {
+            let idx = self.alphabet.index_of(c)?;
+            features[i] = idx as f32 / norm;
+        }
+        Some(features)
+    }
+
+    /// Encodes a batch of passwords, skipping any that cannot be encoded.
+    /// Returns the encoded feature vectors and the indices (into the input)
+    /// of the passwords that were kept.
+    pub fn encode_batch(&self, passwords: &[String]) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut features = Vec::with_capacity(passwords.len());
+        let mut kept = Vec::with_capacity(passwords.len());
+        for (i, p) in passwords.iter().enumerate() {
+            if let Some(f) = self.encode(p) {
+                features.push(f);
+                kept.push(i);
+            }
+        }
+        (features, kept)
+    }
+
+    /// Decodes a continuous feature vector back into a password.
+    ///
+    /// Each component is scaled by the number of symbols and rounded to the
+    /// nearest index; indices ≤ 0 decode to the padding symbol which
+    /// terminates the password. Values are clamped into the valid range, so
+    /// any real-valued vector (e.g. a flow sample) decodes to *some* string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != max_len`.
+    pub fn decode(&self, features: &[f32]) -> String {
+        assert_eq!(
+            features.len(),
+            self.max_len,
+            "feature vector length must equal max_len"
+        );
+        let norm = self.num_symbols() as f32;
+        let max_index = self.alphabet.len() as i64;
+        let mut out = String::with_capacity(self.max_len);
+        for &v in features {
+            let idx = (v * norm).round() as i64;
+            let idx = idx.clamp(0, max_index) as usize;
+            match self.alphabet.char_at(idx) {
+                Some(c) => out.push(c),
+                // Padding terminates the password: everything after the first
+                // padding symbol is ignored, mirroring fixed-length training
+                // where strings are right-padded.
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Decodes a batch of feature vectors.
+    pub fn decode_batch(&self, features: &[Vec<f32>]) -> Vec<String> {
+        features.iter().map(|f| self.decode(f)).collect()
+    }
+
+    /// The normalized value that represents a given character.
+    ///
+    /// Returns `None` if the character is outside the alphabet.
+    pub fn value_of(&self, c: char) -> Option<f32> {
+        self.alphabet
+            .index_of(c)
+            .map(|i| i as f32 / self.num_symbols() as f32)
+    }
+
+    /// Half the gap between two adjacent symbol values; perturbations smaller
+    /// than this are guaranteed not to change the decoded character. Used to
+    /// calibrate dequantization noise and data-space Gaussian smoothing.
+    pub fn quantization_step(&self) -> f32 {
+        0.5 / self.num_symbols() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let enc = PasswordEncoder::default();
+        for pw in ["jimmy91", "123456", "iloveyou", "P@ss!", "a", "qwertyuiop"] {
+            let features = enc.encode(pw).unwrap();
+            assert_eq!(features.len(), 10);
+            assert_eq!(enc.decode(&features), pw);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_too_long_and_unknown_chars() {
+        let enc = PasswordEncoder::default();
+        assert!(enc.encode("elevenchars").is_none());
+        assert!(enc.encode("contraseña").is_none());
+        assert!(!enc.can_encode("elevenchars"));
+        assert!(enc.can_encode("short"));
+    }
+
+    #[test]
+    fn padding_fills_the_tail_with_zero() {
+        let enc = PasswordEncoder::default();
+        let features = enc.encode("abc").unwrap();
+        assert!(features[..3].iter().all(|&v| v > 0.0));
+        assert!(features[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn values_are_normalized_into_unit_interval() {
+        let enc = PasswordEncoder::default();
+        let features = enc.encode("zZ9?").unwrap();
+        assert!(features.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn decode_is_robust_to_noise_below_quantization_step() {
+        let enc = PasswordEncoder::default();
+        let step = enc.quantization_step();
+        let features = enc.encode("jimmy91").unwrap();
+        let noisy: Vec<f32> = features
+            .iter()
+            .map(|&v| if v > 0.0 { v + 0.9 * step } else { v })
+            .collect();
+        assert_eq!(enc.decode(&noisy), "jimmy91");
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range_values() {
+        let enc = PasswordEncoder::default();
+        let mut features = vec![0.0f32; 10];
+        features[0] = 5.0; // way above 1.0 — clamps to the last alphabet char
+        features[1] = -3.0; // below zero — clamps to padding, terminating
+        let decoded = enc.decode(&features);
+        assert_eq!(decoded.chars().count(), 1);
+    }
+
+    #[test]
+    fn decode_stops_at_first_padding() {
+        let enc = PasswordEncoder::default();
+        let a = enc.value_of('a').unwrap();
+        let features = vec![a, 0.0, a, a, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(enc.decode(&features), "a");
+    }
+
+    #[test]
+    fn encode_batch_skips_invalid_entries() {
+        let enc = PasswordEncoder::default();
+        let input = vec![
+            "good1".to_string(),
+            "waytoolongpassword".to_string(),
+            "also_good".to_string(),
+        ];
+        let (features, kept) = enc.encode_batch(&input);
+        assert_eq!(features.len(), 2);
+        assert_eq!(kept, vec![0, 2]);
+        let decoded = enc.decode_batch(&features);
+        assert_eq!(decoded, vec!["good1".to_string(), "also_good".to_string()]);
+    }
+
+    #[test]
+    fn custom_alphabet_and_length() {
+        let alphabet = Alphabet::from_chars("abc123".chars());
+        let enc = PasswordEncoder::new(alphabet, 4);
+        assert_eq!(enc.max_len(), 4);
+        assert_eq!(enc.num_symbols(), 7);
+        let f = enc.encode("a1c").unwrap();
+        assert_eq!(enc.decode(&f), "a1c");
+        assert!(enc.encode("abcd1").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len must be positive")]
+    fn zero_max_len_rejected() {
+        let _ = PasswordEncoder::new(Alphabet::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector length")]
+    fn decode_rejects_wrong_length() {
+        let enc = PasswordEncoder::default();
+        let _ = enc.decode(&[0.0; 3]);
+    }
+
+    #[test]
+    fn quantization_step_is_half_symbol_gap() {
+        let enc = PasswordEncoder::default();
+        let gap = 1.0 / enc.num_symbols() as f32;
+        assert!((enc.quantization_step() - gap / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! # passflow-passwords
+//!
+//! Password-data substrate for the PassFlow reproduction:
+//!
+//! * [`Alphabet`] — the character set passwords are drawn from, with
+//!   char ↔ index mapping,
+//! * [`PasswordEncoder`] — the paper's encoding of a password into a
+//!   fixed-length numeric feature vector normalized by the alphabet size
+//!   (Section IV-D), and the inverse decoding,
+//! * [`SyntheticCorpusGenerator`] — a synthetic "RockYou-like" corpus
+//!   generator standing in for the RockYou leak, which cannot be
+//!   redistributed (see DESIGN.md §2),
+//! * [`PasswordCorpus`] — corpus container with the paper's cleaning and
+//!   splitting pipeline (length filter, 80/20 split, dedup, train/test
+//!   intersection removal, training subsampling),
+//! * [`stats`] — structural statistics used to analyze generated guesses.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use passflow_passwords::{CorpusConfig, PasswordCorpus, PasswordEncoder, SyntheticCorpusGenerator};
+//!
+//! let generator = SyntheticCorpusGenerator::new(CorpusConfig::small());
+//! let corpus = generator.generate(7);
+//! let split = corpus.paper_split(0.8, 1_000, 7);
+//! assert!(!split.train.is_empty());
+//! assert!(!split.test_unique.is_empty());
+//!
+//! let encoder = PasswordEncoder::default();
+//! let features = encoder.encode("jimmy91").unwrap();
+//! assert_eq!(features.len(), encoder.max_len());
+//! assert_eq!(encoder.decode(&features), "jimmy91");
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod alphabet;
+mod dataset;
+mod encoding;
+mod generator;
+pub mod stats;
+mod wordlists;
+
+pub use alphabet::Alphabet;
+pub use dataset::{CorpusSplit, PasswordCorpus};
+pub use encoding::PasswordEncoder;
+pub use generator::{CorpusConfig, SyntheticCorpusGenerator};

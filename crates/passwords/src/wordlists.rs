@@ -1,0 +1,149 @@
+//! Embedded word lists used by the synthetic corpus generator.
+//!
+//! These are small, public-knowledge vocabularies (common first names,
+//! dictionary words, keyboard walks and the perennial "worst passwords"
+//! lists) that drive the RockYou-like generator. They are deliberately modest
+//! in size: the goal is a corpus with the *structure* of a real leak —
+//! word+digits composition, leet substitutions, heavy reuse — not a copy of
+//! any actual leaked data.
+
+/// Common first names (lowercase). Names are by far the most common root of
+/// leaked passwords, which is why the paper's qualitative examples revolve
+/// around strings such as "jimmy91".
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "jimmy", "nancy", "daniel", "lisa", "matthew", "betty", "anthony",
+    "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin", "carol", "brian",
+    "amanda", "george", "melissa", "edward", "deborah", "ronald", "stephanie", "timothy",
+    "rebecca", "jason", "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen",
+    "gary", "amy", "nicholas", "shirley", "eric", "angela", "jonathan", "helen", "stephen",
+    "anna", "larry", "brenda", "justin", "pamela", "scott", "nicole", "brandon", "samantha",
+    "benjamin", "katherine", "samuel", "emma", "gregory", "ruth", "frank", "christine",
+    "alexander", "catherine", "raymond", "debra", "patrick", "rachel", "jack", "carolyn",
+    "dennis", "janet", "jerry", "virginia", "tyler", "maria", "aaron", "heather", "jose",
+    "diane", "adam", "julie", "henry", "joyce", "nathan", "victoria", "douglas", "kelly",
+    "zachary", "christina", "peter", "lauren", "kyle", "joan", "walter", "evelyn", "ethan",
+    "olivia", "jeremy", "judith", "harold", "megan", "keith", "cheryl", "christian", "andrea",
+    "roger", "hannah", "noah", "martha", "gerald", "jacqueline", "carl", "frances", "terry",
+    "gloria", "sean", "ann", "austin", "teresa", "arthur", "kathryn", "lawrence", "sara",
+    "jesse", "janice", "dylan", "jean", "bryan", "alice", "joe", "madison", "jordan", "doris",
+    "billy", "abigail", "bruce", "julia", "albert", "judy", "willie", "grace", "gabriel",
+    "denise", "logan", "amber", "alan", "marilyn", "juan", "beverly", "wayne", "danielle",
+    "roy", "theresa", "ralph", "sophia", "randy", "marie", "eugene", "diana", "vincent",
+    "brittany", "russell", "natalie", "elijah", "isabella", "louis", "charlotte", "bobby",
+    "rose", "philip", "alexis", "johnny", "kayla",
+];
+
+/// Common dictionary words and pop-culture terms that appear as password
+/// roots in virtually every leak analysis.
+pub(crate) const COMMON_WORDS: &[&str] = &[
+    "love", "angel", "princess", "monkey", "dragon", "sunshine", "shadow", "master", "soccer",
+    "football", "baseball", "basketball", "hockey", "batman", "superman", "pokemon", "naruto",
+    "ninja", "tigger", "charlie", "pepper", "ginger", "cookie", "chocolate", "banana", "flower",
+    "butterfly", "rainbow", "diamond", "silver", "golden", "purple", "orange", "yellow",
+    "summer", "winter", "spring", "autumn", "monday", "friday", "sunday", "january", "june",
+    "july", "august", "december", "secret", "magic", "star", "moon", "heart", "smile", "happy",
+    "lucky", "crazy", "sweet", "candy", "sugar", "honey", "baby", "angelo", "prince", "queen",
+    "king", "tiger", "lion", "eagle", "wolf", "bear", "panda", "kitty", "puppy", "bunny",
+    "turtle", "dolphin", "phoenix", "thunder", "lightning", "storm", "fire", "water", "earth",
+    "metal", "rock", "guitar", "music", "dance", "party", "beach", "ocean", "river", "mountain",
+    "forever", "always", "never", "whatever", "nothing", "something", "computer", "internet",
+    "samsung", "nokia", "google", "yahoo", "hotmail", "myspace", "facebook", "rockyou",
+    "iloveu", "teamo", "hello", "welcome", "letmein", "cheese", "pizza", "coffee", "soccer1",
+    "jesus", "heaven", "spirit", "peace", "freedom", "friend", "family", "mother", "father",
+    "sister", "brother", "cousin", "junior", "senior", "chico", "chica", "amor", "corazon",
+    "estrella", "flores", "bonita", "hermosa", "gatito", "perrito",
+];
+
+/// The perennially most common passwords: these head every leaked-corpus
+/// frequency table and give the synthetic corpus its heavy head.
+pub(crate) const TOP_PASSWORDS: &[&str] = &[
+    "123456", "12345", "123456789", "password", "iloveyou", "princess", "1234567", "rockyou",
+    "12345678", "abc123", "nicole", "daniel", "babygirl", "monkey", "lovely", "jessica",
+    "654321", "michael", "ashley", "qwerty", "111111", "iloveu", "000000", "michelle", "tigger",
+    "sunshine", "chocolate", "password1", "soccer", "anthony", "friends", "butterfly",
+    "purple", "angel", "jordan", "liverpool", "justin", "loveme", "fuckyou", "123123",
+    "football", "secret", "andrea", "carlos", "jennifer", "joshua", "bubbles", "1234567890",
+    "superman", "hannah", "amanda", "loveyou", "pretty", "basketball", "andrew", "angels",
+    "tweety", "flower", "playboy", "hello", "elizabeth", "hottie", "tinkerbell", "charlie",
+    "samantha", "barbie", "chelsea", "lovers", "teamo", "jasmine", "brandon", "666666",
+    "shadow", "melissa", "eminem", "matthew", "robert", "danielle", "forever", "family",
+    "jonathan", "987654321", "computer", "whatever", "dragon", "vanessa", "cookie", "naruto",
+    "summer", "sweety", "spongebob", "joseph", "junior", "softball", "taylor", "yellow",
+    "daniela", "lauren", "mickey", "princesa",
+];
+
+/// Keyboard walks.
+pub(crate) const KEYBOARD_WALKS: &[&str] = &[
+    "qwerty", "qwertyuiop", "asdfgh", "asdfghjkl", "zxcvbnm", "qazwsx", "1qaz2wsx", "qwe123",
+    "asd123", "zaq12wsx", "123qwe", "q1w2e3r4", "1q2w3e4r", "poiuyt", "lkjhgf", "mnbvcx",
+    "147258369", "159357", "741852963", "963852741", "112233", "121212", "123321", "456789",
+    "789456", "102030", "010203",
+];
+
+/// Leet-speak substitutions applied by the generator.
+pub(crate) const LEET_SUBSTITUTIONS: &[(char, char)] = &[
+    ('a', '4'),
+    ('a', '@'),
+    ('e', '3'),
+    ('i', '1'),
+    ('i', '!'),
+    ('o', '0'),
+    ('s', '5'),
+    ('s', '$'),
+    ('t', '7'),
+    ('l', '1'),
+    ('b', '8'),
+    ('g', '9'),
+];
+
+/// Common suffix digit patterns (other than years and single digits).
+pub(crate) const DIGIT_SUFFIXES: &[&str] = &[
+    "1", "2", "3", "7", "11", "12", "13", "21", "22", "23", "69", "77", "88", "99", "101",
+    "123", "321", "007", "143", "420", "666", "777", "911", "1234", "12345",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn wordlists_are_nonempty_and_lowercase_fit() {
+        assert!(FIRST_NAMES.len() > 100);
+        assert!(COMMON_WORDS.len() > 100);
+        assert!(TOP_PASSWORDS.len() > 80);
+        assert!(KEYBOARD_WALKS.len() > 20);
+        for w in FIRST_NAMES.iter().chain(COMMON_WORDS) {
+            assert!(
+                w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "unexpected character in word {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn wordlists_have_no_duplicates() {
+        let names: HashSet<_> = FIRST_NAMES.iter().collect();
+        assert_eq!(names.len(), FIRST_NAMES.len());
+        let walks: HashSet<_> = KEYBOARD_WALKS.iter().collect();
+        assert_eq!(walks.len(), KEYBOARD_WALKS.len());
+    }
+
+    #[test]
+    fn top_passwords_fit_paper_length_bound() {
+        // The paper trains on passwords of length <= 10; the head of the
+        // distribution must be representable.
+        assert!(TOP_PASSWORDS.iter().all(|p| p.len() <= 10));
+    }
+
+    #[test]
+    fn leet_substitutions_map_letters_to_symbols() {
+        for &(from, to) in LEET_SUBSTITUTIONS {
+            assert!(from.is_ascii_lowercase());
+            assert!(!to.is_ascii_lowercase());
+        }
+    }
+}

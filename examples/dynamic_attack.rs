@@ -1,0 +1,76 @@
+//! A full guessing attack comparing the paper's three strategies —
+//! static sampling, Dynamic Sampling with penalization, and Dynamic
+//! Sampling + data-space Gaussian smoothing — against the same test set
+//! (the Table II / Table III experiment in miniature).
+//!
+//! ```text
+//! cargo run --release --example dynamic_attack
+//! ```
+
+use passflow::{
+    run_attack, train, AttackConfig, CorpusConfig, DynamicParams, FlowConfig, GaussianSmoothing,
+    GuessingStrategy, PassFlow, SyntheticCorpusGenerator, TrainConfig,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(40_000)).generate(5);
+    let split = corpus.paper_split(0.8, 8_000, 5);
+    let targets = split.test_set();
+    println!(
+        "training on {} passwords, attacking {} unique test passwords\n",
+        split.train.len(),
+        targets.len()
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let flow = PassFlow::new(
+        FlowConfig::evaluation()
+            .with_coupling_layers(6)
+            .with_hidden_size(32),
+        &mut rng,
+    )?;
+    train(&flow, &split.train, &TrainConfig::evaluation().with_epochs(8))?;
+
+    let budget = 50_000u64;
+    let params = DynamicParams::paper_defaults(budget);
+    let strategies = vec![
+        GuessingStrategy::Static,
+        GuessingStrategy::Dynamic(params),
+        GuessingStrategy::DynamicWithSmoothing {
+            params,
+            smoothing: GaussianSmoothing::default(),
+        },
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "strategy", "guesses", "unique", "matched", "% matched"
+    );
+    for strategy in strategies {
+        let outcome = run_attack(
+            &flow,
+            &targets,
+            &AttackConfig {
+                num_guesses: budget,
+                batch_size: 2_048,
+                strategy,
+                checkpoints: vec![budget],
+                seed: 9,
+                nonmatched_sample_size: 0,
+            },
+        );
+        let report = outcome.final_report();
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>9.2}%",
+            outcome.strategy, report.guesses, report.unique, report.matched, report.matched_percent
+        );
+    }
+
+    println!(
+        "\nexpected ordering (as in the paper): Dynamic+GS >= Dynamic >= Static, with\n\
+         dynamic sampling trading unique guesses for matches and Gaussian smoothing\n\
+         recovering the lost uniqueness."
+    );
+    Ok(())
+}

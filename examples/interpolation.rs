@@ -1,0 +1,44 @@
+//! Latent-space interpolation between two passwords (Algorithm 2 /
+//! Figure 3 of the paper).
+//!
+//! Because the flow is invertible, any password has an exact latent
+//! representation; walking the straight line between two latent points and
+//! inverting each step produces a sequence of realistic passwords morphing
+//! from one endpoint to the other.
+//!
+//! ```text
+//! cargo run --release --example interpolation
+//! ```
+
+use passflow::{
+    interpolate, train, CorpusConfig, FlowConfig, PassFlow, SyntheticCorpusGenerator, TrainConfig,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small()).generate(11);
+    let split = corpus.paper_split(0.8, 4_000, 11);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+    train(&flow, &split.train, &TrainConfig::tiny().with_epochs(6))?;
+
+    for (start, target) in [("jimmy91", "123456"), ("sunshine", "qwerty12")] {
+        println!("interpolating {start:?} -> {target:?}");
+        println!("{:<6} {:<12} {:>10}", "step", "password", "log-prob");
+        for point in interpolate(&flow, start, target, 10)? {
+            let lp = flow
+                .log_prob_password(&point.password)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            println!("{:<6} {:<12} {:>10}", point.step, point.password, lp);
+        }
+        println!();
+    }
+
+    println!(
+        "intermediate steps stay in high-density regions of the latent space, so they\n\
+         decode to human-like passwords rather than noise (Section V-B of the paper)."
+    );
+    Ok(())
+}

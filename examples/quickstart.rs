@@ -1,0 +1,78 @@
+//! Quickstart: generate a synthetic corpus, train a small PassFlow model,
+//! generate guesses and report how many match the held-out test set.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use passflow::{
+    run_attack, train, AttackConfig, CorpusConfig, FlowConfig, PassFlow, SyntheticCorpusGenerator,
+    TrainConfig,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a RockYou-like corpus and apply the paper's preparation
+    //    pipeline: length filter, 80/20 split, training subsample, test-set
+    //    cleaning.
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small()).generate(7);
+    let split = corpus.paper_split(0.8, 5_000, 7);
+    println!(
+        "corpus: {} instances, training on {}, test set of {} unique passwords",
+        corpus.len(),
+        split.train.len(),
+        split.test_unique.len()
+    );
+
+    // 2. Train a small flow (FlowConfig::paper() is the 18-layer architecture
+    //    from the paper; this example uses a reduced one so it finishes in
+    //    about a minute on a laptop).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let config = FlowConfig::evaluation()
+        .with_coupling_layers(6)
+        .with_hidden_size(32);
+    let flow = PassFlow::new(config, &mut rng)?;
+    println!("training a flow with {} parameters…", flow.num_parameters());
+    let report = train(
+        &flow,
+        &split.train,
+        &TrainConfig::evaluation().with_epochs(8),
+    )?;
+    println!(
+        "trained {} epochs, best NLL {:.3} nats/password",
+        report.epochs.len(),
+        report.best_nll()
+    );
+
+    // 3. The flow gives exact densities — inspect a few.
+    for password in ["123456", "jessica1", "zq9#kv!x"] {
+        if let Some(lp) = flow.log_prob_password(password) {
+            println!("log p({password:>10}) = {lp:8.2}");
+        }
+    }
+
+    // 4. Run a static guessing attack against the cleaned test set.
+    let outcome = run_attack(
+        &flow,
+        &split.test_set(),
+        &AttackConfig::quick(20_000).with_checkpoints(vec![1_000, 5_000, 10_000]),
+    );
+    println!("\n{:<10} {:>10} {:>10} {:>9}", "guesses", "unique", "matched", "% matched");
+    for checkpoint in &outcome.checkpoints {
+        println!(
+            "{:<10} {:>10} {:>10} {:>8.2}%",
+            checkpoint.guesses, checkpoint.unique, checkpoint.matched, checkpoint.matched_percent
+        );
+    }
+    println!(
+        "\nexample matched passwords: {:?}",
+        outcome.matched_passwords.iter().take(8).collect::<Vec<_>>()
+    );
+    println!(
+        "example non-matched (but human-like) guesses: {:?}",
+        outcome.nonmatched_samples.iter().take(8).collect::<Vec<_>>()
+    );
+    Ok(())
+}

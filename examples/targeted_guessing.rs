@@ -1,0 +1,51 @@
+//! Targeted guessing with partial knowledge (the Table V scenario).
+//!
+//! If an attacker knows something about the target password — say, that it
+//! is built around the name "jimmy" — the flow's smooth latent space lets
+//! them concentrate guesses in the latent neighbourhood of a pivot string
+//! instead of sampling the whole prior.
+//!
+//! ```text
+//! cargo run --release --example targeted_guessing
+//! ```
+
+use std::collections::HashSet;
+
+use passflow::{train, CorpusConfig, FlowConfig, PassFlow, SyntheticCorpusGenerator, TrainConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small()).generate(3);
+    let split = corpus.paper_split(0.8, 4_000, 3);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+    train(&flow, &split.train, &TrainConfig::tiny().with_epochs(6))?;
+
+    // The attacker's partial knowledge: the victim's password is probably a
+    // variation of "jimmy91".
+    let pivot = "jimmy91";
+    println!("bounded sampling around the pivot {pivot:?}\n");
+    println!("{:<12} {:<60}", "sigma", "first unique neighbours");
+    for sigma in [0.05f32, 0.08, 0.10, 0.15] {
+        let mut unique: Vec<String> = Vec::new();
+        let mut seen = HashSet::new();
+        while unique.len() < 8 {
+            for candidate in flow.sample_near(pivot, sigma, 64, &mut rng)? {
+                if !candidate.is_empty() && seen.insert(candidate.clone()) {
+                    unique.push(candidate);
+                    if unique.len() == 8 {
+                        break;
+                    }
+                }
+            }
+        }
+        println!("{sigma:<12} {}", unique.join("  "));
+    }
+
+    println!(
+        "\nsmall sigma keeps guesses structurally close to the pivot; larger sigma trades\n\
+         similarity for coverage — exactly the behaviour reported in Table V of the paper."
+    );
+    Ok(())
+}

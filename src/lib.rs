@@ -1,0 +1,63 @@
+//! # passflow
+//!
+//! Umbrella crate for the PassFlow reproduction — password guessing with
+//! generative normalizing flows (Pagnotta, Hitaj, De Gaspari, Mancini,
+//! DSN 2022).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! applications can depend on a single crate:
+//!
+//! * [`nn`] — tensor / autodiff / layers / optimizers substrate,
+//! * [`passwords`] — alphabet, encoding, synthetic corpus, dataset pipeline,
+//! * [`core`] (also re-exported at the root) — the flow model, training,
+//!   dynamic sampling, Gaussian smoothing, interpolation and the guessing
+//!   attack loop,
+//! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators,
+//! * [`eval`] — the experiment harness regenerating the paper's tables and
+//!   figures.
+//!
+//! See the `examples/` directory for runnable end-to-end programs and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
+//!
+//! ```rust
+//! use passflow::{FlowConfig, PassFlow};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+//! println!("log p(\"123456\") = {:?}", flow.log_prob_password("123456"));
+//! # Ok::<(), passflow::FlowError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use passflow_baselines as baselines;
+pub use passflow_core as core;
+pub use passflow_eval as eval;
+pub use passflow_nn as nn;
+pub use passflow_passwords as passwords;
+
+// The most commonly used items, re-exported at the crate root.
+pub use passflow_core::{
+    interpolate, interpolate_passwords, run_attack, train, AttackConfig, AttackOutcome,
+    CheckpointReport, DynamicParams, FlowConfig, FlowError, GaussianSmoothing, GuessingStrategy,
+    MaskStrategy, PassFlow, Penalization, TrainConfig, TrainingReport,
+};
+pub use passflow_eval::{EvalScale, Workbench};
+pub use passflow_passwords::{
+    Alphabet, CorpusConfig, CorpusSplit, PasswordCorpus, PasswordEncoder, SyntheticCorpusGenerator,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_reachable() {
+        // A compile-time smoke test that the façade exposes the main types.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::PassFlow>();
+        assert_send_sync::<crate::FlowError>();
+        let _ = crate::FlowConfig::tiny();
+        let _ = crate::EvalScale::smoke();
+    }
+}
