@@ -123,10 +123,20 @@ mod tests {
             assert!(!decoded.is_empty());
             assert!(decoded.chars().count() <= 10);
         }
-        // The default sigma should produce variation but not completely
-        // destroy the sample.
+        // The default sigma should produce variation.
         assert!(changed > 0, "no perturbation ever changed the password");
-        assert!(changed < trials, "every perturbation changed the password");
+
+        // A sigma well below one quantization step should frequently leave
+        // the password untouched (the smoothing strength is what controls
+        // how aggressively collisions are broken).
+        let gentle = GaussianSmoothing::new(0.001, 4);
+        let unchanged_gentle = (0..trials)
+            .filter(|_| encoder.decode(&gentle.perturb(&features, &mut rng)) == "jimmy91")
+            .count();
+        assert!(
+            unchanged_gentle > 0,
+            "even a tiny perturbation always changed the password"
+        );
     }
 
     #[test]

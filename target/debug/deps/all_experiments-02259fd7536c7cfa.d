@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-02259fd7536c7cfa.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-02259fd7536c7cfa: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-469d8329c09ed7ac.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-469d8329c09ed7ac: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_integration-67d59b019cbee2b5.d: tests/baselines_integration.rs
+
+/root/repo/target/debug/deps/baselines_integration-67d59b019cbee2b5: tests/baselines_integration.rs
+
+tests/baselines_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-186d3d41a28cb6a8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-186d3d41a28cb6a8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-02481f48748e25f8.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-02481f48748e25f8: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

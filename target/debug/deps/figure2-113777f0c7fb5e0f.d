@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-113777f0c7fb5e0f.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-113777f0c7fb5e0f: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

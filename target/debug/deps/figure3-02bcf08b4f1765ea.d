@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-02bcf08b4f1765ea.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-02bcf08b4f1765ea: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-052339145859efcd.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-052339145859efcd: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-81a7b14567895cd2.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-81a7b14567895cd2: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-84725b34808868d6.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-84725b34808868d6: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

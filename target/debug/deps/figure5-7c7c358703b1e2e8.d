@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-7c7c358703b1e2e8.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-7c7c358703b1e2e8: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-e27fa7f11b9637ab.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-e27fa7f11b9637ab: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

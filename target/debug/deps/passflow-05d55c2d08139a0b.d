@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/passflow-05d55c2d08139a0b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpassflow-05d55c2d08139a0b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpassflow-05d55c2d08139a0b.rmeta: src/lib.rs
+
+src/lib.rs:

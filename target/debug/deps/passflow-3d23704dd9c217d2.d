@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passflow-3d23704dd9c217d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/passflow-3d23704dd9c217d2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/passflow_baselines-2524784467502541.d: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+/root/repo/target/debug/deps/libpassflow_baselines-2524784467502541.rlib: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+/root/repo/target/debug/deps/libpassflow_baselines-2524784467502541.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cwae.rs:
+crates/baselines/src/gan.rs:
+crates/baselines/src/guesser.rs:
+crates/baselines/src/markov.rs:
+crates/baselines/src/pcfg.rs:

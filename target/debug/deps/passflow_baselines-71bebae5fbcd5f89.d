@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/passflow_baselines-71bebae5fbcd5f89.d: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+/root/repo/target/debug/deps/passflow_baselines-71bebae5fbcd5f89: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cwae.rs:
+crates/baselines/src/gan.rs:
+crates/baselines/src/guesser.rs:
+crates/baselines/src/markov.rs:
+crates/baselines/src/pcfg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passflow_bench-cc8a47b172c0d9a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/passflow_bench-cc8a47b172c0d9a0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

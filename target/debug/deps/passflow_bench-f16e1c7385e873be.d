@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/passflow_bench-f16e1c7385e873be.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpassflow_bench-f16e1c7385e873be.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpassflow_bench-f16e1c7385e873be.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

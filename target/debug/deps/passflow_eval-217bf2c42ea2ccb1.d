@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/passflow_eval-217bf2c42ea2ccb1.d: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+/root/repo/target/debug/deps/passflow_eval-217bf2c42ea2ccb1: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/attack.rs:
+crates/eval/src/figures.rs:
+crates/eval/src/projection.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/tables.rs:

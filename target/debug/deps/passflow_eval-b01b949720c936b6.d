@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/passflow_eval-b01b949720c936b6.d: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+/root/repo/target/debug/deps/libpassflow_eval-b01b949720c936b6.rlib: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+/root/repo/target/debug/deps/libpassflow_eval-b01b949720c936b6.rmeta: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/attack.rs:
+crates/eval/src/figures.rs:
+crates/eval/src/projection.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/passflow_nn-4f5d1103051de4f3.d: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/passflow_nn-4f5d1103051de4f3: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/autograd.rs:
+crates/nn/src/error.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rng.rs:
+crates/nn/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/passflow_passwords-23166715bb2ac3eb.d: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+/root/repo/target/debug/deps/libpassflow_passwords-23166715bb2ac3eb.rlib: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+/root/repo/target/debug/deps/libpassflow_passwords-23166715bb2ac3eb.rmeta: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+crates/passwords/src/lib.rs:
+crates/passwords/src/alphabet.rs:
+crates/passwords/src/dataset.rs:
+crates/passwords/src/encoding.rs:
+crates/passwords/src/generator.rs:
+crates/passwords/src/stats.rs:
+crates/passwords/src/wordlists.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/passflow_passwords-94c4905e8114ad3c.d: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+/root/repo/target/debug/deps/passflow_passwords-94c4905e8114ad3c: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+crates/passwords/src/lib.rs:
+crates/passwords/src/alphabet.rs:
+crates/passwords/src/dataset.rs:
+crates/passwords/src/encoding.rs:
+crates/passwords/src/generator.rs:
+crates/passwords/src/stats.rs:
+crates/passwords/src/wordlists.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-571c436f1669511b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-571c436f1669511b: tests/properties.rs
+
+tests/properties.rs:

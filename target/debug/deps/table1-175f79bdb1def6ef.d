@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-175f79bdb1def6ef.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-175f79bdb1def6ef: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4c45ebfa68918fb6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4c45ebfa68918fb6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2a75b8cb3f7aab4f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2a75b8cb3f7aab4f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

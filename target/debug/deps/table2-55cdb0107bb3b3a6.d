@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-55cdb0107bb3b3a6.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-55cdb0107bb3b3a6: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

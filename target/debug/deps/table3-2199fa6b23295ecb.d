@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2199fa6b23295ecb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2199fa6b23295ecb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

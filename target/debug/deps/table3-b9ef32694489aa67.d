@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b9ef32694489aa67.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b9ef32694489aa67: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

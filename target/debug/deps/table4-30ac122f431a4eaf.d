@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-30ac122f431a4eaf.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-30ac122f431a4eaf: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

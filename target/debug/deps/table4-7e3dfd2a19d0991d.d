@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7e3dfd2a19d0991d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-7e3dfd2a19d0991d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

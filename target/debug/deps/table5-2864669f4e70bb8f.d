@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-2864669f4e70bb8f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-2864669f4e70bb8f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

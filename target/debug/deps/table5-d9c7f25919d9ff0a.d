@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d9c7f25919d9ff0a.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d9c7f25919d9ff0a: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-5ec56d98dbcfcaf6.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-5ec56d98dbcfcaf6: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

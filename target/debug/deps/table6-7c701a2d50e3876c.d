@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-7c701a2d50e3876c.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-7c701a2d50e3876c: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_attack-6c3e6edcc82a5b17.d: examples/dynamic_attack.rs
+
+/root/repo/target/debug/examples/dynamic_attack-6c3e6edcc82a5b17: examples/dynamic_attack.rs
+
+examples/dynamic_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interpolation-556f5db85b121f40.d: examples/interpolation.rs
+
+/root/repo/target/debug/examples/interpolation-556f5db85b121f40: examples/interpolation.rs
+
+examples/interpolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7def641fb4e4c05.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7def641fb4e4c05: examples/quickstart.rs
+
+examples/quickstart.rs:

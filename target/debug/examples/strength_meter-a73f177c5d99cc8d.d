@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strength_meter-a73f177c5d99cc8d.d: examples/strength_meter.rs
+
+/root/repo/target/debug/examples/strength_meter-a73f177c5d99cc8d: examples/strength_meter.rs
+
+examples/strength_meter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/targeted_guessing-b595ccf4282aa9e9.d: examples/targeted_guessing.rs
+
+/root/repo/target/debug/examples/targeted_guessing-b595ccf4282aa9e9: examples/targeted_guessing.rs
+
+examples/targeted_guessing.rs:

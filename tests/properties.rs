@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) of the core invariants:
+//! Property-style tests of the core invariants, driven by deterministic
+//! seeded input sweeps (the build environment cannot fetch `proptest`, so
+//! the same randomized coverage is generated with the workspace RNG):
 //!
 //! * the flow is a bijection: `f⁻¹(f(x)) ≈ x` and `f(f⁻¹(z)) ≈ z` for
 //!   arbitrary inputs and randomly initialized parameters,
@@ -8,7 +10,7 @@
 //! * mixture-prior weights stay normalized,
 //! * structure templates and statistics behave for arbitrary inputs.
 
-use proptest::prelude::*;
+use rand::Rng;
 
 use passflow::nn::rng as nnrng;
 use passflow::nn::Tensor;
@@ -18,148 +20,192 @@ use passflow::{
 };
 use passflow_core::{GaussianMixturePrior, Prior, StandardGaussianPrior};
 
-/// Strategy generating passwords over the default alphabet, length 1..=10.
-fn password_strategy() -> impl Strategy<Value = String> {
+/// Number of random cases per property (mirrors the old proptest config).
+const CASES: u64 = 32;
+
+/// Generates a random password over the default alphabet, length 1..=10.
+fn random_password<R: Rng + ?Sized>(rng: &mut R) -> String {
     let alphabet: Vec<char> = Alphabet::default().iter().collect();
-    proptest::collection::vec(0..alphabet.len(), 1..=10).prop_map(move |indices| {
-        indices.into_iter().map(|i| alphabet[i]).collect::<String>()
-    })
+    let len = rng.gen_range(1..=10usize);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
 }
 
 fn tiny_flow(seed: u64, layers: usize) -> PassFlow {
     let mut rng = nnrng::seeded(seed);
-    PassFlow::new(
-        FlowConfig::tiny().with_coupling_layers(layers),
-        &mut rng,
-    )
-    .expect("valid config")
+    PassFlow::new(FlowConfig::tiny().with_coupling_layers(layers), &mut rng).expect("valid config")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn encoding_round_trips_for_arbitrary_passwords(password in password_strategy()) {
-        let encoder = PasswordEncoder::default();
+#[test]
+fn encoding_round_trips_for_arbitrary_passwords() {
+    let mut rng = nnrng::seeded(1);
+    let encoder = PasswordEncoder::default();
+    for _ in 0..CASES {
+        let password = random_password(&mut rng);
         let features = encoder.encode(&password).expect("encodable");
-        prop_assert_eq!(features.len(), encoder.max_len());
-        prop_assert!(features.iter().all(|v| (0.0..1.0).contains(v)));
-        prop_assert_eq!(encoder.decode(&features), password);
+        assert_eq!(features.len(), encoder.max_len());
+        assert!(features.iter().all(|v| (0.0..1.0).contains(v)));
+        assert_eq!(encoder.decode(&features), password);
     }
+}
 
-    #[test]
-    fn flow_inverts_arbitrary_passwords(password in password_strategy(), seed in 0u64..50) {
-        let flow = tiny_flow(seed, 4);
+#[test]
+fn flow_inverts_arbitrary_passwords() {
+    let mut rng = nnrng::seeded(2);
+    for case in 0..CASES {
+        let password = random_password(&mut rng);
+        let flow = tiny_flow(case % 8, 4);
         let x = flow.encode_batch(&[password.clone()]).unwrap();
         let (z, log_det) = flow.forward(&x);
-        prop_assert!(z.is_finite());
-        prop_assert!(log_det.is_finite());
+        assert!(z.is_finite());
+        assert!(log_det.is_finite());
         let recovered = flow.inverse(&z);
-        prop_assert!(recovered.approx_eq(&x, 1e-3), "max err {}", recovered.sub(&x).abs().max());
-        prop_assert_eq!(flow.decode_batch(&recovered), vec![password]);
+        assert!(
+            recovered.approx_eq(&x, 1e-3),
+            "max err {}",
+            recovered.sub(&x).abs().max()
+        );
+        assert_eq!(flow.decode_batch(&recovered), vec![password]);
     }
+}
 
-    #[test]
-    fn flow_inverts_arbitrary_latent_points(seed in 0u64..20, values in proptest::collection::vec(-3.0f32..3.0, 10)) {
-        let flow = tiny_flow(seed, 4);
+#[test]
+fn flow_inverts_arbitrary_latent_points() {
+    let mut rng = nnrng::seeded(3);
+    for case in 0..CASES {
+        let flow = tiny_flow(case % 5, 4);
+        let values: Vec<f32> = (0..10).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
         let z = Tensor::from_rows(&[values]);
         let x = flow.inverse(&z);
         let (z2, _) = flow.forward(&x);
-        prop_assert!(z2.approx_eq(&z, 1e-3), "max err {}", z2.sub(&z).abs().max());
+        assert!(z2.approx_eq(&z, 1e-3), "max err {}", z2.sub(&z).abs().max());
     }
+}
 
-    #[test]
-    fn log_prob_is_finite_and_consistent(password in password_strategy(), seed in 0u64..20) {
-        let flow = tiny_flow(seed, 4);
+#[test]
+fn log_prob_is_finite_and_consistent() {
+    let mut rng = nnrng::seeded(4);
+    for case in 0..CASES {
+        let password = random_password(&mut rng);
+        let flow = tiny_flow(case % 6, 4);
         let lp = flow.log_prob_password(&password).expect("encodable");
-        prop_assert!(lp.is_finite());
+        assert!(lp.is_finite());
         // The batched path must agree with the single-password path.
         let x = flow.encode_batch(&[password]).unwrap();
         let batch_lp = flow.log_prob(&x)[0];
-        prop_assert!((lp - batch_lp).abs() < 1e-4);
+        assert!((lp - batch_lp).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn masks_cover_every_position_in_consecutive_layers(
-        dim in 2usize..16,
-        run in 1usize..4,
-        layer in 0usize..8,
-    ) {
-        prop_assume!(run < dim);
+#[test]
+fn masks_cover_every_position_in_consecutive_layers() {
+    let mut rng = nnrng::seeded(5);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(2usize..16);
+        let run = rng.gen_range(1usize..4);
+        let layer = rng.gen_range(0usize..8);
+        if run >= dim {
+            continue;
+        }
         for strategy in [MaskStrategy::CharRun(run), MaskStrategy::Horizontal] {
             let a = strategy.mask_for_layer(2 * layer, dim);
             let b = strategy.mask_for_layer(2 * layer + 1, dim);
             for j in 0..dim {
                 // Mask values are binary and complementary across the pair.
-                prop_assert!(a[j] == 0.0 || a[j] == 1.0);
-                prop_assert_eq!(a[j] + b[j], 1.0);
+                assert!(a[j] == 0.0 || a[j] == 1.0);
+                assert_eq!(a[j] + b[j], 1.0);
             }
         }
     }
+}
 
-    #[test]
-    fn mixture_prior_weights_stay_normalized(
-        centers in proptest::collection::vec(proptest::collection::vec(-2.0f32..2.0, 4), 1..6),
-        sigma in 0.01f32..1.0,
-        raw_weights in proptest::collection::vec(0.0f32..5.0, 1..6),
-    ) {
-        let n = centers.len().min(raw_weights.len());
-        let centers: Vec<Vec<f32>> = centers[..n].to_vec();
-        let mut weights: Vec<f32> = raw_weights[..n].to_vec();
+#[test]
+fn mixture_prior_weights_stay_normalized() {
+    let mut rng = nnrng::seeded(6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..6);
+        let centers: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let sigma = rng.gen_range(0.01f32..1.0);
+        let mut weights: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0f32..5.0)).collect();
         // Ensure at least one positive weight.
         weights[0] += 1.0;
         let prior = GaussianMixturePrior::new(centers, sigma, weights);
         let total: f32 = prior.weights().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-5);
+        assert!((total - 1.0).abs() < 1e-5);
         // Densities are finite wherever we evaluate them.
         let z = Tensor::zeros(3, 4);
-        prop_assert!(prior.log_prob(&z).iter().all(|v| v.is_finite()));
+        assert!(prior.log_prob(&z).iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn standard_prior_density_decreases_away_from_origin(scale in 0.1f32..4.0) {
+#[test]
+fn standard_prior_density_decreases_away_from_origin() {
+    let mut rng = nnrng::seeded(7);
+    for _ in 0..CASES {
+        let scale = rng.gen_range(0.1f32..4.0);
         let prior = StandardGaussianPrior::new(6);
         let near = Tensor::zeros(1, 6);
         let far = Tensor::full(1, 6, scale);
-        prop_assert!(prior.log_prob(&near)[0] >= prior.log_prob(&far)[0]);
+        assert!(prior.log_prob(&near)[0] >= prior.log_prob(&far)[0]);
     }
+}
 
-    #[test]
-    fn penalization_weight_is_monotone_in_usage(gamma in 1u32..20, usage in 0u32..40) {
+#[test]
+fn penalization_weight_is_monotone_in_usage() {
+    let mut rng = nnrng::seeded(8);
+    for _ in 0..CASES {
+        let gamma = rng.gen_range(1u32..20);
+        let usage = rng.gen_range(0u32..40);
         let step = Penalization::Step { gamma };
         let w_now = step.weight(usage);
         let w_later = step.weight(usage + 1);
-        prop_assert!(w_later <= w_now);
-        prop_assert!(w_now == 0.0 || w_now == 1.0);
-        prop_assert_eq!(Penalization::None.weight(usage), 1.0);
+        assert!(w_later <= w_now);
+        assert!(w_now == 0.0 || w_now == 1.0);
+        assert_eq!(Penalization::None.weight(usage), 1.0);
     }
+}
 
-    #[test]
-    fn paper_dynamic_params_are_always_valid(budget in 1u64..1_000_000_000) {
+#[test]
+fn paper_dynamic_params_are_always_valid() {
+    let mut rng = nnrng::seeded(9);
+    for _ in 0..CASES {
+        let budget = rng.gen_range(1u64..1_000_000_000);
         let params = DynamicParams::paper_defaults(budget);
-        prop_assert!(params.sigma > 0.0);
-        prop_assert!(params.alpha >= 1);
+        assert!(params.sigma > 0.0);
+        assert!(params.alpha >= 1);
         match params.penalization {
-            Penalization::Step { gamma } => prop_assert!(gamma >= 2),
-            Penalization::None => prop_assert!(false, "paper defaults always use a step function"),
+            Penalization::Step { gamma } => assert!(gamma >= 2),
+            Penalization::None => panic!("paper defaults always use a step function"),
         }
     }
+}
 
-    #[test]
-    fn structure_template_preserves_length_and_classes(password in password_strategy()) {
+#[test]
+fn structure_template_preserves_length_and_classes() {
+    let mut rng = nnrng::seeded(10);
+    for _ in 0..CASES {
+        let password = random_password(&mut rng);
         let template = structure_template(&password);
-        prop_assert_eq!(template.chars().count(), password.chars().count());
-        prop_assert!(template.chars().all(|c| c == 'L' || c == 'D' || c == 'S'));
+        assert_eq!(template.chars().count(), password.chars().count());
+        assert!(template.chars().all(|c| c == 'L' || c == 'D' || c == 'S'));
     }
+}
 
-    #[test]
-    fn corpus_stats_fractions_sum_to_one(passwords in proptest::collection::vec(password_strategy(), 1..30)) {
+#[test]
+fn corpus_stats_fractions_sum_to_one() {
+    let mut rng = nnrng::seeded(11);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..30);
+        let passwords: Vec<String> = (0..n).map(|_| random_password(&mut rng)).collect();
         let stats = CorpusStats::compute(passwords.iter().map(String::as_str));
         let total = stats.letter_fraction + stats.digit_fraction + stats.symbol_fraction;
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert_eq!(stats.count, passwords.len());
-        prop_assert!(stats.mean_length >= 1.0 && stats.mean_length <= 10.0);
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(stats.count, passwords.len());
+        assert!(stats.mean_length >= 1.0 && stats.mean_length <= 10.0);
         // JS divergence with itself is zero.
-        prop_assert!(stats.char_js_divergence(&stats).abs() < 1e-12);
+        assert!(stats.char_js_divergence(&stats).abs() < 1e-12);
     }
 }

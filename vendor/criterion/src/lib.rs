@@ -1,0 +1,267 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! measure-and-print harness instead of criterion's statistical machinery.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples of
+//! an adaptively chosen iteration count, and reports the median per-iteration
+//! time (plus throughput when configured). Good enough to compare strategies
+//! and catch order-of-magnitude regressions; swap in the real crate for
+//! publication-grade statistics.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing harness handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `body` under `id`.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut body: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let per_iter = run_samples(self.sample_size, &mut |b| body(b));
+        report(&label, per_iter, self.throughput);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Benchmarks `body` under `id`, passing `input` through.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut body: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let per_iter = run_samples(self.sample_size, &mut |b| body(b, input));
+        report(&label, per_iter, self.throughput);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `body` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let per_iter = run_samples(10, &mut |b| body(b));
+        report(id, per_iter, None);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Runs warm-up plus `samples` timed samples; returns the median seconds per
+/// iteration.
+fn run_samples(samples: usize, body: &mut dyn FnMut(&mut Bencher)) -> f64 {
+    // Warm-up and calibration: find an iteration count that takes ≥ ~5 ms,
+    // so Instant's resolution stays negligible.
+    let mut iters = 1u64;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            bencher.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[per_iter.len() / 2]
+}
+
+fn report(label: &str, seconds_per_iter: f64, throughput: Option<Throughput>) {
+    let time = format_seconds(seconds_per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / seconds_per_iter;
+            println!("{label:<44} {time:>12}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / seconds_per_iter;
+            println!("{label:<44} {time:>12}/iter  {rate:>14.0} B/s");
+        }
+        None => println!("{label:<44} {time:>12}/iter"),
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark harness entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The reproduction only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — model persistence goes through the
+//! self-describing `PASSFLOW v1` text format in `passflow-core::persist`,
+//! and no code path performs a serde serialization. This shim therefore
+//! reduces the traits to blanket-implemented markers and the derives to
+//! no-ops, which keeps every annotated type compiling without network access
+//! to crates.io. Swapping in the real `serde` is a manifest-only change.
+
+#![warn(rust_2018_idioms)]
+
+/// Marker for types that would be serializable under the real `serde`.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under the real `serde`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn derives_compile_and_traits_cover_all_types() {
+        #[derive(crate::Serialize, crate::Deserialize)]
+        struct Annotated {
+            _field: u32,
+        }
+
+        fn assert_serialize<T: crate::Serialize>() {}
+        assert_serialize::<Annotated>();
+        assert_serialize::<Vec<String>>();
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! shim: the marker traits in the `serde` shim are blanket-implemented, so
+//! the derives have nothing to emit.
+
+use proc_macro::TokenStream;
+
+/// Derives the (marker) `Serialize` trait. Emits nothing: the shim trait is
+/// blanket-implemented for all types.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (marker) `Deserialize` trait. Emits nothing: the shim trait
+/// is blanket-implemented for all types.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
