@@ -21,7 +21,7 @@ use passflow_nn::{
 };
 use passflow_passwords::PasswordEncoder;
 
-use crate::guesser::PasswordGuesser;
+use passflow_core::Guesser;
 
 /// Hyper-parameters of the CWAE baseline.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -170,7 +170,7 @@ impl Cwae {
         let mut parameters = encoder_net.parameters();
         parameters.extend(decoder_net.parameters());
 
-        let num_batches = (data.rows() + config.batch_size - 1) / config.batch_size;
+        let num_batches = data.rows().div_ceil(config.batch_size);
         let mut loss_history = Vec::with_capacity(config.epochs);
 
         for _epoch in 0..config.epochs {
@@ -249,12 +249,12 @@ impl Cwae {
     }
 }
 
-impl PasswordGuesser for Cwae {
+impl Guesser for Cwae {
     fn name(&self) -> &str {
         "CWAE"
     }
 
-    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
         self.sample_passwords(n, rng)
     }
 }
@@ -293,7 +293,11 @@ mod tests {
     }
 
     fn trained() -> Cwae {
-        Cwae::train(&corpus(1_500), PasswordEncoder::default(), CwaeConfig::tiny())
+        Cwae::train(
+            &corpus(1_500),
+            PasswordEncoder::default(),
+            CwaeConfig::tiny(),
+        )
     }
 
     #[test]
@@ -373,8 +377,8 @@ mod tests {
     fn guesser_trait_and_debug_work() {
         let cwae = trained();
         assert_eq!(cwae.name(), "CWAE");
-        let a = cwae.generate(10, &mut nnrng::seeded(3));
-        let b = cwae.generate(10, &mut nnrng::seeded(3));
+        let a = cwae.generate_batch(10, &mut nnrng::seeded(3));
+        let b = cwae.generate_batch(10, &mut nnrng::seeded(3));
         assert_eq!(a, b);
         assert!(format!("{cwae:?}").contains("Cwae"));
     }

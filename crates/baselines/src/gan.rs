@@ -24,7 +24,7 @@ use passflow_nn::{
 };
 use passflow_passwords::PasswordEncoder;
 
-use crate::guesser::PasswordGuesser;
+use passflow_core::Guesser;
 
 /// Hyper-parameters of the WGAN baseline.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -253,12 +253,12 @@ impl PassGan {
     }
 }
 
-impl PasswordGuesser for PassGan {
+impl Guesser for PassGan {
     fn name(&self) -> &str {
         "PassGAN (WGAN)"
     }
 
-    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
         self.sample_passwords(n, rng)
     }
 }
@@ -332,8 +332,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed_and_trait_works() {
         let gan = trained();
-        let a = gan.generate(20, &mut nnrng::seeded(3));
-        let b = gan.generate(20, &mut nnrng::seeded(3));
+        let a = gan.generate_batch(20, &mut nnrng::seeded(3));
+        let b = gan.generate_batch(20, &mut nnrng::seeded(3));
         assert_eq!(a, b);
         assert_eq!(gan.name(), "PassGAN (WGAN)");
     }

@@ -1,22 +1,37 @@
-//! The common interface all baseline guessers expose.
+//! The common guessing interface, now shared with the flow.
+//!
+//! Baselines implement [`passflow_core::Guesser`] directly, so the unified
+//! [`Attack`](passflow_core::Attack) engine drives them with the same
+//! protocol as `PassFlow`. The old [`PasswordGuesser`] trait remains as a
+//! deprecated alias, blanket-implemented for every `Guesser`, so code
+//! written against the pre-engine API keeps compiling.
 
 use rand::RngCore;
 
-/// A trained password guesser that can generate candidate passwords.
-///
-/// The trait is object-safe so the evaluation harness can hold a mixed
-/// collection of baselines (`Vec<Box<dyn PasswordGuesser>>`) and run the
-/// same guessing protocol over each of them.
+pub use passflow_core::Guesser;
+
+/// The legacy baseline-guesser interface.
+#[deprecated(
+    since = "0.1.0",
+    note = "implement `passflow_core::Guesser` instead; every `Guesser` provides this trait automatically"
+)]
 pub trait PasswordGuesser {
     /// Human-readable name used as the row label in tables.
     fn name(&self) -> &str;
 
     /// Generates `n` password guesses.
-    ///
-    /// Guesses may repeat; deduplication (and the resulting unique counts)
-    /// is the responsibility of the evaluation protocol, exactly as in the
-    /// paper's Tables II and III.
     fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String>;
+}
+
+#[allow(deprecated)]
+impl<T: Guesser + ?Sized> PasswordGuesser for T {
+    fn name(&self) -> &str {
+        Guesser::name(self)
+    }
+
+    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        self.generate_batch(n, rng)
+    }
 }
 
 #[cfg(test)]
@@ -25,21 +40,30 @@ mod tests {
 
     struct Fixed;
 
-    impl PasswordGuesser for Fixed {
+    impl Guesser for Fixed {
         fn name(&self) -> &str {
             "fixed"
         }
-        fn generate(&self, n: usize, _rng: &mut dyn RngCore) -> Vec<String> {
+        fn generate_batch(&self, n: usize, _rng: &mut dyn RngCore) -> Vec<String> {
             vec!["123456".to_string(); n]
         }
     }
 
     #[test]
     fn trait_is_object_safe_and_usable_through_a_box() {
-        let guessers: Vec<Box<dyn PasswordGuesser>> = vec![Box::new(Fixed)];
+        let guessers: Vec<Box<dyn Guesser>> = vec![Box::new(Fixed)];
         let mut rng = passflow_nn::rng::seeded(1);
-        let out = guessers[0].generate(3, &mut rng);
+        let out = guessers[0].generate_batch(3, &mut rng);
         assert_eq!(out.len(), 3);
         assert_eq!(guessers[0].name(), "fixed");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_trait_is_provided_for_every_guesser() {
+        let mut rng = passflow_nn::rng::seeded(2);
+        let legacy: &dyn PasswordGuesser = &Fixed;
+        assert_eq!(legacy.name(), "fixed");
+        assert_eq!(legacy.generate(2, &mut rng).len(), 2);
     }
 }

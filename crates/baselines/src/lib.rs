@@ -13,8 +13,9 @@
 //! * [`Cwae`] — a context autoencoder with moment-matching regularization
 //!   standing in for the CWAE of Pasquini et al.
 //!
-//! All guessers implement [`PasswordGuesser`], so the evaluation harness can
-//! drive them interchangeably.
+//! All guessers implement [`passflow_core::Guesser`], so the unified
+//! [`Attack`](passflow_core::Attack) engine drives them interchangeably —
+//! and through the same protocol as `PassFlow` itself.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +28,8 @@ mod pcfg;
 
 pub use cwae::{Cwae, CwaeConfig};
 pub use gan::{PassGan, PassGanConfig};
+pub use guesser::Guesser;
+#[allow(deprecated)]
 pub use guesser::PasswordGuesser;
 pub use markov::MarkovModel;
 pub use pcfg::PcfgModel;

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use rand::{Rng, RngCore};
 
-use crate::guesser::PasswordGuesser;
+use passflow_core::Guesser;
 use passflow_nn::rng as nnrng;
 
 /// Special token marking the start/end of a password in the n-gram tables.
@@ -41,15 +41,18 @@ impl MarkovModel {
         let mut vocabulary: Vec<char> = Vec::new();
 
         for password in passwords {
-            let chars: Vec<char> = std::iter::repeat(BOUNDARY)
-                .take(order)
+            let chars: Vec<char> = std::iter::repeat_n(BOUNDARY, order)
                 .chain(password.chars())
                 .chain(std::iter::once(BOUNDARY))
                 .collect();
             for window in chars.windows(order + 1) {
                 let context: String = window[..order].iter().collect();
                 let next = window[order];
-                *transitions.entry(context).or_default().entry(next).or_insert(0) += 1;
+                *transitions
+                    .entry(context)
+                    .or_default()
+                    .entry(next)
+                    .or_insert(0) += 1;
                 if next != BOUNDARY && !vocabulary.contains(&next) {
                     vocabulary.push(next);
                 }
@@ -87,10 +90,7 @@ impl MarkovModel {
         let mut weights: Vec<f32> = Vec::with_capacity(self.vocabulary.len() + 1);
         let mut symbols: Vec<char> = Vec::with_capacity(self.vocabulary.len() + 1);
         for &c in self.vocabulary.iter().chain(std::iter::once(&BOUNDARY)) {
-            let count = options
-                .and_then(|m| m.get(&c))
-                .copied()
-                .unwrap_or(0) as f64;
+            let count = options.and_then(|m| m.get(&c)).copied().unwrap_or(0) as f64;
             symbols.push(c);
             weights.push((count + self.smoothing) as f32);
         }
@@ -122,8 +122,7 @@ impl MarkovModel {
     /// Log-probability of a password under the model (with smoothing),
     /// including the end-of-password transition.
     pub fn log_prob(&self, password: &str) -> f64 {
-        let chars: Vec<char> = std::iter::repeat(BOUNDARY)
-            .take(self.order)
+        let chars: Vec<char> = std::iter::repeat_n(BOUNDARY, self.order)
             .chain(password.chars())
             .chain(std::iter::once(BOUNDARY))
             .collect();
@@ -133,10 +132,7 @@ impl MarkovModel {
             let context: String = window[..self.order].iter().collect();
             let next = window[self.order];
             let options = self.transitions.get(&context);
-            let count = options
-                .and_then(|m| m.get(&next))
-                .copied()
-                .unwrap_or(0) as f64;
+            let count = options.and_then(|m| m.get(&next)).copied().unwrap_or(0) as f64;
             let context_total: f64 = options
                 .map(|m| m.values().map(|&v| v as f64).sum())
                 .unwrap_or(0.0);
@@ -147,12 +143,12 @@ impl MarkovModel {
     }
 }
 
-impl PasswordGuesser for MarkovModel {
+impl Guesser for MarkovModel {
     fn name(&self) -> &str {
         "Markov"
     }
 
-    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
         (0..n).map(|_| self.sample_password(rng)).collect()
     }
 }
@@ -214,7 +210,7 @@ mod tests {
     fn generate_implements_guesser_trait() {
         let model = MarkovModel::train(&corpus(1_000), 2, 10);
         let mut rng = nnrng::seeded(2);
-        let guesses = model.generate(50, &mut rng);
+        let guesses = model.generate_batch(50, &mut rng);
         assert_eq!(guesses.len(), 50);
         assert_eq!(model.name(), "Markov");
     }
@@ -222,8 +218,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let model = MarkovModel::train(&corpus(1_000), 2, 10);
-        let a: Vec<String> = model.generate(20, &mut nnrng::seeded(7));
-        let b: Vec<String> = model.generate(20, &mut nnrng::seeded(7));
+        let a: Vec<String> = model.generate_batch(20, &mut nnrng::seeded(7));
+        let b: Vec<String> = model.generate_batch(20, &mut nnrng::seeded(7));
         assert_eq!(a, b);
     }
 

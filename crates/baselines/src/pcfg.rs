@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use rand::{Rng, RngCore};
 
-use crate::guesser::PasswordGuesser;
+use passflow_core::Guesser;
 use passflow_nn::rng as nnrng;
 use passflow_passwords::stats::CharClass;
 
@@ -79,7 +79,7 @@ impl PcfgModel {
         );
 
         let mut structures: Vec<(Vec<Segment>, u32)> = structure_counts.into_iter().collect();
-        structures.sort_by(|a, b| b.1.cmp(&a.1));
+        structures.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
         let terminals = terminal_counts
             .into_iter()
             .map(|(segment, counts)| {
@@ -133,7 +133,7 @@ impl PcfgModel {
                     CharClass::Digit => '1',
                     CharClass::Symbol => '!',
                 };
-                std::iter::repeat(filler).take(segment.len).collect()
+                std::iter::repeat_n(filler, segment.len).collect()
             }
         }
     }
@@ -149,12 +149,12 @@ impl PcfgModel {
     }
 }
 
-impl PasswordGuesser for PcfgModel {
+impl Guesser for PcfgModel {
     fn name(&self) -> &str {
         "PCFG"
     }
 
-    fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
         (0..n).map(|_| self.sample_password(rng)).collect()
     }
 }
@@ -198,10 +198,8 @@ mod tests {
         let train = corpus(3_000);
         let model = PcfgModel::train(&train, 10);
         let mut rng = nnrng::seeded(2);
-        let train_templates: std::collections::HashSet<String> = train
-            .iter()
-            .map(|p| structure_template(p))
-            .collect();
+        let train_templates: std::collections::HashSet<String> =
+            train.iter().map(|p| structure_template(p)).collect();
         for _ in 0..100 {
             let p = model.sample_password(&mut rng);
             assert!(!p.is_empty());
@@ -220,7 +218,7 @@ mod tests {
         let train = corpus(3_000);
         let model = PcfgModel::train(&train, 10);
         let mut rng = nnrng::seeded(3);
-        let guesses = model.generate(3_000, &mut rng);
+        let guesses = model.generate_batch(3_000, &mut rng);
         let train_set: std::collections::HashSet<&String> = train.iter().collect();
         let hits = guesses.iter().filter(|g| train_set.contains(g)).count();
         assert!(hits > 0, "no guess ever matched the training corpus");
@@ -230,7 +228,7 @@ mod tests {
     fn guesser_trait_works() {
         let model = PcfgModel::train(&corpus(500), 10);
         let mut rng = nnrng::seeded(4);
-        assert_eq!(model.generate(10, &mut rng).len(), 10);
+        assert_eq!(model.generate_batch(10, &mut rng).len(), 10);
         assert_eq!(model.name(), "PCFG");
     }
 
@@ -242,10 +240,7 @@ mod tests {
 
     #[test]
     fn long_passwords_are_ignored_during_training() {
-        let passwords = vec![
-            "short1".to_string(),
-            "waaaaaaaaaaaaytoolong123".to_string(),
-        ];
+        let passwords = vec!["short1".to_string(), "waaaaaaaaaaaaytoolong123".to_string()];
         let model = PcfgModel::train(&passwords, 10);
         assert_eq!(model.num_structures(), 1);
     }

@@ -24,11 +24,9 @@ fn bench_masking_strategies(c: &mut Criterion) {
         let flow = make_flow(FlowConfig::tiny().with_masking(masking));
         let mut rng = nnrng::seeded(18);
         let z = flow.sample_latent(256, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(masking.label()),
-            &z,
-            |b, z| b.iter(|| flow.inverse(z)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(masking.label()), &z, |b, z| {
+            b.iter(|| flow.inverse(z))
+        });
     }
     group.finish();
 }

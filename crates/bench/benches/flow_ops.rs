@@ -103,9 +103,7 @@ fn bench_tensor_matmul(c: &mut Criterion) {
     let b_mat = Tensor::randn(64, 64, &mut rng);
     let mut group = c.benchmark_group("tensor");
     group.throughput(Throughput::Elements((256 * 64 * 64) as u64));
-    group.bench_function("matmul_256x64x64", |bench| {
-        bench.iter(|| a.matmul(&b_mat))
-    });
+    group.bench_function("matmul_256x64x64", |bench| bench.iter(|| a.matmul(&b_mat)));
     group.finish();
 }
 

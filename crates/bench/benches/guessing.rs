@@ -10,10 +10,10 @@ use std::collections::HashSet;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use passflow_baselines::{MarkovModel, PasswordGuesser, PcfgModel};
+use passflow_baselines::{MarkovModel, PcfgModel};
 use passflow_core::{
-    run_attack, train, AttackConfig, DynamicParams, FlowConfig, GaussianSmoothing,
-    GuessingStrategy, PassFlow, TrainConfig,
+    train, Attack, DynamicParams, FlowConfig, GaussianSmoothing, Guesser, GuessingStrategy,
+    PassFlow, TrainConfig,
 };
 use passflow_nn::rng as nnrng;
 use passflow_passwords::{CorpusConfig, CorpusSplit, SyntheticCorpusGenerator};
@@ -25,8 +25,7 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let corpus =
-        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(6_000)).generate(21);
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(6_000)).generate(21);
     let split = corpus.paper_split(0.8, 2_000, 21);
     let mut rng = nnrng::seeded(22);
     let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).expect("valid config");
@@ -64,15 +63,45 @@ fn bench_flow_strategies(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(budget));
     for (label, strategy) in strategies {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, strategy| {
-            b.iter(|| {
-                run_attack(
-                    &fixture.flow,
-                    &fixture.targets,
-                    &AttackConfig::quick(budget).with_strategy(strategy.clone()),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    Attack::new(&fixture.targets)
+                        .budget(budget)
+                        .strategy(strategy.clone())
+                        .run(&fixture.flow)
+                        .expect("flow attacks always run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The engine's sharding knob: the same static attack on 1, 2, 4 and 8
+/// shards (identical results, different wall-clock).
+fn bench_shard_scaling(c: &mut Criterion) {
+    let fixture = fixture();
+    let budget = 4_000u64;
+    let mut group = c.benchmark_group("attack_4000_static_shards");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(budget));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    Attack::new(&fixture.targets)
+                        .budget(budget)
+                        .shards(shards)
+                        .run(&fixture.flow)
+                        .expect("flow attacks always run")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -87,14 +116,19 @@ fn bench_baseline_generation(c: &mut Criterion) {
     group.throughput(Throughput::Elements(2_000));
     group.bench_function("markov", |b| {
         let mut rng = nnrng::seeded(31);
-        b.iter(|| markov.generate(2_000, &mut rng))
+        b.iter(|| markov.generate_batch(2_000, &mut rng))
     });
     group.bench_function("pcfg", |b| {
         let mut rng = nnrng::seeded(32);
-        b.iter(|| pcfg.generate(2_000, &mut rng))
+        b.iter(|| pcfg.generate_batch(2_000, &mut rng))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_flow_strategies, bench_baseline_generation);
+criterion_group!(
+    benches,
+    bench_flow_strategies,
+    bench_shard_scaling,
+    bench_baseline_generation
+);
 criterion_main!(benches);

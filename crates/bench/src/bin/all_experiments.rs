@@ -23,10 +23,13 @@ fn main() -> passflow_core::Result<()> {
         &figures::figure2(&workbench, &["jaram", "royal"], 40, 200)?,
         "figure2",
     );
-    emit(&figures::figure3(&workbench, "jimmy91", "123456", 12)?, "figure3");
+    emit(
+        &figures::figure3(&workbench, "jimmy91", "123456", 12)?,
+        "figure3",
+    );
     let full = workbench.split.train.len();
     let sizes = vec![full / 6, full / 3, (2 * full) / 3, full];
-    let budget = workbench.scale.max_budget().min(10_000).max(1_000);
+    let budget = workbench.scale.max_budget().clamp(1_000, 10_000);
     emit(&figures::figure4(&workbench, &sizes, budget)?, "figure4");
     emit(&figures::figure5(&workbench), "figure5");
 

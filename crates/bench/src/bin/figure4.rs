@@ -9,7 +9,7 @@ fn main() -> passflow_core::Result<()> {
     // full subsample), scaled to the workbench's training split.
     let full = workbench.split.train.len();
     let sizes = vec![full / 6, full / 3, (2 * full) / 3, full];
-    let budget = workbench.scale.max_budget().min(10_000).max(1_000);
+    let budget = workbench.scale.max_budget().clamp(1_000, 10_000);
     let table = figures::figure4(&workbench, &sizes, budget)?;
     emit(&table, "figure4");
     Ok(())

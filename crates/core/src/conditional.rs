@@ -49,7 +49,9 @@ impl PasswordTemplate {
     /// See [`PasswordTemplate::parse`].
     pub fn parse_with_wildcard(template: &str, wildcard: char) -> Result<Self> {
         if template.is_empty() {
-            return Err(FlowError::InvalidConfig("template must not be empty".into()));
+            return Err(FlowError::InvalidConfig(
+                "template must not be empty".into(),
+            ));
         }
         let slots: Vec<Option<char>> = template
             .chars()
@@ -89,7 +91,7 @@ impl PasswordTemplate {
         self.slots
             .iter()
             .zip(chars.iter())
-            .all(|(slot, c)| slot.map_or(true, |known| known == *c))
+            .all(|(slot, c)| slot.is_none_or(|known| known == *c))
     }
 
     /// Fills the wildcard positions with characters drawn uniformly from the
@@ -166,13 +168,11 @@ pub fn conditional_guess<R: Rng + ?Sized>(
             flow.encoder().max_len()
         )));
     }
-    for slot in &template.slots {
-        if let Some(c) = slot {
-            if flow.encoder().alphabet().index_of(*c).is_none() {
-                return Err(FlowError::InvalidConfig(format!(
-                    "template character {c:?} is outside the flow's alphabet"
-                )));
-            }
+    for c in template.slots.iter().flatten() {
+        if flow.encoder().alphabet().index_of(*c).is_none() {
+            return Err(FlowError::InvalidConfig(format!(
+                "template character {c:?} is outside the flow's alphabet"
+            )));
         }
     }
 
@@ -202,7 +202,11 @@ pub fn conditional_guess<R: Rng + ?Sized>(
         for pivot in &pivots {
             for _ in 0..per_pivot {
                 for (j, &c) in pivot.iter().enumerate() {
-                    batch.set(row, j, c + config.sigma * passflow_nn::rng::standard_normal(rng));
+                    batch.set(
+                        row,
+                        j,
+                        c + config.sigma * passflow_nn::rng::standard_normal(rng),
+                    );
                 }
                 row += 1;
             }
@@ -229,7 +233,11 @@ pub fn conditional_guess<R: Rng + ?Sized>(
         }
     }
 
-    consistent.sort_by(|a, b| b.log_prob.partial_cmp(&a.log_prob).unwrap_or(std::cmp::Ordering::Equal));
+    consistent.sort_by(|a, b| {
+        b.log_prob
+            .partial_cmp(&a.log_prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     consistent.truncate(max_results);
     Ok(consistent)
 }
@@ -306,23 +314,14 @@ mod tests {
         let flow = tiny_flow(3);
         let mut rng = nnrng::seeded(4);
         let too_long = PasswordTemplate::parse("abcdefghij*").unwrap();
-        assert!(conditional_guess(
-            &flow,
-            &too_long,
-            &ConditionalConfig::default(),
-            5,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            conditional_guess(&flow, &too_long, &ConditionalConfig::default(), 5, &mut rng)
+                .is_err()
+        );
         let foreign = PasswordTemplate::parse("pässw*rd").unwrap();
-        assert!(conditional_guess(
-            &flow,
-            &foreign,
-            &ConditionalConfig::default(),
-            5,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            conditional_guess(&flow, &foreign, &ConditionalConfig::default(), 5, &mut rng).is_err()
+        );
     }
 
     #[test]

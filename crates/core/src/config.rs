@@ -108,7 +108,7 @@ impl FlowConfig {
                 "coupling_layers must be positive".into(),
             ));
         }
-        if self.coupling_layers % 2 != 0 {
+        if !self.coupling_layers.is_multiple_of(2) {
             return Err(FlowError::InvalidConfig(
                 "coupling_layers must be even so alternating masks cover all positions".into(),
             ));
@@ -286,12 +286,20 @@ mod tests {
 
     #[test]
     fn presets_are_valid_and_ordered_by_size() {
-        for c in [FlowConfig::tiny(), FlowConfig::evaluation(), FlowConfig::paper()] {
+        for c in [
+            FlowConfig::tiny(),
+            FlowConfig::evaluation(),
+            FlowConfig::paper(),
+        ] {
             assert!(c.validate().is_ok());
         }
         assert!(FlowConfig::tiny().hidden_size < FlowConfig::evaluation().hidden_size);
         assert!(FlowConfig::evaluation().hidden_size < FlowConfig::paper().hidden_size);
-        for t in [TrainConfig::tiny(), TrainConfig::evaluation(), TrainConfig::paper()] {
+        for t in [
+            TrainConfig::tiny(),
+            TrainConfig::evaluation(),
+            TrainConfig::paper(),
+        ] {
             assert!(t.validate().is_ok());
         }
     }
@@ -321,8 +329,14 @@ mod tests {
 
     #[test]
     fn invalid_flow_configs_are_rejected() {
-        assert!(FlowConfig::tiny().with_coupling_layers(0).validate().is_err());
-        assert!(FlowConfig::tiny().with_coupling_layers(3).validate().is_err());
+        assert!(FlowConfig::tiny()
+            .with_coupling_layers(0)
+            .validate()
+            .is_err());
+        assert!(FlowConfig::tiny()
+            .with_coupling_layers(3)
+            .validate()
+            .is_err());
         assert!(FlowConfig::tiny().with_hidden_size(0).validate().is_err());
         assert!(FlowConfig::tiny().with_max_len(0).validate().is_err());
         assert!(FlowConfig::tiny()
@@ -338,7 +352,10 @@ mod tests {
     fn invalid_train_configs_are_rejected() {
         assert!(TrainConfig::tiny().with_epochs(0).validate().is_err());
         assert!(TrainConfig::tiny().with_batch_size(0).validate().is_err());
-        assert!(TrainConfig::tiny().with_learning_rate(-1.0).validate().is_err());
+        assert!(TrainConfig::tiny()
+            .with_learning_rate(-1.0)
+            .validate()
+            .is_err());
         let mut t = TrainConfig::tiny();
         t.dequantization = 2.0;
         assert!(t.validate().is_err());

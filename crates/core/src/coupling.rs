@@ -119,7 +119,11 @@ impl CouplingLayer {
     /// Forward transform without autograd: returns `(z, log_det)` where
     /// `log_det` is a `batch × 1` column of per-sample log-determinants.
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
-        assert_eq!(x.cols(), self.dim, "input width must equal coupling dimension");
+        assert_eq!(
+            x.cols(),
+            self.dim,
+            "input width must equal coupling dimension"
+        );
         let masked_x = x.mul_row_broadcast(&self.mask);
         let s = self.s_net.forward_tensor(&masked_x);
         let t = self.t_net.forward_tensor(&masked_x);
@@ -137,7 +141,11 @@ impl CouplingLayer {
     /// can be undone exactly:
     /// `x = b ⊙ z + (1 − b) ⊙ (z − t(b ⊙ z)) ⊙ exp(−s(b ⊙ z))`.
     pub fn inverse(&self, z: &Tensor) -> Tensor {
-        assert_eq!(z.cols(), self.dim, "input width must equal coupling dimension");
+        assert_eq!(
+            z.cols(),
+            self.dim,
+            "input width must equal coupling dimension"
+        );
         let masked_z = z.mul_row_broadcast(&self.mask);
         let s = self.s_net.forward_tensor(&masked_z);
         let t = self.t_net.forward_tensor(&masked_z);

@@ -1,0 +1,789 @@
+//! The [`Attack`] builder and the [`AttackEngine`] executing it.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use passflow_nn::rng as nnrng;
+use rand::RngCore;
+
+use crate::error::{FlowError, Result};
+use crate::prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
+use crate::sample::{GaussianSmoothing, GuessingStrategy, MatchedLatents};
+
+use super::guesser::{Guesser, LatentGuesser};
+use super::sharded::ShardedSet;
+
+/// The streaming checkpoint callback an [`Attack`] can register.
+type Observer<'a> = Box<dyn FnMut(&CheckpointReport) + 'a>;
+
+/// Guessing statistics at a given budget.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// Number of guesses generated so far.
+    pub guesses: u64,
+    /// Number of distinct guesses generated so far (Table III "Unique").
+    pub unique: u64,
+    /// Number of distinct test-set passwords matched so far
+    /// (Table III "Matched").
+    pub matched: u64,
+    /// Matched passwords as a percentage of the test set (Table II).
+    pub matched_percent: f64,
+}
+
+/// The outcome of a full guessing attack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Strategy label (e.g. "PassFlow-Dynamic+GS").
+    pub strategy: String,
+    /// Reports at each requested checkpoint (ascending budget). The last
+    /// entry corresponds to the full budget.
+    pub checkpoints: Vec<CheckpointReport>,
+    /// The matched test-set passwords, in match order.
+    pub matched_passwords: Vec<String>,
+    /// A sample of generated guesses that did not match (Table IV).
+    pub nonmatched_samples: Vec<String>,
+}
+
+impl AttackOutcome {
+    /// The report at the full budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome contains no checkpoints (cannot happen for
+    /// outcomes produced by the engine with a positive budget).
+    pub fn final_report(&self) -> &CheckpointReport {
+        self.checkpoints.last().expect("at least one checkpoint")
+    }
+
+    /// The report at the given budget, if that budget was a checkpoint.
+    pub fn at_budget(&self, guesses: u64) -> Option<&CheckpointReport> {
+        self.checkpoints.iter().find(|c| c.guesses == guesses)
+    }
+}
+
+/// Builder for a guessing attack against a set of target passwords.
+///
+/// One `Attack` drives *every* guessing experiment in the reproduction: the
+/// flow under any of the paper's three strategies (through
+/// [`LatentGuesser`]) and the baselines (through plain [`Guesser`]).
+///
+/// ```rust,no_run
+/// # use std::collections::HashSet;
+/// # use passflow_core::{Attack, GuessingStrategy, PassFlow, FlowConfig};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// # let guesser = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+/// # let targets: HashSet<String> = HashSet::new();
+/// let outcome = Attack::new(&targets)
+///     .budget(10_000_000)
+///     .checkpoints(vec![10_000, 100_000, 1_000_000])
+///     .strategy(GuessingStrategy::paper_default(10_000_000))
+///     .observer(|report| println!("{report:?}"))
+///     .shards(8)
+///     .run(&guesser)?;
+/// # Ok::<(), passflow_core::FlowError>(())
+/// ```
+pub struct Attack<'a> {
+    targets: &'a HashSet<String>,
+    budget: u64,
+    batch_size: usize,
+    strategy: GuessingStrategy,
+    checkpoints: Vec<u64>,
+    seed: u64,
+    shards: usize,
+    sync_every: usize,
+    nonmatched_sample_size: usize,
+    observer: Option<Observer<'a>>,
+}
+
+impl<'a> Attack<'a> {
+    /// Starts building an attack against `targets` (the cleaned, unique
+    /// test set Ω; match percentages are relative to `targets.len()`).
+    ///
+    /// Defaults: a 10 000-guess budget, batches of 1 024, static sampling,
+    /// no intermediate checkpoints, seed 0, one shard, per-batch dynamic
+    /// feedback, and up to 40 retained non-matched samples.
+    pub fn new(targets: &'a HashSet<String>) -> Self {
+        Attack {
+            targets,
+            budget: 10_000,
+            batch_size: 1_024,
+            strategy: GuessingStrategy::Static,
+            checkpoints: Vec::new(),
+            seed: 0,
+            shards: 1,
+            sync_every: 1,
+            nonmatched_sample_size: 40,
+            observer: None,
+        }
+    }
+
+    /// Sets the total number of guesses to generate.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets how many guesses are generated per batch (one work chunk).
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the generation strategy (static / dynamic / dynamic + GS).
+    #[must_use]
+    pub fn strategy(mut self, strategy: GuessingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the intermediate budgets at which a [`CheckpointReport`] is
+    /// emitted. They are sorted and deduplicated; checkpoints beyond the
+    /// budget are dropped, and the final budget is always reported whether
+    /// listed here or not.
+    #[must_use]
+    pub fn checkpoints(mut self, checkpoints: Vec<u64>) -> Self {
+        self.checkpoints = checkpoints;
+        self
+    }
+
+    /// Sets the RNG seed. Results are a pure function of the seed and the
+    /// attack parameters — never of the shard count.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many worker threads generate guesses in parallel.
+    ///
+    /// Sharding is a *throughput* knob: every chunk of work draws from its
+    /// own deterministic RNG stream keyed by the chunk index, so
+    /// `shards(1)` and `shards(8)` produce byte-identical reports for the
+    /// same seed.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets how many chunks are generated between dynamic-feedback
+    /// synchronizations (default 1, the per-batch cadence of Algorithm 1).
+    ///
+    /// Dynamic Sampling conditions the prior on the matches found so far,
+    /// which serializes generation; raising `sync_every` lets up to that
+    /// many chunks run in parallel against a snapshot of the matched set,
+    /// trading feedback freshness for throughput. The value changes the
+    /// trajectory (like changing the batch size does) but, for a fixed
+    /// value, results remain shard-count-invariant. Static strategies
+    /// ignore this and parallelize freely.
+    #[must_use]
+    pub fn sync_every(mut self, chunks: usize) -> Self {
+        self.sync_every = chunks.max(1);
+        self
+    }
+
+    /// Sets how many non-matched guesses to keep for qualitative analysis
+    /// (Table IV).
+    #[must_use]
+    pub fn nonmatched_samples(mut self, n: usize) -> Self {
+        self.nonmatched_sample_size = n;
+        self
+    }
+
+    /// Registers a callback invoked with every [`CheckpointReport`] as soon
+    /// as it is produced, so long attacks stream progress instead of
+    /// materializing everything at the end.
+    #[must_use]
+    pub fn observer<F: FnMut(&CheckpointReport) + 'a>(mut self, observer: F) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Runs the attack against `guesser`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::LatentAccessRequired`] if the strategy needs
+    /// dynamic sampling or smoothing but the guesser has no latent space
+    /// ([`Guesser::as_latent`] returns `None`).
+    pub fn run(self, guesser: &dyn Guesser) -> Result<AttackOutcome> {
+        let engine = AttackEngine::plan(&self);
+        engine.execute(self, guesser)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A unit of generation work: `len` guesses at stream `index`.
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    /// Global chunk index — the RNG stream key.
+    index: u64,
+    /// Number of guesses this chunk contributes.
+    len: usize,
+}
+
+/// What one chunk produced, to be folded into the attack state in chunk
+/// order.
+struct ChunkOutput {
+    guesses: Vec<String>,
+    /// `(position-in-chunk, latent-row)` for guesses that hit the target
+    /// set, recorded only when the strategy tracks matched latents.
+    matched_latents: Vec<(usize, Vec<f32>)>,
+}
+
+/// The prior snapshot chunks sample from during one epoch.
+enum PriorSnapshot {
+    Standard(StandardGaussianPrior),
+    Mixture(GaussianMixturePrior),
+}
+
+impl PriorSnapshot {
+    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> passflow_nn::Tensor {
+        match self {
+            PriorSnapshot::Standard(prior) => prior.sample(n, rng),
+            PriorSnapshot::Mixture(prior) => prior.sample(n, rng),
+        }
+    }
+}
+
+/// The resolved execution plan behind [`Attack::run`]: normalized
+/// checkpoints and the budget's partition into deterministic work chunks.
+///
+/// Chunks are cut at every checkpoint boundary, so reports land on the exact
+/// budgets the paper uses, and each chunk draws from an RNG stream derived
+/// from `(seed, chunk index)` — the foundation of shard-count invariance.
+pub struct AttackEngine {
+    checkpoints: Vec<u64>,
+    chunks: Vec<Chunk>,
+    shards: usize,
+    sync_every: usize,
+}
+
+impl AttackEngine {
+    fn plan(attack: &Attack<'_>) -> AttackEngine {
+        let mut checkpoints: Vec<u64> = attack
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|&c| c > 0 && c <= attack.budget)
+            .collect();
+        if attack.budget > 0 && !checkpoints.contains(&attack.budget) {
+            checkpoints.push(attack.budget);
+        }
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+
+        // Partition [0, budget) into chunks of at most `batch_size`,
+        // cutting at checkpoint boundaries.
+        let mut chunks = Vec::new();
+        let mut start = 0u64;
+        let mut next_cp = 0usize;
+        while start < attack.budget {
+            while next_cp < checkpoints.len() && checkpoints[next_cp] <= start {
+                next_cp += 1;
+            }
+            let limit = if next_cp < checkpoints.len() {
+                checkpoints[next_cp]
+            } else {
+                attack.budget
+            };
+            let len = (attack.batch_size as u64).min(limit - start) as usize;
+            chunks.push(Chunk {
+                index: chunks.len() as u64,
+                len,
+            });
+            start += len as u64;
+        }
+
+        AttackEngine {
+            checkpoints,
+            chunks,
+            shards: attack.shards,
+            sync_every: attack.sync_every,
+        }
+    }
+
+    /// Number of work chunks the budget was partitioned into.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The normalized checkpoint budgets (ascending, final budget last).
+    pub fn checkpoints(&self) -> &[u64] {
+        &self.checkpoints
+    }
+
+    fn execute(self, mut attack: Attack<'_>, guesser: &dyn Guesser) -> Result<AttackOutcome> {
+        let dynamic = attack.strategy.dynamic_params().copied();
+        let smoothing = attack.strategy.smoothing().copied();
+        let latent = if dynamic.is_some() || smoothing.is_some() {
+            match guesser.as_latent() {
+                Some(latent) => Some(latent),
+                None => {
+                    return Err(FlowError::LatentAccessRequired {
+                        strategy: attack.strategy.label().to_string(),
+                        guesser: guesser.name().to_string(),
+                    })
+                }
+            }
+        } else {
+            None
+        };
+
+        let mut state = ReduceState {
+            targets: attack.targets,
+            generated: ShardedSet::new(),
+            matched: HashSet::new(),
+            matched_in_order: Vec::new(),
+            matched_latents: MatchedLatents::new(),
+            nonmatched_samples: Vec::new(),
+            nonmatched_cap: attack.nonmatched_sample_size,
+            track_latents: dynamic.is_some(),
+            guesses_made: 0,
+            reports: Vec::with_capacity(self.checkpoints.len()),
+            next_checkpoint: 0,
+        };
+
+        // Without dynamic feedback every chunk is independent: one epoch.
+        // With feedback, `sync_every` chunks share a prior snapshot.
+        let epoch_len = if dynamic.is_some() {
+            self.sync_every
+        } else {
+            self.chunks.len().max(1)
+        };
+
+        let mut dynamic_params = dynamic;
+        for epoch in self.chunks.chunks(epoch_len) {
+            // Build the epoch's prior snapshot from the matches so far.
+            let prior = match (latent, dynamic_params.as_mut()) {
+                (Some(lg), Some(params)) => match state.matched_latents.build_prior(params) {
+                    Some(mixture) => Some(PriorSnapshot::Mixture(mixture)),
+                    None => Some(PriorSnapshot::Standard(StandardGaussianPrior::new(
+                        lg.latent_dim(),
+                    ))),
+                },
+                (Some(lg), None) => Some(PriorSnapshot::Standard(StandardGaussianPrior::new(
+                    lg.latent_dim(),
+                ))),
+                (None, _) => None,
+            };
+
+            let produce = |chunk: &Chunk| -> ChunkOutput {
+                let mut rng = nnrng::derived(attack.seed, chunk.index);
+                match (latent, prior.as_ref()) {
+                    (Some(lg), Some(prior)) => generate_latent_chunk(
+                        lg,
+                        chunk,
+                        prior,
+                        smoothing.as_ref(),
+                        &state.generated,
+                        attack.targets,
+                        state.track_latents,
+                        &mut rng,
+                    ),
+                    _ => ChunkOutput {
+                        guesses: guesser.generate_batch(chunk.len, &mut rng),
+                        matched_latents: Vec::new(),
+                    },
+                }
+            };
+
+            let workers = self.shards.min(epoch.len()).max(1);
+            let outputs: Vec<ChunkOutput> = if workers == 1 {
+                epoch.iter().map(produce).collect()
+            } else {
+                run_parallel(epoch, workers, &produce)
+            };
+
+            for output in outputs {
+                state.fold_chunk(output, &self.checkpoints, attack.observer.as_deref_mut());
+            }
+        }
+
+        // A zero budget still reports nothing — mirror the historical
+        // behavior of an empty checkpoint list.
+        Ok(AttackOutcome {
+            strategy: attack.strategy.label_for(guesser.name()),
+            checkpoints: state.reports,
+            matched_passwords: state.matched_in_order,
+            nonmatched_samples: state.nonmatched_samples,
+        })
+    }
+}
+
+/// Dynamic load balancing across worker threads: workers pull the next
+/// unclaimed chunk from a shared counter, so a slow chunk never stalls the
+/// others (cf. the dynamic load-balancing literature referenced in
+/// PAPERS.md). Outputs are re-assembled in chunk order, which is what makes
+/// the schedule irrelevant to the results.
+fn run_parallel(
+    epoch: &[Chunk],
+    workers: usize,
+    produce: &(dyn Fn(&Chunk) -> ChunkOutput + Sync),
+) -> Vec<ChunkOutput> {
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ChunkOutput>> = (0..epoch.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= epoch.len() {
+                            break;
+                        }
+                        produced.push((i, produce(&epoch[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, output) in handle.join().expect("attack worker panicked") {
+                slots[i] = Some(output);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk produced"))
+        .collect()
+}
+
+/// Generates one chunk through the latent path: sample the epoch prior,
+/// invert, decode, and (optionally) smooth collisions away in data space.
+#[allow(clippy::too_many_arguments)]
+fn generate_latent_chunk(
+    lg: &dyn LatentGuesser,
+    chunk: &Chunk,
+    prior: &PriorSnapshot,
+    smoothing: Option<&GaussianSmoothing>,
+    generated: &ShardedSet,
+    targets: &HashSet<String>,
+    track_latents: bool,
+    rng: &mut dyn RngCore,
+) -> ChunkOutput {
+    let z = prior.sample(chunk.len, rng);
+    let x = lg.latents_to_features(&z);
+
+    let mut local: HashSet<String> = HashSet::new();
+    let mut guesses = Vec::with_capacity(chunk.len);
+    let mut matched_latents = Vec::new();
+    for i in 0..chunk.len {
+        let features = x.row_slice(i);
+        let mut guess = lg.decode_features(features);
+
+        // Data-space Gaussian smoothing: if this guess collides with one
+        // already generated (in the shared snapshot or earlier in this
+        // chunk), incrementally perturb the data-space point until it
+        // decodes to something new (Section III-C).
+        if let Some(smoothing) = smoothing {
+            if generated.contains(&guess) || local.contains(&guess) {
+                if let Some(perturbed) = smoothing.perturb_until(features, rng, |candidate| {
+                    let decoded = lg.decode_features(candidate);
+                    !generated.contains(&decoded) && !local.contains(&decoded)
+                }) {
+                    guess = lg.decode_features(&perturbed);
+                }
+            }
+        }
+
+        local.insert(guess.clone());
+        if track_latents && targets.contains(&guess) {
+            matched_latents.push((i, z.row_slice(i).to_vec()));
+        }
+        guesses.push(guess);
+    }
+    ChunkOutput {
+        guesses,
+        matched_latents,
+    }
+}
+
+/// The sequential fold over chunk outputs: global dedup, match accounting,
+/// matched-latent recording and checkpoint emission — always in chunk
+/// order, regardless of which thread generated what.
+struct ReduceState<'a> {
+    targets: &'a HashSet<String>,
+    generated: ShardedSet,
+    matched: HashSet<String>,
+    matched_in_order: Vec<String>,
+    matched_latents: MatchedLatents,
+    nonmatched_samples: Vec<String>,
+    nonmatched_cap: usize,
+    track_latents: bool,
+    guesses_made: u64,
+    reports: Vec<CheckpointReport>,
+    next_checkpoint: usize,
+}
+
+impl ReduceState<'_> {
+    fn fold_chunk(
+        &mut self,
+        output: ChunkOutput,
+        checkpoints: &[u64],
+        mut observer: Option<&mut (dyn FnMut(&CheckpointReport) + '_)>,
+    ) {
+        let mut latents = output.matched_latents.into_iter().peekable();
+        for (i, guess) in output.guesses.into_iter().enumerate() {
+            self.guesses_made += 1;
+            let latent = match latents.peek() {
+                Some((j, _)) if *j == i => latents.next().map(|(_, z)| z),
+                _ => None,
+            };
+            if self.targets.contains(&guess) {
+                if self.matched.insert(guess.clone()) {
+                    if self.track_latents {
+                        if let Some(z) = latent {
+                            self.matched_latents.insert(z);
+                        }
+                    }
+                    self.generated.insert(guess.clone());
+                    self.matched_in_order.push(guess);
+                    continue;
+                }
+                self.generated.insert(guess);
+            } else {
+                let is_new = self.generated.insert(guess.clone());
+                if is_new && self.nonmatched_samples.len() < self.nonmatched_cap {
+                    self.nonmatched_samples.push(guess);
+                }
+            }
+        }
+
+        while self.next_checkpoint < checkpoints.len()
+            && self.guesses_made >= checkpoints[self.next_checkpoint]
+        {
+            let report = CheckpointReport {
+                guesses: checkpoints[self.next_checkpoint],
+                unique: self.generated.len() as u64,
+                matched: self.matched.len() as u64,
+                matched_percent: if self.targets.is_empty() {
+                    0.0
+                } else {
+                    100.0 * self.matched.len() as f64 / self.targets.len() as f64
+                },
+            };
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(&report);
+            }
+            self.reports.push(report);
+            self.next_checkpoint += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConfig;
+    use crate::flow::PassFlow;
+    use crate::sample::DynamicParams;
+
+    /// A deterministic guesser cycling through a fixed list, consuming one
+    /// RNG word per guess.
+    struct Cycler(Vec<String>);
+
+    impl Guesser for Cycler {
+        fn name(&self) -> &str {
+            "cycler"
+        }
+        fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+            (0..n)
+                .map(|_| self.0[(rng.next_u32() as usize) % self.0.len()].clone())
+                .collect()
+        }
+    }
+
+    fn cycler() -> Cycler {
+        Cycler(
+            (0..64)
+                .map(|i| format!("pw{i:03}"))
+                .collect::<Vec<String>>(),
+        )
+    }
+
+    fn targets() -> HashSet<String> {
+        (0..16).map(|i| format!("pw{:03}", i * 4)).collect()
+    }
+
+    /// An untrained flow plus targets drawn from its own samples, so
+    /// dynamic strategies actually find matches and build mixtures.
+    fn flow_fixture() -> (PassFlow, HashSet<String>) {
+        let mut rng = nnrng::seeded(42);
+        let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
+        let targets: HashSet<String> = flow
+            .sample_passwords(300, &mut rng)
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect();
+        (flow, targets)
+    }
+
+    #[test]
+    fn reports_are_monotone_and_end_at_the_budget() {
+        let targets = targets();
+        let outcome = Attack::new(&targets)
+            .budget(5_000)
+            .batch_size(128)
+            .checkpoints(vec![1_000, 2_500, 9_999_999, 0])
+            .run(&cycler())
+            .unwrap();
+        assert_eq!(outcome.checkpoints.len(), 3);
+        assert_eq!(outcome.checkpoints[0].guesses, 1_000);
+        assert_eq!(outcome.checkpoints[1].guesses, 2_500);
+        assert_eq!(outcome.final_report().guesses, 5_000);
+        for pair in outcome.checkpoints.windows(2) {
+            assert!(pair[1].unique >= pair[0].unique);
+            assert!(pair[1].matched >= pair[0].matched);
+        }
+        for report in &outcome.checkpoints {
+            assert!(report.unique <= report.guesses);
+            assert!(report.matched as usize <= targets.len());
+            assert!((0.0..=100.0).contains(&report.matched_percent));
+        }
+        assert_eq!(
+            outcome.final_report().matched as usize,
+            outcome.matched_passwords.len()
+        );
+    }
+
+    #[test]
+    fn shard_count_never_changes_results_for_plain_guessers() {
+        let targets = targets();
+        let run = |shards: usize| {
+            Attack::new(&targets)
+                .budget(4_096)
+                .batch_size(100)
+                .checkpoints(vec![512, 2_000])
+                .seed(7)
+                .shards(shards)
+                .run(&cycler())
+                .unwrap()
+        };
+        let sequential = run(1);
+        for shards in [2, 5, 8] {
+            assert_eq!(run(shards), sequential, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn shard_count_never_changes_results_for_latent_strategies() {
+        let (flow, targets) = flow_fixture();
+        let strategy = GuessingStrategy::DynamicWithSmoothing {
+            params: DynamicParams::new(0, 0.1, 8),
+            smoothing: GaussianSmoothing::default(),
+        };
+        let run = |shards: usize| {
+            Attack::new(&targets)
+                .budget(1_500)
+                .batch_size(128)
+                .checkpoints(vec![512, 1_024])
+                .strategy(strategy.clone())
+                .seed(11)
+                .shards(shards)
+                .sync_every(4)
+                .run(&flow)
+                .unwrap()
+        };
+        let sequential = run(1);
+        assert!(
+            sequential.final_report().matched > 0,
+            "fixture must produce matches to exercise the dynamic path"
+        );
+        for shards in [2, 8] {
+            assert_eq!(run(shards), sequential, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn observer_streams_reports_incrementally() {
+        let targets = targets();
+        let mut streamed: Vec<CheckpointReport> = Vec::new();
+        let outcome = Attack::new(&targets)
+            .budget(2_000)
+            .batch_size(64)
+            .checkpoints(vec![500, 1_000])
+            .observer(|report| streamed.push(report.clone()))
+            .run(&cycler())
+            .unwrap();
+        assert_eq!(streamed, outcome.checkpoints);
+        assert_eq!(streamed.len(), 3);
+    }
+
+    #[test]
+    fn latent_strategies_reject_plain_guessers() {
+        let targets = targets();
+        let err = Attack::new(&targets)
+            .budget(100)
+            .strategy(GuessingStrategy::Dynamic(DynamicParams::default()))
+            .run(&cycler())
+            .unwrap_err();
+        match err {
+            FlowError::LatentAccessRequired { strategy, guesser } => {
+                assert_eq!(strategy, "PassFlow-Dynamic");
+                assert_eq!(guesser, "cycler");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_follow_the_guesser_name() {
+        let targets = targets();
+        let outcome = Attack::new(&targets).budget(64).run(&cycler()).unwrap();
+        assert_eq!(outcome.strategy, "cycler-Static");
+    }
+
+    #[test]
+    fn chunk_plan_cuts_at_checkpoints() {
+        let targets = targets();
+        let attack = Attack::new(&targets)
+            .budget(1_000)
+            .batch_size(300)
+            .checkpoints(vec![500, 750]);
+        let engine = AttackEngine::plan(&attack);
+        assert_eq!(engine.checkpoints(), &[500, 750, 1_000]);
+        // 300 + 200 | 250 | 250 — no chunk crosses a checkpoint.
+        let lens: Vec<usize> = engine.chunks.iter().map(|c| c.len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 1_000);
+        let mut made = 0u64;
+        let mut cp_iter = engine.checkpoints().iter().peekable();
+        for len in lens {
+            made += len as u64;
+            if let Some(&&cp) = cp_iter.peek() {
+                assert!(made <= cp, "chunk crossed checkpoint {cp}");
+                if made == cp {
+                    cp_iter.next();
+                }
+            }
+        }
+        assert_eq!(engine.num_chunks(), 4);
+    }
+
+    #[test]
+    fn zero_budget_reports_nothing() {
+        let targets = targets();
+        let outcome = Attack::new(&targets).budget(0).run(&cycler()).unwrap();
+        assert!(outcome.checkpoints.is_empty());
+        assert!(outcome.matched_passwords.is_empty());
+    }
+
+    #[test]
+    fn empty_target_set_yields_zero_percent() {
+        let targets = HashSet::new();
+        let outcome = Attack::new(&targets).budget(256).run(&cycler()).unwrap();
+        assert_eq!(outcome.final_report().matched, 0);
+        assert_eq!(outcome.final_report().matched_percent, 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The [`Guesser`] abstraction every password-guessing model implements.
+
+use rand::RngCore;
+
+use passflow_nn::Tensor;
+
+use crate::flow::PassFlow;
+
+/// A trained password-guessing model that can generate candidate passwords
+/// in batches.
+///
+/// The trait is object-safe, so the evaluation harness can hold a mixed
+/// collection of models (`Vec<Box<dyn Guesser>>`) and drive them all through
+/// the same [`Attack`](crate::Attack) protocol. `Send + Sync` are
+/// supertraits because the engine fans generation out across shard threads.
+///
+/// Guesses may repeat; deduplication (and the resulting unique counts) is
+/// the engine's responsibility, exactly as in the paper's Tables II and III.
+pub trait Guesser: Send + Sync {
+    /// Human-readable name used as the row label in tables
+    /// (e.g. `"PassFlow"`, `"Markov (order 3)"`).
+    fn name(&self) -> &str;
+
+    /// Generates `n` password guesses.
+    ///
+    /// Implementations must draw all randomness from `rng` so the engine's
+    /// per-chunk RNG streams keep attacks deterministic and shard-invariant.
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String>;
+
+    /// Returns the latent-space view of this guesser, if it has one.
+    ///
+    /// Strategies that condition the prior on matched guesses (Dynamic
+    /// Sampling) or perturb colliding samples (Gaussian smoothing) need the
+    /// operations of [`LatentGuesser`]; models without a latent space return
+    /// `None` and can only run static strategies.
+    fn as_latent(&self) -> Option<&dyn LatentGuesser> {
+        None
+    }
+}
+
+/// Extension trait for guessers backed by an invertible latent-variable
+/// model (the flow, but also any future VAE/flow backend).
+///
+/// Exposing these three operations is enough for the engine to implement
+/// Dynamic Sampling with penalization (Algorithm 1) and data-space Gaussian
+/// smoothing (Section III-C) *outside* the model: the engine samples the
+/// (possibly conditioned) prior itself, maps latents to data space through
+/// [`LatentGuesser::latents_to_features`], and decodes / perturbs rows
+/// individually.
+pub trait LatentGuesser: Guesser {
+    /// Dimensionality of the latent space.
+    fn latent_dim(&self) -> usize;
+
+    /// Maps a batch of latent rows to data-space feature rows (the flow's
+    /// inverse pass).
+    fn latents_to_features(&self, z: &Tensor) -> Tensor;
+
+    /// Decodes one data-space feature row into a password guess.
+    fn decode_features(&self, features: &[f32]) -> String;
+}
+
+impl Guesser for PassFlow {
+    fn name(&self) -> &str {
+        "PassFlow"
+    }
+
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        self.sample_passwords(n, rng)
+    }
+
+    fn as_latent(&self) -> Option<&dyn LatentGuesser> {
+        Some(self)
+    }
+}
+
+impl LatentGuesser for PassFlow {
+    fn latent_dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn latents_to_features(&self, z: &Tensor) -> Tensor {
+        self.inverse(z)
+    }
+
+    fn decode_features(&self, features: &[f32]) -> String {
+        self.encoder().decode(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConfig;
+    use passflow_nn::rng as nnrng;
+
+    #[test]
+    fn trait_is_object_safe_and_usable_through_a_box() {
+        struct Fixed;
+        impl Guesser for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn generate_batch(&self, n: usize, _rng: &mut dyn RngCore) -> Vec<String> {
+                vec!["123456".to_string(); n]
+            }
+        }
+
+        let guessers: Vec<Box<dyn Guesser>> = vec![Box::new(Fixed)];
+        let mut rng = nnrng::seeded(1);
+        let out = guessers[0].generate_batch(3, &mut rng);
+        assert_eq!(out.len(), 3);
+        assert_eq!(guessers[0].name(), "fixed");
+        assert!(guessers[0].as_latent().is_none());
+    }
+
+    #[test]
+    fn passflow_exposes_its_latent_space() {
+        let mut rng = nnrng::seeded(2);
+        let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
+        let latent = flow.as_latent().expect("flows have latent access");
+        assert_eq!(latent.latent_dim(), flow.dim());
+
+        // Latent round trip matches the flow's own sampling path.
+        let z = flow.sample_latent(4, &mut rng);
+        let x = latent.latents_to_features(&z);
+        let decoded: Vec<String> = (0..4)
+            .map(|i| latent.decode_features(x.row_slice(i)))
+            .collect();
+        assert_eq!(decoded, flow.decode_batch(&x));
+    }
+
+    #[test]
+    fn generate_batch_matches_static_sampling() {
+        let mut rng_a = nnrng::seeded(3);
+        let mut rng_b = nnrng::seeded(3);
+        let flow = {
+            let mut rng = nnrng::seeded(4);
+            PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+        };
+        assert_eq!(
+            Guesser::generate_batch(&flow, 16, &mut rng_a),
+            flow.sample_passwords(16, &mut rng_b)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! A hash-sharded string set used for guess deduplication.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+
+/// Number of internal shards. A power of two so the shard index is a mask.
+const NUM_SHARDS: usize = 16;
+
+/// A set of generated guesses, split into [`NUM_SHARDS`] independent hash
+/// sets keyed by the guess's hash.
+///
+/// The guessing attack inserts hundreds of millions of strings into this set
+/// at paper scale; sharding keeps rehash pauses short (each shard rehashes
+/// independently at 1/16 of the size) and gives shard-local membership
+/// queries an embarrassingly parallel layout for the engine's worker
+/// threads, which only ever read the set while generation is in flight.
+///
+/// Shard selection is deterministic (a fixed-seed SipHash of the string), so
+/// unique counts never depend on thread scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedSet {
+    shards: Vec<HashSet<String>>,
+    hasher: BuildHasherDefault<DefaultHasher>,
+}
+
+impl ShardedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ShardedSet {
+            shards: (0..NUM_SHARDS).map(|_| HashSet::new()).collect(),
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    fn shard_of(&self, value: &str) -> usize {
+        (self.hasher.hash_one(value) as usize) & (NUM_SHARDS - 1)
+    }
+
+    /// Inserts `value`, returning `true` if it was not present before.
+    pub fn insert(&mut self, value: String) -> bool {
+        let shard = self.shard_of(&value);
+        self.shards[shard].insert(value)
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: &str) -> bool {
+        self.shards[self.shard_of(value)].contains(value)
+    }
+
+    /// Total number of distinct values across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashSet::len).sum()
+    }
+
+    /// Returns `true` if the set holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashSet::is_empty)
+    }
+
+    /// Iterates over all values, shard by shard (no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = &String> {
+        self.shards.iter().flat_map(HashSet::iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len_round_trip() {
+        let mut set = ShardedSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert("123456".to_string()));
+        assert!(!set.insert("123456".to_string()));
+        assert!(set.insert("hunter2".to_string()));
+        assert!(set.contains("123456"));
+        assert!(!set.contains("letmein"));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn values_spread_across_shards() {
+        let mut set = ShardedSet::new();
+        for i in 0..10_000 {
+            set.insert(format!("password{i}"));
+        }
+        assert_eq!(set.len(), 10_000);
+        let occupied = set.shards.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(occupied, NUM_SHARDS, "hashing should reach every shard");
+        // No shard hogs the distribution (a loose balance bound).
+        let max = set.shards.iter().map(HashSet::len).max().unwrap();
+        assert!(max < 2 * 10_000 / NUM_SHARDS, "worst shard holds {max}");
+    }
+
+    #[test]
+    fn iter_yields_every_value_once() {
+        let mut set = ShardedSet::new();
+        for i in 0..100 {
+            set.insert(i.to_string());
+        }
+        let mut values: Vec<u32> = set.iter().map(|v| v.parse().unwrap()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..100).collect::<Vec<_>>());
+    }
+}

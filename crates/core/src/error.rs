@@ -29,6 +29,15 @@ pub enum FlowError {
     },
     /// Serialized weights are incompatible with the current architecture.
     IncompatibleWeights(String),
+    /// The guessing strategy needs latent-space access (dynamic sampling or
+    /// Gaussian smoothing), but the guesser does not implement
+    /// [`LatentGuesser`](crate::LatentGuesser).
+    LatentAccessRequired {
+        /// Label of the strategy that needed latent access.
+        strategy: String,
+        /// Name of the guesser that lacks it.
+        guesser: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -46,6 +55,12 @@ impl fmt::Display for FlowError {
                 write!(f, "training diverged (non-finite loss) at epoch {epoch}")
             }
             FlowError::IncompatibleWeights(msg) => write!(f, "incompatible weights: {msg}"),
+            FlowError::LatentAccessRequired { strategy, guesser } => {
+                write!(
+                    f,
+                    "strategy {strategy:?} requires latent access, but guesser {guesser:?} has none"
+                )
+            }
         }
     }
 }
@@ -74,6 +89,13 @@ mod tests {
             (FlowError::InvalidConfig("bad".into()), "bad"),
             (FlowError::Diverged { epoch: 3 }, "epoch 3"),
             (FlowError::IncompatibleWeights("n".into()), "incompatible"),
+            (
+                FlowError::LatentAccessRequired {
+                    strategy: "PassFlow-Dynamic".into(),
+                    guesser: "Markov".into(),
+                },
+                "requires latent access",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

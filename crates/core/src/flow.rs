@@ -50,10 +50,7 @@ impl PassFlow {
     /// Returns [`FlowError::InvalidConfig`] if the configuration does not
     /// validate.
     pub fn new<R: Rng + ?Sized>(config: FlowConfig, rng: &mut R) -> Result<Self> {
-        let encoder = PasswordEncoder::new(
-            passflow_passwords::Alphabet::default(),
-            config.max_len,
-        );
+        let encoder = PasswordEncoder::new(passflow_passwords::Alphabet::default(), config.max_len);
         Self::with_encoder(config, encoder, rng)
     }
 
@@ -160,7 +157,11 @@ impl PassFlow {
     /// Returns the latent batch and the per-sample log-determinant of the
     /// Jacobian (a `batch × 1` tensor).
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
-        assert_eq!(x.cols(), self.dim(), "input width must equal flow dimension");
+        assert_eq!(
+            x.cols(),
+            self.dim(),
+            "input width must equal flow dimension"
+        );
         let mut z = x.clone();
         let mut log_det = Tensor::zeros(x.rows(), 1);
         for coupling in &self.couplings {
@@ -173,7 +174,11 @@ impl PassFlow {
 
     /// Applies the inverse flow `x = f_θ⁻¹(z)`.
     pub fn inverse(&self, z: &Tensor) -> Tensor {
-        assert_eq!(z.cols(), self.dim(), "input width must equal flow dimension");
+        assert_eq!(
+            z.cols(),
+            self.dim(),
+            "input width must equal flow dimension"
+        );
         let mut x = z.clone();
         for coupling in self.couplings.iter().rev() {
             x = coupling.inverse(&x);
@@ -266,7 +271,11 @@ impl PassFlow {
     /// encoded passwords on the given tape. The returned scalar [`Var`] can
     /// be backpropagated directly.
     pub fn nll_loss(&self, tape: &Tape, batch: &Tensor) -> Var {
-        assert_eq!(batch.cols(), self.dim(), "batch width must equal flow dimension");
+        assert_eq!(
+            batch.cols(),
+            self.dim(),
+            "batch width must equal flow dimension"
+        );
         let n = batch.rows() as f32;
         let mut z = tape.constant(batch.clone());
         let mut total_log_det: Option<Var> = None;
@@ -465,7 +474,9 @@ mod tests {
         let near = flow.sample_near("jimmy91", 1e-4, 10, &mut rng).unwrap();
         // With a tiny sigma every neighbour decodes to the pivot itself.
         assert!(near.iter().all(|p| p == "jimmy91"), "{near:?}");
-        assert!(flow.sample_near("waytoolongpassword", 0.1, 1, &mut rng).is_err());
+        assert!(flow
+            .sample_near("waytoolongpassword", 0.1, 1, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -1,22 +1,33 @@
-//! The password-guessing attack loop and its evaluation reports.
+//! The legacy guessing-attack entry point, now a thin wrapper over the
+//! unified [`Attack`](crate::Attack) engine.
 //!
-//! [`run_attack`] implements the evaluation protocol behind Tables II and
-//! III: generate a budget of guesses with one of the paper's strategies
-//! (static sampling, Dynamic Sampling, Dynamic Sampling + Gaussian
-//! smoothing), and report — at each intermediate budget checkpoint — how
-//! many guesses were unique and how many matched the held-out test set.
+//! Historically this module implemented the evaluation protocol behind
+//! Tables II and III for the flow only, while `passflow-eval` carried a
+//! second, incompatible copy for the baselines. Both now delegate to
+//! [`crate::engine`]; [`run_attack`] and [`AttackConfig`] remain so existing
+//! callers keep compiling, and new code should use the builder API directly:
+//!
+//! ```rust,no_run
+//! # use std::collections::HashSet;
+//! # use passflow_core::{Attack, FlowConfig, PassFlow};
+//! # use rand::SeedableRng;
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! # let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+//! # let targets: HashSet<String> = HashSet::new();
+//! let outcome = Attack::new(&targets).budget(2_000).run(&flow)?;
+//! # Ok::<(), passflow_core::FlowError>(())
+//! ```
 
 use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use passflow_nn::rng as nnrng;
-
+use crate::engine::{Attack, AttackOutcome};
 use crate::flow::PassFlow;
-use crate::prior::Prior;
-use crate::sample::{GuessingStrategy, MatchedLatents};
+use crate::sample::GuessingStrategy;
 
-/// Configuration of a guessing attack.
+/// Configuration of a guessing attack (legacy form; the
+/// [`Attack`](crate::Attack) builder expresses the same parameters).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AttackConfig {
     /// Total number of guesses to generate.
@@ -25,8 +36,9 @@ pub struct AttackConfig {
     pub batch_size: usize,
     /// Generation strategy (static / dynamic / dynamic + smoothing).
     pub strategy: GuessingStrategy,
-    /// Intermediate budgets at which a [`CheckpointReport`] is recorded.
-    /// The final budget is always reported, whether listed here or not.
+    /// Intermediate budgets at which a
+    /// [`CheckpointReport`](crate::CheckpointReport) is recorded. The final
+    /// budget is always reported, whether listed here or not.
     pub checkpoints: Vec<u64>,
     /// RNG seed.
     pub seed: u64,
@@ -77,64 +89,15 @@ impl AttackConfig {
         self
     }
 
-    fn normalized_checkpoints(&self) -> Vec<u64> {
-        let mut cps: Vec<u64> = self
-            .checkpoints
-            .iter()
-            .copied()
-            .filter(|&c| c > 0 && c <= self.num_guesses)
-            .collect();
-        if !cps.contains(&self.num_guesses) {
-            cps.push(self.num_guesses);
-        }
-        cps.sort_unstable();
-        cps.dedup();
-        cps
-    }
-}
-
-/// Guessing statistics at a given budget.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct CheckpointReport {
-    /// Number of guesses generated so far.
-    pub guesses: u64,
-    /// Number of distinct guesses generated so far (Table III "Unique").
-    pub unique: u64,
-    /// Number of distinct test-set passwords matched so far
-    /// (Table III "Matched").
-    pub matched: u64,
-    /// Matched passwords as a percentage of the test set (Table II).
-    pub matched_percent: f64,
-}
-
-/// The outcome of a full guessing attack.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct AttackOutcome {
-    /// Strategy label (e.g. "PassFlow-Dynamic+GS").
-    pub strategy: String,
-    /// Reports at each requested checkpoint (ascending budget). The last
-    /// entry corresponds to the full budget.
-    pub checkpoints: Vec<CheckpointReport>,
-    /// The matched test-set passwords.
-    pub matched_passwords: Vec<String>,
-    /// A sample of generated guesses that did not match (Table IV).
-    pub nonmatched_samples: Vec<String>,
-}
-
-impl AttackOutcome {
-    /// The report at the full budget.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the outcome contains no checkpoints (cannot happen for
-    /// outcomes produced by [`run_attack`]).
-    pub fn final_report(&self) -> &CheckpointReport {
-        self.checkpoints.last().expect("at least one checkpoint")
-    }
-
-    /// The report at the given budget, if that budget was a checkpoint.
-    pub fn at_budget(&self, guesses: u64) -> Option<&CheckpointReport> {
-        self.checkpoints.iter().find(|c| c.guesses == guesses)
+    /// Builds the equivalent [`Attack`] over `targets`.
+    pub fn to_attack<'a>(&self, targets: &'a HashSet<String>) -> Attack<'a> {
+        Attack::new(targets)
+            .budget(self.num_guesses)
+            .batch_size(self.batch_size)
+            .strategy(self.strategy.clone())
+            .checkpoints(self.checkpoints.clone())
+            .seed(self.seed)
+            .nonmatched_samples(self.nonmatched_sample_size)
     }
 }
 
@@ -143,112 +106,29 @@ impl AttackOutcome {
 ///
 /// The match percentage is computed relative to `targets.len()`, mirroring
 /// the paper's "% of matched passwords over the RockYou test set".
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified engine: `passflow_core::Attack::new(targets).run(&flow)`"
+)]
 pub fn run_attack(
     flow: &PassFlow,
     targets: &HashSet<String>,
     config: &AttackConfig,
 ) -> AttackOutcome {
-    let mut rng = nnrng::seeded(config.seed);
-    let checkpoints = config.normalized_checkpoints();
-    let standard_prior = flow.prior();
-    let mut dynamic_params = config.strategy.dynamic_params().copied();
-    let smoothing = config.strategy.smoothing().copied();
-
-    let mut generated: HashSet<String> = HashSet::new();
-    let mut matched: HashSet<String> = HashSet::new();
-    let mut matched_in_order: Vec<String> = Vec::new();
-    let mut matched_latents = MatchedLatents::new();
-    let mut nonmatched_samples: Vec<String> = Vec::new();
-    let mut reports: Vec<CheckpointReport> = Vec::with_capacity(checkpoints.len());
-
-    let mut guesses_made: u64 = 0;
-    let mut next_checkpoint_idx = 0usize;
-
-    while guesses_made < config.num_guesses {
-        // Keep batches aligned with the next checkpoint so reports land on
-        // the exact budgets the paper uses.
-        let until_checkpoint = checkpoints[next_checkpoint_idx] - guesses_made;
-        let n = (config.batch_size as u64).min(until_checkpoint) as usize;
-
-        // Draw the latent batch from the active prior.
-        let z = match dynamic_params.as_mut() {
-            Some(params) => match matched_latents.build_prior(params) {
-                Some(mixture) => mixture.sample(n, &mut rng),
-                None => standard_prior.sample(n, &mut rng),
-            },
-            None => standard_prior.sample(n, &mut rng),
-        };
-        let x = flow.inverse(&z);
-
-        for i in 0..n {
-            let features = x.row_slice(i);
-            let mut guess = flow.encoder().decode(features);
-
-            // Data-space Gaussian smoothing: if this guess collides with one
-            // we already generated, incrementally perturb the data-space
-            // point until it decodes to something new (Section III-C).
-            if let Some(smoothing) = smoothing {
-                if generated.contains(&guess) {
-                    let encoder = flow.encoder();
-                    if let Some(perturbed) =
-                        smoothing.perturb_until(features, &mut rng, |candidate| {
-                            !generated.contains(&encoder.decode(candidate))
-                        })
-                    {
-                        guess = encoder.decode(&perturbed);
-                    }
-                }
-            }
-
-            guesses_made += 1;
-            let is_new = generated.insert(guess.clone());
-
-            if targets.contains(&guess) {
-                if matched.insert(guess.clone()) {
-                    matched_in_order.push(guess);
-                    if dynamic_params.is_some() {
-                        matched_latents.insert(z.row_slice(i).to_vec());
-                    }
-                }
-            } else if is_new && nonmatched_samples.len() < config.nonmatched_sample_size {
-                nonmatched_samples.push(guess);
-            }
-        }
-
-        while next_checkpoint_idx < checkpoints.len()
-            && guesses_made >= checkpoints[next_checkpoint_idx]
-        {
-            reports.push(CheckpointReport {
-                guesses: checkpoints[next_checkpoint_idx],
-                unique: generated.len() as u64,
-                matched: matched.len() as u64,
-                matched_percent: if targets.is_empty() {
-                    0.0
-                } else {
-                    100.0 * matched.len() as f64 / targets.len() as f64
-                },
-            });
-            next_checkpoint_idx += 1;
-        }
-        if next_checkpoint_idx >= checkpoints.len() {
-            break;
-        }
-    }
-
-    AttackOutcome {
-        strategy: config.strategy.label().to_string(),
-        checkpoints: reports,
-        matched_passwords: matched_in_order,
-        nonmatched_samples,
-    }
+    config
+        .to_attack(targets)
+        .run(flow)
+        .expect("PassFlow implements LatentGuesser, so every strategy is runnable")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{FlowConfig, TrainConfig};
     use crate::sample::{DynamicParams, GaussianSmoothing};
     use crate::train::train;
+    use passflow_nn::rng as nnrng;
     use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
 
     /// A small trained flow and a matching test set, shared by the tests in
@@ -259,8 +139,8 @@ mod tests {
         use std::sync::OnceLock;
         static FIXTURE: OnceLock<(Vec<Tensor>, Vec<String>)> = OnceLock::new();
         let (weights, test) = FIXTURE.get_or_init(|| {
-            let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(4_000))
-                .generate(77);
+            let corpus =
+                SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(4_000)).generate(77);
             let split = corpus.paper_split(0.8, 1_500, 7);
             let mut rng = nnrng::seeded(5);
             let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
@@ -350,7 +230,10 @@ mod tests {
         assert_eq!(outcome.strategy, "PassFlow-Dynamic");
         let final_report = outcome.final_report();
         assert!(final_report.unique <= final_report.guesses);
-        assert_eq!(final_report.matched as usize, outcome.matched_passwords.len());
+        assert_eq!(
+            final_report.matched as usize,
+            outcome.matched_passwords.len()
+        );
     }
 
     #[test]
@@ -384,12 +267,15 @@ mod tests {
     }
 
     #[test]
-    fn checkpoints_are_normalized_and_bounded() {
-        let config = AttackConfig::quick(1_000)
-            .with_checkpoints(vec![5_000, 200, 0, 200, 800]);
-        assert_eq!(config.normalized_checkpoints(), vec![200, 800, 1_000]);
-        let config = AttackConfig::quick(100);
-        assert_eq!(config.normalized_checkpoints(), vec![100]);
+    fn config_converts_to_the_builder_faithfully() {
+        let (flow, targets) = trained_fixture();
+        let config = AttackConfig::quick(1_500)
+            .with_checkpoints(vec![400, 900])
+            .with_seed(21)
+            .with_batch_size(128);
+        let from_wrapper = run_attack(&flow, &targets, &config);
+        let from_builder = config.to_attack(&targets).run(&flow).unwrap();
+        assert_eq!(from_wrapper, from_builder);
     }
 
     #[test]

@@ -19,10 +19,16 @@
 //!   ([`PassFlow::sample_near`], Table V) and interpolation
 //!   ([`interpolate`], Algorithm 2 / Figure 3).
 //!
+//! All guessing experiments run through the unified [`engine`]: the
+//! [`Guesser`] trait abstracts over guess generators (the flow and every
+//! baseline), and the [`Attack`] builder executes the paper's evaluation
+//! protocol — budgets, checkpoints, dedup, match counting — with parallel
+//! sharded generation and streaming [`CheckpointReport`]s.
+//!
 //! ## Quickstart
 //!
 //! ```rust
-//! use passflow_core::{AttackConfig, FlowConfig, PassFlow, TrainConfig, run_attack, train};
+//! use passflow_core::{Attack, FlowConfig, PassFlow, TrainConfig, train};
 //! use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
 //! use rand::SeedableRng;
 //!
@@ -35,7 +41,7 @@
 //! let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
 //! train(&flow, &split.train, &TrainConfig::tiny())?;
 //!
-//! let outcome = run_attack(&flow, &split.test_set(), &AttackConfig::quick(2_000));
+//! let outcome = Attack::new(&split.test_set()).budget(2_000).shards(4).run(&flow)?;
 //! println!("matched {}% of the test set", outcome.final_report().matched_percent);
 //! # Ok::<(), passflow_core::FlowError>(())
 //! ```
@@ -46,6 +52,7 @@
 mod conditional;
 mod config;
 mod coupling;
+pub mod engine;
 mod error;
 mod flow;
 mod guess;
@@ -59,12 +66,19 @@ mod train;
 pub use conditional::{conditional_guess, ConditionalConfig, ConditionalGuess, PasswordTemplate};
 pub use config::{FlowConfig, TrainConfig};
 pub use coupling::CouplingLayer;
+pub use engine::{
+    Attack, AttackEngine, AttackOutcome, CheckpointReport, Guesser, LatentGuesser, ShardedSet,
+};
 pub use error::{FlowError, Result};
 pub use flow::PassFlow;
-pub use guess::{run_attack, AttackConfig, AttackOutcome, CheckpointReport};
+#[allow(deprecated)]
+pub use guess::run_attack;
+pub use guess::AttackConfig;
 pub use interpolate::{interpolate, interpolate_passwords, InterpolationPoint};
 pub use mask::MaskStrategy;
 pub use persist::{load_flow, load_flow_from_reader, save_flow, save_flow_to_writer};
 pub use prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
-pub use sample::{DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization};
+pub use sample::{
+    DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization,
+};
 pub use train::{train, EpochStats, TrainingReport};

@@ -68,7 +68,7 @@ impl MaskStrategy {
     /// layers transform complementary subsets of the dimensions.
     pub fn mask_for_layer(&self, layer_index: usize, dim: usize) -> Vec<f32> {
         let base = self.base_mask(dim);
-        if layer_index % 2 == 0 {
+        if layer_index.is_multiple_of(2) {
             base
         } else {
             base.into_iter().map(|v| 1.0 - v).collect()

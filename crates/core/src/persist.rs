@@ -204,7 +204,11 @@ mod tests {
 
     fn tiny_flow(seed: u64) -> PassFlow {
         let mut rng = nnrng::seeded(seed);
-        PassFlow::new(FlowConfig::tiny().with_masking(MaskStrategy::CharRun(2)), &mut rng).unwrap()
+        PassFlow::new(
+            FlowConfig::tiny().with_masking(MaskStrategy::CharRun(2)),
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]

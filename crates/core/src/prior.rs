@@ -117,7 +117,10 @@ impl GaussianMixturePrior {
             "weights must be non-negative"
         );
         let total: f32 = weights.iter().sum();
-        assert!(total > 0.0, "at least one component must have positive weight");
+        assert!(
+            total > 0.0,
+            "at least one component must have positive weight"
+        );
         let sigmas = vec![sigma; centers.len()];
         let weights = weights.into_iter().map(|w| w / total).collect();
         GaussianMixturePrior {
@@ -155,8 +158,8 @@ impl Prior for GaussianMixturePrior {
             let k = nnrng::sample_discrete(&self.weights, rng);
             let center = &self.centers[k];
             let sigma = self.sigmas[k];
-            for j in 0..self.dim {
-                out.set(i, j, center[j] + sigma * nnrng::standard_normal(rng));
+            for (j, &c) in center.iter().enumerate() {
+                out.set(i, j, c + sigma * nnrng::standard_normal(rng));
             }
         }
         out
@@ -179,8 +182,8 @@ impl Prior for GaussianMixturePrior {
                         .zip(center.iter())
                         .map(|(a, b)| (a - b) * (a - b))
                         .sum();
-                    let log_norm =
-                        -(self.dim as f32) * (sigma.ln() + 0.5 * LN_2PI) - 0.5 * sq / (sigma * sigma);
+                    let log_norm = -(self.dim as f32) * (sigma.ln() + 0.5 * LN_2PI)
+                        - 0.5 * sq / (sigma * sigma);
                     terms.push(self.weights[k].ln() + log_norm);
                 }
                 let max = terms.iter().copied().fold(f32::NEG_INFINITY, f32::max);

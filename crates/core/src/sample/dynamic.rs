@@ -219,7 +219,10 @@ mod tests {
         matched.insert(vec![0.0, 0.0]);
         assert!(matched.build_prior(&params).is_none());
         matched.insert(vec![1.0, 1.0]);
-        assert!(matched.build_prior(&params).is_none(), "needs strictly more than alpha");
+        assert!(
+            matched.build_prior(&params).is_none(),
+            "needs strictly more than alpha"
+        );
         matched.insert(vec![2.0, 2.0]);
         assert!(matched.build_prior(&params).is_some());
         assert_eq!(matched.len(), 3);

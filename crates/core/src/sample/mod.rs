@@ -45,6 +45,19 @@ impl GuessingStrategy {
         }
     }
 
+    /// The strategy label for an arbitrary guesser name (e.g.
+    /// `"PassFlow-Static"`, `"cwae-Dynamic+GS"`), used by the attack engine
+    /// to tag outcomes.
+    pub fn label_for(&self, guesser_name: &str) -> String {
+        match self {
+            GuessingStrategy::Static => format!("{guesser_name}-Static"),
+            GuessingStrategy::Dynamic(_) => format!("{guesser_name}-Dynamic"),
+            GuessingStrategy::DynamicWithSmoothing { .. } => {
+                format!("{guesser_name}-Dynamic+GS")
+            }
+        }
+    }
+
     /// The paper's default strategy for a given guess budget: dynamic
     /// sampling with Table I parameters and Gaussian smoothing.
     pub fn paper_default(num_guesses: u64) -> Self {

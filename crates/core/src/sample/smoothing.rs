@@ -101,7 +101,10 @@ mod tests {
             .sum::<f32>()
             / original.len() as f32;
         // E|N(0, σ)| = σ·sqrt(2/π) ≈ 0.8·σ.
-        assert!((mean_abs_delta - 0.04).abs() < 0.01, "delta {mean_abs_delta}");
+        assert!(
+            (mean_abs_delta - 0.04).abs() < 0.01,
+            "delta {mean_abs_delta}"
+        );
     }
 
     #[test]

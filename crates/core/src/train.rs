@@ -65,7 +65,11 @@ impl TrainingReport {
 /// * [`FlowError::InvalidConfig`] if the training configuration is invalid.
 /// * [`FlowError::EmptyTrainingSet`] if no password could be encoded.
 /// * [`FlowError::Diverged`] if the loss becomes non-finite.
-pub fn train(flow: &PassFlow, passwords: &[String], config: &TrainConfig) -> Result<TrainingReport> {
+pub fn train(
+    flow: &PassFlow,
+    passwords: &[String],
+    config: &TrainConfig,
+) -> Result<TrainingReport> {
     config.validate()?;
     let data = flow.encode_batch(passwords)?;
     let mut rng = nnrng::seeded(config.seed);

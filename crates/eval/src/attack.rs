@@ -1,73 +1,44 @@
-//! Guessing-attack evaluation for baseline guessers.
+//! Guessing-attack evaluation, unified over every guesser.
 //!
-//! PassFlow attacks are run through [`passflow_core::run_attack`], which
-//! needs access to the flow's latent space (for dynamic sampling). The
-//! baselines only expose sampling, so this module implements the same
-//! evaluation protocol — count unique guesses and matched test-set passwords
-//! at each budget checkpoint — for any [`PasswordGuesser`].
+//! Historically this module carried a second copy of the evaluation protocol
+//! because `passflow_core::run_attack` was flow-only. Both paths now run
+//! through [`passflow_core::Attack`]; [`evaluate_guesser`] remains as a thin
+//! deprecated wrapper so pre-engine callers keep compiling.
 
 use std::collections::HashSet;
 
-use passflow_baselines::PasswordGuesser;
-use passflow_core::CheckpointReport;
-use passflow_nn::rng as nnrng;
+use passflow_core::{Attack, CheckpointReport, Guesser};
 
-/// Runs a guessing attack with a baseline guesser and reports statistics at
-/// each checkpoint budget (ascending). The final budget is always included.
+/// Runs a static-sampling guessing attack with any guesser and reports
+/// statistics at each checkpoint budget (ascending). The final budget is
+/// always included.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified engine: `passflow_core::Attack::new(targets).checkpoints(budgets).run(guesser)`"
+)]
 pub fn evaluate_guesser(
-    guesser: &dyn PasswordGuesser,
+    guesser: &dyn Guesser,
     targets: &HashSet<String>,
     budgets: &[u64],
     batch_size: usize,
     seed: u64,
 ) -> Vec<CheckpointReport> {
-    let mut checkpoints: Vec<u64> = budgets.iter().copied().filter(|&b| b > 0).collect();
-    checkpoints.sort_unstable();
-    checkpoints.dedup();
-    if checkpoints.is_empty() {
+    let total = budgets.iter().copied().max().unwrap_or(0);
+    if total == 0 {
         return Vec::new();
     }
-    let total = *checkpoints.last().expect("non-empty checkpoints");
-
-    let mut rng = nnrng::seeded(seed);
-    let mut generated: HashSet<String> = HashSet::new();
-    let mut matched: HashSet<String> = HashSet::new();
-    let mut reports = Vec::with_capacity(checkpoints.len());
-
-    let mut guesses_made: u64 = 0;
-    let mut next_checkpoint = 0usize;
-    while guesses_made < total {
-        let until_checkpoint = checkpoints[next_checkpoint] - guesses_made;
-        let n = (batch_size as u64).min(until_checkpoint) as usize;
-        let batch = guesser.generate(n, &mut rng);
-        for guess in batch {
-            guesses_made += 1;
-            if targets.contains(&guess) {
-                matched.insert(guess.clone());
-            }
-            generated.insert(guess);
-        }
-        while next_checkpoint < checkpoints.len() && guesses_made >= checkpoints[next_checkpoint] {
-            reports.push(CheckpointReport {
-                guesses: checkpoints[next_checkpoint],
-                unique: generated.len() as u64,
-                matched: matched.len() as u64,
-                matched_percent: if targets.is_empty() {
-                    0.0
-                } else {
-                    100.0 * matched.len() as f64 / targets.len() as f64
-                },
-            });
-            next_checkpoint += 1;
-        }
-        if next_checkpoint >= checkpoints.len() {
-            break;
-        }
-    }
-    reports
+    Attack::new(targets)
+        .budget(total)
+        .batch_size(batch_size)
+        .checkpoints(budgets.to_vec())
+        .seed(seed)
+        .run(guesser)
+        .expect("static sampling needs no latent access")
+        .checkpoints
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::RngCore;
@@ -75,11 +46,11 @@ mod tests {
     /// A guesser that cycles through a fixed list.
     struct Cycler(Vec<String>);
 
-    impl PasswordGuesser for Cycler {
+    impl Guesser for Cycler {
         fn name(&self) -> &str {
             "cycler"
         }
-        fn generate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
             (0..n)
                 .map(|_| self.0[(rng.next_u32() as usize) % self.0.len()].clone())
                 .collect()
@@ -112,6 +83,21 @@ mod tests {
         // Monotone in the budget.
         assert!(reports[1].unique >= reports[0].unique);
         assert!(reports[1].matched >= reports[0].matched);
+    }
+
+    #[test]
+    fn wrapper_agrees_with_the_engine() {
+        let guesser = Cycler(vec!["hit1".into(), "miss1".into(), "hit3".into()]);
+        let targets = targets();
+        let wrapped = evaluate_guesser(&guesser, &targets, &[50, 200], 32, 9);
+        let engine = Attack::new(&targets)
+            .budget(200)
+            .batch_size(32)
+            .checkpoints(vec![50, 200])
+            .seed(9)
+            .run(&guesser)
+            .unwrap();
+        assert_eq!(wrapped, engine.checkpoints);
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //! series so the same curves can be regenerated with any plotting tool (the
 //! bench binaries write both the rendered table and a CSV file).
 
-use passflow_core::{
-    interpolate, run_attack, AttackConfig, DynamicParams, GuessingStrategy, PassFlow, Result,
-};
+use passflow_core::{interpolate, Attack, DynamicParams, GuessingStrategy, PassFlow, Result};
 use passflow_nn::rng as nnrng;
 use passflow_nn::Tensor;
 
@@ -156,18 +154,14 @@ pub fn figure4(wb: &Workbench, sizes: &[usize], budget: u64) -> Result<Table> {
         let mut rng = nnrng::derived(wb.scale.seed, 500 + i as u64);
         let flow = PassFlow::new(wb.scale.flow_config.clone(), &mut rng)?;
         passflow_core::train(&flow, train_slice, &wb.scale.train_config)?;
-        let outcome = run_attack(
-            &flow,
-            &targets,
-            &AttackConfig {
-                num_guesses: budget,
-                batch_size: wb.scale.attack_batch,
-                strategy: GuessingStrategy::Static,
-                checkpoints: vec![budget],
-                seed: wb.scale.seed ^ 0xF16,
-                nonmatched_sample_size: 0,
-            },
-        );
+        let outcome = Attack::new(&targets)
+            .budget(budget)
+            .batch_size(wb.scale.attack_batch)
+            .seed(wb.scale.seed ^ 0xF16)
+            .shards(wb.scale.attack_shards)
+            .nonmatched_samples(0)
+            .run(&flow)
+            .expect("static sampling needs no latent access");
         let report = outcome.final_report();
         matches_per_size.push((size, report.matched, report.matched_percent));
     }
@@ -183,8 +177,7 @@ pub fn figure4(wb: &Workbench, sizes: &[usize], budget: u64) -> Result<Table> {
         ],
     );
     for (size, matched, percent) in &matches_per_size {
-        let improvement =
-            100.0 * (*matched as f64 - baseline as f64) / baseline.max(1) as f64;
+        let improvement = 100.0 * (*matched as f64 - baseline as f64) / baseline.max(1) as f64;
         table.push_row(vec![
             size.to_string(),
             matched.to_string(),
@@ -204,10 +197,7 @@ pub fn figure4(wb: &Workbench, sizes: &[usize], budget: u64) -> Result<Table> {
 pub fn figure5(wb: &Workbench) -> Table {
     let params = DynamicParams::paper_defaults(wb.scale.max_budget());
     let with_phi = flow_attack(wb, GuessingStrategy::Dynamic(params));
-    let without_phi = flow_attack(
-        wb,
-        GuessingStrategy::Dynamic(params.without_penalization()),
-    );
+    let without_phi = flow_attack(wb, GuessingStrategy::Dynamic(params.without_penalization()));
 
     let mut table = Table::new(
         "Figure 5: matches with and without the penalization function phi",
@@ -217,7 +207,11 @@ pub fn figure5(wb: &Workbench) -> Table {
             "with phi (%)".to_string(),
         ],
     );
-    for (without, with) in without_phi.checkpoints.iter().zip(with_phi.checkpoints.iter()) {
+    for (without, with) in without_phi
+        .checkpoints
+        .iter()
+        .zip(with_phi.checkpoints.iter())
+    {
         table.push_row(vec![
             format_budget(with.guesses),
             format_percent(without.matched_percent),

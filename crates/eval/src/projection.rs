@@ -205,7 +205,11 @@ pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
 
     for iteration in 0..config.iterations {
         // Early exaggeration for the first quarter of the iterations.
-        let exaggeration = if iteration < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iteration < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
 
         // Low-dimensional affinities (Student-t kernel).
         let mut q = vec![0.0f32; n * n];
@@ -241,7 +245,8 @@ pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
             for k in 0..2 {
                 velocity[i][k] = momentum * velocity[i][k] - config.learning_rate * grad[k];
             }
-            let step_norm = (velocity[i][0] * velocity[i][0] + velocity[i][1] * velocity[i][1]).sqrt();
+            let step_norm =
+                (velocity[i][0] * velocity[i][0] + velocity[i][1] * velocity[i][1]).sqrt();
             if step_norm > max_step {
                 velocity[i][0] *= max_step / step_norm;
                 velocity[i][1] *= max_step / step_norm;
@@ -265,11 +270,15 @@ mod tests {
         let mut rng = nnrng::seeded(3);
         let mut rows = Vec::new();
         for _ in 0..per_cluster {
-            let row: Vec<f32> = (0..10).map(|_| 5.0 + 0.2 * nnrng::standard_normal(&mut rng)).collect();
+            let row: Vec<f32> = (0..10)
+                .map(|_| 5.0 + 0.2 * nnrng::standard_normal(&mut rng))
+                .collect();
             rows.push(row);
         }
         for _ in 0..per_cluster {
-            let row: Vec<f32> = (0..10).map(|_| -5.0 + 0.2 * nnrng::standard_normal(&mut rng)).collect();
+            let row: Vec<f32> = (0..10)
+                .map(|_| -5.0 + 0.2 * nnrng::standard_normal(&mut rng))
+                .collect();
             rows.push(row);
         }
         (Tensor::from_rows(&rows), per_cluster)

@@ -71,7 +71,7 @@ impl Table {
         };
         out.push_str(&format_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&format_row(row));
@@ -141,7 +141,7 @@ pub fn format_budget(budget: u64) -> String {
     }
     let mut value = budget;
     let mut exponent = 0u32;
-    while value % 10 == 0 {
+    while value.is_multiple_of(10) {
         value /= 10;
         exponent += 1;
     }

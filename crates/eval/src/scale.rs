@@ -35,6 +35,9 @@ pub struct EvalScale {
     pub cwae_config: CwaeConfig,
     /// Latent batch size used by the guessing attack.
     pub attack_batch: usize,
+    /// Worker shards the attack engine generates guesses on. Results are
+    /// shard-count-invariant; this only sets the parallelism.
+    pub attack_shards: usize,
     /// Master seed; derived seeds are used for corpus generation, training
     /// and attacks.
     pub seed: u64,
@@ -53,6 +56,7 @@ impl EvalScale {
             gan_config: PassGanConfig::tiny().with_iterations(40),
             cwae_config: CwaeConfig::tiny().with_epochs(3),
             attack_batch: 512,
+            attack_shards: 2,
             seed: 7,
         }
     }
@@ -76,6 +80,7 @@ impl EvalScale {
             gan_config: PassGanConfig::evaluation(),
             cwae_config: CwaeConfig::evaluation(),
             attack_batch: 4_096,
+            attack_shards: 8,
             seed: 7,
         }
     }
@@ -100,6 +105,7 @@ impl EvalScale {
                 ..CwaeConfig::evaluation()
             },
             attack_batch: 8_192,
+            attack_shards: 8,
             seed: 7,
         }
     }

@@ -5,15 +5,16 @@
 //! workbench's scale. See `EXPERIMENTS.md` at the repository root for the
 //! paper-vs-measured record.
 
-use passflow_baselines::{Cwae, MarkovModel, PassGan, PasswordGuesser, PcfgModel};
+use std::collections::HashSet;
+
+use passflow_baselines::{Cwae, MarkovModel, PassGan, PcfgModel};
 use passflow_core::{
-    run_attack, AttackConfig, AttackOutcome, DynamicParams, GaussianSmoothing, GuessingStrategy,
-    MaskStrategy, PassFlow, Result,
+    Attack, AttackOutcome, CheckpointReport, DynamicParams, GaussianSmoothing, Guesser,
+    GuessingStrategy, MaskStrategy, PassFlow, Result,
 };
 use passflow_nn::rng as nnrng;
 use passflow_passwords::stats::CorpusStats;
 
-use crate::attack::evaluate_guesser;
 use crate::report::{format_budget, format_count, format_percent, Table};
 use crate::scale::Workbench;
 
@@ -21,15 +22,34 @@ use crate::scale::Workbench;
 /// workbench's scale and returns the outcome.
 pub fn flow_attack(wb: &Workbench, strategy: GuessingStrategy) -> AttackOutcome {
     use rand::RngCore;
-    let config = AttackConfig {
-        num_guesses: wb.scale.max_budget(),
-        batch_size: wb.scale.attack_batch,
-        strategy,
-        checkpoints: wb.scale.budgets.clone(),
-        seed: nnrng::derived(wb.scale.seed, 100).next_u64(),
-        nonmatched_sample_size: 64,
-    };
-    run_attack(&wb.flow, &wb.test_set(), &config)
+    Attack::new(&wb.test_set())
+        .budget(wb.scale.max_budget())
+        .batch_size(wb.scale.attack_batch)
+        .strategy(strategy)
+        .checkpoints(wb.scale.budgets.clone())
+        .seed(nnrng::derived(wb.scale.seed, 100).next_u64())
+        .shards(wb.scale.attack_shards)
+        .nonmatched_samples(64)
+        .run(&wb.flow)
+        .expect("the flow has latent access for every strategy")
+}
+
+/// Runs a static-sampling attack with any guesser over the workbench's
+/// budgets (the baseline rows of Tables II and III).
+pub fn baseline_attack(
+    wb: &Workbench,
+    guesser: &dyn Guesser,
+    targets: &HashSet<String>,
+) -> Vec<CheckpointReport> {
+    Attack::new(targets)
+        .budget(wb.scale.max_budget())
+        .batch_size(wb.scale.attack_batch)
+        .checkpoints(wb.scale.budgets.clone())
+        .seed(wb.scale.seed ^ 0xBA5E)
+        .shards(wb.scale.attack_shards)
+        .run(guesser)
+        .expect("static sampling needs no latent access")
+        .checkpoints
 }
 
 /// The three PassFlow strategies of Tables II and III, with the paper's
@@ -117,15 +137,9 @@ pub fn table2(wb: &Workbench) -> Result<Table> {
     let markov = MarkovModel::train(&wb.split.train, 3, wb.flow.encoder().max_len());
     let pcfg = PcfgModel::train(&wb.split.train, wb.flow.encoder().max_len());
 
-    let baselines: Vec<&dyn PasswordGuesser> = vec![&gan, &cwae, &markov, &pcfg];
+    let baselines: Vec<&dyn Guesser> = vec![&gan, &cwae, &markov, &pcfg];
     for guesser in baselines {
-        let reports = evaluate_guesser(
-            guesser,
-            &targets,
-            budgets,
-            wb.scale.attack_batch,
-            wb.scale.seed ^ 0xBA5E,
-        );
+        let reports = baseline_attack(wb, guesser, &targets);
         let mut row = vec![guesser.name().to_string()];
         row.extend(reports.iter().map(|r| format_percent(r.matched_percent)));
         table.push_row(row);
@@ -165,13 +179,7 @@ pub fn table3(wb: &Workbench) -> Result<Table> {
         wb.flow.encoder().clone(),
         wb.scale.cwae_config.clone().with_seed(wb.scale.seed),
     );
-    let cwae_reports = evaluate_guesser(
-        &cwae,
-        &targets,
-        budgets,
-        wb.scale.attack_batch,
-        wb.scale.seed ^ 0xBA5E,
-    );
+    let cwae_reports = baseline_attack(wb, &cwae, &targets);
 
     let mut columns: Vec<(String, Vec<(u64, u64)>)> = vec![(
         "CWAE".to_string(),
@@ -339,15 +347,15 @@ pub fn table6(wb: &Workbench) -> Result<Table> {
             passflow_core::train(&flow, &wb.split.train, &wb.scale.train_config)?;
             flow
         };
-        let config = AttackConfig {
-            num_guesses: wb.scale.max_budget(),
-            batch_size: wb.scale.attack_batch,
-            strategy: GuessingStrategy::Static,
-            checkpoints: budgets.clone(),
-            seed: wb.scale.seed ^ 0x6A5,
-            nonmatched_sample_size: 0,
-        };
-        let outcome = run_attack(&flow, &targets, &config);
+        let outcome = Attack::new(&targets)
+            .budget(wb.scale.max_budget())
+            .batch_size(wb.scale.attack_batch)
+            .checkpoints(budgets.clone())
+            .seed(wb.scale.seed ^ 0x6A5)
+            .shards(wb.scale.attack_shards)
+            .nonmatched_samples(0)
+            .run(&flow)
+            .expect("static sampling needs no latent access");
         per_masking.push((
             masking.label(),
             outcome.checkpoints.iter().map(|r| r.matched).collect(),
@@ -355,7 +363,11 @@ pub fn table6(wb: &Workbench) -> Result<Table> {
     }
 
     let mut headers = vec!["Guesses".to_string()];
-    headers.extend(per_masking.iter().map(|(name, _)| format!("{name} matched")));
+    headers.extend(
+        per_masking
+            .iter()
+            .map(|(name, _)| format!("{name} matched")),
+    );
     let mut table = Table::new(
         "Table VI: matched passwords per masking strategy (static sampling)",
         headers,

@@ -17,7 +17,11 @@ use crate::tensor::Tensor;
 ///
 /// A module owns its [`Parameter`]s and maps an input [`Var`] to an output
 /// [`Var`] on the same tape.
-pub trait Module {
+///
+/// `Send + Sync` are supertraits so trained models (which store layers as
+/// `Box<dyn Module>`) can be shared across the attack engine's shard
+/// threads; every parameter already lives behind an `Arc<RwLock>`.
+pub trait Module: Send + Sync {
     /// Runs the forward pass, recording operations on `tape`.
     fn forward(&self, tape: &Tape, input: &Var) -> Var;
 
@@ -526,11 +530,7 @@ mod tests {
         let loss = net.forward(&tape, &x).square().mean();
         net.zero_grad();
         loss.backward();
-        let total_grad: f32 = net
-            .parameters()
-            .iter()
-            .map(|p| p.grad().abs().sum())
-            .sum();
+        let total_grad: f32 = net.parameters().iter().map(|p| p.grad().abs().sum()).sum();
         assert!(total_grad > 0.0, "expected nonzero gradients");
     }
 

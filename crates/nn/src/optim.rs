@@ -222,7 +222,7 @@ mod tests {
             let wv = tape.param(&w);
             let t = tape.constant(target.clone());
             wv.sub(&t).square().sum().backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         w.value().squared_distance(&target)
     }
@@ -278,7 +278,7 @@ mod tests {
         let p = Parameter::new(Tensor::row(&[1.0]), "p");
         p.accumulate_grad(&Tensor::row(&[5.0]));
         let mut opt = Sgd::new(0.1);
-        opt.step(&[p.clone()]);
+        opt.step(std::slice::from_ref(&p));
         assert_eq!(p.grad().sum(), 0.0);
     }
 
@@ -287,7 +287,7 @@ mod tests {
         let p = Parameter::new(Tensor::row(&[0.0, 0.0]), "p");
         p.accumulate_grad(&Tensor::row(&[300.0, 400.0])); // norm 500
         let mut clipped = Adam::new(1.0).with_clip_norm(1.0);
-        clipped.step(&[p.clone()]);
+        clipped.step(std::slice::from_ref(&p));
         // First Adam step size is bounded by lr regardless, but the direction
         // must match the clipped gradient; verify values stay finite and small.
         assert!(p.value().abs().max() <= 1.0 + 1e-5);

@@ -612,7 +612,11 @@ impl fmt::Debug for Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows {
-            let row: Vec<String> = self.row_slice(i).iter().map(|v| format!("{v:.4}")).collect();
+            let row: Vec<String> = self
+                .row_slice(i)
+                .iter()
+                .map(|v| format!("{v:.4}"))
+                .collect();
             writeln!(f, "[{}]", row.join(", "))?;
         }
         Ok(())

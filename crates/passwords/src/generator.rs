@@ -261,7 +261,10 @@ impl SyntheticCorpusGenerator {
             let day = rng.gen_range(1..29);
             let month = rng.gen_range(1..13);
             let year = rng.gen_range(1950..2012);
-            return format!("{day:02}{month:02}{year}").chars().take(len).collect();
+            return format!("{day:02}{month:02}{year}")
+                .chars()
+                .take(len)
+                .collect();
         }
         (0..len)
             .map(|_| char::from(b'0' + rng.gen_range(0..10u8)))
@@ -334,8 +337,7 @@ mod tests {
         let gen = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(5_000));
         let corpus = gen.generate(9);
         let encoder = PasswordEncoder::default();
-        let unencodable: Vec<&String> =
-            corpus.iter().filter(|p| !encoder.can_encode(p)).collect();
+        let unencodable: Vec<&String> = corpus.iter().filter(|p| !encoder.can_encode(p)).collect();
         assert!(
             unencodable.is_empty(),
             "unencodable passwords: {unencodable:?}"

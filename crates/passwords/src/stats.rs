@@ -243,8 +243,8 @@ mod tests {
 
     #[test]
     fn synthetic_corpus_looks_human() {
-        let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000))
-            .generate(23);
+        let corpus =
+            SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000)).generate(23);
         let stats = CorpusStats::compute(corpus.iter().map(String::as_str));
         // Human corpora: mean length 6-9, mostly letters, meaningful digit
         // usage, very few symbols, and a large fraction of word+digit mixes.
@@ -257,8 +257,8 @@ mod tests {
 
     #[test]
     fn template_coverage_separates_human_from_random() {
-        let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000))
-            .generate(29);
+        let corpus =
+            SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000)).generate(29);
         let stats = CorpusStats::compute(corpus.iter().map(String::as_str));
         let humanlike = ["maria92", "soccer1", "jessica", "123456"];
         let randomlike = ["x!Q#z9@k", "]]][[", "!!??!!??"];

@@ -8,8 +8,8 @@
 //! ```
 
 use passflow::{
-    run_attack, train, AttackConfig, CorpusConfig, DynamicParams, FlowConfig, GaussianSmoothing,
-    GuessingStrategy, PassFlow, SyntheticCorpusGenerator, TrainConfig,
+    train, Attack, CorpusConfig, DynamicParams, FlowConfig, GaussianSmoothing, GuessingStrategy,
+    PassFlow, SyntheticCorpusGenerator, TrainConfig,
 };
 use rand::SeedableRng;
 
@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_hidden_size(32),
         &mut rng,
     )?;
-    train(&flow, &split.train, &TrainConfig::evaluation().with_epochs(8))?;
+    train(
+        &flow,
+        &split.train,
+        &TrainConfig::evaluation().with_epochs(8),
+    )?;
 
     let budget = 50_000u64;
     let params = DynamicParams::paper_defaults(budget);
@@ -48,18 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "strategy", "guesses", "unique", "matched", "% matched"
     );
     for strategy in strategies {
-        let outcome = run_attack(
-            &flow,
-            &targets,
-            &AttackConfig {
-                num_guesses: budget,
-                batch_size: 2_048,
-                strategy,
-                checkpoints: vec![budget],
-                seed: 9,
-                nonmatched_sample_size: 0,
-            },
-        );
+        // One engine drives all three strategies; static generation fans out
+        // across shards, dynamic generation parallelizes between feedback
+        // synchronizations (sync_every batches share one prior snapshot).
+        let outcome = Attack::new(&targets)
+            .budget(budget)
+            .batch_size(2_048)
+            .strategy(strategy)
+            .seed(9)
+            .shards(4)
+            .sync_every(2)
+            .nonmatched_samples(0)
+            .run(&flow)?;
         let report = outcome.final_report();
         println!(
             "{:<22} {:>10} {:>10} {:>10} {:>9.2}%",

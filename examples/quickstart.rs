@@ -8,8 +8,7 @@
 //! ```
 
 use passflow::{
-    run_attack, train, AttackConfig, CorpusConfig, FlowConfig, PassFlow, SyntheticCorpusGenerator,
-    TrainConfig,
+    train, Attack, CorpusConfig, FlowConfig, PassFlow, SyntheticCorpusGenerator, TrainConfig,
 };
 use rand::SeedableRng;
 
@@ -53,26 +52,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 4. Run a static guessing attack against the cleaned test set.
-    let outcome = run_attack(
-        &flow,
-        &split.test_set(),
-        &AttackConfig::quick(20_000).with_checkpoints(vec![1_000, 5_000, 10_000]),
+    // 4. Run a static guessing attack against the cleaned test set through
+    //    the unified engine. Checkpoint reports stream through the observer
+    //    as soon as each budget is reached, and generation fans out across
+    //    four shards (the shard count never changes the numbers).
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>9}",
+        "guesses", "unique", "matched", "% matched"
     );
-    println!("\n{:<10} {:>10} {:>10} {:>9}", "guesses", "unique", "matched", "% matched");
-    for checkpoint in &outcome.checkpoints {
-        println!(
-            "{:<10} {:>10} {:>10} {:>8.2}%",
-            checkpoint.guesses, checkpoint.unique, checkpoint.matched, checkpoint.matched_percent
-        );
-    }
+    let outcome = Attack::new(&split.test_set())
+        .budget(20_000)
+        .checkpoints(vec![1_000, 5_000, 10_000])
+        .shards(4)
+        .observer(|checkpoint| {
+            println!(
+                "{:<10} {:>10} {:>10} {:>8.2}%",
+                checkpoint.guesses,
+                checkpoint.unique,
+                checkpoint.matched,
+                checkpoint.matched_percent
+            )
+        })
+        .run(&flow)?;
     println!(
         "\nexample matched passwords: {:?}",
         outcome.matched_passwords.iter().take(8).collect::<Vec<_>>()
     );
     println!(
         "example non-matched (but human-like) guesses: {:?}",
-        outcome.nonmatched_samples.iter().take(8).collect::<Vec<_>>()
+        outcome
+            .nonmatched_samples
+            .iter()
+            .take(8)
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

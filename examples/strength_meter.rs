@@ -48,9 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|p| flow.log_prob_password(p).map(|lp| (p.to_string(), -lp)))
         .collect();
     let weakest = scores.iter().map(|(_, s)| *s).fold(f32::INFINITY, f32::min);
-    let strongest = scores.iter().map(|(_, s)| *s).fold(f32::NEG_INFINITY, f32::max);
+    let strongest = scores
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f32::NEG_INFINITY, f32::max);
 
-    println!("{:<14} {:>12}  {}", "password", "-log p (nats)", "verdict");
+    println!("{:<14} {:>12}  verdict", "password", "-log p (nats)");
     let mut sorted = scores.clone();
     sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     for (password, nll) in sorted {

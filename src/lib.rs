@@ -10,11 +10,12 @@
 //! * [`nn`] — tensor / autodiff / layers / optimizers substrate,
 //! * [`passwords`] — alphabet, encoding, synthetic corpus, dataset pipeline,
 //! * [`core`] (also re-exported at the root) — the flow model, training,
-//!   dynamic sampling, Gaussian smoothing, interpolation and the guessing
-//!   attack loop,
-//! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators,
+//!   dynamic sampling, Gaussian smoothing, interpolation, and the unified
+//!   guessing-attack engine ([`Guesser`] / [`Attack`]),
+//! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators, all
+//!   implementing [`Guesser`],
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
-//!   figures.
+//!   figures through the same engine.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
@@ -39,10 +40,13 @@ pub use passflow_nn as nn;
 pub use passflow_passwords as passwords;
 
 // The most commonly used items, re-exported at the crate root.
+#[allow(deprecated)]
+pub use passflow_core::run_attack;
 pub use passflow_core::{
-    interpolate, interpolate_passwords, run_attack, train, AttackConfig, AttackOutcome,
-    CheckpointReport, DynamicParams, FlowConfig, FlowError, GaussianSmoothing, GuessingStrategy,
-    MaskStrategy, PassFlow, Penalization, TrainConfig, TrainingReport,
+    interpolate, interpolate_passwords, train, Attack, AttackConfig, AttackEngine, AttackOutcome,
+    CheckpointReport, DynamicParams, FlowConfig, FlowError, GaussianSmoothing, Guesser,
+    GuessingStrategy, LatentGuesser, MaskStrategy, PassFlow, Penalization, ShardedSet, TrainConfig,
+    TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{

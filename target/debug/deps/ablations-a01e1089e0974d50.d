@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a01e1089e0974d50.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a01e1089e0974d50: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

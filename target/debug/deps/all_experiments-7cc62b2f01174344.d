@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-7cc62b2f01174344.d: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-7cc62b2f01174344.rmeta: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

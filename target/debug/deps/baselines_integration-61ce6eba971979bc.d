@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_integration-61ce6eba971979bc.d: tests/baselines_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_integration-61ce6eba971979bc.rmeta: tests/baselines_integration.rs Cargo.toml
+
+tests/baselines_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-57bd470c873063f8.d: tests/engine.rs
+
+/root/repo/target/debug/deps/engine-57bd470c873063f8: tests/engine.rs
+
+tests/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-fca8013787d9daae.d: tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-fca8013787d9daae.rmeta: tests/engine.rs Cargo.toml
+
+tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-7c6d5ace08652474.d: crates/bench/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-7c6d5ace08652474.rmeta: crates/bench/src/bin/figure2.rs Cargo.toml
+
+crates/bench/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

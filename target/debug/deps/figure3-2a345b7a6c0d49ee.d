@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-2a345b7a6c0d49ee.d: crates/bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-2a345b7a6c0d49ee.rmeta: crates/bench/src/bin/figure3.rs Cargo.toml
+
+crates/bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-4d85a33926f47f4a.d: crates/bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-4d85a33926f47f4a.rmeta: crates/bench/src/bin/figure3.rs Cargo.toml
+
+crates/bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

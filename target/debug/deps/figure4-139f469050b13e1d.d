@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-139f469050b13e1d.d: crates/bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-139f469050b13e1d.rmeta: crates/bench/src/bin/figure4.rs Cargo.toml
+
+crates/bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

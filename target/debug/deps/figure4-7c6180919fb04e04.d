@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-7c6180919fb04e04.d: crates/bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-7c6180919fb04e04.rmeta: crates/bench/src/bin/figure4.rs Cargo.toml
+
+crates/bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

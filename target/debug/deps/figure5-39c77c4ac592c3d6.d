@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-39c77c4ac592c3d6.d: crates/bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-39c77c4ac592c3d6.rmeta: crates/bench/src/bin/figure5.rs Cargo.toml
+
+crates/bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-d7e8262f1837e5c3.d: crates/bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-d7e8262f1837e5c3.rmeta: crates/bench/src/bin/figure5.rs Cargo.toml
+
+crates/bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_ops-43f5eb7f0889fa36.d: crates/bench/benches/flow_ops.rs
+
+/root/repo/target/debug/deps/flow_ops-43f5eb7f0889fa36: crates/bench/benches/flow_ops.rs
+
+crates/bench/benches/flow_ops.rs:

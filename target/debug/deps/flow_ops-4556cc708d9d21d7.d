@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_ops-4556cc708d9d21d7.d: crates/bench/benches/flow_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_ops-4556cc708d9d21d7.rmeta: crates/bench/benches/flow_ops.rs Cargo.toml
+
+crates/bench/benches/flow_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guessing-1af2bcb69af0016d.d: crates/bench/benches/guessing.rs
+
+/root/repo/target/debug/deps/guessing-1af2bcb69af0016d: crates/bench/benches/guessing.rs
+
+crates/bench/benches/guessing.rs:

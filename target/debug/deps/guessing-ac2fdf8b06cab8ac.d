@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guessing-ac2fdf8b06cab8ac.d: crates/bench/benches/guessing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguessing-ac2fdf8b06cab8ac.rmeta: crates/bench/benches/guessing.rs Cargo.toml
+
+crates/bench/benches/guessing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passflow-64bcb7ec0c091e96.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow-64bcb7ec0c091e96.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passflow-d9b4df408e00a31c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow-d9b4df408e00a31c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/passflow_baselines-4265fabf723cccd0.d: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_baselines-4265fabf723cccd0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cwae.rs:
+crates/baselines/src/gan.rs:
+crates/baselines/src/guesser.rs:
+crates/baselines/src/markov.rs:
+crates/baselines/src/pcfg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passflow_bench-19d3812c2654b9be.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_bench-19d3812c2654b9be.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

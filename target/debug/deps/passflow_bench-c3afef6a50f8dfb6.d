@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passflow_bench-c3afef6a50f8dfb6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_bench-c3afef6a50f8dfb6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/passflow_core-a155b01bdc017b77.d: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_core-a155b01bdc017b77.rmeta: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/conditional.rs:
+crates/core/src/config.rs:
+crates/core/src/coupling.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/attack.rs:
+crates/core/src/engine/guesser.rs:
+crates/core/src/engine/sharded.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/guess.rs:
+crates/core/src/interpolate.rs:
+crates/core/src/mask.rs:
+crates/core/src/persist.rs:
+crates/core/src/prior.rs:
+crates/core/src/sample/mod.rs:
+crates/core/src/sample/dynamic.rs:
+crates/core/src/sample/smoothing.rs:
+crates/core/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

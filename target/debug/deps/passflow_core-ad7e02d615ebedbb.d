@@ -1,11 +1,15 @@
-/root/repo/target/debug/deps/passflow_core-ad7e02d615ebedbb.d: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/passflow_core-ad7e02d615ebedbb.d: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
 
-/root/repo/target/debug/deps/passflow_core-ad7e02d615ebedbb: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/passflow_core-ad7e02d615ebedbb: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
 
 crates/core/src/lib.rs:
 crates/core/src/conditional.rs:
 crates/core/src/config.rs:
 crates/core/src/coupling.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/attack.rs:
+crates/core/src/engine/guesser.rs:
+crates/core/src/engine/sharded.rs:
 crates/core/src/error.rs:
 crates/core/src/flow.rs:
 crates/core/src/guess.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/passflow_eval-cacdc96f94d5b279.d: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_eval-cacdc96f94d5b279.rmeta: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/attack.rs:
+crates/eval/src/figures.rs:
+crates/eval/src/projection.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/passflow_nn-786228714a30304d.d: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_nn-786228714a30304d.rmeta: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/autograd.rs:
+crates/nn/src/error.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rng.rs:
+crates/nn/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

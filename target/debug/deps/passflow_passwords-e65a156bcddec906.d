@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/passflow_passwords-e65a156bcddec906.d: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpassflow_passwords-e65a156bcddec906.rmeta: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs Cargo.toml
+
+crates/passwords/src/lib.rs:
+crates/passwords/src/alphabet.rs:
+crates/passwords/src/dataset.rs:
+crates/passwords/src/encoding.rs:
+crates/passwords/src/generator.rs:
+crates/passwords/src/stats.rs:
+crates/passwords/src/wordlists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-17ac725713b1586e.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-17ac725713b1586e.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-7c321c3ad36147a5.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-7c321c3ad36147a5.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

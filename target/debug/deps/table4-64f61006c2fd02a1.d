@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-64f61006c2fd02a1.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-64f61006c2fd02a1.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

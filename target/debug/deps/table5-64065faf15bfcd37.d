@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-64065faf15bfcd37.d: crates/bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-64065faf15bfcd37.rmeta: crates/bench/src/bin/table5.rs Cargo.toml
+
+crates/bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

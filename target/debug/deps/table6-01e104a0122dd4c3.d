@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-01e104a0122dd4c3.d: crates/bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-01e104a0122dd4c3.rmeta: crates/bench/src/bin/table6.rs Cargo.toml
+
+crates/bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

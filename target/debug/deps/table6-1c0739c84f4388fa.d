@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-1c0739c84f4388fa.d: crates/bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-1c0739c84f4388fa.rmeta: crates/bench/src/bin/table6.rs Cargo.toml
+
+crates/bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_attack-0c450584d8ac4d03.d: examples/dynamic_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_attack-0c450584d8ac4d03.rmeta: examples/dynamic_attack.rs Cargo.toml
+
+examples/dynamic_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

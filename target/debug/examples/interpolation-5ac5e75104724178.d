@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interpolation-5ac5e75104724178.d: examples/interpolation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterpolation-5ac5e75104724178.rmeta: examples/interpolation.rs Cargo.toml
+
+examples/interpolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

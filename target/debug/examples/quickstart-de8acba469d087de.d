@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-de8acba469d087de.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-de8acba469d087de.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

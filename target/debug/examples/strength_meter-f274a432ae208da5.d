@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strength_meter-f274a432ae208da5.d: examples/strength_meter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrength_meter-f274a432ae208da5.rmeta: examples/strength_meter.rs Cargo.toml
+
+examples/strength_meter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

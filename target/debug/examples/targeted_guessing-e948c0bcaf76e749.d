@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/targeted_guessing-e948c0bcaf76e749.d: examples/targeted_guessing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtargeted_guessing-e948c0bcaf76e749.rmeta: examples/targeted_guessing.rs Cargo.toml
+
+examples/targeted_guessing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

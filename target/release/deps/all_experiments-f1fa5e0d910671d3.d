@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-f1fa5e0d910671d3.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-f1fa5e0d910671d3: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

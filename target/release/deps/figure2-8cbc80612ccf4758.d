@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-8cbc80612ccf4758.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-8cbc80612ccf4758: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

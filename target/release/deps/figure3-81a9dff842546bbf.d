@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-81a9dff842546bbf.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-81a9dff842546bbf: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

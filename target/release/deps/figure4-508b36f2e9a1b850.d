@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-508b36f2e9a1b850.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-508b36f2e9a1b850: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-16a534c5c6a7ed97.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-16a534c5c6a7ed97.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-16a534c5c6a7ed97.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/passflow-e356979db3145109.d: src/lib.rs
+
+/root/repo/target/release/deps/libpassflow-e356979db3145109.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpassflow-e356979db3145109.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/passflow_baselines-6d920be1185845d2.d: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+/root/repo/target/release/deps/libpassflow_baselines-6d920be1185845d2.rlib: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+/root/repo/target/release/deps/libpassflow_baselines-6d920be1185845d2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cwae.rs crates/baselines/src/gan.rs crates/baselines/src/guesser.rs crates/baselines/src/markov.rs crates/baselines/src/pcfg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cwae.rs:
+crates/baselines/src/gan.rs:
+crates/baselines/src/guesser.rs:
+crates/baselines/src/markov.rs:
+crates/baselines/src/pcfg.rs:

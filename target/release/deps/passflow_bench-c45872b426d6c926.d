@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/passflow_bench-c45872b426d6c926.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpassflow_bench-c45872b426d6c926.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpassflow_bench-c45872b426d6c926.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/passflow_core-24a2116fd47a1a83.d: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
+
+/root/repo/target/release/deps/libpassflow_core-24a2116fd47a1a83.rlib: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
+
+/root/repo/target/release/deps/libpassflow_core-24a2116fd47a1a83.rmeta: crates/core/src/lib.rs crates/core/src/conditional.rs crates/core/src/config.rs crates/core/src/coupling.rs crates/core/src/engine/mod.rs crates/core/src/engine/attack.rs crates/core/src/engine/guesser.rs crates/core/src/engine/sharded.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/guess.rs crates/core/src/interpolate.rs crates/core/src/mask.rs crates/core/src/persist.rs crates/core/src/prior.rs crates/core/src/sample/mod.rs crates/core/src/sample/dynamic.rs crates/core/src/sample/smoothing.rs crates/core/src/train.rs
+
+crates/core/src/lib.rs:
+crates/core/src/conditional.rs:
+crates/core/src/config.rs:
+crates/core/src/coupling.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/attack.rs:
+crates/core/src/engine/guesser.rs:
+crates/core/src/engine/sharded.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/guess.rs:
+crates/core/src/interpolate.rs:
+crates/core/src/mask.rs:
+crates/core/src/persist.rs:
+crates/core/src/prior.rs:
+crates/core/src/sample/mod.rs:
+crates/core/src/sample/dynamic.rs:
+crates/core/src/sample/smoothing.rs:
+crates/core/src/train.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/passflow_eval-b16b2a159510b705.d: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+/root/repo/target/release/deps/libpassflow_eval-b16b2a159510b705.rlib: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+/root/repo/target/release/deps/libpassflow_eval-b16b2a159510b705.rmeta: crates/eval/src/lib.rs crates/eval/src/attack.rs crates/eval/src/figures.rs crates/eval/src/projection.rs crates/eval/src/report.rs crates/eval/src/scale.rs crates/eval/src/tables.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/attack.rs:
+crates/eval/src/figures.rs:
+crates/eval/src/projection.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/passflow_nn-6a9765ecb388f8cb.d: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs
+
+/root/repo/target/release/deps/libpassflow_nn-6a9765ecb388f8cb.rlib: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs
+
+/root/repo/target/release/deps/libpassflow_nn-6a9765ecb388f8cb.rmeta: crates/nn/src/lib.rs crates/nn/src/autograd.rs crates/nn/src/error.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/rng.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/autograd.rs:
+crates/nn/src/error.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rng.rs:
+crates/nn/src/tensor.rs:

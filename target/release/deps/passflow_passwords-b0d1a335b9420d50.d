@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/passflow_passwords-b0d1a335b9420d50.d: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+/root/repo/target/release/deps/libpassflow_passwords-b0d1a335b9420d50.rlib: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+/root/repo/target/release/deps/libpassflow_passwords-b0d1a335b9420d50.rmeta: crates/passwords/src/lib.rs crates/passwords/src/alphabet.rs crates/passwords/src/dataset.rs crates/passwords/src/encoding.rs crates/passwords/src/generator.rs crates/passwords/src/stats.rs crates/passwords/src/wordlists.rs
+
+crates/passwords/src/lib.rs:
+crates/passwords/src/alphabet.rs:
+crates/passwords/src/dataset.rs:
+crates/passwords/src/encoding.rs:
+crates/passwords/src/generator.rs:
+crates/passwords/src/stats.rs:
+crates/passwords/src/wordlists.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3a8a8fa2877bfc8a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3a8a8fa2877bfc8a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5be25fd66fb43c5a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-5be25fd66fb43c5a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-dd9f9075e9359602.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-dd9f9075e9359602: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f6c0704955ff1d6f.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f6c0704955ff1d6f: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-7c353d33e25198ef.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-7c353d33e25198ef: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

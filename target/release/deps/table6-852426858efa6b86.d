@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-852426858efa6b86.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-852426858efa6b86: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

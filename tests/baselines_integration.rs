@@ -4,9 +4,9 @@
 use std::sync::OnceLock;
 
 use passflow::baselines::{Cwae, CwaeConfig, MarkovModel, PassGan, PassGanConfig, PcfgModel};
-use passflow::eval::attack::evaluate_guesser;
 use passflow::nn::rng as nnrng;
 use passflow::passwords::CorpusSplit;
+use passflow::Attack;
 use passflow::{CorpusConfig, PasswordEncoder, SyntheticCorpusGenerator};
 
 fn split() -> &'static CorpusSplit {
@@ -26,8 +26,18 @@ fn markov_and_pcfg_beat_random_guessing() {
 
     let markov = MarkovModel::train(&split.train, 3, 10);
     let pcfg = PcfgModel::train(&split.train, 10);
-    let markov_report = &evaluate_guesser(&markov, &targets, &budgets, 512, 1)[0];
-    let pcfg_report = &evaluate_guesser(&pcfg, &targets, &budgets, 512, 1)[0];
+    let evaluate = |guesser: &dyn passflow::Guesser| {
+        Attack::new(&targets)
+            .budget(budgets[0])
+            .batch_size(512)
+            .seed(1)
+            .run(guesser)
+            .unwrap()
+    };
+    let markov_outcome = evaluate(&markov);
+    let pcfg_outcome = evaluate(&pcfg);
+    let markov_report = markov_outcome.final_report();
+    let pcfg_report = pcfg_outcome.final_report();
 
     // A structure-aware guesser must land some matches on a corpus this
     // skewed; uniform-random strings essentially never would.
@@ -51,10 +61,17 @@ fn neural_baselines_train_and_produce_reportable_results() {
     );
     let cwae = Cwae::train(&split.train, encoder, CwaeConfig::tiny().with_epochs(3));
 
-    for reports in [
-        evaluate_guesser(&gan, &targets, &budgets, 512, 2),
-        evaluate_guesser(&cwae, &targets, &budgets, 512, 2),
-    ] {
+    let evaluate = |guesser: &dyn passflow::Guesser| {
+        Attack::new(&targets)
+            .budget(3_000)
+            .batch_size(512)
+            .checkpoints(budgets.to_vec())
+            .seed(2)
+            .run(guesser)
+            .unwrap()
+            .checkpoints
+    };
+    for reports in [evaluate(&gan), evaluate(&cwae)] {
         assert_eq!(reports.len(), 2);
         assert!(reports[1].unique >= reports[0].unique);
         assert!(reports[1].matched >= reports[0].matched);
@@ -72,8 +89,18 @@ fn pcfg_outperforms_markov_of_order_one_on_structured_corpora() {
     let budgets = [5_000u64];
     let markov1 = MarkovModel::train(&split.train, 1, 10);
     let pcfg = PcfgModel::train(&split.train, 10);
-    let markov_matched = evaluate_guesser(&markov1, &targets, &budgets, 512, 3)[0].matched;
-    let pcfg_matched = evaluate_guesser(&pcfg, &targets, &budgets, 512, 3)[0].matched;
+    let evaluate = |guesser: &dyn passflow::Guesser| {
+        Attack::new(&targets)
+            .budget(budgets[0])
+            .batch_size(512)
+            .seed(3)
+            .run(guesser)
+            .unwrap()
+            .final_report()
+            .matched
+    };
+    let markov_matched = evaluate(&markov1);
+    let pcfg_matched = evaluate(&pcfg);
     assert!(
         pcfg_matched >= markov_matched,
         "PCFG {pcfg_matched} vs order-1 Markov {markov_matched}"
@@ -81,11 +108,15 @@ fn pcfg_outperforms_markov_of_order_one_on_structured_corpora() {
 }
 
 #[test]
-fn baseline_generation_is_reproducible() {
+#[allow(deprecated)]
+fn baseline_generation_is_reproducible_through_the_legacy_trait() {
     let split = split();
     let markov = MarkovModel::train(&split.train, 2, 10);
+    // The deprecated trait is provided automatically for every Guesser.
     use passflow::baselines::PasswordGuesser;
+    use passflow::Guesser;
     let a = markov.generate(100, &mut nnrng::seeded(4));
     let b = markov.generate(100, &mut nnrng::seeded(4));
     assert_eq!(a, b);
+    assert_eq!(a, markov.generate_batch(100, &mut nnrng::seeded(4)));
 }

@@ -7,9 +7,8 @@ use std::sync::OnceLock;
 
 use passflow::nn::rng as nnrng;
 use passflow::{
-    interpolate_passwords, run_attack, train, AttackConfig, CorpusConfig, DynamicParams,
-    FlowConfig, GaussianSmoothing, GuessingStrategy, PassFlow, SyntheticCorpusGenerator,
-    TrainConfig,
+    interpolate_passwords, train, Attack, CorpusConfig, DynamicParams, FlowConfig,
+    GaussianSmoothing, GuessingStrategy, PassFlow, SyntheticCorpusGenerator, TrainConfig,
 };
 
 struct Fixture {
@@ -27,11 +26,8 @@ fn fixture() -> &'static Fixture {
             SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(12_000)).generate(101);
         let split = corpus.paper_split(0.8, 4_000, 101);
         let mut rng = nnrng::seeded(102);
-        let flow = PassFlow::new(
-            FlowConfig::tiny().with_coupling_layers(6),
-            &mut rng,
-        )
-        .expect("valid config");
+        let flow = PassFlow::new(FlowConfig::tiny().with_coupling_layers(6), &mut rng)
+            .expect("valid config");
         train(
             &flow,
             &split.train,
@@ -90,43 +86,40 @@ fn untrained_flow_is_much_worse_than_trained_flow() {
     // its guesses are much more diverse (the untrained flow collapses to a
     // tiny region of the data space).
     let budget = 4_000u64;
-    let trained_outcome = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(budget).with_seed(1),
-    );
-    let untrained_outcome = run_attack(
-        &untrained,
-        &fixture.targets,
-        &AttackConfig::quick(budget).with_seed(1),
-    );
+    let trained_outcome = Attack::new(&fixture.targets)
+        .budget(budget)
+        .seed(1)
+        .run(&fixture.flow)
+        .unwrap();
+    let untrained_outcome = Attack::new(&fixture.targets)
+        .budget(budget)
+        .seed(1)
+        .run(&untrained)
+        .unwrap();
     assert!(
         trained_outcome.final_report().unique > 2 * untrained_outcome.final_report().unique,
         "trained unique {} vs untrained unique {}",
         trained_outcome.final_report().unique,
         untrained_outcome.final_report().unique
     );
-    assert!(
-        trained_outcome.final_report().matched >= untrained_outcome.final_report().matched
-    );
+    assert!(trained_outcome.final_report().matched >= untrained_outcome.final_report().matched);
 }
 
 #[test]
 fn dynamic_sampling_beats_static_sampling_at_equal_budget() {
     let fixture = fixture();
     let budget = 6_000u64;
-    let static_outcome = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(budget).with_seed(3),
-    );
-    let dynamic_outcome = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(budget)
-            .with_strategy(GuessingStrategy::Dynamic(DynamicParams::new(1, 0.12, 4)))
-            .with_seed(3),
-    );
+    let static_outcome = Attack::new(&fixture.targets)
+        .budget(budget)
+        .seed(3)
+        .run(&fixture.flow)
+        .unwrap();
+    let dynamic_outcome = Attack::new(&fixture.targets)
+        .budget(budget)
+        .strategy(GuessingStrategy::Dynamic(DynamicParams::new(1, 0.12, 4)))
+        .seed(3)
+        .run(&fixture.flow)
+        .unwrap();
     // The paper's central result (Table II): conditioning the prior on
     // matched passwords finds more matches than static sampling.
     assert!(
@@ -142,23 +135,21 @@ fn gaussian_smoothing_recovers_unique_guesses_lost_to_dynamic_sampling() {
     let fixture = fixture();
     let budget = 5_000u64;
     let params = DynamicParams::new(0, 0.05, 1_000);
-    let dynamic = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(budget)
-            .with_strategy(GuessingStrategy::Dynamic(params))
-            .with_seed(5),
-    );
-    let dynamic_gs = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(budget)
-            .with_strategy(GuessingStrategy::DynamicWithSmoothing {
-                params,
-                smoothing: GaussianSmoothing::new(0.02, 6),
-            })
-            .with_seed(5),
-    );
+    let dynamic = Attack::new(&fixture.targets)
+        .budget(budget)
+        .strategy(GuessingStrategy::Dynamic(params))
+        .seed(5)
+        .run(&fixture.flow)
+        .unwrap();
+    let dynamic_gs = Attack::new(&fixture.targets)
+        .budget(budget)
+        .strategy(GuessingStrategy::DynamicWithSmoothing {
+            params,
+            smoothing: GaussianSmoothing::new(0.02, 6),
+        })
+        .seed(5)
+        .run(&fixture.flow)
+        .unwrap();
     // Table III's pattern: +GS generates at least as many unique guesses and
     // at least as many matches as plain dynamic sampling.
     assert!(dynamic_gs.final_report().unique >= dynamic.final_report().unique);
@@ -193,13 +184,12 @@ fn generated_guesses_follow_the_corpus_character_statistics() {
 #[test]
 fn matched_passwords_are_consistent_with_checkpoints() {
     let fixture = fixture();
-    let outcome = run_attack(
-        &fixture.flow,
-        &fixture.targets,
-        &AttackConfig::quick(3_000)
-            .with_checkpoints(vec![1_000, 2_000])
-            .with_seed(9),
-    );
+    let outcome = Attack::new(&fixture.targets)
+        .budget(3_000)
+        .checkpoints(vec![1_000, 2_000])
+        .seed(9)
+        .run(&fixture.flow)
+        .unwrap();
     assert_eq!(outcome.checkpoints.len(), 3);
     assert_eq!(
         outcome.final_report().matched as usize,
@@ -210,4 +200,18 @@ fn matched_passwords_are_consistent_with_checkpoints() {
         assert!(pair[0].matched <= pair[1].matched);
         assert!(pair[0].unique <= pair[1].unique);
     }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_attack_wrapper_matches_the_engine() {
+    use passflow::{run_attack, AttackConfig};
+    let fixture = fixture();
+    let config = AttackConfig::quick(1_000).with_seed(13);
+    let wrapped = run_attack(&fixture.flow, &fixture.targets, &config);
+    let direct = config
+        .to_attack(&fixture.targets)
+        .run(&fixture.flow)
+        .unwrap();
+    assert_eq!(wrapped, direct);
 }

@@ -56,7 +56,7 @@ fn flow_inverts_arbitrary_passwords() {
     for case in 0..CASES {
         let password = random_password(&mut rng);
         let flow = tiny_flow(case % 8, 4);
-        let x = flow.encode_batch(&[password.clone()]).unwrap();
+        let x = flow.encode_batch(std::slice::from_ref(&password)).unwrap();
         let (z, log_det) = flow.forward(&x);
         assert!(z.is_finite());
         assert!(log_det.is_finite());

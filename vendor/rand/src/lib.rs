@@ -225,10 +225,7 @@ pub mod rngs {
 
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -263,7 +260,7 @@ pub mod seq {
 
         fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
             for i in (1..self.len()).rev() {
-                let j = (rng.next_u64() as u128 * (i as u128 + 1) >> 64) as usize;
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
                 self.swap(i, j);
             }
         }
@@ -272,7 +269,7 @@ pub mod seq {
             if self.is_empty() {
                 None
             } else {
-                let i = (rng.next_u64() as u128 * (self.len() as u128) >> 64) as usize;
+                let i = ((rng.next_u64() as u128 * (self.len() as u128)) >> 64) as usize;
                 self.get(i)
             }
         }
