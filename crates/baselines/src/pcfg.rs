@@ -16,7 +16,7 @@ use passflow_nn::rng as nnrng;
 use passflow_passwords::stats::CharClass;
 
 /// One segment of a structure template: a character class and a length.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Segment {
     class: CharClass,
     len: usize,
@@ -79,7 +79,11 @@ impl PcfgModel {
         );
 
         let mut structures: Vec<(Vec<Segment>, u32)> = structure_counts.into_iter().collect();
-        structures.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+        // Tie-break equally frequent structures by the template itself:
+        // `HashMap` iteration order is randomized per process, and without a
+        // total order here the sampling distribution — and therefore every
+        // "same seed, same guesses" guarantee — would drift across runs.
+        structures.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let terminals = terminal_counts
             .into_iter()
             .map(|(segment, counts)| {
