@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use passflow_core::{FlowConfig, PassFlow};
+use passflow_core::{FlowConfig, FlowWorkspace, PassFlow};
 use passflow_nn::rng as nnrng;
 use passflow_nn::Tensor;
 use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
@@ -55,6 +55,17 @@ fn bench_forward_inverse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("inverse_256", label), &z, |b, z| {
             b.iter(|| flow.inverse(z))
         });
+        // Steady-state fast path: snapshot exported once, workspace and
+        // output buffers reused — zero allocation per iteration.
+        group.bench_with_input(BenchmarkId::new("inverse_into_256", label), &z, |b, z| {
+            let snapshot = flow.snapshot();
+            let mut ws = FlowWorkspace::new();
+            let mut out = Tensor::default();
+            b.iter(|| {
+                snapshot.inverse_into(z, &mut ws, &mut out);
+                out.get(0, 0)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("log_prob_256", label), &x, |b, x| {
             b.iter(|| flow.log_prob(x))
         });
@@ -104,6 +115,24 @@ fn bench_tensor_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
     group.throughput(Throughput::Elements((256 * 64 * 64) as u64));
     group.bench_function("matmul_256x64x64", |bench| bench.iter(|| a.matmul(&b_mat)));
+    group.finish();
+
+    // Square size sweep over the register-blocked GEMM (the coupling
+    // networks sit at the low end; the sweep tracks how the kernel scales
+    // toward cache-resident and cache-spilling shapes).
+    let mut group = c.benchmark_group("matmul_sweep");
+    for size in [64usize, 128, 256, 512] {
+        let a = Tensor::randn(size, size, &mut rng);
+        let b_mat = Tensor::randn(size, size, &mut rng);
+        group.throughput(Throughput::Elements((size * size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            let mut out = Tensor::default();
+            bench.iter(|| {
+                passflow_nn::kernels::matmul_into(&a, &b_mat, &mut out);
+                out.get(0, 0)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,163 @@
+//! Emits the repo's benchmark trajectory as JSON (`BENCH_*.json`).
+//!
+//! A minimal xtask-style harness: it times the two acceptance benchmarks —
+//! the flow inverse on the `eval_6x48` architecture and the end-to-end
+//! guessing attack — plus the GEMM microkernel, and writes the medians to a
+//! JSON file so CI and successive PRs can track a machine-local trajectory.
+//!
+//! ```text
+//! cargo run --release -p passflow-bench --bin bench_json -- \
+//!     [--quick] [--out BENCH_local.json]
+//! ```
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use passflow_core::{Attack, FlowConfig, FlowWorkspace, GuessingStrategy, PassFlow, TrainConfig};
+use passflow_nn::rng as nnrng;
+use passflow_nn::Tensor;
+use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+
+/// Median seconds/iteration over `samples` timed samples of an adaptively
+/// chosen iteration count (mirrors the vendored criterion shim).
+fn median_secs(samples: usize, mut body: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        if start.elapsed().as_millis() >= 5 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                body();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[per_iter.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    seconds_per_iter: f64,
+    elements_per_iter: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_local.json".to_string());
+    let samples = if quick { 3 } else { 15 };
+
+    let mut entries = Vec::new();
+
+    // -- GEMM microkernel ---------------------------------------------------
+    let mut rng = nnrng::seeded(9);
+    let a = Tensor::randn(256, 64, &mut rng);
+    let b = Tensor::randn(64, 64, &mut rng);
+    let mut out = Tensor::default();
+    let s = median_secs(samples, || {
+        passflow_nn::kernels::matmul_into(&a, &b, &mut out);
+    });
+    entries.push(Entry {
+        name: "tensor/matmul_256x64x64",
+        seconds_per_iter: s,
+        elements_per_iter: 256 * 64 * 64,
+    });
+
+    // -- inverse_256 / eval_6x48 (the acceptance micro-bench) ---------------
+    let mut rng = nnrng::seeded(11);
+    let flow = PassFlow::new(
+        FlowConfig::evaluation()
+            .with_coupling_layers(6)
+            .with_hidden_size(48),
+        &mut rng,
+    )
+    .expect("valid config");
+    let mut rng = nnrng::seeded(3);
+    let z = flow.sample_latent(256, &mut rng);
+    let s = median_secs(samples, || {
+        flow.inverse(&z);
+    });
+    entries.push(Entry {
+        name: "flow_pass/inverse_256/eval_6x48",
+        seconds_per_iter: s,
+        elements_per_iter: 256,
+    });
+    let snapshot = flow.snapshot();
+    let mut ws = FlowWorkspace::new();
+    let mut x = Tensor::default();
+    let s = median_secs(samples, || {
+        snapshot.inverse_into(&z, &mut ws, &mut x);
+    });
+    entries.push(Entry {
+        name: "flow_pass/inverse_into_256/eval_6x48",
+        seconds_per_iter: s,
+        elements_per_iter: 256,
+    });
+
+    // -- end-to-end guessing attack (the acceptance macro-bench) ------------
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(6_000)).generate(21);
+    let split = corpus.paper_split(0.8, 2_000, 21);
+    let mut rng = nnrng::seeded(22);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).expect("valid config");
+    let epochs = if quick { 1 } else { 3 };
+    passflow_core::train(
+        &flow,
+        &split.train,
+        &TrainConfig::tiny().with_epochs(epochs).with_batch_size(256),
+    )
+    .expect("training succeeds");
+    let targets: HashSet<String> = split.test_set();
+    let budget = 2_000u64;
+    for (name, strategy) in [
+        ("guessing/attack_2000/static", GuessingStrategy::Static),
+        (
+            "guessing/attack_2000/dynamic_gs",
+            GuessingStrategy::paper_default(budget),
+        ),
+    ] {
+        let s = median_secs(samples.min(10), || {
+            Attack::new(&targets)
+                .budget(budget)
+                .strategy(strategy.clone())
+                .run(&flow)
+                .expect("flow attacks always run");
+        });
+        entries.push(Entry {
+            name,
+            seconds_per_iter: s,
+            elements_per_iter: budget,
+        });
+    }
+
+    // -- emit ---------------------------------------------------------------
+    let mut json = String::from("{\n  \"schema\": \"passflow-bench-v1\",\n  \"results\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let rate = e.elements_per_iter as f64 / e.seconds_per_iter;
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"seconds_per_iter\": {:.9}, \"elements_per_second\": {:.0} }}{}",
+            e.name, e.seconds_per_iter, rate, comma
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("writing benchmark JSON");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

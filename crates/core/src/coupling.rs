@@ -17,6 +17,8 @@ use rand::Rng;
 
 use passflow_nn::{Module, Parameter, ResNet, Tape, Tensor, Var};
 
+use crate::fastpath::CouplingSnapshot;
+
 /// A single affine coupling layer with residual-network `s` (scale) and `t`
 /// (translation) functions.
 #[derive(Clone, Debug)]
@@ -78,6 +80,16 @@ impl CouplingLayer {
         let mut params = self.s_net.parameters();
         params.extend(self.t_net.parameters());
         params
+    }
+
+    /// Exports an owned, immutable [`CouplingSnapshot`] of the layer's masks
+    /// and network weights for the inference fast path.
+    pub fn snapshot(&self) -> CouplingSnapshot {
+        CouplingSnapshot::new(
+            self.mask.clone(),
+            self.s_net.snapshot(),
+            self.t_net.snapshot(),
+        )
     }
 
     fn tiled(&self, rows: usize, mask: &Tensor) -> Tensor {

@@ -6,13 +6,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use serde::{Deserialize, Serialize};
 
 use passflow_nn::rng as nnrng;
+use passflow_nn::Tensor;
 use rand::RngCore;
 
 use crate::error::{FlowError, Result};
-use crate::prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
+use crate::prior::{GaussianMixturePrior, StandardGaussianPrior};
 use crate::sample::{GaussianSmoothing, GuessingStrategy, MatchedLatents};
 
-use super::guesser::{Guesser, LatentGuesser};
+use super::guesser::{
+    GuessSession, Guesser, LatentGuesser, LatentSession, StatelessLatentSession, StatelessSession,
+};
 use super::sharded::ShardedSet;
 
 /// The streaming checkpoint callback an [`Attack`] can register.
@@ -246,10 +249,35 @@ enum PriorSnapshot {
 }
 
 impl PriorSnapshot {
-    fn sample(&self, n: usize, rng: &mut dyn RngCore) -> passflow_nn::Tensor {
+    /// Samples into a reused buffer; RNG consumption matches
+    /// [`Prior::sample`] exactly, so buffer reuse never changes results.
+    fn sample_into(&self, n: usize, rng: &mut dyn RngCore, out: &mut Tensor) {
         match self {
-            PriorSnapshot::Standard(prior) => prior.sample(n, rng),
-            PriorSnapshot::Mixture(prior) => prior.sample(n, rng),
+            PriorSnapshot::Standard(prior) => prior.sample_into(n, rng, out),
+            PriorSnapshot::Mixture(prior) => prior.sample_into(n, rng, out),
+        }
+    }
+}
+
+/// Per-worker state kept alive across chunks and epochs: the guesser's
+/// generation session (cached weight snapshot + scratch workspace) and the
+/// latent/feature buffers the chunk loop writes into. After the first chunk
+/// warms these up, steady-state generation allocates nothing but the guess
+/// strings themselves.
+struct WorkerCtx<'g> {
+    plain: Option<Box<dyn GuessSession + 'g>>,
+    latent: Option<Box<dyn LatentSession + 'g>>,
+    z: Tensor,
+    x: Tensor,
+}
+
+impl WorkerCtx<'_> {
+    fn new() -> Self {
+        WorkerCtx {
+            plain: None,
+            latent: None,
+            z: Tensor::default(),
+            x: Tensor::default(),
         }
     }
 }
@@ -341,7 +369,6 @@ impl AttackEngine {
         let mut state = ReduceState {
             targets: attack.targets,
             generated: ShardedSet::new(),
-            matched: HashSet::new(),
             matched_in_order: Vec::new(),
             matched_latents: MatchedLatents::new(),
             nonmatched_samples: Vec::new(),
@@ -360,6 +387,11 @@ impl AttackEngine {
             self.chunks.len().max(1)
         };
 
+        // One context per worker, kept warm across epochs. Sessions are
+        // started lazily inside whichever thread ends up owning the context.
+        let mut worker_ctxs: Vec<WorkerCtx<'_>> =
+            (0..self.shards.max(1)).map(|_| WorkerCtx::new()).collect();
+
         let mut dynamic_params = dynamic;
         for epoch in self.chunks.chunks(epoch_len) {
             // Build the epoch's prior snapshot from the matches so far.
@@ -376,31 +408,48 @@ impl AttackEngine {
                 (None, _) => None,
             };
 
-            let produce = |chunk: &Chunk| -> ChunkOutput {
+            let produce = pin_produce(|chunk: &Chunk, ctx| -> ChunkOutput {
                 let mut rng = nnrng::derived(attack.seed, chunk.index);
                 match (latent, prior.as_ref()) {
-                    (Some(lg), Some(prior)) => generate_latent_chunk(
-                        lg,
-                        chunk,
-                        prior,
-                        smoothing.as_ref(),
-                        &state.generated,
-                        attack.targets,
-                        state.track_latents,
-                        &mut rng,
-                    ),
-                    _ => ChunkOutput {
-                        guesses: guesser.generate_batch(chunk.len, &mut rng),
-                        matched_latents: Vec::new(),
-                    },
+                    (Some(lg), Some(prior)) => {
+                        let session = ctx.latent.get_or_insert_with(|| {
+                            lg.start_latent_session()
+                                .unwrap_or_else(|| Box::new(StatelessLatentSession(lg)))
+                        });
+                        generate_latent_chunk(
+                            lg,
+                            session.as_mut(),
+                            &mut ctx.z,
+                            &mut ctx.x,
+                            chunk,
+                            prior,
+                            smoothing.as_ref(),
+                            &state.generated,
+                            attack.targets,
+                            state.track_latents,
+                            &mut rng,
+                        )
+                    }
+                    _ => {
+                        let session = ctx.plain.get_or_insert_with(|| {
+                            guesser
+                                .start_session()
+                                .unwrap_or_else(|| Box::new(StatelessSession(guesser)))
+                        });
+                        ChunkOutput {
+                            guesses: session.generate_batch(chunk.len, &mut rng),
+                            matched_latents: Vec::new(),
+                        }
+                    }
                 }
-            };
+            });
 
             let workers = self.shards.min(epoch.len()).max(1);
             let outputs: Vec<ChunkOutput> = if workers == 1 {
-                epoch.iter().map(produce).collect()
+                let ctx = &mut worker_ctxs[0];
+                epoch.iter().map(|chunk| produce(chunk, ctx)).collect()
             } else {
-                run_parallel(epoch, workers, &produce)
+                run_parallel(epoch, &mut worker_ctxs[..workers], &produce)
             };
 
             for output in outputs {
@@ -419,21 +468,32 @@ impl AttackEngine {
     }
 }
 
+/// Pins the worker closure's signature so the session lifetime inside
+/// [`WorkerCtx`] is inferred from the surrounding guesser borrow instead of
+/// being over-generalized to a higher-ranked lifetime.
+fn pin_produce<'g, F>(f: F) -> F
+where
+    F: Fn(&Chunk, &mut WorkerCtx<'g>) -> ChunkOutput + Sync,
+{
+    f
+}
+
 /// Dynamic load balancing across worker threads: workers pull the next
 /// unclaimed chunk from a shared counter, so a slow chunk never stalls the
 /// others (cf. the dynamic load-balancing literature referenced in
 /// PAPERS.md). Outputs are re-assembled in chunk order, which is what makes
 /// the schedule irrelevant to the results.
-fn run_parallel(
+fn run_parallel<'g>(
     epoch: &[Chunk],
-    workers: usize,
-    produce: &(dyn Fn(&Chunk) -> ChunkOutput + Sync),
+    ctxs: &mut [WorkerCtx<'g>],
+    produce: &(dyn Fn(&Chunk, &mut WorkerCtx<'g>) -> ChunkOutput + Sync),
 ) -> Vec<ChunkOutput> {
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<ChunkOutput>> = (0..epoch.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
+        let handles: Vec<_> = ctxs
+            .iter_mut()
+            .map(|ctx| {
                 let next = &next;
                 scope.spawn(move || {
                     let mut produced = Vec::new();
@@ -442,7 +502,7 @@ fn run_parallel(
                         if i >= epoch.len() {
                             break;
                         }
-                        produced.push((i, produce(&epoch[i])));
+                        produced.push((i, produce(&epoch[i], ctx)));
                     }
                     produced
                 })
@@ -460,11 +520,16 @@ fn run_parallel(
         .collect()
 }
 
-/// Generates one chunk through the latent path: sample the epoch prior,
-/// invert, decode, and (optionally) smooth collisions away in data space.
+/// Generates one chunk through the latent path: sample the epoch prior into
+/// the worker's latent buffer, invert through the session's cached snapshot
+/// into the feature buffer, decode, and (optionally) smooth collisions away
+/// in data space.
 #[allow(clippy::too_many_arguments)]
 fn generate_latent_chunk(
     lg: &dyn LatentGuesser,
+    session: &mut dyn LatentSession,
+    z: &mut Tensor,
+    x: &mut Tensor,
     chunk: &Chunk,
     prior: &PriorSnapshot,
     smoothing: Option<&GaussianSmoothing>,
@@ -473,10 +538,12 @@ fn generate_latent_chunk(
     track_latents: bool,
     rng: &mut dyn RngCore,
 ) -> ChunkOutput {
-    let z = prior.sample(chunk.len, rng);
-    let x = lg.latents_to_features(&z);
+    prior.sample_into(chunk.len, rng, z);
+    session.latents_to_features_into(z, x);
 
-    let mut local: HashSet<String> = HashSet::new();
+    // The chunk-local dedup view is only consulted by smoothing; skip the
+    // per-guess clone + hash entirely for strategies without it.
+    let mut local: Option<HashSet<String>> = smoothing.map(|_| HashSet::new());
     let mut guesses = Vec::with_capacity(chunk.len);
     let mut matched_latents = Vec::new();
     for i in 0..chunk.len {
@@ -487,18 +554,27 @@ fn generate_latent_chunk(
         // already generated (in the shared snapshot or earlier in this
         // chunk), incrementally perturb the data-space point until it
         // decodes to something new (Section III-C).
-        if let Some(smoothing) = smoothing {
+        if let (Some(smoothing), Some(local)) = (smoothing, local.as_mut()) {
             if generated.contains(&guess) || local.contains(&guess) {
-                if let Some(perturbed) = smoothing.perturb_until(features, rng, |candidate| {
+                // The accepting attempt's decode is captured inside the
+                // predicate, so a successful perturbation costs no second
+                // decode.
+                let mut accepted: Option<String> = None;
+                let found = smoothing.perturb_until(features, rng, |candidate| {
                     let decoded = lg.decode_features(candidate);
-                    !generated.contains(&decoded) && !local.contains(&decoded)
-                }) {
-                    guess = lg.decode_features(&perturbed);
+                    let fresh = !generated.contains(&decoded) && !local.contains(&decoded);
+                    if fresh {
+                        accepted = Some(decoded);
+                    }
+                    fresh
+                });
+                if let (Some(_), Some(decoded)) = (found, accepted) {
+                    guess = decoded;
                 }
             }
+            local.insert(guess.clone());
         }
 
-        local.insert(guess.clone());
         if track_latents && targets.contains(&guess) {
             matched_latents.push((i, z.row_slice(i).to_vec()));
         }
@@ -516,7 +592,6 @@ fn generate_latent_chunk(
 struct ReduceState<'a> {
     targets: &'a HashSet<String>,
     generated: ShardedSet,
-    matched: HashSet<String>,
     matched_in_order: Vec<String>,
     matched_latents: MatchedLatents,
     nonmatched_samples: Vec<String>,
@@ -541,37 +616,43 @@ impl ReduceState<'_> {
                 Some((j, _)) if *j == i => latents.next().map(|(_, z)| z),
                 _ => None,
             };
+            // Every guess the attack has ever produced is in `generated`,
+            // and every target in `generated` was counted as a match when it
+            // first appeared — so one membership probe classifies repeats,
+            // and the string itself is *moved* into whichever set keeps it:
+            // matched guesses are cloned exactly once (dedup set + match
+            // list), unmatched ones not at all (beyond the ≤cap samples).
+            if self.generated.contains(&guess) {
+                continue;
+            }
             if self.targets.contains(&guess) {
-                if self.matched.insert(guess.clone()) {
-                    if self.track_latents {
-                        if let Some(z) = latent {
-                            self.matched_latents.insert(z);
-                        }
+                if self.track_latents {
+                    if let Some(z) = latent {
+                        self.matched_latents.insert(z);
                     }
-                    self.generated.insert(guess.clone());
-                    self.matched_in_order.push(guess);
-                    continue;
+                }
+                self.generated.insert(guess.clone());
+                self.matched_in_order.push(guess);
+            } else {
+                if self.nonmatched_samples.len() < self.nonmatched_cap {
+                    self.nonmatched_samples.push(guess.clone());
                 }
                 self.generated.insert(guess);
-            } else {
-                let is_new = self.generated.insert(guess.clone());
-                if is_new && self.nonmatched_samples.len() < self.nonmatched_cap {
-                    self.nonmatched_samples.push(guess);
-                }
             }
         }
 
         while self.next_checkpoint < checkpoints.len()
             && self.guesses_made >= checkpoints[self.next_checkpoint]
         {
+            let matched = self.matched_in_order.len();
             let report = CheckpointReport {
                 guesses: checkpoints[self.next_checkpoint],
                 unique: self.generated.len() as u64,
-                matched: self.matched.len() as u64,
+                matched: matched as u64,
                 matched_percent: if self.targets.is_empty() {
                     0.0
                 } else {
-                    100.0 * self.matched.len() as f64 / self.targets.len() as f64
+                    100.0 * matched as f64 / self.targets.len() as f64
                 },
             };
             if let Some(observer) = observer.as_deref_mut() {

@@ -1,9 +1,14 @@
-//! The [`Guesser`] abstraction every password-guessing model implements.
+//! The [`Guesser`] abstraction every password-guessing model implements,
+//! plus the per-worker generation *sessions* that let models cache weight
+//! snapshots and scratch buffers across batches.
+
+use std::sync::Arc;
 
 use rand::RngCore;
 
 use passflow_nn::Tensor;
 
+use crate::fastpath::{FlowSnapshot, FlowWorkspace};
 use crate::flow::PassFlow;
 
 /// A trained password-guessing model that can generate candidate passwords
@@ -36,6 +41,38 @@ pub trait Guesser: Send + Sync {
     fn as_latent(&self) -> Option<&dyn LatentGuesser> {
         None
     }
+
+    /// Starts a per-worker [`GuessSession`], or `None` if the guesser is
+    /// stateless (the engine then falls back to calling
+    /// [`Guesser::generate_batch`] directly).
+    ///
+    /// A session may cache an immutable weight snapshot and scratch buffers,
+    /// making steady-state generation lock- and allocation-free. Sessions
+    /// **must** generate bit-identical guesses to `generate_batch` for the
+    /// same RNG stream — the engine's results never depend on whether (or
+    /// how often) sessions are restarted.
+    fn start_session(&self) -> Option<Box<dyn GuessSession + '_>> {
+        None
+    }
+}
+
+/// A per-worker generation context created by [`Guesser::start_session`].
+///
+/// `Send` (but not `Sync`) so the engine can keep one session per worker
+/// thread alive across epochs; all mutability is session-local.
+pub trait GuessSession: Send {
+    /// Generates `n` guesses, reusing session buffers where possible.
+    fn generate_batch(&mut self, n: usize, rng: &mut dyn RngCore) -> Vec<String>;
+}
+
+/// The fallback [`GuessSession`] for stateless guessers: a pass-through to
+/// [`Guesser::generate_batch`].
+pub struct StatelessSession<'g>(pub &'g dyn Guesser);
+
+impl GuessSession for StatelessSession<'_> {
+    fn generate_batch(&mut self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        self.0.generate_batch(n, rng)
+    }
 }
 
 /// Extension trait for guessers backed by an invertible latent-variable
@@ -57,6 +94,93 @@ pub trait LatentGuesser: Guesser {
 
     /// Decodes one data-space feature row into a password guess.
     fn decode_features(&self, features: &[f32]) -> String;
+
+    /// Starts a per-worker [`LatentSession`], or `None` if the guesser has
+    /// no cacheable inference state (the engine then falls back to
+    /// [`LatentGuesser::latents_to_features`]).
+    ///
+    /// Sessions **must** map latents bit-identically to
+    /// `latents_to_features`.
+    fn start_latent_session(&self) -> Option<Box<dyn LatentSession + '_>> {
+        None
+    }
+}
+
+/// A per-worker latent-inference context created by
+/// [`LatentGuesser::start_latent_session`].
+pub trait LatentSession: Send {
+    /// Maps a batch of latent rows to data-space feature rows, writing into
+    /// `out` and reusing session scratch buffers.
+    fn latents_to_features_into(&mut self, z: &Tensor, out: &mut Tensor);
+}
+
+/// The fallback [`LatentSession`] for guessers without cacheable state: a
+/// pass-through to [`LatentGuesser::latents_to_features`].
+pub struct StatelessLatentSession<'g>(pub &'g dyn LatentGuesser);
+
+impl LatentSession for StatelessLatentSession<'_> {
+    fn latents_to_features_into(&mut self, z: &Tensor, out: &mut Tensor) {
+        *out = self.0.latents_to_features(z);
+    }
+}
+
+/// The flow's generation session: a cached weight snapshot plus reusable
+/// latent, feature and hidden-activation buffers. After the first batch
+/// warms the buffers, generation performs no allocation inside the flow
+/// (guess strings are still allocated, as they are the output).
+///
+/// The snapshot is revalidated against the flow's parameter version stamps
+/// on every batch, so the session always generates from current weights —
+/// bit-identically to [`Guesser::generate_batch`] — while unchanged weights
+/// cost only a stamp comparison, not a re-export.
+pub struct FlowSession<'f> {
+    flow: &'f PassFlow,
+    snapshot: Arc<FlowSnapshot>,
+    ws: FlowWorkspace,
+    z: Tensor,
+    x: Tensor,
+}
+
+impl<'f> FlowSession<'f> {
+    fn new(flow: &'f PassFlow) -> Self {
+        FlowSession {
+            flow,
+            snapshot: flow.snapshot(),
+            ws: FlowWorkspace::new(),
+            z: Tensor::default(),
+            x: Tensor::default(),
+        }
+    }
+
+    /// Refreshes the cached snapshot if any parameter changed since it was
+    /// exported (a lock-read plus `Arc` clone when weights are unchanged).
+    fn refresh(&mut self) {
+        if !self.snapshot.is_current() {
+            self.snapshot = self.flow.snapshot();
+        }
+    }
+}
+
+impl GuessSession for FlowSession<'_> {
+    fn generate_batch(&mut self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        // Bit-identical to `PassFlow::sample_passwords`: the prior draw
+        // consumes the RNG exactly like `Tensor::randn`, and the snapshot
+        // inverse is 0-ULP-exact with the reference inverse.
+        self.refresh();
+        Tensor::randn_into(n, self.snapshot.dim(), rng, &mut self.z);
+        self.snapshot
+            .inverse_into(&self.z, &mut self.ws, &mut self.x);
+        (0..n)
+            .map(|i| self.flow.encoder().decode(self.x.row_slice(i)))
+            .collect()
+    }
+}
+
+impl LatentSession for FlowSession<'_> {
+    fn latents_to_features_into(&mut self, z: &Tensor, out: &mut Tensor) {
+        self.refresh();
+        self.snapshot.inverse_into(z, &mut self.ws, out);
+    }
 }
 
 impl Guesser for PassFlow {
@@ -71,6 +195,10 @@ impl Guesser for PassFlow {
     fn as_latent(&self) -> Option<&dyn LatentGuesser> {
         Some(self)
     }
+
+    fn start_session(&self) -> Option<Box<dyn GuessSession + '_>> {
+        Some(Box::new(FlowSession::new(self)))
+    }
 }
 
 impl LatentGuesser for PassFlow {
@@ -84,6 +212,10 @@ impl LatentGuesser for PassFlow {
 
     fn decode_features(&self, features: &[f32]) -> String {
         self.encoder().decode(features)
+    }
+
+    fn start_latent_session(&self) -> Option<Box<dyn LatentSession + '_>> {
+        Some(Box::new(FlowSession::new(self)))
     }
 }
 

@@ -41,5 +41,8 @@ mod guesser;
 mod sharded;
 
 pub use attack::{Attack, AttackEngine, AttackOutcome, CheckpointReport};
-pub use guesser::{Guesser, LatentGuesser};
+pub use guesser::{
+    FlowSession, GuessSession, Guesser, LatentGuesser, LatentSession, StatelessLatentSession,
+    StatelessSession,
+};
 pub use sharded::ShardedSet;

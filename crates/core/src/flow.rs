@@ -2,6 +2,9 @@
 //! invertible map between password feature vectors and a Gaussian latent
 //! space (Sections II and III of the paper).
 
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 use rand::Rng;
 
 use passflow_nn::rng as nnrng;
@@ -11,6 +14,7 @@ use passflow_passwords::PasswordEncoder;
 use crate::config::FlowConfig;
 use crate::coupling::CouplingLayer;
 use crate::error::{FlowError, Result};
+use crate::fastpath::{FlowSnapshot, FlowWorkspace};
 use crate::prior::{Prior, StandardGaussianPrior};
 
 const LN_2PI: f32 = 1.837_877_1;
@@ -39,6 +43,20 @@ pub struct PassFlow {
     config: FlowConfig,
     encoder: PasswordEncoder,
     couplings: Vec<CouplingLayer>,
+    snapshot_cache: SnapshotCache,
+}
+
+/// A lazily built, automatically invalidated cache of the flow's inference
+/// snapshot. Cloning a `PassFlow` starts the clone with a cold cache (the
+/// weights themselves are shared handles, so both caches converge to the
+/// same snapshot on demand).
+#[derive(Debug, Default)]
+struct SnapshotCache(RwLock<Option<Arc<FlowSnapshot>>>);
+
+impl Clone for SnapshotCache {
+    fn clone(&self) -> Self {
+        SnapshotCache::default()
+    }
 }
 
 impl PassFlow {
@@ -89,6 +107,7 @@ impl PassFlow {
             config,
             encoder,
             couplings,
+            snapshot_cache: SnapshotCache::default(),
         })
     }
 
@@ -152,11 +171,28 @@ impl PassFlow {
     // Forward / inverse / density
     // ------------------------------------------------------------------
 
-    /// Applies the forward flow `z = f_θ(x)`.
+    /// Applies the forward flow `z = f_θ(x)` through the inference fast
+    /// path (cached weight snapshot + fused kernels).
     ///
     /// Returns the latent batch and the per-sample log-determinant of the
-    /// Jacobian (a `batch × 1` tensor).
+    /// Jacobian (a `batch × 1` tensor). Bit-exact with
+    /// [`forward_reference`](Self::forward_reference).
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        self.snapshot().forward(x)
+    }
+
+    /// Applies the inverse flow `x = f_θ⁻¹(z)` through the inference fast
+    /// path (cached weight snapshot + fused kernels).
+    ///
+    /// Bit-exact with [`inverse_reference`](Self::inverse_reference).
+    pub fn inverse(&self, z: &Tensor) -> Tensor {
+        self.snapshot().inverse(z)
+    }
+
+    /// Reference forward implementation: chains
+    /// [`CouplingLayer::forward`] with per-layer tensor allocation. Kept as
+    /// the oracle the fast path is tested against to 0 ULP.
+    pub fn forward_reference(&self, x: &Tensor) -> (Tensor, Tensor) {
         assert_eq!(
             x.cols(),
             self.dim(),
@@ -172,8 +208,10 @@ impl PassFlow {
         (z, log_det)
     }
 
-    /// Applies the inverse flow `x = f_θ⁻¹(z)`.
-    pub fn inverse(&self, z: &Tensor) -> Tensor {
+    /// Reference inverse implementation: chains
+    /// [`CouplingLayer::inverse`] with per-layer tensor allocation. Kept as
+    /// the oracle the fast path is tested against to 0 ULP.
+    pub fn inverse_reference(&self, z: &Tensor) -> Tensor {
         assert_eq!(
             z.cols(),
             self.dim(),
@@ -308,6 +346,37 @@ impl PassFlow {
     // ------------------------------------------------------------------
     // Weight snapshots
     // ------------------------------------------------------------------
+
+    /// Returns the flow's inference snapshot (see [`FlowSnapshot`]),
+    /// exporting the weights at most once between weight mutations.
+    ///
+    /// The snapshot is cached behind version stamps: any `set_value` /
+    /// optimizer update to a parameter invalidates it, so callers always
+    /// observe current weights while steady-state inference pays the export
+    /// cost once per chunk/epoch instead of one lock + clone per layer call.
+    pub fn snapshot(&self) -> Arc<FlowSnapshot> {
+        {
+            let cached = self.snapshot_cache.0.read();
+            if let Some(snapshot) = cached.as_ref() {
+                if snapshot.is_current() {
+                    return Arc::clone(snapshot);
+                }
+            }
+        }
+        let fresh = Arc::new(FlowSnapshot::new(
+            self.couplings.iter().map(CouplingLayer::snapshot).collect(),
+            self.parameters(),
+        ));
+        *self.snapshot_cache.0.write() = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Applies the inverse flow into `out` using a caller-managed snapshot
+    /// and workspace — the allocation-free form of [`inverse`](Self::inverse)
+    /// used by the attack engine's chunk loop.
+    pub fn inverse_into(&self, z: &Tensor, ws: &mut FlowWorkspace, out: &mut Tensor) {
+        self.snapshot().inverse_into(z, ws, out);
+    }
 
     /// Copies all parameter values into a flat list (for checkpointing).
     pub fn weight_snapshot(&self) -> Vec<Tensor> {

@@ -54,6 +54,7 @@ mod config;
 mod coupling;
 pub mod engine;
 mod error;
+mod fastpath;
 mod flow;
 mod guess;
 mod interpolate;
@@ -67,9 +68,11 @@ pub use conditional::{conditional_guess, ConditionalConfig, ConditionalGuess, Pa
 pub use config::{FlowConfig, TrainConfig};
 pub use coupling::CouplingLayer;
 pub use engine::{
-    Attack, AttackEngine, AttackOutcome, CheckpointReport, Guesser, LatentGuesser, ShardedSet,
+    Attack, AttackEngine, AttackOutcome, CheckpointReport, FlowSession, GuessSession, Guesser,
+    LatentGuesser, LatentSession, ShardedSet,
 };
 pub use error::{FlowError, Result};
+pub use fastpath::{CouplingSnapshot, FlowSnapshot, FlowWorkspace};
 pub use flow::PassFlow;
 #[allow(deprecated)]
 pub use guess::run_attack;

@@ -48,6 +48,15 @@ impl StandardGaussianPrior {
     }
 }
 
+impl StandardGaussianPrior {
+    /// Draws `n` samples into `out` (resized as needed), consuming the RNG
+    /// identically to [`Prior::sample`], so reused buffers give bit-identical
+    /// results to fresh allocations.
+    pub fn sample_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Tensor) {
+        Tensor::randn_into(n, self.dim, rng, out);
+    }
+}
+
 impl Prior for StandardGaussianPrior {
     fn dim(&self) -> usize {
         self.dim
@@ -144,6 +153,21 @@ impl GaussianMixturePrior {
     /// Per-component standard deviations.
     pub fn sigmas(&self) -> &[f32] {
         &self.sigmas
+    }
+
+    /// Draws `n` samples into `out` (resized as needed), consuming the RNG
+    /// identically to [`Prior::sample`], so reused buffers give bit-identical
+    /// results to fresh allocations.
+    pub fn sample_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Tensor) {
+        out.resize(n, self.dim);
+        for i in 0..n {
+            let k = nnrng::sample_discrete(&self.weights, rng);
+            let center = &self.centers[k];
+            let sigma = self.sigmas[k];
+            for (j, &c) in center.iter().enumerate() {
+                out.set(i, j, c + sigma * nnrng::standard_normal(rng));
+            }
+        }
     }
 }
 

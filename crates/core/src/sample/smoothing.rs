@@ -53,10 +53,18 @@ impl GaussianSmoothing {
     /// Returns a perturbed copy of a data-space feature vector:
     /// `x + ε, ε ~ N(0, σ² I)`.
     pub fn perturb<R: Rng + ?Sized>(&self, features: &[f32], rng: &mut R) -> Vec<f32> {
-        features
-            .iter()
-            .map(|&v| v + self.sigma * nnrng::standard_normal(rng))
-            .collect()
+        let mut out = features.to_vec();
+        self.perturb_in_place(&mut out, rng);
+        out
+    }
+
+    /// Adds `ε ~ N(0, σ² I)` to `features` in place (the allocation-free
+    /// form the attack engine's smoothing loop uses; RNG consumption is
+    /// identical to [`perturb`](Self::perturb)).
+    pub fn perturb_in_place<R: Rng + ?Sized>(&self, features: &mut [f32], rng: &mut R) {
+        for v in features {
+            *v += self.sigma * nnrng::standard_normal(rng);
+        }
     }
 
     /// Incrementally perturbs `features` until `accept` returns true or
@@ -65,7 +73,8 @@ impl GaussianSmoothing {
     ///
     /// "Incrementally" follows the paper: each attempt adds noise to the
     /// *previous* attempt, drifting further from the original point the
-    /// longer the collision persists.
+    /// longer the collision persists. One scratch vector is reused across
+    /// attempts.
     pub fn perturb_until<R: Rng + ?Sized>(
         &self,
         features: &[f32],
@@ -74,7 +83,7 @@ impl GaussianSmoothing {
     ) -> Option<Vec<f32>> {
         let mut current = features.to_vec();
         for _ in 0..self.max_attempts {
-            current = self.perturb(&current, rng);
+            self.perturb_in_place(&mut current, rng);
             if accept(&current) {
                 return Some(current);
             }

@@ -26,6 +26,9 @@ struct ParamData {
     value: Tensor,
     grad: Tensor,
     name: String,
+    /// Bumped on every value mutation; lets weight snapshots detect
+    /// staleness without comparing tensors.
+    version: u64,
 }
 
 /// A trainable parameter shared between a model and the optimizer.
@@ -45,12 +48,23 @@ impl Parameter {
             value,
             grad,
             name: name.into(),
+            version: 0,
         })))
     }
 
     /// Returns a copy of the current value.
     pub fn value(&self) -> Tensor {
         self.0.read().value.clone()
+    }
+
+    /// A counter incremented on every value mutation
+    /// ([`set_value`](Self::set_value) / [`update_value`](Self::update_value)).
+    ///
+    /// Weight snapshots record the version at export time and compare it to
+    /// detect staleness, so cached inference snapshots invalidate themselves
+    /// the moment an optimizer steps the parameter.
+    pub fn version(&self) -> u64 {
+        self.0.read().version
     }
 
     /// Replaces the current value.
@@ -67,6 +81,7 @@ impl Parameter {
             data.name
         );
         data.value = value;
+        data.version += 1;
     }
 
     /// Returns a copy of the accumulated gradient.
@@ -113,6 +128,7 @@ impl Parameter {
             "update must preserve parameter shape"
         );
         data.value = new;
+        data.version += 1;
     }
 
     /// Returns `true` if the two handles refer to the same underlying storage.

@@ -1,0 +1,519 @@
+//! Allocation-free compute kernels for the inference fast path.
+//!
+//! Every kernel writes into a caller-provided buffer and is **bit-exact**
+//! with the reference tensor-op chain it replaces: each output element is
+//! produced by the same floating-point operations in the same order, so the
+//! fast path and the reference path agree to 0 ULP. Concretely, every matrix
+//! product accumulates `Σ_p fma(a[i][p], b[p][j], acc)` left-to-right from
+//! `0.0` — [`Tensor::matmul`] and every fused variant route through the one
+//! GEMM below, so "reference" and "fast" disagree in *allocation*, never in
+//! value. Any bias is added *after* the full accumulation (mirroring
+//! `matmul` + `add_row_broadcast`), and fused elementwise kernels apply the
+//! same scalar functions in the same sequence as the tensor-op chain.
+//!
+//! The matrix core is a register-blocked i-k-j GEMM: 4 output rows × 16
+//! output columns are accumulated in registers while `p` streams through the
+//! shared dimension, with 8/4/1-wide column tails and single-row tails for
+//! ragged shapes. Register blocking re-tiles the *independent* i/j loops
+//! only, and the per-lane `mul_add` keeps exact FMA semantics, so
+//! vectorization never reassociates the `p` accumulation order. (A
+//! pre-transposed B operand was evaluated for the Linear path and rejected:
+//! a dot-product inner loop can only vectorize by reassociating the
+//! reduction, which breaks bit-exactness. The snapshot instead stores B
+//! contiguous and row-major, which the i-k-j kernel streams with unit
+//! stride.)
+
+use crate::tensor::Tensor;
+use crate::ActivationKind;
+
+/// What to do with the accumulated dot products when a tile completes.
+#[derive(Clone, Copy)]
+enum Epilogue<'a> {
+    /// `out = acc` (plain matrix product).
+    Store,
+    /// `out = acc + bias[j]` (fused linear layer).
+    Bias(&'a [f32]),
+    /// `out += acc + bias[j]` (fused residual branch).
+    BiasAdd(&'a [f32]),
+}
+
+/// One register tile: `R` output rows × `W` output columns at `(i, j)`.
+///
+/// Accumulates over the full shared dimension `k` with `p` ascending via
+/// fused multiply-adds, then applies the epilogue. `mul_add` has exact FMA
+/// semantics per element, so the loop vectorizes to `vfmadd` without any
+/// reassociation — every caller of the GEMM (reference path, fast path,
+/// autograd) therefore computes the identical value.
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn tile<const R: usize, const W: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    let mut acc = [[0.0f32; W]; R];
+    // Pre-sliced A rows let the compiler prove `p` stays in range.
+    let a_rows: [&[f32]; R] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+    let mut b_off = j;
+    for p in 0..k {
+        let b_row: &[f32; W] = b[b_off..b_off + W].try_into().expect("tile width");
+        for r in 0..R {
+            let a_val = a_rows[r][p];
+            for c in 0..W {
+                acc[r][c] = a_val.mul_add(b_row[c], acc[r][c]);
+            }
+        }
+        b_off += n;
+    }
+    for r in 0..R {
+        let out_row = &mut out[(i + r) * n + j..(i + r) * n + j + W];
+        match epi {
+            Epilogue::Store => out_row.copy_from_slice(&acc[r]),
+            Epilogue::Bias(bias) => {
+                for c in 0..W {
+                    out_row[c] = acc[r][c] + bias[j + c];
+                }
+            }
+            Epilogue::BiasAdd(bias) => {
+                for c in 0..W {
+                    out_row[c] += acc[r][c] + bias[j + c];
+                }
+            }
+        }
+    }
+}
+
+/// All column tiles for a block of `R` rows starting at row `i`.
+#[inline(always)]
+fn row_block<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    let mut j = 0;
+    while j + 16 <= n {
+        tile::<R, 16>(a, b, out, i, j, k, n, epi);
+        j += 16;
+    }
+    if j + 8 <= n {
+        tile::<R, 8>(a, b, out, i, j, k, n, epi);
+        j += 8;
+    }
+    if j + 4 <= n {
+        tile::<R, 4>(a, b, out, i, j, k, n, epi);
+        j += 4;
+    }
+    while j < n {
+        tile::<R, 1>(a, b, out, i, j, k, n, epi);
+        j += 1;
+    }
+}
+
+/// The blocked GEMM driver: `out ∘= a (m×k) × b (k×n)` under `epi`.
+fn gemm(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], epi: Epilogue<'_>) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut i = 0;
+    while i + 4 <= m {
+        row_block::<4>(a, b, out, i, k, n, epi);
+        i += 4;
+    }
+    while i < m {
+        row_block::<1>(a, b, out, i, k, n, epi);
+        i += 1;
+    }
+}
+
+/// Matrix product `a × b` written into `out` (resized as needed; previous
+/// contents are ignored and every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} × {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.resize(m, n);
+    gemm(
+        a.as_slice(),
+        m,
+        k,
+        b.as_slice(),
+        n,
+        out.as_mut_slice(),
+        Epilogue::Store,
+    );
+}
+
+/// Fused linear layer: `out = input × weight + bias` (bias broadcast across
+/// rows), written into `out` (resized as needed).
+///
+/// Bit-exact with `input.matmul(weight).add_row_broadcast(bias)`: the bias
+/// is added once per element after the full accumulation.
+///
+/// # Panics
+///
+/// Panics on shape mismatch (`input.cols() != weight.rows()` or `bias` not
+/// `1 × weight.cols()`).
+pub fn matmul_bias_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    assert_eq!(input.cols(), weight.rows(), "matmul_bias shape mismatch");
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
+    let (m, k, n) = (input.rows(), input.cols(), weight.cols());
+    out.resize(m, n);
+    gemm(
+        input.as_slice(),
+        m,
+        k,
+        weight.as_slice(),
+        n,
+        out.as_mut_slice(),
+        Epilogue::Bias(bias.as_slice()),
+    );
+}
+
+/// Fused residual linear layer: `out += input × weight + bias`.
+///
+/// Bit-exact with `out.add(&input.matmul(weight).add_row_broadcast(bias))`
+/// (IEEE-754 addition is commutative in value, and the bias is folded into
+/// the product term before the residual add).
+///
+/// # Panics
+///
+/// Panics on shape mismatch, including `out` not being
+/// `input.rows() × weight.cols()`.
+pub fn matmul_bias_add_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    assert_eq!(input.cols(), weight.rows(), "matmul_bias shape mismatch");
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
+    assert_eq!(
+        out.shape(),
+        (input.rows(), weight.cols()),
+        "residual output shape mismatch"
+    );
+    gemm(
+        input.as_slice(),
+        input.rows(),
+        input.cols(),
+        weight.as_slice(),
+        weight.cols(),
+        out.as_mut_slice(),
+        Epilogue::BiasAdd(bias.as_slice()),
+    );
+}
+
+/// In-place rectified linear unit (`v ← max(v, 0)`).
+pub fn relu_in_place(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
+/// In-place hyperbolic tangent (same [`crate::math::fast_tanh`] as
+/// [`Tensor::tanh`]).
+pub fn tanh_in_place(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = crate::math::fast_tanh(*v);
+    }
+}
+
+/// In-place exponential (same [`crate::math::fast_exp`] as
+/// [`Tensor::exp`]).
+pub fn exp_in_place(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = crate::math::fast_exp(*v);
+    }
+}
+
+/// In-place logistic sigmoid (same [`crate::math::fast_sigmoid`] as
+/// [`Tensor::sigmoid`]).
+pub fn sigmoid_in_place(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = crate::math::fast_sigmoid(*v);
+    }
+}
+
+/// Applies `kind` elementwise in place.
+pub fn activate_in_place(kind: ActivationKind, t: &mut Tensor) {
+    match kind {
+        ActivationKind::Relu => relu_in_place(t),
+        ActivationKind::Tanh => tanh_in_place(t),
+        ActivationKind::Sigmoid => sigmoid_in_place(t),
+    }
+}
+
+/// Row-broadcast product `out = src ⊙ scale` where `scale` is `1 × cols`,
+/// written into `out` (resized as needed).
+///
+/// # Panics
+///
+/// Panics if `scale` is not a `1 × src.cols()` row vector.
+pub fn mul_row_broadcast_into(src: &Tensor, scale: &Tensor, out: &mut Tensor) {
+    assert_eq!(scale.rows(), 1, "scale must be a row vector");
+    assert_eq!(scale.cols(), src.cols(), "scale width must match tensor");
+    out.resize(src.rows(), src.cols());
+    let cols = src.cols();
+    let s = scale.as_slice();
+    for (out_row, src_row) in out
+        .as_mut_slice()
+        .chunks_exact_mut(cols)
+        .zip(src.as_slice().chunks_exact(cols))
+    {
+        for c in 0..cols {
+            out_row[c] = src_row[c] * s[c];
+        }
+    }
+}
+
+/// Fused affine-coupling forward combine (Equation 13):
+///
+/// `z = b ⊙ x + (1 − b) ⊙ (x ⊙ exp(s) + t)`, with the per-row masked scale
+/// sums `Σ_j (1 − b)_j · s_j` **added** to `log_det_acc` (which accumulates
+/// across coupling layers).
+///
+/// Bit-exact with the reference chain
+/// `x.mul(&s.exp()).add(&t).mul_row_broadcast(&inv_mask)` +
+/// `masked_x.add(..)` and `s.mul_row_broadcast(&inv_mask).sum_rows()`
+/// (row sums run left-to-right).
+///
+/// # Panics
+///
+/// Panics if shapes disagree (`x`, `s`, `t` equal shapes; masks `1 × cols`;
+/// `log_det_acc` is `rows × 1`).
+#[allow(clippy::many_single_char_names)]
+pub fn affine_coupling_forward_into(
+    x: &Tensor,
+    s: &Tensor,
+    t: &Tensor,
+    mask: &Tensor,
+    inv_mask: &Tensor,
+    z_out: &mut Tensor,
+    log_det_acc: &mut Tensor,
+) {
+    assert_eq!(x.shape(), s.shape(), "coupling forward shape mismatch");
+    assert_eq!(x.shape(), t.shape(), "coupling forward shape mismatch");
+    assert_eq!(mask.cols(), x.cols(), "mask width must match input");
+    assert_eq!(inv_mask.cols(), x.cols(), "mask width must match input");
+    assert_eq!(
+        log_det_acc.shape(),
+        (x.rows(), 1),
+        "log-det accumulator must be rows × 1"
+    );
+    let cols = x.cols();
+    z_out.resize(x.rows(), cols);
+    let m = mask.as_slice();
+    let im = inv_mask.as_slice();
+    let ld = log_det_acc.as_mut_slice();
+    for (i, ((z_row, x_row), (s_row, t_row))) in z_out
+        .as_mut_slice()
+        .chunks_exact_mut(cols)
+        .zip(x.as_slice().chunks_exact(cols))
+        .zip(
+            s.as_slice()
+                .chunks_exact(cols)
+                .zip(t.as_slice().chunks_exact(cols)),
+        )
+        .enumerate()
+    {
+        let mut row_sum = 0.0f32;
+        for c in 0..cols {
+            let transformed = ((x_row[c] * crate::math::fast_exp(s_row[c])) + t_row[c]) * im[c];
+            z_row[c] = x_row[c] * m[c] + transformed;
+            row_sum += s_row[c] * im[c];
+        }
+        ld[i] += row_sum;
+    }
+}
+
+/// Fused affine-coupling inverse combine:
+///
+/// `x = b ⊙ z + (1 − b) ⊙ ((z − t) ⊙ exp(−s))`.
+///
+/// Bit-exact with the reference chain
+/// `z.sub(&t).mul(&s.neg().exp()).mul_row_broadcast(&inv_mask)` +
+/// `masked_z.add(..)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree (`z`, `s`, `t` equal shapes; masks `1 × cols`).
+#[allow(clippy::many_single_char_names)]
+pub fn affine_coupling_inverse_into(
+    z: &Tensor,
+    s: &Tensor,
+    t: &Tensor,
+    mask: &Tensor,
+    inv_mask: &Tensor,
+    x_out: &mut Tensor,
+) {
+    assert_eq!(z.shape(), s.shape(), "coupling inverse shape mismatch");
+    assert_eq!(z.shape(), t.shape(), "coupling inverse shape mismatch");
+    assert_eq!(mask.cols(), z.cols(), "mask width must match input");
+    assert_eq!(inv_mask.cols(), z.cols(), "mask width must match input");
+    let cols = z.cols();
+    x_out.resize(z.rows(), cols);
+    let m = mask.as_slice();
+    let im = inv_mask.as_slice();
+    for (x_row, (z_row, (s_row, t_row))) in x_out.as_mut_slice().chunks_exact_mut(cols).zip(
+        z.as_slice().chunks_exact(cols).zip(
+            s.as_slice()
+                .chunks_exact(cols)
+                .zip(t.as_slice().chunks_exact(cols)),
+        ),
+    ) {
+        for c in 0..cols {
+            let restored = ((z_row[c] - t_row[c]) * crate::math::fast_exp(-s_row[c])) * im[c];
+            x_row[c] = z_row[c] * m[c] + restored;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    /// The unblocked scalar triple loop with the same per-element FMA
+    /// accumulation semantics, kept as the oracle for the blocked kernel.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            for p in 0..k {
+                let a_val = a.get(i, p);
+                for j in 0..n {
+                    let v = a_val.mul_add(b.get(p, j), out.get(i, j));
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_exact_with_naive_loop() {
+        let mut r = rng();
+        // Ragged shapes exercise every tile width and the row tails.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 16),
+            (9, 10, 10),
+            (17, 23, 37),
+            (64, 48, 10),
+        ] {
+            let a = Tensor::randn(m, k, &mut r);
+            let b = Tensor::randn(k, n, &mut r);
+            let mut fast = Tensor::zeros(0, 0);
+            matmul_into(&a, &b, &mut fast);
+            let reference = naive_matmul(&a, &b);
+            assert_eq!(fast.as_slice(), reference.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused_chain() {
+        let mut r = rng();
+        let x = Tensor::randn(13, 21, &mut r);
+        let w = Tensor::randn(21, 18, &mut r);
+        let b = Tensor::randn(1, 18, &mut r);
+        let mut fast = Tensor::zeros(0, 0);
+        matmul_bias_into(&x, &w, &b, &mut fast);
+        let reference = x.matmul(&w).add_row_broadcast(&b);
+        assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn matmul_bias_add_matches_residual_chain() {
+        let mut r = rng();
+        let x = Tensor::randn(7, 12, &mut r);
+        let w = Tensor::randn(12, 9, &mut r);
+        let b = Tensor::randn(1, 9, &mut r);
+        let base = Tensor::randn(7, 9, &mut r);
+        let mut fast = base.clone();
+        matmul_bias_add_into(&x, &w, &b, &mut fast);
+        let reference = base.add(&x.matmul(&w).add_row_broadcast(&b));
+        assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn in_place_unary_ops_match_allocating_ops() {
+        let mut r = rng();
+        let x = Tensor::randn(5, 11, &mut r);
+        let mut a = x.clone();
+        relu_in_place(&mut a);
+        assert_eq!(a.as_slice(), x.relu().as_slice());
+        let mut b = x.clone();
+        tanh_in_place(&mut b);
+        assert_eq!(b.as_slice(), x.tanh().as_slice());
+        let mut c = x.clone();
+        exp_in_place(&mut c);
+        assert_eq!(c.as_slice(), x.exp().as_slice());
+        let mut d = x.clone();
+        sigmoid_in_place(&mut d);
+        assert_eq!(d.as_slice(), x.sigmoid().as_slice());
+    }
+
+    #[test]
+    fn mul_row_broadcast_into_matches_reference() {
+        let mut r = rng();
+        let x = Tensor::randn(6, 8, &mut r);
+        let s = Tensor::randn(1, 8, &mut r);
+        let mut out = Tensor::zeros(0, 0);
+        mul_row_broadcast_into(&x, &s, &mut out);
+        assert_eq!(out.as_slice(), x.mul_row_broadcast(&s).as_slice());
+    }
+
+    #[test]
+    fn fused_coupling_combines_match_reference_chains() {
+        let mut r = rng();
+        let rows = 9;
+        let dim = 10;
+        let x = Tensor::randn(rows, dim, &mut r);
+        let s = Tensor::randn(rows, dim, &mut r).scale(0.3);
+        let t = Tensor::randn(rows, dim, &mut r);
+        let mask_vals: Vec<f32> = (0..dim).map(|j| (j % 2) as f32).collect();
+        let mask = Tensor::row(&mask_vals);
+        let inv_mask = mask.neg().add_scalar(1.0);
+
+        // Forward.
+        let masked_x = x.mul_row_broadcast(&mask);
+        let transformed = x.mul(&s.exp()).add(&t).mul_row_broadcast(&inv_mask);
+        let z_ref = masked_x.add(&transformed);
+        let ld_ref = s.mul_row_broadcast(&inv_mask).sum_rows();
+        let mut z_fast = Tensor::zeros(0, 0);
+        let mut ld_fast = Tensor::zeros(rows, 1);
+        affine_coupling_forward_into(&x, &s, &t, &mask, &inv_mask, &mut z_fast, &mut ld_fast);
+        assert_eq!(z_fast.as_slice(), z_ref.as_slice());
+        assert_eq!(ld_fast.as_slice(), ld_ref.as_slice());
+
+        // Inverse.
+        let masked_z = x.mul_row_broadcast(&mask);
+        let restored = x.sub(&t).mul(&s.neg().exp()).mul_row_broadcast(&inv_mask);
+        let x_ref = masked_z.add(&restored);
+        let mut x_fast = Tensor::zeros(0, 0);
+        affine_coupling_inverse_into(&x, &s, &t, &mask, &inv_mask, &mut x_fast);
+        assert_eq!(x_fast.as_slice(), x_ref.as_slice());
+    }
+}

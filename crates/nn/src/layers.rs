@@ -11,6 +11,7 @@ use std::fmt;
 
 use crate::autograd::{Parameter, Tape, Var};
 use crate::init;
+use crate::snapshot::{BlockSnapshot, LinearSnapshot, ResNetSnapshot, WeightSnapshot};
 use crate::tensor::Tensor;
 
 /// A differentiable network component.
@@ -46,6 +47,19 @@ pub trait Module: Send + Sync {
         for p in self.parameters() {
             p.zero_grad();
         }
+    }
+
+    /// Exports an owned, immutable snapshot of the module's weights for the
+    /// inference fast path, or `None` if the module does not support
+    /// snapshotting.
+    ///
+    /// The snapshot's `forward_into` is bit-exact with
+    /// [`Module::forward_tensor`] but reads weights directly (no per-call
+    /// lock/clone) and writes activations into reusable scratch buffers.
+    /// All built-in layers snapshot; the default keeps custom modules
+    /// compiling without one.
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        None
     }
 }
 
@@ -130,6 +144,11 @@ impl Linear {
     pub fn bias(&self) -> &Parameter {
         &self.bias
     }
+
+    /// Copies the current weights into an owned [`LinearSnapshot`].
+    pub fn snapshot(&self) -> LinearSnapshot {
+        LinearSnapshot::new(self.weight.value(), self.bias.value())
+    }
 }
 
 impl Module for Linear {
@@ -147,6 +166,10 @@ impl Module for Linear {
 
     fn parameters(&self) -> Vec<Parameter> {
         vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        Some(WeightSnapshot::Linear(self.snapshot()))
     }
 }
 
@@ -203,6 +226,10 @@ impl Module for Activation {
     fn parameters(&self) -> Vec<Parameter> {
         Vec::new()
     }
+
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        Some(WeightSnapshot::Activation(self.kind))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +263,15 @@ impl ResidualBlock {
     pub fn width(&self) -> usize {
         self.fc1.in_features()
     }
+
+    /// Copies the block's weights into an owned [`BlockSnapshot`].
+    pub fn snapshot(&self) -> BlockSnapshot {
+        BlockSnapshot {
+            fc1: self.fc1.snapshot(),
+            fc2: self.fc2.snapshot(),
+            activation: self.activation.kind(),
+        }
+    }
 }
 
 impl Module for ResidualBlock {
@@ -257,6 +293,10 @@ impl Module for ResidualBlock {
         let mut params = self.fc1.parameters();
         params.extend(self.fc2.parameters());
         params
+    }
+
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        Some(WeightSnapshot::Residual(Box::new(self.snapshot())))
     }
 }
 
@@ -318,6 +358,16 @@ impl ResNet {
     pub fn has_bounded_output(&self) -> bool {
         self.output_tanh
     }
+
+    /// Copies the network's weights into an owned [`ResNetSnapshot`].
+    pub fn snapshot(&self) -> ResNetSnapshot {
+        ResNetSnapshot::new(
+            self.input.snapshot(),
+            self.blocks.iter().map(ResidualBlock::snapshot).collect(),
+            self.output.snapshot(),
+            self.output_tanh,
+        )
+    }
 }
 
 impl Module for ResNet {
@@ -354,6 +404,10 @@ impl Module for ResNet {
         }
         params.extend(self.output.parameters());
         params
+    }
+
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        Some(WeightSnapshot::Net(Box::new(self.snapshot())))
     }
 }
 
@@ -421,6 +475,14 @@ impl Module for Sequential {
 
     fn parameters(&self) -> Vec<Parameter> {
         self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn export_snapshot(&self) -> Option<WeightSnapshot> {
+        self.layers
+            .iter()
+            .map(|l| l.export_snapshot())
+            .collect::<Option<Vec<_>>>()
+            .map(WeightSnapshot::Stack)
     }
 }
 

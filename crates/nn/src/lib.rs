@@ -45,13 +45,17 @@
 mod autograd;
 mod error;
 pub mod init;
+pub mod kernels;
 mod layers;
+pub mod math;
 mod optim;
 pub mod rng;
+mod snapshot;
 mod tensor;
 
 pub use autograd::{Parameter, Tape, Var};
 pub use error::{NnError, Result};
 pub use layers::{Activation, ActivationKind, Linear, Module, ResNet, ResidualBlock, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use snapshot::{BlockSnapshot, LinearSnapshot, NetWorkspace, ResNetSnapshot, WeightSnapshot};
 pub use tensor::Tensor;

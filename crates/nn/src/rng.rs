@@ -29,7 +29,8 @@ pub fn derived(seed: u64, stream: u64) -> StdRng {
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
     let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (-2.0 * crate::math::fast_ln(u1)).sqrt() * crate::math::fast_sin_cos(theta).1
 }
 
 /// Draws a normal sample with the given mean and standard deviation.

@@ -1,0 +1,310 @@
+//! Immutable weight snapshots for the inference fast path.
+//!
+//! [`Parameter`](crate::Parameter) storage lives behind an `Arc<RwLock>` so
+//! training can share weights with optimizers, but that means every
+//! `forward_tensor` call clones each weight matrix through a lock — pure
+//! overhead once a model is only being *evaluated*. A snapshot exports an
+//! owned, immutable copy of a module's weights **once**; its `forward_into`
+//! methods then read the weights directly and write activations into
+//! caller-provided scratch buffers, so steady-state inference performs no
+//! locking and no allocation.
+//!
+//! All snapshot forward passes are bit-exact (0 ULP) with the corresponding
+//! [`Module::forward_tensor`](crate::Module::forward_tensor) chain; see
+//! [`crate::kernels`] for the operation-order argument.
+
+use crate::kernels::{
+    activate_in_place, matmul_bias_add_into, matmul_bias_into, relu_in_place, tanh_in_place,
+};
+use crate::layers::ActivationKind;
+use crate::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+/// A pool of scratch tensors reused across forward passes.
+///
+/// Buffers are taken from and returned to the pool around each use; once the
+/// pool has warmed up to a model's widest activation, no further allocation
+/// occurs regardless of how many batches are processed.
+#[derive(Clone, Debug, Default)]
+pub struct NetWorkspace {
+    pool: Vec<Tensor>,
+}
+
+impl NetWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a scratch tensor from the pool (or a fresh empty one).
+    pub fn take(&mut self) -> Tensor {
+        self.pool.pop().unwrap_or_else(|| Tensor::zeros(0, 0))
+    }
+
+    /// Returns a scratch tensor to the pool for reuse.
+    pub fn put(&mut self, t: Tensor) {
+        self.pool.push(t);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// An owned copy of a [`Linear`](crate::Linear) layer's weights.
+#[derive(Clone, Debug)]
+pub struct LinearSnapshot {
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl LinearSnapshot {
+    /// Creates a snapshot from owned weight and bias tensors.
+    ///
+    /// The weight is kept contiguous and row-major (`in × out`), which the
+    /// blocked GEMM streams with unit stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a `1 × weight.cols()` row vector.
+    pub fn new(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
+        LinearSnapshot { weight, bias }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Fused `out = input × W + b`, resizing `out` as needed.
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) {
+        matmul_bias_into(input, &self.weight, &self.bias, out);
+    }
+
+    /// Fused residual `out += input × W + b` (`out` must already be
+    /// `input.rows() × out_features`).
+    pub fn forward_add_into(&self, input: &Tensor, out: &mut Tensor) {
+        matmul_bias_add_into(input, &self.weight, &self.bias, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResNet
+// ---------------------------------------------------------------------------
+
+/// One residual block's weights plus its activation kind.
+#[derive(Clone, Debug)]
+pub struct BlockSnapshot {
+    /// First (widening) linear layer.
+    pub fc1: LinearSnapshot,
+    /// Second (projecting) linear layer.
+    pub fc2: LinearSnapshot,
+    /// Nonlinearity between the two.
+    pub activation: ActivationKind,
+}
+
+/// An owned copy of a [`ResNet`](crate::ResNet)'s weights — the coupling
+/// networks' architecture — evaluated entirely in scratch buffers.
+#[derive(Clone, Debug)]
+pub struct ResNetSnapshot {
+    input: LinearSnapshot,
+    blocks: Vec<BlockSnapshot>,
+    output: LinearSnapshot,
+    output_tanh: bool,
+}
+
+impl ResNetSnapshot {
+    /// Assembles a snapshot from its layer snapshots.
+    pub fn new(
+        input: LinearSnapshot,
+        blocks: Vec<BlockSnapshot>,
+        output: LinearSnapshot,
+        output_tanh: bool,
+    ) -> Self {
+        ResNetSnapshot {
+            input,
+            blocks,
+            output,
+            output_tanh,
+        }
+    }
+
+    /// Runs the forward pass into `out`, using `ws` for hidden activations.
+    ///
+    /// Bit-exact with `ResNet::forward_tensor`.
+    pub fn forward_into(&self, x: &Tensor, ws: &mut NetWorkspace, out: &mut Tensor) {
+        let mut h = ws.take();
+        let mut tmp = ws.take();
+        self.input.forward_into(x, &mut h);
+        relu_in_place(&mut h);
+        for block in &self.blocks {
+            block.fc1.forward_into(&h, &mut tmp);
+            activate_in_place(block.activation, &mut tmp);
+            block.fc2.forward_add_into(&tmp, &mut h);
+        }
+        self.output.forward_into(&h, out);
+        if self.output_tanh {
+            tanh_in_place(out);
+        }
+        ws.put(tmp);
+        ws.put(h);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic module snapshots
+// ---------------------------------------------------------------------------
+
+/// An owned, immutable snapshot of an arbitrary snapshot-capable
+/// [`Module`](crate::Module) stack (see
+/// [`Module::export_snapshot`](crate::Module::export_snapshot)).
+#[derive(Clone, Debug)]
+pub enum WeightSnapshot {
+    /// A fully connected layer.
+    Linear(LinearSnapshot),
+    /// A parameter-free pointwise nonlinearity.
+    Activation(ActivationKind),
+    /// A two-layer residual block `x + fc2(act(fc1(x)))`.
+    Residual(Box<BlockSnapshot>),
+    /// A residual MLP (input projection, blocks, output projection).
+    Net(Box<ResNetSnapshot>),
+    /// A sequential stack of snapshots.
+    Stack(Vec<WeightSnapshot>),
+}
+
+impl WeightSnapshot {
+    /// Runs the snapshot forward pass into `out`, bit-exact with the source
+    /// module's `forward_tensor`.
+    pub fn forward_into(&self, x: &Tensor, ws: &mut NetWorkspace, out: &mut Tensor) {
+        match self {
+            WeightSnapshot::Linear(l) => l.forward_into(x, out),
+            WeightSnapshot::Activation(kind) => {
+                out.copy_from(x);
+                activate_in_place(*kind, out);
+            }
+            WeightSnapshot::Residual(block) => {
+                let mut tmp = ws.take();
+                block.fc1.forward_into(x, &mut tmp);
+                activate_in_place(block.activation, &mut tmp);
+                block.fc2.forward_into(&tmp, out);
+                // IEEE addition is commutative in value, so `fc2out + x`
+                // equals the reference `x + fc2out` to the last bit.
+                out.add_assign(x);
+                ws.put(tmp);
+            }
+            WeightSnapshot::Net(net) => net.forward_into(x, ws, out),
+            WeightSnapshot::Stack(children) => match children.len() {
+                0 => out.copy_from(x),
+                1 => children[0].forward_into(x, ws, out),
+                len => {
+                    let mut cur = ws.take();
+                    let mut next = ws.take();
+                    children[0].forward_into(x, ws, &mut cur);
+                    for child in &children[1..len - 1] {
+                        child.forward_into(&cur, ws, &mut next);
+                        std::mem::swap(&mut cur, &mut next);
+                    }
+                    children[len - 1].forward_into(&cur, ws, out);
+                    ws.put(next);
+                    ws.put(cur);
+                }
+            },
+        }
+    }
+
+    /// Convenience wrapper allocating a fresh output (and workspace).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut ws = NetWorkspace::new();
+        let mut out = Tensor::zeros(0, 0);
+        self.forward_into(x, &mut ws, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Linear, Module, ResNet, Sequential};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn resnet_snapshot_is_bit_exact_with_forward_tensor() {
+        let mut r = rng();
+        for bounded in [false, true] {
+            let net = ResNet::new(10, 48, 10, 2, bounded, &mut r);
+            let x = Tensor::randn(33, 10, &mut r);
+            let reference = net.forward_tensor(&x);
+            let snap = net.snapshot();
+            let mut ws = NetWorkspace::new();
+            let mut out = Tensor::zeros(0, 0);
+            snap.forward_into(&x, &mut ws, &mut out);
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn reused_workspace_gives_identical_results() {
+        let mut r = rng();
+        let net = ResNet::new(6, 16, 6, 2, true, &mut r);
+        let snap = net.snapshot();
+        let mut ws = NetWorkspace::new();
+        let mut out = Tensor::zeros(0, 0);
+        for trial in 0..4 {
+            // Vary the batch size so buffers shrink and grow.
+            let x = Tensor::randn(5 + trial * 7, 6, &mut r);
+            snap.forward_into(&x, &mut ws, &mut out);
+            let mut fresh_ws = NetWorkspace::new();
+            let mut fresh_out = Tensor::zeros(0, 0);
+            snap.forward_into(&x, &mut fresh_ws, &mut fresh_out);
+            assert_eq!(out.as_slice(), fresh_out.as_slice());
+        }
+    }
+
+    #[test]
+    fn sequential_snapshot_matches_forward_tensor() {
+        let mut r = rng();
+        let seq = Sequential::new()
+            .push(Linear::new(8, 24, &mut r))
+            .push(Activation::new(ActivationKind::Tanh))
+            .push(Linear::new(24, 24, &mut r))
+            .push(Activation::new(ActivationKind::Relu))
+            .push(Linear::new(24, 3, &mut r));
+        let x = Tensor::randn(17, 8, &mut r);
+        let snap = seq.export_snapshot().expect("sequential stack snapshots");
+        assert_eq!(
+            snap.forward(&x).as_slice(),
+            seq.forward_tensor(&x).as_slice()
+        );
+    }
+
+    #[test]
+    fn snapshot_is_immune_to_later_weight_updates() {
+        let mut r = rng();
+        let layer = Linear::new(4, 4, &mut r);
+        let x = Tensor::randn(3, 4, &mut r);
+        let snap = layer.export_snapshot().unwrap();
+        let before = snap.forward(&x);
+        layer.weight().set_value(Tensor::zeros(4, 4));
+        let after = snap.forward(&x);
+        assert_eq!(before.as_slice(), after.as_slice());
+        assert_ne!(
+            layer.forward_tensor(&x).as_slice(),
+            after.as_slice(),
+            "live module must see the update"
+        );
+    }
+}

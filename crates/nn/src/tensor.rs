@@ -37,6 +37,13 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// The empty `0 × 0` tensor (the cold state of scratch buffers).
+    fn default() -> Self {
+        Tensor::zeros(0, 0)
+    }
+}
+
 impl Tensor {
     // ------------------------------------------------------------------
     // Constructors
@@ -132,18 +139,33 @@ impl Tensor {
     /// Creates a tensor with elements drawn from the standard normal
     /// distribution using the Box-Muller transform.
     pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        while data.len() < rows * cols {
+        let mut out = Self::zeros(0, 0);
+        Self::randn_into(rows, cols, rng, &mut out);
+        out
+    }
+
+    /// Fills `out` (resized to `rows × cols`) with standard-normal samples.
+    ///
+    /// Consumes the RNG identically to [`Tensor::randn`], so a reused buffer
+    /// produces bit-identical samples to a freshly allocated one.
+    pub fn randn_into<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R, out: &mut Tensor) {
+        out.resize(rows, cols);
+        let data = out.as_mut_slice();
+        let total = rows * cols;
+        let mut i = 0;
+        while i < total {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
+            let r = (-2.0 * crate::math::fast_ln(u1)).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
-            data.push(r * theta.cos());
-            if data.len() < rows * cols {
-                data.push(r * theta.sin());
+            let (sin, cos) = crate::math::fast_sin_cos(theta);
+            data[i] = r * cos;
+            i += 1;
+            if i < total {
+                data[i] = r * sin;
+                i += 1;
             }
         }
-        Self { rows, cols, data }
     }
 
     /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
@@ -218,6 +240,23 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Reshapes the tensor to `rows × cols`, reusing the existing allocation
+    /// when its capacity suffices (the workhorse of the inference scratch
+    /// buffers). Newly exposed elements are zero; existing element values are
+    /// unspecified — callers are expected to overwrite the buffer.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, resizing as needed (no allocation once the
+    /// capacity has grown to fit).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Consumes the tensor and returns the underlying buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
@@ -281,40 +320,19 @@ impl Tensor {
 
     /// Matrix multiplication `self × other`.
     ///
-    /// Uses an i-k-j loop ordering for cache friendliness; at the matrix
-    /// sizes used by PassFlow (≤ 512 × 256) this is more than fast enough.
+    /// Delegates to the register-blocked i-k-j GEMM in [`crate::kernels`],
+    /// which accumulates each output element over the shared dimension in
+    /// ascending order from `0.0` — the same operation order as a naive
+    /// i-k-j triple loop, so results are IEEE-identical to the scalar
+    /// reference while the independent row/column loops are tiled for SIMD.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} × {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let m = self.rows;
-        let k = self.cols;
-        let n = other.cols;
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_val) in a_row.iter().enumerate() {
-                if a_val == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_val * b_val;
-                }
-            }
-        }
-        Tensor {
-            rows: m,
-            cols: n,
-            data: out,
-        }
+        let mut out = Tensor::zeros(0, 0);
+        crate::kernels::matmul_into(self, other, &mut out);
+        out
     }
 
     /// Matrix transpose.
@@ -447,9 +465,9 @@ impl Tensor {
         self.map(|v| -v)
     }
 
-    /// Elementwise exponential.
+    /// Elementwise exponential (vectorizable [`crate::math::fast_exp`]).
     pub fn exp(&self) -> Tensor {
-        self.map(f32::exp)
+        self.map(crate::math::fast_exp)
     }
 
     /// Elementwise natural logarithm.
@@ -457,9 +475,10 @@ impl Tensor {
         self.map(f32::ln)
     }
 
-    /// Elementwise hyperbolic tangent.
+    /// Elementwise hyperbolic tangent (vectorizable
+    /// [`crate::math::fast_tanh`]).
     pub fn tanh(&self) -> Tensor {
-        self.map(f32::tanh)
+        self.map(crate::math::fast_tanh)
     }
 
     /// Elementwise rectified linear unit.
@@ -467,9 +486,10 @@ impl Tensor {
         self.map(|v| v.max(0.0))
     }
 
-    /// Elementwise logistic sigmoid.
+    /// Elementwise logistic sigmoid (vectorizable
+    /// [`crate::math::fast_sigmoid`]).
     pub fn sigmoid(&self) -> Tensor {
-        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+        self.map(crate::math::fast_sigmoid)
     }
 
     /// Elementwise square.

@@ -44,9 +44,9 @@ pub use passflow_passwords as passwords;
 pub use passflow_core::run_attack;
 pub use passflow_core::{
     interpolate, interpolate_passwords, train, Attack, AttackConfig, AttackEngine, AttackOutcome,
-    CheckpointReport, DynamicParams, FlowConfig, FlowError, GaussianSmoothing, Guesser,
-    GuessingStrategy, LatentGuesser, MaskStrategy, PassFlow, Penalization, ShardedSet, TrainConfig,
-    TrainingReport,
+    CheckpointReport, DynamicParams, FlowConfig, FlowError, FlowSnapshot, FlowWorkspace,
+    GaussianSmoothing, GuessSession, Guesser, GuessingStrategy, LatentGuesser, LatentSession,
+    MaskStrategy, PassFlow, Penalization, ShardedSet, TrainConfig, TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{

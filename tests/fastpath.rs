@@ -1,0 +1,205 @@
+//! Conformance suite for the inference fast path: the snapshot + workspace
+//! pipeline must match the reference per-layer implementations to 0 ULP,
+//! and reusing scratch state must never change any observable result.
+
+use std::collections::HashSet;
+
+use passflow::nn::rng as nnrng;
+use passflow::nn::{Module, NetWorkspace, ResNet, Tensor};
+use passflow::{
+    train, Attack, AttackOutcome, CorpusConfig, DynamicParams, FlowConfig, FlowWorkspace,
+    GaussianSmoothing, Guesser, GuessingStrategy, PassFlow, SyntheticCorpusGenerator, TrainConfig,
+};
+
+fn random_flow(config: FlowConfig, seed: u64) -> PassFlow {
+    let mut rng = nnrng::seeded(seed);
+    PassFlow::new(config, &mut rng).expect("valid config")
+}
+
+fn configs() -> Vec<FlowConfig> {
+    vec![
+        FlowConfig::tiny(),
+        FlowConfig::tiny()
+            .with_coupling_layers(2)
+            .with_hidden_size(48),
+        FlowConfig::tiny()
+            .with_coupling_layers(6)
+            .with_hidden_size(24),
+    ]
+}
+
+#[test]
+fn fast_inverse_matches_reference_to_zero_ulp() {
+    for (i, config) in configs().into_iter().enumerate() {
+        let flow = random_flow(config, 100 + i as u64);
+        let mut rng = nnrng::seeded(200 + i as u64);
+        for rows in [1, 7, 64] {
+            let z = Tensor::randn(rows, flow.dim(), &mut rng);
+            let reference = flow.inverse_reference(&z);
+            let fast = flow.inverse(&z);
+            assert_eq!(
+                fast.as_slice(),
+                reference.as_slice(),
+                "config {i} rows {rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_to_zero_ulp() {
+    for (i, config) in configs().into_iter().enumerate() {
+        let flow = random_flow(config, 300 + i as u64);
+        let mut rng = nnrng::seeded(400 + i as u64);
+        for rows in [1, 5, 33] {
+            let x = Tensor::randn(rows, flow.dim(), &mut rng);
+            let (z_ref, ld_ref) = flow.forward_reference(&x);
+            let (z_fast, ld_fast) = flow.forward(&x);
+            assert_eq!(
+                z_fast.as_slice(),
+                z_ref.as_slice(),
+                "config {i} rows {rows}"
+            );
+            assert_eq!(
+                ld_fast.as_slice(),
+                ld_ref.as_slice(),
+                "config {i} rows {rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resnet_snapshot_matches_forward_tensor_to_zero_ulp() {
+    let mut rng = nnrng::seeded(500);
+    for (blocks, bounded) in [(1, false), (2, true), (3, false)] {
+        let net = ResNet::new(10, 48, 10, blocks, bounded, &mut rng);
+        let x = Tensor::randn(29, 10, &mut rng);
+        let snap = net.snapshot();
+        let mut ws = NetWorkspace::new();
+        let mut out = Tensor::default();
+        snap.forward_into(&x, &mut ws, &mut out);
+        assert_eq!(out.as_slice(), net.forward_tensor(&x).as_slice());
+        // The generic Module-level snapshot agrees too.
+        let generic = net.export_snapshot().expect("resnets snapshot");
+        assert_eq!(generic.forward(&x).as_slice(), out.as_slice());
+    }
+}
+
+#[test]
+fn reused_workspace_is_byte_identical_to_fresh_workspaces() {
+    let flow = random_flow(FlowConfig::tiny(), 600);
+    let snap = flow.snapshot();
+    let mut rng = nnrng::seeded(601);
+    let mut shared_ws = FlowWorkspace::new();
+    let mut out = Tensor::default();
+    // Batches of varying size so every scratch buffer shrinks and regrows.
+    for rows in [64, 3, 128, 1, 40] {
+        let z = Tensor::randn(rows, flow.dim(), &mut rng);
+        snap.inverse_into(&z, &mut shared_ws, &mut out);
+        let mut fresh_ws = FlowWorkspace::new();
+        let mut fresh_out = Tensor::default();
+        snap.inverse_into(&z, &mut fresh_ws, &mut fresh_out);
+        assert_eq!(out.as_slice(), fresh_out.as_slice(), "rows {rows}");
+    }
+}
+
+#[test]
+fn session_generation_matches_sample_passwords_exactly() {
+    let flow = random_flow(FlowConfig::tiny(), 700);
+    let mut session = flow.start_session().expect("flows have sessions");
+    for round in 0..3 {
+        let mut rng_a = nnrng::seeded(710 + round);
+        let mut rng_b = nnrng::seeded(710 + round);
+        let via_session = session.generate_batch(257, &mut rng_a);
+        let via_flow = flow.sample_passwords(257, &mut rng_b);
+        assert_eq!(via_session, via_flow, "round {round}");
+    }
+}
+
+/// Fixture: a lightly trained flow plus targets drawn from its own samples,
+/// so dynamic strategies find matches and exercise the mixture prior.
+fn attack_fixture() -> (PassFlow, HashSet<String>) {
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(4_000)).generate(42);
+    let split = corpus.paper_split(0.8, 1_000, 42);
+    let mut rng = nnrng::seeded(800);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).expect("valid config");
+    train(
+        &flow,
+        &split.train,
+        &TrainConfig::tiny().with_epochs(2).with_batch_size(256),
+    )
+    .expect("training succeeds");
+    let mut targets = split.test_set();
+    targets.extend(
+        flow.sample_passwords(200, &mut rng)
+            .into_iter()
+            .filter(|p| !p.is_empty()),
+    );
+    (flow, targets)
+}
+
+#[test]
+fn repeated_attacks_reuse_state_yet_stay_byte_identical() {
+    let (flow, targets) = attack_fixture();
+    let strategies = [
+        GuessingStrategy::Static,
+        GuessingStrategy::Dynamic(DynamicParams::new(0, 0.1, 8)),
+        GuessingStrategy::DynamicWithSmoothing {
+            params: DynamicParams::new(0, 0.1, 8),
+            smoothing: GaussianSmoothing::default(),
+        },
+    ];
+    for strategy in strategies {
+        let label = strategy.label();
+        let run = |shards: usize| -> AttackOutcome {
+            Attack::new(&targets)
+                .budget(1_200)
+                .batch_size(128)
+                .checkpoints(vec![400, 800])
+                .seed(9)
+                .shards(shards)
+                .strategy(strategy.clone())
+                .run(&flow)
+                .unwrap_or_else(|e| panic!("{label} failed: {e}"))
+        };
+        // Two identical runs: the snapshot cache is cold for the first and
+        // warm for the second, and every worker session is rebuilt — the
+        // outcomes (reports, matched passwords, samples) must be identical.
+        let first = run(1);
+        let second = run(1);
+        assert_eq!(first, second, "{label}: warm snapshot changed results");
+        // Sharded workers each hold their own long-lived workspace; results
+        // must still be byte-identical to the sequential run.
+        let sharded = run(4);
+        assert_eq!(first, sharded, "{label}: worker sessions changed results");
+        assert!(
+            first.final_report().matched > 0,
+            "{label}: fixture must produce matches for the test to bite"
+        );
+    }
+}
+
+#[test]
+fn snapshot_cache_follows_training_updates() {
+    let (flow, targets) = attack_fixture();
+    let before = Attack::new(&targets)
+        .budget(400)
+        .seed(3)
+        .run(&flow)
+        .unwrap();
+    // Mutate weights: the cached snapshot must invalidate, so a fresh
+    // attack reflects the new model rather than stale weights.
+    for p in flow.parameters() {
+        p.set_value(p.value().add_scalar(0.05));
+    }
+    let after = Attack::new(&targets)
+        .budget(400)
+        .seed(3)
+        .run(&flow)
+        .unwrap();
+    assert_ne!(
+        before.nonmatched_samples, after.nonmatched_samples,
+        "stale snapshot: weight update did not change generated guesses"
+    );
+}
