@@ -21,7 +21,7 @@ use passflow_nn::{
 };
 use passflow_passwords::PasswordEncoder;
 
-use passflow_core::Guesser;
+use passflow_core::{EpochDriver, Guesser, LoopControl, Schedule, StepCtx, TrainLoop};
 
 /// Hyper-parameters of the CWAE baseline.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -144,6 +144,57 @@ fn build_mlp<R: Rng + ?Sized>(
     }
 }
 
+/// The CWAE's [`EpochDriver`] for the shared [`TrainLoop`]: one batch is a
+/// corrupt→encode→decode→reconstruct step on a random row sample.
+struct CwaeDriver<'a> {
+    config: &'a CwaeConfig,
+    data: &'a Tensor,
+    encoder_net: &'a Sequential,
+    decoder_net: &'a Sequential,
+    optimizer: Adam,
+    parameters: Vec<passflow_nn::Parameter>,
+    rng: rand::rngs::StdRng,
+    loss_history: Vec<f32>,
+}
+
+impl EpochDriver for CwaeDriver<'_> {
+    type Error = std::convert::Infallible;
+
+    fn on_batch(&mut self, ctx: &StepCtx) -> Result<f32, Self::Error> {
+        let config = self.config;
+        let indices: Vec<usize> = (0..config.batch_size)
+            .map(|_| self.rng.gen_range(0..self.data.rows()))
+            .collect();
+        let clean = self.data.select_rows(&indices);
+        let corrupted = corrupt_context(&clean, config.context_epsilon, &mut self.rng);
+
+        let tape = Tape::new();
+        let latent = self.encoder_net.forward(&tape, &tape.constant(corrupted));
+        let reconstruction = self.decoder_net.forward(&tape, &latent);
+        let target = tape.constant(clean);
+
+        // Reconstruction loss + latent moment matching to N(0, I).
+        let recon = reconstruction.sub(&target).square().mean();
+        let latent_mean = latent.mean();
+        let latent_second_moment = latent.square().mean();
+        let reg = latent_mean
+            .square()
+            .add(&latent_second_moment.add_scalar(-1.0).square())
+            .scale(config.regularization);
+        let loss = recon.add(&reg);
+        let loss_value = loss.value().get(0, 0);
+        loss.backward();
+        self.optimizer.set_learning_rate(ctx.lr);
+        self.optimizer.step(&self.parameters);
+        Ok(loss_value)
+    }
+
+    fn on_epoch_end(&mut self, _epoch: usize, mean_loss: f32) -> Result<LoopControl, Self::Error> {
+        self.loss_history.push(mean_loss);
+        Ok(LoopControl::Continue)
+    }
+}
+
 impl Cwae {
     /// Trains the autoencoder on a password corpus.
     ///
@@ -166,42 +217,29 @@ impl Cwae {
 
         let encoder_net = build_mlp(dim, config.hidden_size, config.latent_dim, false, &mut rng);
         let decoder_net = build_mlp(config.latent_dim, config.hidden_size, dim, true, &mut rng);
-        let mut optimizer = Adam::new(config.learning_rate);
         let mut parameters = encoder_net.parameters();
         parameters.extend(decoder_net.parameters());
 
         let num_batches = data.rows().div_ceil(config.batch_size);
-        let mut loss_history = Vec::with_capacity(config.epochs);
-
-        for _epoch in 0..config.epochs {
-            let mut epoch_loss = 0.0f32;
-            for _ in 0..num_batches {
-                let indices: Vec<usize> = (0..config.batch_size)
-                    .map(|_| rng.gen_range(0..data.rows()))
-                    .collect();
-                let clean = data.select_rows(&indices);
-                let corrupted = corrupt_context(&clean, config.context_epsilon, &mut rng);
-
-                let tape = Tape::new();
-                let latent = encoder_net.forward(&tape, &tape.constant(corrupted));
-                let reconstruction = decoder_net.forward(&tape, &latent);
-                let target = tape.constant(clean);
-
-                // Reconstruction loss + latent moment matching to N(0, I).
-                let recon = reconstruction.sub(&target).square().mean();
-                let latent_mean = latent.mean();
-                let latent_second_moment = latent.square().mean();
-                let reg = latent_mean
-                    .square()
-                    .add(&latent_second_moment.add_scalar(-1.0).square())
-                    .scale(config.regularization);
-                let loss = recon.add(&reg);
-                epoch_loss += loss.value().get(0, 0);
-                loss.backward();
-                optimizer.step(&parameters);
-            }
-            loss_history.push(epoch_loss / num_batches as f32);
-        }
+        let mut driver = CwaeDriver {
+            config: &config,
+            data: &data,
+            encoder_net: &encoder_net,
+            decoder_net: &decoder_net,
+            optimizer: Adam::new(config.learning_rate),
+            parameters,
+            rng,
+            loss_history: Vec::with_capacity(config.epochs),
+        };
+        TrainLoop::new(
+            config.epochs,
+            num_batches,
+            config.learning_rate,
+            Schedule::Constant,
+        )
+        .run(0, &mut driver)
+        .expect("CWAE training is infallible");
+        let loss_history = driver.loss_history;
 
         Cwae {
             config,

@@ -24,7 +24,7 @@ use passflow_nn::{
 };
 use passflow_passwords::PasswordEncoder;
 
-use passflow_core::Guesser;
+use passflow_core::{EpochDriver, Guesser, LoopControl, Schedule, StepCtx, TrainLoop};
 
 /// Hyper-parameters of the WGAN baseline.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -143,6 +143,93 @@ fn build_critic<R: Rng + ?Sized>(in_dim: usize, hidden: usize, rng: &mut R) -> S
         .push(Linear::new(hidden, 1, rng))
 }
 
+/// The WGAN's [`EpochDriver`]: one "epoch" of the shared [`TrainLoop`] is
+/// one generator iteration (`critic_steps` critic updates followed by a
+/// generator update), mirroring the WGAN recipe's outer loop.
+struct GanDriver<'a> {
+    config: &'a PassGanConfig,
+    data: &'a Tensor,
+    generator: &'a Sequential,
+    critic: &'a Sequential,
+    gen_opt: Adam,
+    critic_opt: Adam,
+    rng: rand::rngs::StdRng,
+    real_noise: f32,
+    window_sum: f32,
+    window_count: usize,
+    critic_history: Vec<f32>,
+}
+
+impl EpochDriver for GanDriver<'_> {
+    type Error = std::convert::Infallible;
+
+    fn on_batch(&mut self, ctx: &StepCtx) -> Result<f32, Self::Error> {
+        let config = self.config;
+        self.critic_opt.set_learning_rate(ctx.lr);
+        self.gen_opt.set_learning_rate(ctx.lr);
+
+        // ---- critic updates ---------------------------------------------
+        let mut iteration_wasserstein = 0.0f32;
+        for _ in 0..config.critic_steps {
+            let real = sample_rows(self.data, config.batch_size, &mut self.rng);
+            let real = real.add(&Tensor::rand_uniform(
+                real.rows(),
+                real.cols(),
+                -self.real_noise,
+                self.real_noise,
+                &mut self.rng,
+            ));
+            let noise = Tensor::randn(config.batch_size, config.noise_dim, &mut self.rng);
+
+            let tape = Tape::new();
+            let fake = self.generator.forward(&tape, &tape.constant(noise)).value();
+
+            // Critic loss: E[D(fake)] − E[D(real)]  (minimized).
+            let tape = Tape::new();
+            let d_real = self.critic.forward(&tape, &tape.constant(real)).mean();
+            let d_fake = self.critic.forward(&tape, &tape.constant(fake)).mean();
+            let critic_loss = d_fake.sub(&d_real);
+            let wasserstein = -critic_loss.value().get(0, 0);
+            self.window_sum += wasserstein;
+            self.window_count += 1;
+            iteration_wasserstein += wasserstein;
+            critic_loss.backward();
+            self.critic_opt.step(&self.critic.parameters());
+
+            // Weight clipping (the WGAN Lipschitz constraint).
+            for p in self.critic.parameters() {
+                p.set_value(p.value().clamp(-config.clip_value, config.clip_value));
+            }
+        }
+
+        // ---- generator update -------------------------------------------
+        let noise = Tensor::randn(config.batch_size, config.noise_dim, &mut self.rng);
+        let tape = Tape::new();
+        let fake = self.generator.forward(&tape, &tape.constant(noise));
+        // Generator loss: −E[D(fake)]  (minimized).
+        let gen_loss = self.critic.forward(&tape, &fake).mean().neg();
+        gen_loss.backward();
+        // Only update the generator's parameters; clear the critic's
+        // gradients accumulated through this pass.
+        self.gen_opt.step(&self.generator.parameters());
+        for p in self.critic.parameters() {
+            p.zero_grad();
+        }
+
+        Ok(iteration_wasserstein / config.critic_steps.max(1) as f32)
+    }
+
+    fn on_epoch_end(&mut self, epoch: usize, _mean_loss: f32) -> Result<LoopControl, Self::Error> {
+        if (epoch + 1).is_multiple_of(20) && self.window_count > 0 {
+            self.critic_history
+                .push(self.window_sum / self.window_count as f32);
+            self.window_sum = 0.0;
+            self.window_count = 0;
+        }
+        Ok(LoopControl::Continue)
+    }
+}
+
 impl PassGan {
     /// Trains a WGAN on a password corpus.
     ///
@@ -161,68 +248,30 @@ impl PassGan {
 
         let generator = build_generator(config.noise_dim, config.hidden_size, dim, &mut rng);
         let critic = build_critic(dim, config.hidden_size, &mut rng);
-        let mut gen_opt = Adam::with_betas(config.learning_rate, 0.5, 0.9);
-        let mut critic_opt = Adam::with_betas(config.learning_rate, 0.5, 0.9);
 
-        // Stochastic smoothing of the real samples, as in Pasquini et al.
-        let real_noise = encoder.quantization_step() * 0.5;
-        let mut critic_history = Vec::new();
-        let mut window_sum = 0.0f32;
-        let mut window_count = 0usize;
-
-        for iteration in 0..config.iterations {
-            // ---- critic updates -------------------------------------------------
-            for _ in 0..config.critic_steps {
-                let real = sample_rows(&data, config.batch_size, &mut rng);
-                let real = real.add(&Tensor::rand_uniform(
-                    real.rows(),
-                    real.cols(),
-                    -real_noise,
-                    real_noise,
-                    &mut rng,
-                ));
-                let noise = Tensor::randn(config.batch_size, config.noise_dim, &mut rng);
-
-                let tape = Tape::new();
-                let fake = generator.forward(&tape, &tape.constant(noise)).value();
-
-                // Critic loss: E[D(fake)] − E[D(real)]  (minimized).
-                let tape = Tape::new();
-                let d_real = critic.forward(&tape, &tape.constant(real)).mean();
-                let d_fake = critic.forward(&tape, &tape.constant(fake)).mean();
-                let critic_loss = d_fake.sub(&d_real);
-                let wasserstein = -critic_loss.value().get(0, 0);
-                window_sum += wasserstein;
-                window_count += 1;
-                critic_loss.backward();
-                critic_opt.step(&critic.parameters());
-
-                // Weight clipping (the WGAN Lipschitz constraint).
-                for p in critic.parameters() {
-                    p.set_value(p.value().clamp(-config.clip_value, config.clip_value));
-                }
-            }
-
-            // ---- generator update -----------------------------------------------
-            let noise = Tensor::randn(config.batch_size, config.noise_dim, &mut rng);
-            let tape = Tape::new();
-            let fake = generator.forward(&tape, &tape.constant(noise));
-            // Generator loss: −E[D(fake)]  (minimized).
-            let gen_loss = critic.forward(&tape, &fake).mean().neg();
-            gen_loss.backward();
-            // Only update the generator's parameters; clear the critic's
-            // gradients accumulated through this pass.
-            gen_opt.step(&generator.parameters());
-            for p in critic.parameters() {
-                p.zero_grad();
-            }
-
-            if (iteration + 1) % 20 == 0 && window_count > 0 {
-                critic_history.push(window_sum / window_count as f32);
-                window_sum = 0.0;
-                window_count = 0;
-            }
-        }
+        let mut driver = GanDriver {
+            config: &config,
+            data: &data,
+            generator: &generator,
+            critic: &critic,
+            gen_opt: Adam::with_betas(config.learning_rate, 0.5, 0.9),
+            critic_opt: Adam::with_betas(config.learning_rate, 0.5, 0.9),
+            rng,
+            // Stochastic smoothing of the real samples, as in Pasquini et al.
+            real_noise: encoder.quantization_step() * 0.5,
+            window_sum: 0.0,
+            window_count: 0,
+            critic_history: Vec::new(),
+        };
+        TrainLoop::new(
+            config.iterations,
+            1,
+            config.learning_rate,
+            Schedule::Constant,
+        )
+        .run(0, &mut driver)
+        .expect("GAN training is infallible");
+        let critic_history = driver.critic_history;
 
         PassGan {
             config,

@@ -1,9 +1,10 @@
 //! Emits the repo's benchmark trajectory as JSON (`BENCH_*.json`).
 //!
-//! A minimal xtask-style harness: it times the two acceptance benchmarks —
-//! the flow inverse on the `eval_6x48` architecture and the end-to-end
-//! guessing attack — plus the GEMM microkernel, and writes the medians to a
-//! JSON file so CI and successive PRs can track a machine-local trajectory.
+//! A minimal xtask-style harness: it times the acceptance benchmarks — the
+//! flow inverse on the `eval_6x48` architecture, the end-to-end guessing
+//! attack, and one training epoch at 1 vs N gradient workers — plus the
+//! GEMM microkernel, and writes the medians to a JSON file so CI and
+//! successive PRs can track a machine-local trajectory.
 //!
 //! ```text
 //! cargo run --release -p passflow-bench --bin bench_json -- \
@@ -14,7 +15,9 @@ use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use passflow_core::{Attack, FlowConfig, FlowWorkspace, GuessingStrategy, PassFlow, TrainConfig};
+use passflow_core::{
+    Attack, FlowConfig, FlowWorkspace, GuessingStrategy, PassFlow, TrainConfig, Trainer,
+};
 use passflow_nn::rng as nnrng;
 use passflow_nn::Tensor;
 use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
@@ -110,6 +113,46 @@ fn main() {
         elements_per_iter: 256,
     });
 
+    // -- train_epoch throughput: 1 vs N gradient workers --------------------
+    // One full epoch (encode excluded) on a 2 048-password corpus; the
+    // worker counts shard identical micro-batches, so the ratio is a pure
+    // thread-scaling measurement. On a single-vCPU host the worker counts
+    // tie (see "host_cpus" in the emitted JSON); with ≥ 4 cores the
+    // 4-worker epoch runs close to 4× the 1-worker throughput.
+    {
+        let train_corpus =
+            SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(2_048)).generate(17);
+        let passwords = train_corpus.into_passwords();
+        let train_samples = if quick { 2 } else { 5 };
+        for (name, workers) in [
+            ("train/epoch_2048x256/workers_1", 1usize),
+            ("train/epoch_2048x256/workers_4", 4usize),
+        ] {
+            let mut rng = nnrng::seeded(33);
+            let flow = PassFlow::new(
+                FlowConfig::evaluation()
+                    .with_coupling_layers(6)
+                    .with_hidden_size(48),
+                &mut rng,
+            )
+            .expect("valid config");
+            let config = TrainConfig::evaluation()
+                .with_epochs(1)
+                .with_batch_size(256)
+                .with_micro_batch(64)
+                .with_grad_workers(workers);
+            let trainer = Trainer::new(&flow, config).expect("valid train config");
+            let s = median_secs(train_samples, || {
+                trainer.train(&passwords).expect("training succeeds");
+            });
+            entries.push(Entry {
+                name,
+                seconds_per_iter: s,
+                elements_per_iter: 2_048,
+            });
+        }
+    }
+
     // -- end-to-end guessing attack (the acceptance macro-bench) ------------
     let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(6_000)).generate(21);
     let split = corpus.paper_split(0.8, 2_000, 21);
@@ -146,7 +189,10 @@ fn main() {
     }
 
     // -- emit ---------------------------------------------------------------
-    let mut json = String::from("{\n  \"schema\": \"passflow-bench-v1\",\n  \"results\": {\n");
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut json = format!(
+        "{{\n  \"schema\": \"passflow-bench-v1\",\n  \"host_cpus\": {host_cpus},\n  \"results\": {{\n"
+    );
     for (i, e) in entries.iter().enumerate() {
         let rate = e.elements_per_iter as f64 / e.seconds_per_iter;
         let comma = if i + 1 == entries.len() { "" } else { "," };

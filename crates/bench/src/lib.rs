@@ -92,7 +92,7 @@ pub fn prepare(scale: EvalScale) -> passflow_core::Result<Workbench> {
         "trained flow: {} parameters, best epoch {}, final NLL {:.3}",
         workbench.flow.num_parameters(),
         workbench.training.best_epoch,
-        workbench.training.final_nll()
+        workbench.training.final_nll().unwrap_or(f32::NAN)
     );
     Ok(workbench)
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{FlowError, Result};
 use crate::mask::MaskStrategy;
+use crate::train::{EarlyStopConfig, Schedule};
 
 /// Architecture of a [`PassFlow`](crate::PassFlow) model.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -147,8 +148,24 @@ pub struct TrainConfig {
     pub epochs: usize,
     /// Mini-batch size (512 in the paper).
     pub batch_size: usize,
+    /// Rows per gradient-worker work unit. The micro-batch is the
+    /// granularity of the deterministic gradient reduction: results depend
+    /// on this value (like they do on `batch_size`) but **never** on
+    /// [`grad_workers`](Self::grad_workers).
+    pub micro_batch: usize,
+    /// Number of gradient worker threads sharding each batch. A pure
+    /// throughput knob: any worker count produces bit-identical results.
+    pub grad_workers: usize,
+    /// Number of consecutive batches folded into one optimizer step
+    /// (gradient accumulation); the effective batch is
+    /// `accum_steps × batch_size`.
+    pub accum_steps: usize,
     /// Adam learning rate (0.001 in the paper).
     pub learning_rate: f32,
+    /// Learning-rate schedule applied on top of
+    /// [`learning_rate`](Self::learning_rate), evaluated per optimizer
+    /// step.
+    pub schedule: Schedule,
     /// Amplitude of the uniform dequantization noise, expressed as a
     /// fraction of the encoder's quantization step. Password encodings are
     /// discrete; adding sub-quantization noise makes the density estimation
@@ -158,20 +175,38 @@ pub struct TrainConfig {
     /// Gradient-clipping threshold (L2, per parameter). `None` disables
     /// clipping.
     pub clip_norm: Option<f32>,
-    /// RNG seed controlling shuffling, noise and initialization of the
-    /// optimizer state.
+    /// Fraction of the encoded corpus held out as a validation split. When
+    /// positive, best-epoch selection and early stopping monitor the
+    /// validation NLL instead of the training NLL.
+    pub validation_fraction: f32,
+    /// Optional early-stopping rule on the monitored NLL.
+    pub early_stop: Option<EarlyStopConfig>,
+    /// Checkpoint cadence in epochs (used when the trainer has a
+    /// checkpoint path configured).
+    pub checkpoint_every: usize,
+    /// RNG seed controlling the validation split, shuffling and
+    /// dequantization noise (all drawn from derived streams keyed by
+    /// `(seed, epoch, batch)`).
     pub seed: u64,
 }
 
 impl TrainConfig {
-    /// The paper's training setup (400 epochs, batch 512, lr 0.001).
+    /// The paper's training setup (400 epochs, batch 512, lr 0.001,
+    /// constant rate, no validation split).
     pub fn paper() -> Self {
         TrainConfig {
             epochs: 400,
             batch_size: 512,
+            micro_batch: 128,
+            grad_workers: 1,
+            accum_steps: 1,
             learning_rate: 1e-3,
+            schedule: Schedule::Constant,
             dequantization: 1.0,
             clip_norm: Some(5.0),
+            validation_fraction: 0.0,
+            early_stop: None,
+            checkpoint_every: 1,
             seed: 0,
         }
     }
@@ -181,9 +216,16 @@ impl TrainConfig {
         TrainConfig {
             epochs: 30,
             batch_size: 256,
+            micro_batch: 64,
+            grad_workers: 1,
+            accum_steps: 1,
             learning_rate: 1e-3,
+            schedule: Schedule::Constant,
             dequantization: 1.0,
             clip_norm: Some(5.0),
+            validation_fraction: 0.0,
+            early_stop: None,
+            checkpoint_every: 1,
             seed: 0,
         }
     }
@@ -193,9 +235,16 @@ impl TrainConfig {
         TrainConfig {
             epochs: 3,
             batch_size: 128,
+            micro_batch: 32,
+            grad_workers: 1,
+            accum_steps: 1,
             learning_rate: 2e-3,
+            schedule: Schedule::Constant,
             dequantization: 1.0,
             clip_norm: Some(5.0),
+            validation_fraction: 0.0,
+            early_stop: None,
+            checkpoint_every: 1,
             seed: 0,
         }
     }
@@ -228,12 +277,63 @@ impl TrainConfig {
         self
     }
 
+    /// Sets the micro-batch size (builder style).
+    #[must_use]
+    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// Sets the gradient worker count (builder style).
+    #[must_use]
+    pub fn with_grad_workers(mut self, grad_workers: usize) -> Self {
+        self.grad_workers = grad_workers;
+        self
+    }
+
+    /// Sets the gradient-accumulation factor (builder style).
+    #[must_use]
+    pub fn with_accum_steps(mut self, accum_steps: usize) -> Self {
+        self.accum_steps = accum_steps;
+        self
+    }
+
+    /// Sets the learning-rate schedule (builder style).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the validation fraction (builder style).
+    #[must_use]
+    pub fn with_validation_fraction(mut self, fraction: f32) -> Self {
+        self.validation_fraction = fraction;
+        self
+    }
+
+    /// Sets the early-stopping rule (builder style).
+    #[must_use]
+    pub fn with_early_stop(mut self, rule: EarlyStopConfig) -> Self {
+        self.early_stop = Some(rule);
+        self
+    }
+
+    /// Sets the checkpoint cadence in epochs (builder style).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, epochs: usize) -> Self {
+        self.checkpoint_every = epochs;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::InvalidConfig`] on zero epochs/batch size or a
-    /// non-positive learning rate.
+    /// Returns [`FlowError::InvalidConfig`] on zero epochs/batch/micro
+    /// sizes, zero workers or accumulation, a non-positive learning rate,
+    /// an out-of-range noise amplitude or validation fraction, or an
+    /// invalid schedule / early-stop rule.
     pub fn validate(&self) -> Result<()> {
         if self.epochs == 0 {
             return Err(FlowError::InvalidConfig("epochs must be positive".into()));
@@ -241,6 +341,26 @@ impl TrainConfig {
         if self.batch_size == 0 {
             return Err(FlowError::InvalidConfig(
                 "batch_size must be positive".into(),
+            ));
+        }
+        if self.micro_batch == 0 {
+            return Err(FlowError::InvalidConfig(
+                "micro_batch must be positive".into(),
+            ));
+        }
+        if self.grad_workers == 0 {
+            return Err(FlowError::InvalidConfig(
+                "grad_workers must be positive".into(),
+            ));
+        }
+        if self.accum_steps == 0 {
+            return Err(FlowError::InvalidConfig(
+                "accum_steps must be positive".into(),
+            ));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(FlowError::InvalidConfig(
+                "checkpoint_every must be positive".into(),
             ));
         }
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
@@ -252,6 +372,15 @@ impl TrainConfig {
             return Err(FlowError::InvalidConfig(
                 "dequantization must be in [0, 1]".into(),
             ));
+        }
+        if !(0.0..=0.5).contains(&self.validation_fraction) {
+            return Err(FlowError::InvalidConfig(
+                "validation_fraction must be in [0, 0.5]".into(),
+            ));
+        }
+        self.schedule.validate()?;
+        if let Some(rule) = &self.early_stop {
+            rule.validate()?;
         }
         Ok(())
     }
@@ -365,5 +494,54 @@ mod tests {
     fn defaults_are_the_evaluation_presets() {
         assert_eq!(FlowConfig::default(), FlowConfig::evaluation());
         assert_eq!(TrainConfig::default(), TrainConfig::evaluation());
+    }
+
+    #[test]
+    fn training_subsystem_builders_modify_fields() {
+        let t = TrainConfig::tiny()
+            .with_micro_batch(16)
+            .with_grad_workers(4)
+            .with_accum_steps(2)
+            .with_validation_fraction(0.25)
+            .with_early_stop(EarlyStopConfig::new(3))
+            .with_checkpoint_every(5)
+            .with_schedule(Schedule::WarmupCosine {
+                warmup: 10,
+                period: 100,
+                min_factor: 0.1,
+            });
+        assert_eq!(t.micro_batch, 16);
+        assert_eq!(t.grad_workers, 4);
+        assert_eq!(t.accum_steps, 2);
+        assert!((t.validation_fraction - 0.25).abs() < 1e-9);
+        assert_eq!(t.early_stop, Some(EarlyStopConfig::new(3)));
+        assert_eq!(t.checkpoint_every, 5);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_training_subsystem_knobs_are_rejected() {
+        assert!(TrainConfig::tiny().with_micro_batch(0).validate().is_err());
+        assert!(TrainConfig::tiny().with_grad_workers(0).validate().is_err());
+        assert!(TrainConfig::tiny().with_accum_steps(0).validate().is_err());
+        assert!(TrainConfig::tiny()
+            .with_checkpoint_every(0)
+            .validate()
+            .is_err());
+        assert!(TrainConfig::tiny()
+            .with_validation_fraction(0.9)
+            .validate()
+            .is_err());
+        assert!(TrainConfig::tiny()
+            .with_early_stop(EarlyStopConfig::new(0))
+            .validate()
+            .is_err());
+        assert!(TrainConfig::tiny()
+            .with_schedule(Schedule::Step {
+                every: 0,
+                gamma: 0.5
+            })
+            .validate()
+            .is_err());
     }
 }

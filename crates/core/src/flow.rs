@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 use rand::Rng;
 
 use passflow_nn::rng as nnrng;
-use passflow_nn::{Parameter, Tape, Tensor, Var};
+use passflow_nn::{GradBatch, Parameter, Tape, Tensor, Var};
 use passflow_passwords::PasswordEncoder;
 
 use crate::config::FlowConfig;
@@ -309,6 +309,19 @@ impl PassFlow {
     /// encoded passwords on the given tape. The returned scalar [`Var`] can
     /// be backpropagated directly.
     pub fn nll_loss(&self, tape: &Tape, batch: &Tensor) -> Var {
+        let n = batch.rows() as f32;
+        self.nll_loss_sum(tape, batch).scale(1.0 / n)
+    }
+
+    /// Like [`nll_loss`](Self::nll_loss) but summed over the batch instead
+    /// of averaged.
+    ///
+    /// This is the micro-batch form used by the data-parallel trainer:
+    /// per-shard sums reduce by plain addition, and the trainer applies the
+    /// `1/N` normalization once after its deterministic fixed-order
+    /// reduction, so the normalization never depends on how the batch was
+    /// sharded.
+    pub fn nll_loss_sum(&self, tape: &Tape, batch: &Tensor) -> Var {
         assert_eq!(
             batch.cols(),
             self.dim(),
@@ -333,7 +346,20 @@ impl PassFlow {
             .scale(0.5)
             .add_scalar(n * self.dim() as f32 * 0.5 * LN_2PI);
         let total_log_det = total_log_det.expect("flow has at least one coupling layer");
-        neg_log_prior.sub(&total_log_det).scale(1.0 / n)
+        neg_log_prior.sub(&total_log_det)
+    }
+
+    /// Computes the summed NLL of `batch` and its parameter gradients on a
+    /// private tape, detached from the shared gradient storage.
+    ///
+    /// One call is one gradient-worker work unit: workers call this
+    /// concurrently on disjoint micro-batches and the trainer merges the
+    /// returned batches in micro-batch order (see the `train` module docs).
+    pub fn nll_grad_sum(&self, batch: &Tensor) -> (f32, GradBatch) {
+        let tape = Tape::new();
+        let loss = self.nll_loss_sum(&tape, batch);
+        let value = loss.value().get(0, 0);
+        (value, loss.backward_grads())
     }
 
     /// Average negative log-likelihood of a batch, computed without autograd
@@ -520,6 +546,32 @@ mod tests {
             (loss - reference).abs() < 1e-3,
             "taped {loss} vs tensor {reference}"
         );
+    }
+
+    #[test]
+    fn nll_grad_sum_matches_taped_backward() {
+        let flow = tiny_flow(21);
+        let x = flow
+            .encode_batch(&["monkey12".to_string(), "dragon".to_string()])
+            .unwrap();
+
+        // Reference: shared-accumulation backward through nll_loss_sum.
+        let tape = Tape::new();
+        let loss = flow.nll_loss_sum(&tape, &x);
+        let reference_value = loss.value().get(0, 0);
+        loss.backward();
+
+        let (value, grads) = flow.nll_grad_sum(&x);
+        assert_eq!(value.to_bits(), reference_value.to_bits());
+        for p in flow.parameters() {
+            let detached = grads.get(&p).expect("gradient for every parameter");
+            assert_eq!(detached.as_slice(), p.grad().as_slice(), "{}", p.name());
+            p.zero_grad();
+        }
+        // nll_loss is exactly the sum scaled by 1/n.
+        let tape = Tape::new();
+        let mean = flow.nll_loss(&tape, &x).value().get(0, 0);
+        assert!((mean - value / 2.0).abs() < 1e-4);
     }
 
     #[test]

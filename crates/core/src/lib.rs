@@ -62,7 +62,7 @@ mod mask;
 mod persist;
 mod prior;
 mod sample;
-mod train;
+pub mod train;
 
 pub use conditional::{conditional_guess, ConditionalConfig, ConditionalGuess, PasswordTemplate};
 pub use config::{FlowConfig, TrainConfig};
@@ -79,9 +79,15 @@ pub use guess::run_attack;
 pub use guess::AttackConfig;
 pub use interpolate::{interpolate, interpolate_passwords, InterpolationPoint};
 pub use mask::MaskStrategy;
-pub use persist::{load_flow, load_flow_from_reader, save_flow, save_flow_to_writer};
+pub use persist::{
+    load_checkpoint, load_checkpoint_from_reader, load_flow, load_flow_from_reader,
+    save_checkpoint, save_checkpoint_to_writer, save_flow, save_flow_to_writer,
+};
 pub use prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
 pub use sample::{
     DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization,
 };
-pub use train::{train, EpochStats, TrainingReport};
+pub use train::{
+    train, EarlyStop, EarlyStopConfig, EpochDriver, EpochStats, EpochVerdict, LoopControl,
+    Schedule, StepCtx, TrainLoop, TrainState, Trainer, TrainingReport,
+};

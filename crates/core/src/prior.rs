@@ -210,7 +210,14 @@ impl Prior for GaussianMixturePrior {
                         - 0.5 * sq / (sigma * sigma);
                     terms.push(self.weights[k].ln() + log_norm);
                 }
-                let max = terms.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                // Explicit compare: `fold(…, f32::max)` miscompiles under
+                // `-C target-cpu=native` on AVX-512 hosts (see Tensor::max).
+                let mut max = f32::NEG_INFINITY;
+                for &t in &terms {
+                    if t > max {
+                        max = t;
+                    }
+                }
                 max + terms.iter().map(|t| (t - max).exp()).sum::<f32>().ln()
             })
             .collect()

@@ -1,0 +1,256 @@
+//! The epoch/batch loop shared by every trainable model in the workspace.
+//!
+//! [`TrainLoop`] owns the mechanical part of training — iterating epochs and
+//! batches, deriving the per-step learning rate from a [`Schedule`], and
+//! aggregating per-epoch losses — while an [`EpochDriver`] supplies the
+//! model-specific work. The flow's [`Trainer`](super::Trainer), the WGAN
+//! baseline and the CWAE baseline all run through this one loop, so a
+//! schedule or stopping rule implemented here is immediately available to
+//! all of them.
+
+use super::schedule::Schedule;
+
+/// Whether the loop continues after an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopControl {
+    /// Proceed to the next epoch.
+    Continue,
+    /// End training now (early stopping, budget exhaustion, …).
+    Stop,
+}
+
+/// Per-batch context handed to [`EpochDriver::on_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct StepCtx {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// 0-based batch index within the epoch.
+    pub batch: usize,
+    /// Global 0-based batch ordinal (`epoch × batches_per_epoch + batch`).
+    pub step: u64,
+    /// Scheduled learning rate for the optimizer step this batch feeds.
+    pub lr: f32,
+}
+
+/// Model-specific callbacks plugged into a [`TrainLoop`].
+pub trait EpochDriver {
+    /// Error type surfaced out of the loop (use `Infallible` when the
+    /// driver cannot fail).
+    type Error;
+
+    /// Called once before each epoch's first batch (shuffling, etc.).
+    fn on_epoch_start(&mut self, _epoch: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Processes one batch and returns its (mean) loss for reporting.
+    fn on_batch(&mut self, ctx: &StepCtx) -> Result<f32, Self::Error>;
+
+    /// Called after each epoch with the mean of the epoch's batch losses;
+    /// decides whether training continues.
+    fn on_epoch_end(&mut self, _epoch: usize, _mean_loss: f32) -> Result<LoopControl, Self::Error> {
+        Ok(LoopControl::Continue)
+    }
+}
+
+/// The deterministic epoch/batch iteration plan.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainLoop {
+    epochs: usize,
+    batches_per_epoch: usize,
+    base_lr: f32,
+    schedule: Schedule,
+    /// Batches per optimizer step (gradient accumulation); the schedule is
+    /// evaluated per optimizer step, not per batch.
+    accum_steps: usize,
+}
+
+impl TrainLoop {
+    /// Creates a loop plan. `accum_steps` is the number of batches folded
+    /// into one optimizer step (1 = step every batch).
+    pub fn new(epochs: usize, batches_per_epoch: usize, base_lr: f32, schedule: Schedule) -> Self {
+        TrainLoop {
+            epochs,
+            batches_per_epoch,
+            base_lr,
+            schedule,
+            accum_steps: 1,
+        }
+    }
+
+    /// Sets the gradient-accumulation factor (builder style).
+    #[must_use]
+    pub fn with_accum_steps(mut self, accum_steps: usize) -> Self {
+        self.accum_steps = accum_steps.max(1);
+        self
+    }
+
+    /// Number of batches in one epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.batches_per_epoch
+    }
+
+    /// The learning rate scheduled for the given global batch ordinal.
+    ///
+    /// The optimizer-step ordinal is estimated as `step / accum_steps`,
+    /// which is exact when `accum_steps` divides the batches per epoch. A
+    /// driver that flushes partial accumulation groups (the flow trainer
+    /// does, at epoch boundaries) should evaluate the schedule against its
+    /// own optimizer-step counter instead of `StepCtx::lr`.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        self.base_lr * self.schedule.factor(step / self.accum_steps as u64)
+    }
+
+    /// Runs epochs `start_epoch..epochs` through `driver`.
+    ///
+    /// Returns the mean batch loss of every epoch actually run. Resuming a
+    /// checkpointed run is just `run(next_epoch, driver)` with restored
+    /// driver state: the step ordinals (and therefore the schedule) replay
+    /// identically because they are derived from the epoch index alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by a driver callback.
+    pub fn run<D: EpochDriver>(
+        &self,
+        start_epoch: usize,
+        driver: &mut D,
+    ) -> Result<Vec<f32>, D::Error> {
+        let mut epoch_means = Vec::new();
+        for epoch in start_epoch..self.epochs {
+            driver.on_epoch_start(epoch)?;
+            let mut loss_sum = 0.0f64;
+            for batch in 0..self.batches_per_epoch {
+                let step = (epoch * self.batches_per_epoch + batch) as u64;
+                let ctx = StepCtx {
+                    epoch,
+                    batch,
+                    step,
+                    lr: self.lr_at(step),
+                };
+                loss_sum += f64::from(driver.on_batch(&ctx)?);
+            }
+            let mean = (loss_sum / self.batches_per_epoch.max(1) as f64) as f32;
+            epoch_means.push(mean);
+            if driver.on_epoch_end(epoch, mean)? == LoopControl::Stop {
+                break;
+            }
+        }
+        Ok(epoch_means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    struct Recorder {
+        batches: Vec<(usize, usize, u64)>,
+        lrs: Vec<f32>,
+        stop_after: Option<usize>,
+    }
+
+    impl EpochDriver for Recorder {
+        type Error = Infallible;
+
+        fn on_batch(&mut self, ctx: &StepCtx) -> Result<f32, Infallible> {
+            self.batches.push((ctx.epoch, ctx.batch, ctx.step));
+            self.lrs.push(ctx.lr);
+            Ok(ctx.step as f32)
+        }
+
+        fn on_epoch_end(&mut self, epoch: usize, _mean: f32) -> Result<LoopControl, Infallible> {
+            Ok(match self.stop_after {
+                Some(e) if epoch >= e => LoopControl::Stop,
+                _ => LoopControl::Continue,
+            })
+        }
+    }
+
+    #[test]
+    fn iterates_epochs_and_batches_in_order() {
+        let mut rec = Recorder {
+            batches: Vec::new(),
+            lrs: Vec::new(),
+            stop_after: None,
+        };
+        let means = TrainLoop::new(2, 3, 1.0, Schedule::Constant)
+            .run(0, &mut rec)
+            .unwrap();
+        assert_eq!(
+            rec.batches,
+            vec![
+                (0, 0, 0),
+                (0, 1, 1),
+                (0, 2, 2),
+                (1, 0, 3),
+                (1, 1, 4),
+                (1, 2, 5)
+            ]
+        );
+        // Epoch means of the returned batch losses (0,1,2) and (3,4,5).
+        assert_eq!(means, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn stop_control_ends_training() {
+        let mut rec = Recorder {
+            batches: Vec::new(),
+            lrs: Vec::new(),
+            stop_after: Some(0),
+        };
+        let means = TrainLoop::new(10, 2, 1.0, Schedule::Constant)
+            .run(0, &mut rec)
+            .unwrap();
+        assert_eq!(means.len(), 1);
+        assert_eq!(rec.batches.len(), 2);
+    }
+
+    #[test]
+    fn resume_replays_the_same_step_ordinals() {
+        let run = |start: usize| {
+            let mut rec = Recorder {
+                batches: Vec::new(),
+                lrs: Vec::new(),
+                stop_after: None,
+            };
+            TrainLoop::new(
+                4,
+                2,
+                0.1,
+                Schedule::Step {
+                    every: 3,
+                    gamma: 0.5,
+                },
+            )
+            .run(start, &mut rec)
+            .unwrap();
+            rec
+        };
+        let full = run(0);
+        let tail = run(2);
+        assert_eq!(&full.batches[4..], &tail.batches[..]);
+        for (a, b) in full.lrs[4..].iter().zip(tail.lrs.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn accumulation_holds_lr_constant_within_a_step_group() {
+        let lp = TrainLoop::new(
+            1,
+            8,
+            1.0,
+            Schedule::Step {
+                every: 1,
+                gamma: 0.5,
+            },
+        )
+        .with_accum_steps(4);
+        // Batches 0..4 feed optimizer step 0, batches 4..8 feed step 1.
+        assert_eq!(lp.lr_at(0), lp.lr_at(3));
+        assert_eq!(lp.lr_at(4), 0.5);
+        assert_eq!(lp.batches_per_epoch(), 8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Validation-driven early stopping and best-epoch tracking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FlowError, Result};
+
+/// Configuration of the early-stopping rule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopConfig {
+    /// Number of consecutive epochs without significant improvement after
+    /// which training stops.
+    pub patience: usize,
+    /// Minimum decrease of the monitored NLL that counts as an improvement.
+    pub min_delta: f32,
+}
+
+impl EarlyStopConfig {
+    /// Creates a rule with the given patience and a zero improvement margin.
+    pub fn new(patience: usize) -> Self {
+        EarlyStopConfig {
+            patience,
+            min_delta: 0.0,
+        }
+    }
+
+    /// Sets the minimum improvement margin (builder style).
+    #[must_use]
+    pub fn with_min_delta(mut self, min_delta: f32) -> Self {
+        self.min_delta = min_delta;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] on zero patience or a negative /
+    /// non-finite margin.
+    pub fn validate(&self) -> Result<()> {
+        if self.patience == 0 {
+            return Err(FlowError::InvalidConfig(
+                "early-stop patience must be positive".into(),
+            ));
+        }
+        if !(self.min_delta >= 0.0 && self.min_delta.is_finite()) {
+            return Err(FlowError::InvalidConfig(
+                "early-stop min_delta must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What [`EarlyStop::observe`] concluded about an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochVerdict {
+    /// The monitored metric improved (by at least `min_delta`); callers
+    /// snapshot best weights on this signal.
+    pub improved: bool,
+    /// Patience is exhausted; training should stop after this epoch.
+    pub stop: bool,
+}
+
+/// Tracks the best monitored metric and counts stale epochs.
+///
+/// The tracker unifies best-epoch selection and early stopping: an epoch
+/// whose metric beats the best seen so far by at least `min_delta` resets
+/// the stale counter (and is the epoch whose weights the trainer keeps);
+/// otherwise the counter grows until `patience` is exhausted. With no
+/// patience configured the tracker never stops and degrades to plain
+/// best-epoch selection.
+#[derive(Clone, Debug)]
+pub struct EarlyStop {
+    min_delta: f32,
+    patience: Option<usize>,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStop {
+    /// A tracker that only selects the best epoch and never stops.
+    pub fn best_only() -> Self {
+        EarlyStop {
+            min_delta: 0.0,
+            patience: None,
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// A tracker enforcing the given early-stop rule.
+    pub fn with_rule(config: EarlyStopConfig) -> Self {
+        EarlyStop {
+            min_delta: config.min_delta,
+            patience: Some(config.patience),
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Restores mid-run tracker state (for checkpoint resume).
+    pub fn restore(&mut self, best: f32, stale: usize) {
+        self.best = best;
+        self.stale = stale;
+    }
+
+    /// Records an epoch's monitored NLL.
+    pub fn observe(&mut self, metric: f32) -> EpochVerdict {
+        let improved = metric < self.best - self.min_delta;
+        if improved {
+            self.best = metric;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        EpochVerdict {
+            improved,
+            stop: self.patience.is_some_and(|p| self.stale >= p),
+        }
+    }
+
+    /// Best metric observed so far (`+inf` before the first observation).
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+
+    /// Number of consecutive epochs without improvement.
+    pub fn stale(&self) -> usize {
+        self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStop::with_rule(EarlyStopConfig::new(2));
+        assert_eq!(
+            es.observe(5.0),
+            EpochVerdict {
+                improved: true,
+                stop: false
+            }
+        );
+        assert!(!es.observe(5.0).improved); // equal is not an improvement
+        assert!(es.observe(4.0).improved);
+        assert_eq!(es.stale(), 0);
+        assert_eq!(es.best(), 4.0);
+    }
+
+    #[test]
+    fn patience_exhaustion_stops() {
+        let mut es = EarlyStop::with_rule(EarlyStopConfig::new(2));
+        es.observe(3.0);
+        assert!(!es.observe(3.5).stop);
+        assert!(es.observe(3.4).stop);
+    }
+
+    #[test]
+    fn min_delta_requires_significant_improvement() {
+        let mut es = EarlyStop::with_rule(EarlyStopConfig::new(1).with_min_delta(0.5));
+        es.observe(5.0);
+        let v = es.observe(4.8); // improved, but not by 0.5
+        assert!(!v.improved);
+        assert!(v.stop);
+        assert_eq!(es.best(), 5.0);
+    }
+
+    #[test]
+    fn best_only_never_stops() {
+        let mut es = EarlyStop::best_only();
+        es.observe(2.0);
+        for _ in 0..100 {
+            assert!(!es.observe(9.0).stop);
+        }
+        assert_eq!(es.best(), 2.0);
+        assert_eq!(es.stale(), 100);
+    }
+
+    #[test]
+    fn restore_resumes_mid_count() {
+        let mut es = EarlyStop::with_rule(EarlyStopConfig::new(3));
+        es.restore(1.5, 2);
+        assert_eq!(es.best(), 1.5);
+        let v = es.observe(1.6);
+        assert!(v.stop, "restored stale count must carry over");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EarlyStopConfig::new(3).validate().is_ok());
+        assert!(EarlyStopConfig::new(0).validate().is_err());
+        assert!(EarlyStopConfig::new(1)
+            .with_min_delta(-0.1)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Learning-rate schedules.
+//!
+//! A [`Schedule`] maps an optimizer-step ordinal to a multiplicative factor
+//! on the base learning rate. Schedules are pure functions of the step
+//! index — never of wall clock or total-epoch counts — which is what makes
+//! checkpoint resume bit-exact: a resumed run replays the same factors
+//! because it replays the same step ordinals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FlowError, Result};
+
+/// A learning-rate schedule, evaluated per optimizer step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// The base learning rate throughout (the paper's setup).
+    #[default]
+    Constant,
+    /// Multiply the rate by `gamma` every `every` optimizer steps.
+    Step {
+        /// Number of optimizer steps between decays.
+        every: u64,
+        /// Multiplicative decay factor in `(0, 1]`.
+        gamma: f32,
+    },
+    /// Linear warmup over `warmup` steps, then a half-cosine decay over
+    /// `period` steps from the base rate down to `min_factor` × base, where
+    /// it stays for the remainder of the run.
+    WarmupCosine {
+        /// Number of warmup steps (0 disables warmup).
+        warmup: u64,
+        /// Length of the cosine decay, in optimizer steps after warmup.
+        period: u64,
+        /// Floor of the decay as a fraction of the base rate, in `(0, 1]`.
+        min_factor: f32,
+    },
+}
+
+impl Schedule {
+    /// The learning-rate factor for the 0-based optimizer step `step`.
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::Step { every, gamma } => gamma.powi((step / every.max(1)) as i32),
+            Schedule::WarmupCosine {
+                warmup,
+                period,
+                min_factor,
+            } => {
+                if step < warmup {
+                    (step + 1) as f32 / warmup as f32
+                } else {
+                    let t = ((step - warmup) as f32 / period.max(1) as f32).min(1.0);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                    min_factor + (1.0 - min_factor) * cos
+                }
+            }
+        }
+    }
+
+    /// Validates the schedule's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] on a zero decay interval/period,
+    /// or a factor outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            Schedule::Constant => Ok(()),
+            Schedule::Step { every, gamma } => {
+                if every == 0 {
+                    return Err(FlowError::InvalidConfig(
+                        "step schedule interval must be positive".into(),
+                    ));
+                }
+                if !(gamma > 0.0 && gamma <= 1.0) {
+                    return Err(FlowError::InvalidConfig(
+                        "step schedule gamma must be in (0, 1]".into(),
+                    ));
+                }
+                Ok(())
+            }
+            Schedule::WarmupCosine {
+                period, min_factor, ..
+            } => {
+                if period == 0 {
+                    return Err(FlowError::InvalidConfig(
+                        "cosine period must be positive".into(),
+                    ));
+                }
+                if !(min_factor > 0.0 && min_factor <= 1.0) {
+                    return Err(FlowError::InvalidConfig(
+                        "cosine min_factor must be in (0, 1]".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for step in [0, 1, 10_000] {
+            assert_eq!(Schedule::Constant.factor(step), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decays_at_interval_boundaries() {
+        let s = Schedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_rises_then_cosine_falls_to_floor() {
+        let s = Schedule::WarmupCosine {
+            warmup: 4,
+            period: 8,
+            min_factor: 0.1,
+        };
+        // Warmup: strictly increasing, hits 1.0 at the last warmup step.
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!(s.factor(1) > s.factor(0));
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        // Decay: non-increasing down to the floor, then flat.
+        let mut prev = s.factor(4);
+        for step in 5..12 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-6, "factor rose at step {step}");
+            prev = f;
+        }
+        assert!((s.factor(12) - 0.1).abs() < 1e-6);
+        assert!((s.factor(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_full_rate() {
+        let s = Schedule::WarmupCosine {
+            warmup: 0,
+            period: 10,
+            min_factor: 0.5,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(Schedule::Constant.validate().is_ok());
+        assert!(Schedule::Step {
+            every: 0,
+            gamma: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Step {
+            every: 5,
+            gamma: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::WarmupCosine {
+            warmup: 0,
+            period: 0,
+            min_factor: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::WarmupCosine {
+            warmup: 0,
+            period: 10,
+            min_factor: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn factor_is_a_pure_function_of_step() {
+        let s = Schedule::WarmupCosine {
+            warmup: 3,
+            period: 20,
+            min_factor: 0.2,
+        };
+        for step in 0..40 {
+            assert_eq!(s.factor(step).to_bits(), s.factor(step).to_bits());
+        }
+    }
+}

@@ -213,7 +213,7 @@ mod tests {
         let workbench = Workbench::prepare(EvalScale::smoke()).unwrap();
         assert!(!workbench.split.train.is_empty());
         assert!(!workbench.test_set().is_empty());
-        assert!(workbench.training.final_nll().is_finite());
+        assert!(workbench.training.final_nll().unwrap().is_finite());
         // The trained flow can generate guesses.
         let mut rng = nnrng::seeded(1);
         let guesses = workbench.flow.sample_passwords(10, &mut rng);

@@ -11,6 +11,7 @@
 
 use parking_lot::RwLock;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -134,6 +135,110 @@ impl Parameter {
     /// Returns `true` if the two handles refer to the same underlying storage.
     pub fn ptr_eq(&self, other: &Parameter) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A stable identity key for the underlying storage (the shared
+    /// allocation's address).
+    ///
+    /// Two handles have equal keys iff [`ptr_eq`](Self::ptr_eq) holds. The
+    /// key is only meaningful while at least one handle is alive; optimizers
+    /// and gradient batches that index by key always retain a clone of the
+    /// parameter alongside the key, which keeps the allocation (and thus the
+    /// key) valid.
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient batches
+// ---------------------------------------------------------------------------
+
+/// A set of per-parameter gradient tensors detached from the parameters.
+///
+/// [`Var::backward_grads`] produces one `GradBatch` per tape instead of
+/// accumulating into the shared [`Parameter`] storage. This is the building
+/// block of data-parallel training: each gradient worker differentiates its
+/// own tape into a private batch, and the trainer merges the batches in a
+/// **fixed worker-independent order** before applying them, so the reduced
+/// gradient is bit-identical no matter how many workers produced the parts.
+#[derive(Debug, Default)]
+pub struct GradBatch {
+    entries: Vec<(Parameter, Tensor)>,
+    index: HashMap<usize, usize>,
+}
+
+impl GradBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        GradBatch::default()
+    }
+
+    /// Number of parameters with a gradient in this batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no gradients have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `grad` to the entry for `parameter`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` has a different shape from an existing entry.
+    pub fn accumulate(&mut self, parameter: &Parameter, grad: &Tensor) {
+        match self.index.entry(parameter.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.entries[*slot.get()].1.add_assign(grad);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.entries.len());
+                self.entries.push((parameter.clone(), grad.clone()));
+            }
+        }
+    }
+
+    /// Adds every gradient of `other` into this batch.
+    ///
+    /// Merging is elementwise addition per parameter; to keep reductions
+    /// deterministic, merge batches in a fixed order (e.g. micro-batch
+    /// index), never in thread-completion order.
+    pub fn merge(&mut self, other: &GradBatch) {
+        for (parameter, grad) in &other.entries {
+            self.accumulate(parameter, grad);
+        }
+    }
+
+    /// Multiplies every gradient in the batch by `factor` in place.
+    pub fn scale(&mut self, factor: f32) {
+        for (_, grad) in &mut self.entries {
+            for v in grad.as_mut_slice() {
+                *v *= factor;
+            }
+        }
+    }
+
+    /// The gradient recorded for `parameter`, if any.
+    pub fn get(&self, parameter: &Parameter) -> Option<&Tensor> {
+        self.index
+            .get(&parameter.key())
+            .map(|&i| &self.entries[i].1)
+    }
+
+    /// Accumulates every gradient into its parameter's shared gradient
+    /// storage (the form optimizers consume).
+    pub fn apply(&self) {
+        for (parameter, grad) in &self.entries {
+            parameter.accumulate_grad(grad);
+        }
+    }
+
+    /// Iterates over `(parameter, gradient)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Parameter, &Tensor)> {
+        self.entries.iter().map(|(p, g)| (p, g))
     }
 }
 
@@ -406,6 +511,27 @@ impl Var {
     /// Panics if any intermediate gradient has an unexpected shape, which
     /// indicates a bug in an operation's gradient rule.
     pub fn backward(&self) {
+        self.backprop(|parameter, grad| parameter.accumulate_grad(grad));
+    }
+
+    /// Runs reverse-mode differentiation from this node, collecting the
+    /// parameter gradients into a detached [`GradBatch`] instead of
+    /// accumulating them into the shared parameter storage.
+    ///
+    /// This is the entry point for data-parallel gradient workers: each
+    /// worker differentiates its own tape privately, and the resulting
+    /// batches are merged in a fixed order so the reduction is independent
+    /// of thread scheduling and worker count.
+    pub fn backward_grads(&self) -> GradBatch {
+        let mut batch = GradBatch::new();
+        self.backprop(|parameter, grad| batch.accumulate(parameter, grad));
+        batch
+    }
+
+    /// The shared reverse traversal behind [`backward`](Self::backward) and
+    /// [`backward_grads`](Self::backward_grads); `sink` receives every
+    /// parameter-leaf gradient.
+    fn backprop(&self, mut sink: impl FnMut(&Parameter, &Tensor)) {
         let mut inner = self.tape.inner.borrow_mut();
         let n = inner.nodes.len();
         // Reset gradients from any previous backward pass on this tape.
@@ -424,7 +550,7 @@ impl Var {
             let mut contributions: Vec<(usize, Tensor)> = Vec::new();
             match &inner.nodes[id].op {
                 Op::Constant => {}
-                Op::Param(p) => p.accumulate_grad(&grad),
+                Op::Param(p) => sink(p, &grad),
                 Op::MatMul(a, b) => {
                     let a_val = inner.nodes[*a].value.clone();
                     let b_val = inner.nodes[*b].value.clone();
@@ -743,5 +869,75 @@ mod tests {
         let tape = Tape::new();
         let a = tape.constant(Tensor::ones(2, 3));
         assert!(format!("{a:?}").contains("(2, 3)"));
+    }
+
+    #[test]
+    fn parameter_key_tracks_identity() {
+        let p = Parameter::new(Tensor::zeros(1, 1), "a");
+        let q = p.clone();
+        let r = Parameter::new(Tensor::zeros(1, 1), "a");
+        assert_eq!(p.key(), q.key());
+        assert_ne!(p.key(), r.key());
+    }
+
+    #[test]
+    fn backward_grads_matches_backward_bitwise() {
+        let mut r = rng();
+        let w = Parameter::new(Tensor::randn(3, 2, &mut r), "w");
+        let x = Tensor::randn(4, 3, &mut r);
+
+        // Reference: shared-accumulation backward.
+        w.zero_grad();
+        let tape = Tape::new();
+        let out = tape.constant(x.clone()).matmul(&tape.param(&w));
+        out.square().sum().backward();
+        let reference = w.grad();
+        w.zero_grad();
+
+        // Detached collection must produce the identical tensor and leave
+        // the parameter's shared gradient untouched.
+        let tape = Tape::new();
+        let out = tape.constant(x).matmul(&tape.param(&w));
+        let batch = out.square().sum().backward_grads();
+        assert_eq!(w.grad().sum(), 0.0);
+        assert_eq!(batch.len(), 1);
+        let collected = batch.get(&w).expect("gradient for w");
+        assert_eq!(collected.as_slice(), reference.as_slice());
+
+        // Applying the batch reproduces the shared-accumulation state.
+        batch.apply();
+        assert_eq!(w.grad().as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn backward_grads_dedupes_repeated_registration() {
+        // The same parameter registered twice on one tape accumulates both
+        // path gradients into a single entry.
+        let p = Parameter::new(Tensor::row(&[2.0]), "p");
+        let tape = Tape::new();
+        let a = tape.param(&p);
+        let b = tape.param(&p);
+        let batch = a.mul(&b).sum().backward_grads();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.get(&p).unwrap().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn grad_batch_merge_and_scale() {
+        let p = Parameter::new(Tensor::row(&[0.0, 0.0]), "p");
+        let q = Parameter::new(Tensor::row(&[0.0]), "q");
+        let mut total = GradBatch::new();
+        let mut part = GradBatch::new();
+        total.accumulate(&p, &Tensor::row(&[1.0, 2.0]));
+        part.accumulate(&p, &Tensor::row(&[0.5, 0.5]));
+        part.accumulate(&q, &Tensor::row(&[3.0]));
+        total.merge(&part);
+        total.scale(2.0);
+        assert_eq!(total.len(), 2);
+        assert_eq!(total.get(&p).unwrap().as_slice(), &[3.0, 5.0]);
+        assert_eq!(total.get(&q).unwrap().as_slice(), &[6.0]);
+        assert_eq!(total.iter().count(), 2);
+        assert!(!total.is_empty());
+        assert!(GradBatch::new().is_empty());
     }
 }

@@ -38,6 +38,14 @@ pub enum NnError {
         /// Context in which the non-finite value appeared.
         context: &'static str,
     },
+    /// An optimizer-state snapshot did not align with the parameter set it
+    /// was loaded against.
+    StateMismatch {
+        /// Number of parameters the state was expected to cover.
+        expected: usize,
+        /// Number of state entries actually provided.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -54,6 +62,12 @@ impl fmt::Display for NnError {
             ),
             NnError::NonFinite { context } => {
                 write!(f, "non-finite value encountered in {context}")
+            }
+            NnError::StateMismatch { expected, got } => {
+                write!(
+                    f,
+                    "optimizer state covers {got} parameters, expected {expected}"
+                )
             }
         }
     }

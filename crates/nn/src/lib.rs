@@ -53,9 +53,9 @@ pub mod rng;
 mod snapshot;
 mod tensor;
 
-pub use autograd::{Parameter, Tape, Var};
+pub use autograd::{GradBatch, Parameter, Tape, Var};
 pub use error::{NnError, Result};
 pub use layers::{Activation, ActivationKind, Linear, Module, ResNet, ResidualBlock, Sequential};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use snapshot::{BlockSnapshot, LinearSnapshot, NetWorkspace, ResNetSnapshot, WeightSnapshot};
 pub use tensor::Tensor;

@@ -3,7 +3,10 @@
 //! PassFlow is trained with Adam (learning rate 0.001, the paper's Section
 //! IV-D); [`Sgd`] is provided for ablations and the WGAN baseline's critic.
 
+use std::collections::HashMap;
+
 use crate::autograd::Parameter;
+use crate::error::{NnError, Result};
 use crate::tensor::Tensor;
 
 /// A first-order optimizer over a set of [`Parameter`]s.
@@ -22,8 +25,50 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
-fn find_state_index(states: &[(Parameter, Tensor, Tensor)], p: &Parameter) -> Option<usize> {
-    states.iter().position(|(q, _, _)| q.ptr_eq(p))
+/// Per-parameter optimizer state (two tensors per parameter) with O(1)
+/// lookup by parameter identity.
+///
+/// The previous implementation scanned a `Vec` with `ptr_eq` on every
+/// access, which made each optimizer step O(params²) pointer comparisons; a
+/// flow-scale model has hundreds of parameter tensors and takes thousands of
+/// steps, so the scan was measurable. The map is keyed by
+/// [`Parameter::key`]; the entry retains a clone of the parameter, keeping
+/// the key valid for the optimizer's lifetime.
+#[derive(Debug, Default)]
+struct StateMap {
+    entries: Vec<(Parameter, Tensor, Tensor)>,
+    index: HashMap<usize, usize>,
+}
+
+impl StateMap {
+    /// Index of `p`'s state, inserting zero-initialized tensors of the given
+    /// shape on first sight.
+    fn index_or_insert(&mut self, p: &Parameter, rows: usize, cols: usize) -> usize {
+        match self.index.entry(p.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => *slot.get(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let i = self.entries.len();
+                slot.insert(i);
+                let zero = Tensor::zeros(rows, cols);
+                self.entries.push((p.clone(), zero.clone(), zero));
+                i
+            }
+        }
+    }
+
+    /// The state tensors for `p`, if present.
+    fn get(&self, p: &Parameter) -> Option<(&Tensor, &Tensor)> {
+        self.index
+            .get(&p.key())
+            .map(|&i| (&self.entries[i].1, &self.entries[i].2))
+    }
+
+    /// Replaces the state for `p` (inserting if absent).
+    fn put(&mut self, p: &Parameter, first: Tensor, second: Tensor) {
+        let i = self.index_or_insert(p, first.rows(), first.cols());
+        self.entries[i].1 = first;
+        self.entries[i].2 = second;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -35,7 +80,8 @@ fn find_state_index(states: &[(Parameter, Tensor, Tensor)], p: &Parameter) -> Op
 pub struct Sgd {
     lr: f32,
     momentum: f32,
-    velocity: Vec<(Parameter, Tensor, Tensor)>,
+    /// Per-parameter velocity (stored in the first state slot).
+    velocity: StateMap,
 }
 
 impl Sgd {
@@ -51,7 +97,7 @@ impl Sgd {
         Sgd {
             lr,
             momentum,
-            velocity: Vec::new(),
+            velocity: StateMap::default(),
         }
     }
 }
@@ -61,16 +107,9 @@ impl Optimizer for Sgd {
         for p in parameters {
             let grad = p.grad();
             if self.momentum > 0.0 {
-                let idx = match find_state_index(&self.velocity, p) {
-                    Some(i) => i,
-                    None => {
-                        let zero = Tensor::zeros(grad.rows(), grad.cols());
-                        self.velocity.push((p.clone(), zero.clone(), zero));
-                        self.velocity.len() - 1
-                    }
-                };
-                let v = self.velocity[idx].1.scale(self.momentum).add(&grad);
-                self.velocity[idx].1 = v.clone();
+                let idx = self.velocity.index_or_insert(p, grad.rows(), grad.cols());
+                let v = self.velocity.entries[idx].1.scale(self.momentum).add(&grad);
+                self.velocity.entries[idx].1 = v.clone();
                 p.update_value(|value, _| value.sub(&v.scale(self.lr)));
             } else {
                 p.update_value(|value, g| value.sub(&g.scale(self.lr)));
@@ -93,6 +132,23 @@ impl Optimizer for Sgd {
 // Adam
 // ---------------------------------------------------------------------------
 
+/// A snapshot of an [`Adam`] optimizer's state, aligned to a parameter
+/// slice.
+///
+/// `moments[i]` holds the `(m, v)` moment estimates for the `i`-th parameter
+/// of the slice the state was exported against. Checkpoints serialize this
+/// snapshot so a resumed training run continues with bit-identical optimizer
+/// dynamics (Adam's update depends on the running moments and the bias
+///-correction step count, not just the weights).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// Number of optimization steps taken when the state was exported.
+    pub step_count: u64,
+    /// Per-parameter `(first, second)` moment estimates, in parameter-slice
+    /// order. Parameters never stepped yet export zero moments.
+    pub moments: Vec<(Tensor, Tensor)>,
+}
+
 /// The Adam optimizer (Kingma & Ba, 2015), the paper's training optimizer.
 #[derive(Debug)]
 pub struct Adam {
@@ -102,7 +158,7 @@ pub struct Adam {
     eps: f32,
     step_count: u64,
     /// Per-parameter first (m) and second (v) moment estimates.
-    moments: Vec<(Parameter, Tensor, Tensor)>,
+    moments: StateMap,
     /// Optional gradient-clipping threshold (global L2 norm per parameter).
     clip_norm: Option<f32>,
 }
@@ -124,7 +180,7 @@ impl Adam {
             beta2,
             eps: 1e-8,
             step_count: 0,
-            moments: Vec::new(),
+            moments: StateMap::default(),
             clip_norm: None,
         }
     }
@@ -145,6 +201,65 @@ impl Adam {
     pub fn steps_taken(&self) -> u64 {
         self.step_count
     }
+
+    /// Exports the optimizer state aligned to `parameters`.
+    ///
+    /// Parameters this optimizer has not stepped yet export zero moments, so
+    /// the snapshot is always complete and a fresh optimizer loading it
+    /// behaves exactly like this one.
+    pub fn export_state(&self, parameters: &[Parameter]) -> AdamState {
+        let moments = parameters
+            .iter()
+            .map(|p| match self.moments.get(p) {
+                Some((m, v)) => (m.clone(), v.clone()),
+                None => {
+                    let (r, c) = {
+                        let value = p.value();
+                        value.shape()
+                    };
+                    (Tensor::zeros(r, c), Tensor::zeros(r, c))
+                }
+            })
+            .collect();
+        AdamState {
+            step_count: self.step_count,
+            moments,
+        }
+    }
+
+    /// Restores a state snapshot exported by
+    /// [`export_state`](Self::export_state) against the same parameter
+    /// order. Existing state for those parameters is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateMismatch`] if the snapshot holds a different
+    /// number of moment pairs than `parameters`, or
+    /// [`NnError::ShapeMismatch`] if a moment tensor does not match its
+    /// parameter's shape.
+    pub fn load_state(&mut self, parameters: &[Parameter], state: &AdamState) -> Result<()> {
+        if parameters.len() != state.moments.len() {
+            return Err(NnError::StateMismatch {
+                expected: parameters.len(),
+                got: state.moments.len(),
+            });
+        }
+        for (p, (m, v)) in parameters.iter().zip(state.moments.iter()) {
+            let shape = p.value().shape();
+            if m.shape() != shape || v.shape() != shape {
+                return Err(NnError::ShapeMismatch {
+                    op: "adam moment load",
+                    lhs: shape,
+                    rhs: m.shape(),
+                });
+            }
+        }
+        self.step_count = state.step_count;
+        for (p, (m, v)) in parameters.iter().zip(state.moments.iter()) {
+            self.moments.put(p, m.clone(), v.clone());
+        }
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {
@@ -162,24 +277,17 @@ impl Optimizer for Adam {
                     grad = grad.scale(max_norm / norm);
                 }
             }
-            let idx = match find_state_index(&self.moments, p) {
-                Some(i) => i,
-                None => {
-                    let zero = Tensor::zeros(grad.rows(), grad.cols());
-                    self.moments.push((p.clone(), zero.clone(), zero));
-                    self.moments.len() - 1
-                }
-            };
-            let m = self.moments[idx]
+            let idx = self.moments.index_or_insert(p, grad.rows(), grad.cols());
+            let m = self.moments.entries[idx]
                 .1
                 .scale(self.beta1)
                 .add(&grad.scale(1.0 - self.beta1));
-            let v = self.moments[idx]
+            let v = self.moments.entries[idx]
                 .2
                 .scale(self.beta2)
                 .add(&grad.square().scale(1.0 - self.beta2));
-            self.moments[idx].1 = m.clone();
-            self.moments[idx].2 = v.clone();
+            self.moments.entries[idx].1 = m.clone();
+            self.moments.entries[idx].2 = v.clone();
 
             let m_hat = m.scale(1.0 / bias1);
             let v_hat = v.scale(1.0 / bias2);
@@ -310,6 +418,94 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_learning_rate_rejected() {
         let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    fn adam_state_export_load_round_trips_bitwise() {
+        // Train two identical parameter sets: one continuously, one through
+        // an export/load hand-off at the midpoint. Trajectories must be
+        // bit-identical.
+        let make_params = || {
+            vec![
+                Parameter::new(Tensor::row(&[0.2, -0.4, 0.8]), "a"),
+                Parameter::new(Tensor::row(&[1.0, 1.0]), "b"),
+            ]
+        };
+        let grads = |step: u64| {
+            [
+                Tensor::row(&[0.3 + step as f32 * 0.01, -0.2, 0.1]),
+                Tensor::row(&[-0.5, 0.25 + step as f32 * 0.02]),
+            ]
+        };
+        let run_steps = |opt: &mut Adam, params: &[Parameter], from: u64, to: u64| {
+            for s in from..to {
+                for (p, g) in params.iter().zip(grads(s).iter()) {
+                    p.accumulate_grad(g);
+                }
+                opt.step(params);
+            }
+        };
+
+        let continuous = make_params();
+        let mut opt_a = Adam::new(0.05).with_clip_norm(1.0);
+        run_steps(&mut opt_a, &continuous, 0, 20);
+
+        let resumed = make_params();
+        let mut opt_b = Adam::new(0.05).with_clip_norm(1.0);
+        run_steps(&mut opt_b, &resumed, 0, 10);
+        let state = opt_b.export_state(&resumed);
+        let mut opt_c = Adam::new(0.05).with_clip_norm(1.0);
+        opt_c.load_state(&resumed, &state).unwrap();
+        assert_eq!(opt_c.steps_taken(), 10);
+        run_steps(&mut opt_c, &resumed, 10, 20);
+
+        for (p, q) in continuous.iter().zip(resumed.iter()) {
+            let (pv, qv) = (p.value(), q.value());
+            for (a, b) in pv.as_slice().iter().zip(qv.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Exported states also agree bitwise after the identical runs.
+        assert_eq!(
+            opt_a.export_state(&continuous).moments,
+            opt_c.export_state(&resumed).moments
+        );
+    }
+
+    #[test]
+    fn adam_export_covers_unstepped_parameters_with_zeros() {
+        let p = Parameter::new(Tensor::zeros(2, 3), "fresh");
+        let opt = Adam::new(0.1);
+        let state = opt.export_state(std::slice::from_ref(&p));
+        assert_eq!(state.step_count, 0);
+        assert_eq!(state.moments.len(), 1);
+        assert_eq!(state.moments[0].0.shape(), (2, 3));
+        assert_eq!(state.moments[0].0.sum(), 0.0);
+    }
+
+    #[test]
+    fn adam_load_state_validates_alignment() {
+        let p = Parameter::new(Tensor::row(&[1.0]), "p");
+        let mut opt = Adam::new(0.1);
+        let empty = AdamState {
+            step_count: 3,
+            moments: Vec::new(),
+        };
+        assert!(matches!(
+            opt.load_state(std::slice::from_ref(&p), &empty),
+            Err(crate::error::NnError::StateMismatch {
+                expected: 1,
+                got: 0
+            })
+        ));
+        let wrong_shape = AdamState {
+            step_count: 3,
+            moments: vec![(Tensor::zeros(2, 2), Tensor::zeros(2, 2))],
+        };
+        assert!(matches!(
+            opt.load_state(std::slice::from_ref(&p), &wrong_shape),
+            Err(crate::error::NnError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -547,7 +547,17 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of an empty tensor");
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        // Explicit compare instead of `fold(…, f32::max)`: the minnum/maxnum
+        // reduction pattern miscompiles under `-C target-cpu=native` on
+        // AVX-512 hosts with current rustc (observed returning a non-extremal
+        // element); a plain comparison loop vectorizes correctly.
+        let mut best = f32::NEG_INFINITY;
+        for &v in &self.data {
+            if v > best {
+                best = v;
+            }
+        }
+        best
     }
 
     /// Minimum element.
@@ -557,7 +567,13 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn min(&self) -> f32 {
         assert!(!self.is_empty(), "min of an empty tensor");
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        let mut best = f32::INFINITY;
+        for &v in &self.data {
+            if v < best {
+                best = v;
+            }
+        }
+        best
     }
 
     /// Sums each row, producing an `rows × 1` column tensor.

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "trained {} epochs, best NLL {:.3} nats/password",
         report.epochs.len(),
-        report.best_nll()
+        report.best_nll().unwrap_or(f32::NAN)
     );
 
     // 3. The flow gives exact densities — inspect a few.

@@ -43,10 +43,12 @@ pub use passflow_passwords as passwords;
 #[allow(deprecated)]
 pub use passflow_core::run_attack;
 pub use passflow_core::{
-    interpolate, interpolate_passwords, train, Attack, AttackConfig, AttackEngine, AttackOutcome,
-    CheckpointReport, DynamicParams, FlowConfig, FlowError, FlowSnapshot, FlowWorkspace,
-    GaussianSmoothing, GuessSession, Guesser, GuessingStrategy, LatentGuesser, LatentSession,
-    MaskStrategy, PassFlow, Penalization, ShardedSet, TrainConfig, TrainingReport,
+    interpolate, interpolate_passwords, load_checkpoint, load_flow, save_checkpoint, save_flow,
+    train, Attack, AttackConfig, AttackEngine, AttackOutcome, CheckpointReport, DynamicParams,
+    EarlyStopConfig, FlowConfig, FlowError, FlowSnapshot, FlowWorkspace, GaussianSmoothing,
+    GuessSession, Guesser, GuessingStrategy, LatentGuesser, LatentSession, MaskStrategy, PassFlow,
+    Penalization, Schedule, ShardedSet, TrainConfig, TrainLoop, TrainState, Trainer,
+    TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{
