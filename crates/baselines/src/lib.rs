@@ -15,7 +15,10 @@
 //!
 //! All guessers implement [`passflow_core::Guesser`], so the unified
 //! [`Attack`](passflow_core::Attack) engine drives them interchangeably —
-//! and through the same protocol as `PassFlow` itself.
+//! and through the same protocol as `PassFlow` itself. The Markov and PCFG
+//! models additionally expose their exact probabilities through
+//! [`passflow_core::ProbabilityModel`], plugging them into the strength
+//! subsystem (`passflow_core::strength`) as ground-truth-exact meters.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

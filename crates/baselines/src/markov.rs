@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use rand::{Rng, RngCore};
 
-use passflow_core::Guesser;
+use passflow_core::{Guesser, ProbabilityModel};
 use passflow_nn::rng as nnrng;
 
 /// Special token marking the start/end of a password in the n-gram tables.
@@ -153,6 +153,30 @@ impl Guesser for MarkovModel {
     }
 }
 
+impl ProbabilityModel for MarkovModel {
+    /// The chain's exact log-probability ([`MarkovModel::log_prob`]).
+    ///
+    /// `None` for passwords [`sample_password`](MarkovModel::sample_password)
+    /// can never emit (empty, or longer than `max_len`); within the emitted
+    /// support, scoring matches sampling up to the boundary treatment of
+    /// maximum-length strings, so `exp(log_prob)` sums to ≈ 1 over an
+    /// exhaustive small-alphabet enumeration (`tests/strength.rs`).
+    fn password_log_prob(&self, password: &str) -> Option<f64> {
+        // `sample_password` only emits non-empty strings of at most
+        // `max_len` characters drawn from the training vocabulary; anything
+        // else has sampling probability zero (the smoothed chain would
+        // still assign out-of-vocabulary characters leftover mass, which
+        // lies outside the per-context normalization).
+        if password.is_empty()
+            || password.chars().count() > self.max_len
+            || !password.chars().all(|c| self.vocabulary.contains(&c))
+        {
+            return None;
+        }
+        Some(self.log_prob(password))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +237,16 @@ mod tests {
         let guesses = model.generate_batch(50, &mut rng);
         assert_eq!(guesses.len(), 50);
         assert_eq!(model.name(), "Markov");
+    }
+
+    #[test]
+    fn probability_model_gates_on_the_emitted_support() {
+        let model = MarkovModel::train(&corpus(1_000), 2, 10);
+        assert!(model.password_log_prob("jessica1").is_some());
+        assert!(model.password_log_prob("").is_none());
+        assert!(model.password_log_prob("waytoolongpassword").is_none());
+        // Out-of-vocabulary characters can never be sampled.
+        assert!(model.password_log_prob("héllo").is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use rand::{Rng, RngCore};
 
-use passflow_core::Guesser;
+use passflow_core::{Guesser, ProbabilityModel};
 use passflow_nn::rng as nnrng;
 use passflow_passwords::stats::CharClass;
 
@@ -27,8 +27,14 @@ struct Segment {
 pub struct PcfgModel {
     /// Structure templates and their observed counts.
     structures: Vec<(Vec<Segment>, u32)>,
+    /// Structure counts keyed by template, for O(1) scoring lookups.
+    structure_counts: HashMap<Vec<Segment>, u32>,
+    /// Total observations across all structures (invariant of training).
+    structure_total: f64,
     /// Terminal strings per segment, with counts.
     terminals: HashMap<Segment, Vec<(String, u32)>>,
+    /// Total observations per segment (invariant of training).
+    terminal_totals: HashMap<Segment, f64>,
     max_len: usize,
 }
 
@@ -78,13 +84,17 @@ impl PcfgModel {
             "no usable passwords in the training corpus"
         );
 
-        let mut structures: Vec<(Vec<Segment>, u32)> = structure_counts.into_iter().collect();
+        let mut structures: Vec<(Vec<Segment>, u32)> = structure_counts
+            .iter()
+            .map(|(s, c)| (s.clone(), *c))
+            .collect();
         // Tie-break equally frequent structures by the template itself:
         // `HashMap` iteration order is randomized per process, and without a
         // total order here the sampling distribution — and therefore every
         // "same seed, same guesses" guarantee — would drift across runs.
         structures.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let terminals = terminal_counts
+        let structure_total: f64 = structures.iter().map(|(_, c)| f64::from(*c)).sum();
+        let terminals: HashMap<Segment, Vec<(String, u32)>> = terminal_counts
             .into_iter()
             .map(|(segment, counts)| {
                 let mut list: Vec<(String, u32)> = counts.into_iter().collect();
@@ -92,10 +102,22 @@ impl PcfgModel {
                 (segment, list)
             })
             .collect();
+        let terminal_totals = terminals
+            .iter()
+            .map(|(segment, list)| {
+                (
+                    *segment,
+                    list.iter().map(|(_, c)| f64::from(*c)).sum::<f64>(),
+                )
+            })
+            .collect();
 
         PcfgModel {
             structures,
+            structure_counts,
+            structure_total,
             terminals,
+            terminal_totals,
             max_len,
         }
     }
@@ -142,6 +164,35 @@ impl PcfgModel {
         }
     }
 
+    /// Exact log-probability of `password` under the grammar, or `None` if
+    /// the password uses a structure or terminal never seen in training
+    /// (the grammar assigns it probability zero), is empty, or exceeds the
+    /// maximum length.
+    ///
+    /// A password segments uniquely into maximal same-class runs, so its
+    /// probability is exactly the structure probability times each
+    /// segment's terminal probability — the same distribution
+    /// [`sample_password`](Self::sample_password) draws from, which is what
+    /// makes the grammar an *exact* [`ProbabilityModel`]: summed over the
+    /// grammar's full support, `exp(log_prob)` is 1 (asserted by
+    /// `tests/strength.rs`).
+    pub fn log_prob(&self, password: &str) -> Option<f64> {
+        if password.is_empty() || password.chars().count() > self.max_len {
+            return None;
+        }
+        let segments = segment_password(password);
+        let structure: Vec<Segment> = segments.iter().map(|(s, _)| *s).collect();
+        let structure_count = *self.structure_counts.get(&structure)?;
+        let mut total = (f64::from(structure_count) / self.structure_total).ln();
+        for (segment, text) in segments {
+            let list = self.terminals.get(&segment)?;
+            let count = list.iter().find(|(t, _)| *t == text).map(|(_, c)| *c)?;
+            let segment_total = self.terminal_totals[&segment];
+            total += (f64::from(count) / segment_total).ln();
+        }
+        Some(total)
+    }
+
     /// Samples a single password.
     pub fn sample_password<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
         let structure = self.sample_structure(rng).to_vec();
@@ -160,6 +211,12 @@ impl Guesser for PcfgModel {
 
     fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
         (0..n).map(|_| self.sample_password(rng)).collect()
+    }
+}
+
+impl ProbabilityModel for PcfgModel {
+    fn password_log_prob(&self, password: &str) -> Option<f64> {
+        self.log_prob(password)
     }
 }
 

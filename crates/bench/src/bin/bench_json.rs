@@ -2,9 +2,11 @@
 //!
 //! A minimal xtask-style harness: it times the acceptance benchmarks — the
 //! flow inverse on the `eval_6x48` architecture, the end-to-end guessing
-//! attack, and one training epoch at 1 vs N gradient workers — plus the
-//! GEMM microkernel, and writes the medians to a JSON file so CI and
-//! successive PRs can track a machine-local trajectory.
+//! attack, one training epoch at 1 vs N gradient workers, and the strength
+//! meter's table-build/lookup/scoring path — plus the GEMM microkernel,
+//! and writes the medians to a JSON file so CI and successive PRs can
+//! track a machine-local trajectory. The JSON layout (`passflow-bench-v1`)
+//! is specified once in DESIGN.md, "Artifact schemas".
 //!
 //! ```text
 //! cargo run --release -p passflow-bench --bin bench_json -- \
@@ -16,7 +18,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use passflow_core::{
-    Attack, FlowConfig, FlowWorkspace, GuessingStrategy, PassFlow, TrainConfig, Trainer,
+    Attack, FlowConfig, FlowWorkspace, GuessingStrategy, PassFlow, ProbabilityModel, SampleTable,
+    TrainConfig, Trainer,
 };
 use passflow_nn::rng as nnrng;
 use passflow_nn::Tensor;
@@ -185,6 +188,50 @@ fn main() {
             name,
             seconds_per_iter: s,
             elements_per_iter: budget,
+        });
+    }
+
+    // -- strength meter: table build, lookups, sharded wordlist scoring -----
+    // Reuses the trained attack flow. The lookup bench is the strength
+    // meter's steady state: scores are precomputed, so it times the pure
+    // rank-interpolation path (binary search + cumulative weights).
+    {
+        let table_samples = if quick { 2_000 } else { 10_000 };
+        let t0 = Instant::now();
+        let table = SampleTable::build(&flow, table_samples, 7);
+        entries.push(Entry {
+            name: "strength/table_build",
+            seconds_per_iter: t0.elapsed().as_secs_f64(),
+            elements_per_iter: table_samples as u64,
+        });
+
+        let wordlist = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(10_000))
+            .generate(23)
+            .into_passwords();
+        let scores: Vec<f64> = flow
+            .password_log_probs(&wordlist)
+            .into_iter()
+            .flatten()
+            .collect();
+        let s = median_secs(samples, || {
+            for &lp in &scores {
+                std::hint::black_box(table.estimate(lp));
+            }
+        });
+        entries.push(Entry {
+            name: "strength/lookup_10k",
+            seconds_per_iter: s,
+            elements_per_iter: scores.len() as u64,
+        });
+
+        let slice = &wordlist[..1_000];
+        let s = median_secs(samples.min(10), || {
+            std::hint::black_box(passflow_core::score_wordlist(&flow, &table, slice, 1));
+        });
+        entries.push(Entry {
+            name: "strength/score_wordlist_1000",
+            seconds_per_iter: s,
+            elements_per_iter: 1_000,
         });
     }
 

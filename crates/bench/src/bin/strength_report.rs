@@ -1,0 +1,55 @@
+//! Emits the strength-meter report: per-dataset guess-number distributions
+//! and model-vs-model agreement, over the shared workbench's trained flow
+//! and the Markov/PCFG baselines.
+//!
+//! ```text
+//! cargo run --release -p passflow-bench --bin strength_report -- --scale smoke
+//! ```
+
+use passflow_bench::{emit, prepare, scale_from_env};
+use passflow_core::ProbabilityModel;
+use passflow_eval::strength::{
+    guess_number_distribution, model_agreement, sample_tables, ModelEntry,
+};
+
+use passflow_baselines::{MarkovModel, PcfgModel};
+
+fn main() -> passflow_core::Result<()> {
+    let scale = scale_from_env();
+    let shards = scale.attack_shards;
+    let workbench = prepare(scale)?;
+
+    let max_len = workbench.flow.encoder().max_len();
+    let markov = MarkovModel::train(&workbench.split.train, 2, max_len);
+    let pcfg = PcfgModel::train(&workbench.split.train, max_len);
+    let models: Vec<&dyn ProbabilityModel> = vec![&workbench.flow, &markov, &pcfg];
+
+    // One sample table per model; size scales with the corpus so smoke runs
+    // stay fast while larger scales tighten the confidence intervals.
+    let samples = workbench.split.train.len().clamp(2_000, 50_000);
+    eprintln!(
+        "building {} sample tables of {samples} samples",
+        models.len()
+    );
+    let tables = sample_tables(&models, samples, workbench.scale.seed, shards);
+    let entries: Vec<ModelEntry<'_>> = models
+        .iter()
+        .zip(tables.iter())
+        .map(|(m, t)| (*m, t))
+        .collect();
+
+    let train_slice = &workbench.split.train[..workbench.split.train.len().min(2_000)];
+    let datasets: Vec<(&str, &[String])> = vec![
+        ("train", train_slice),
+        ("test (unique)", &workbench.split.test_unique),
+    ];
+    emit(
+        &guess_number_distribution(&entries, &datasets, shards),
+        "strength_distribution",
+    );
+    emit(
+        &model_agreement(&entries, &workbench.split.test_unique, shards),
+        "strength_agreement",
+    );
+    Ok(())
+}

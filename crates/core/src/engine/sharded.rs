@@ -6,8 +6,8 @@ use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
 /// Number of internal shards. A power of two so the shard index is a mask.
 const NUM_SHARDS: usize = 16;
 
-/// A set of generated guesses, split into [`NUM_SHARDS`] independent hash
-/// sets keyed by the guess's hash.
+/// A set of generated guesses, split into `NUM_SHARDS` (16) independent
+/// hash sets keyed by the guess's hash.
 ///
 /// The guessing attack inserts hundreds of millions of strings into this set
 /// at paper scale; sharding keeps rehash pauses short (each shard rehashes

@@ -16,8 +16,12 @@
 
 use passflow_nn::kernels::{
     affine_coupling_forward_into, affine_coupling_inverse_into, mul_row_broadcast_into,
+    row_squared_norms_into,
 };
 use passflow_nn::{NetWorkspace, Parameter, ResNetSnapshot, Tensor};
+
+/// ln(2π), matching the constant used by the training loss and the prior.
+const LN_2PI: f32 = 1.837_877_1;
 
 // ---------------------------------------------------------------------------
 // Workspace
@@ -42,6 +46,10 @@ pub struct FlowWorkspace {
     /// Ping/pong buffers for chaining coupling layers.
     ping: Tensor,
     pong: Tensor,
+    /// Latent output buffer for the fused log-density path.
+    z_buf: Tensor,
+    /// Log-determinant accumulator for the fused log-density path.
+    log_det_buf: Tensor,
 }
 
 impl FlowWorkspace {
@@ -231,6 +239,34 @@ impl FlowSnapshot {
             x_out,
             |coupling, src, ws, dst| coupling.inverse_into(src, ws, dst),
         );
+    }
+
+    /// Exact log-density of each row of `x` (Equation 5) through the fast
+    /// path, written into `log_prob_out` (`rows × 1`):
+    /// `log p_θ(x) = −½·(‖f_θ(x)‖² + D·ln 2π) + log |det ∂f_θ/∂x|`.
+    ///
+    /// The forward transform, the per-row squared norms
+    /// ([`row_squared_norms_into`]) and the per-row log-determinants all run
+    /// in workspace scratch, so batched scoring (the strength subsystem's
+    /// hot loop) allocates nothing after warm-up. Bit-exact with
+    /// `PassFlow::log_prob_reference`.
+    pub fn log_prob_into(&self, x: &Tensor, ws: &mut FlowWorkspace, log_prob_out: &mut Tensor) {
+        let mut z = std::mem::take(&mut ws.z_buf);
+        let mut log_det = std::mem::take(&mut ws.log_det_buf);
+        self.forward_into(x, ws, &mut z, &mut log_det);
+        row_squared_norms_into(&z, log_prob_out);
+        let norm = self.dim as f32 * LN_2PI;
+        for (lp, ld) in log_prob_out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(log_det.as_slice())
+        {
+            // Same operation order as the reference prior + add chain:
+            // lp = -0.5 * (‖z‖² + D·ln 2π), then lp + log_det.
+            *lp = -0.5 * (*lp + norm) + ld;
+        }
+        ws.z_buf = z;
+        ws.log_det_buf = log_det;
     }
 
     /// Convenience inverse allocating its own workspace and output.

@@ -226,8 +226,25 @@ impl PassFlow {
 
     /// Exact log-density of each row of `x` under the model (Equation 5):
     /// `log p_θ(x) = log p_z(f_θ(x)) + log |det ∂f_θ/∂x|`.
+    ///
+    /// Routes through the fused fast path
+    /// ([`FlowSnapshot::log_prob_into`]); bit-exact with
+    /// [`log_prob_reference`](Self::log_prob_reference).
     pub fn log_prob(&self, x: &Tensor) -> Vec<f32> {
-        let (z, log_det) = self.forward(x);
+        let mut ws = FlowWorkspace::new();
+        let mut out = Tensor::default();
+        self.snapshot().log_prob_into(x, &mut ws, &mut out);
+        out.as_slice().to_vec()
+    }
+
+    /// Reference log-density implementation: [`forward_reference`]
+    /// (per-layer tensor allocation) plus the prior's per-row scoring. Kept
+    /// as the oracle the fused [`log_prob`](Self::log_prob) path is tested
+    /// against to 0 ULP.
+    ///
+    /// [`forward_reference`]: Self::forward_reference
+    pub fn log_prob_reference(&self, x: &Tensor) -> Vec<f32> {
+        let (z, log_det) = self.forward_reference(x);
         let prior = self.prior();
         prior
             .log_prob(&z)

@@ -25,6 +25,11 @@
 //! protocol — budgets, checkpoints, dedup, match counting — with parallel
 //! sharded generation and streaming [`CheckpointReport`]s.
 //!
+//! The [`strength`] subsystem inverts the question: instead of enumerating
+//! guesses to see when a password falls, it turns the models' exact
+//! log-likelihoods ([`ProbabilityModel`]) into instant Monte-Carlo
+//! guess-number estimates ([`SampleTable`]) — the strength-meter workload.
+//!
 //! ## Quickstart
 //!
 //! ```rust
@@ -62,6 +67,7 @@ mod mask;
 mod persist;
 mod prior;
 mod sample;
+pub mod strength;
 pub mod train;
 
 pub use conditional::{conditional_guess, ConditionalConfig, ConditionalGuess, PasswordTemplate};
@@ -86,6 +92,10 @@ pub use persist::{
 pub use prior::{GaussianMixturePrior, Prior, StandardGaussianPrior};
 pub use sample::{
     DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization,
+};
+pub use strength::{
+    attack_unique_rank, score_wordlist, PasswordStrength, ProbabilityModel, SampleTable,
+    SamplingRankEstimate, StrengthEstimate,
 };
 pub use train::{
     train, EarlyStop, EarlyStopConfig, EpochDriver, EpochStats, EpochVerdict, LoopControl,

@@ -9,6 +9,8 @@
 //! * [`figures`] regenerates the data series behind Figures 2–5,
 //! * [`projection`] provides the PCA / t-SNE used by Figure 2,
 //! * [`attack::evaluate_guesser`] runs the guessing protocol for baselines,
+//! * [`strength`] reports guess-number distributions and model agreement
+//!   from the core strength-meter subsystem,
 //! * [`report::Table`] renders results as aligned text or CSV.
 //!
 //! ## Example
@@ -30,6 +32,7 @@ pub mod figures;
 pub mod projection;
 pub mod report;
 mod scale;
+pub mod strength;
 pub mod tables;
 
 pub use report::Table;

@@ -1,0 +1,240 @@
+//! Strength-meter evaluation: per-dataset guess-number distributions and
+//! model-vs-model agreement tables.
+//!
+//! Where `tables`/`figures` answer the paper's *attacker* question (how
+//! much of a test set falls under a guess budget), this module answers the
+//! *defender* question the same models enable: how strong is each password,
+//! measured as its estimated guess number? Both tables are built on the
+//! core [`SampleTable`] Monte-Carlo estimator (DESIGN.md, "Strength
+//! estimation"):
+//!
+//! * [`guess_number_distribution`] — per model × dataset percentiles of the
+//!   log₂ guess number, i.e. the shape of each dataset's strength profile,
+//! * [`model_agreement`] — pairwise agreement between models' strength
+//!   verdicts (Pearson correlation and mean absolute gap of log₂ guess
+//!   numbers), quantifying how transferable one model's meter is to
+//!   another's attack order.
+
+use passflow_core::{score_wordlist, PasswordStrength, ProbabilityModel, SampleTable};
+
+use crate::report::Table;
+
+/// A model paired with the Monte-Carlo sample table built from it (see
+/// [`sample_tables`]).
+pub type ModelEntry<'a> = (&'a dyn ProbabilityModel, &'a SampleTable);
+
+/// Builds one [`SampleTable`] of `samples` passwords per model, all from
+/// the same seed, sampling on `shards` worker threads (results are
+/// shard-invariant).
+pub fn sample_tables(
+    models: &[&dyn ProbabilityModel],
+    samples: usize,
+    seed: u64,
+    shards: usize,
+) -> Vec<SampleTable> {
+    models
+        .iter()
+        .map(|model| SampleTable::build_sharded(*model, samples, seed, shards))
+        .collect()
+}
+
+/// Percentile of an ascending-sorted slice (nearest-rank interpolation).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Scores `dataset` with a model and returns the ascending log₂ guess
+/// numbers plus the count of unscorable passwords.
+fn dataset_bits(entry: ModelEntry<'_>, dataset: &[String], shards: usize) -> (Vec<f64>, usize) {
+    let scored = score_wordlist(entry.0, entry.1, dataset, shards);
+    let mut bits: Vec<f64> = scored
+        .iter()
+        .filter_map(|s| s.estimate.map(|e| e.log2_guess_number))
+        .collect();
+    let unscored = scored.len() - bits.len();
+    bits.sort_by(f64::total_cmp);
+    (bits, unscored)
+}
+
+/// Per-dataset guess-number distributions: one row per model × dataset with
+/// the p10/p25/p50/p75/p90 percentiles of the estimated log₂ guess number
+/// and the fraction of passwords the model could not score.
+///
+/// Reading the rows: the median ("p50 bits") is the dataset's typical
+/// strength under that model's attack order; the p10–p90 spread shows how
+/// unevenly strength is distributed.
+pub fn guess_number_distribution(
+    models: &[ModelEntry<'_>],
+    datasets: &[(&str, &[String])],
+    shards: usize,
+) -> Table {
+    let mut table = Table::new(
+        "Strength: guess-number distribution (log2 guesses)",
+        vec![
+            "Model".to_string(),
+            "Dataset".to_string(),
+            "Passwords".to_string(),
+            "p10".to_string(),
+            "p25".to_string(),
+            "p50".to_string(),
+            "p75".to_string(),
+            "p90".to_string(),
+            "Unscored %".to_string(),
+        ],
+    );
+    for entry in models {
+        for (dataset_name, dataset) in datasets {
+            let (bits, unscored) = dataset_bits(*entry, dataset, shards);
+            let row_percentiles: Vec<String> = [10.0, 25.0, 50.0, 75.0, 90.0]
+                .iter()
+                .map(|&p| format!("{:.1}", percentile(&bits, p)))
+                .collect();
+            let mut row = vec![
+                entry.0.name().to_string(),
+                (*dataset_name).to_string(),
+                dataset.len().to_string(),
+            ];
+            row.extend(row_percentiles);
+            row.push(format!(
+                "{:.2}",
+                100.0 * unscored as f64 / dataset.len().max(1) as f64
+            ));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// Model-vs-model agreement on password strength: for every model pair, the
+/// Pearson correlation and the mean absolute gap of the log₂ guess numbers
+/// over the passwords both models can score.
+///
+/// High correlation means the models would crack the dataset in a similar
+/// order — a strength verdict from one transfers to an attacker running the
+/// other; a large mean gap with high correlation means they agree on
+/// *ordering* but not on absolute cost.
+pub fn model_agreement(models: &[ModelEntry<'_>], passwords: &[String], shards: usize) -> Table {
+    let mut table = Table::new(
+        "Strength: model-vs-model agreement",
+        vec![
+            "Model A".to_string(),
+            "Model B".to_string(),
+            "Common".to_string(),
+            "Pearson r".to_string(),
+            "Mean |Δ bits|".to_string(),
+        ],
+    );
+    let scored: Vec<Vec<PasswordStrength>> = models
+        .iter()
+        .map(|entry| score_wordlist(entry.0, entry.1, passwords, shards))
+        .collect();
+    for a in 0..models.len() {
+        for b in (a + 1)..models.len() {
+            let pairs: Vec<(f64, f64)> = scored[a]
+                .iter()
+                .zip(scored[b].iter())
+                .filter_map(|(x, y)| match (x.estimate, y.estimate) {
+                    (Some(ex), Some(ey)) => Some((ex.log2_guess_number, ey.log2_guess_number)),
+                    _ => None,
+                })
+                .collect();
+            let (r, gap) = correlation_and_gap(&pairs);
+            table.push_row(vec![
+                models[a].0.name().to_string(),
+                models[b].0.name().to_string(),
+                pairs.len().to_string(),
+                format!("{r:.3}"),
+                format!("{gap:.2}"),
+            ]);
+        }
+    }
+    table
+}
+
+/// Pearson correlation and mean absolute difference of paired values.
+fn correlation_and_gap(pairs: &[(f64, f64)]) -> (f64, f64) {
+    if pairs.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = pairs.len() as f64;
+    let (mut sx, mut sy) = (0.0, 0.0);
+    for (x, y) in pairs {
+        sx += x;
+        sy += y;
+    }
+    let (mx, my) = (sx / n, sy / n);
+    let (mut cov, mut vx, mut vy, mut gap) = (0.0, 0.0, 0.0, 0.0);
+    for (x, y) in pairs {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+        gap += (x - y).abs();
+    }
+    let denom = (vx * vy).sqrt();
+    let r = if denom > 0.0 { cov / denom } else { f64::NAN };
+    (r, gap / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passflow_baselines::{MarkovModel, PcfgModel};
+    use passflow_passwords::{CorpusConfig, SyntheticCorpusGenerator};
+
+    fn corpus(n: usize) -> Vec<String> {
+        SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(n))
+            .generate(71)
+            .into_passwords()
+    }
+
+    #[test]
+    fn distribution_table_has_one_row_per_model_dataset_pair() {
+        let train = corpus(2_000);
+        let markov = MarkovModel::train(&train, 2, 10);
+        let pcfg = PcfgModel::train(&train, 10);
+        let tables = sample_tables(&[&markov, &pcfg], 1_000, 5, 2);
+        let entries: Vec<ModelEntry<'_>> = vec![(&markov, &tables[0]), (&pcfg, &tables[1])];
+        let eval_set = corpus(300);
+        let datasets: Vec<(&str, &[String])> = vec![("train", &train[..200]), ("eval", &eval_set)];
+        let table = guess_number_distribution(&entries, &datasets, 2);
+        assert_eq!(table.num_rows(), 4);
+        // Percentiles are ascending within each row.
+        for row in &table.rows {
+            let bits: Vec<f64> = row[3..8].iter().map(|c| c.parse().unwrap()).collect();
+            for pair in bits.windows(2) {
+                assert!(
+                    pair[0] <= pair[1] + 1e-9,
+                    "percentiles not ascending: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_table_correlates_a_model_with_itself() {
+        let train = corpus(2_000);
+        let markov = MarkovModel::train(&train, 2, 10);
+        let table_a = SampleTable::build(&markov, 1_000, 5);
+        let table_b = SampleTable::build(&markov, 1_000, 6);
+        let entries: Vec<ModelEntry<'_>> = vec![(&markov, &table_a), (&markov, &table_b)];
+        let eval_set = corpus(300);
+        let table = model_agreement(&entries, &eval_set, 2);
+        assert_eq!(table.num_rows(), 1);
+        let r: f64 = table.rows[0][3].parse().unwrap();
+        assert!(r > 0.99, "same model must agree with itself, got r={r}");
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[1.0], 90.0), 1.0);
+        let v = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+    }
+}

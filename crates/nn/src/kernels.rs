@@ -260,6 +260,32 @@ pub fn activate_in_place(kind: ActivationKind, t: &mut Tensor) {
     }
 }
 
+/// Per-row squared L2 norms: `out[i][0] = Σ_j t[i][j]²`, written into `out`
+/// (resized to `rows × 1`).
+///
+/// This is the batched accessor behind the flow's fused log-density path
+/// (`FlowSnapshot::log_prob_into` in `passflow-core`): the squared norm of
+/// each latent row combines with the per-row log-determinants accumulated by
+/// [`affine_coupling_forward_into`] into a Gaussian log-likelihood without
+/// materializing per-row slices. The accumulation runs left-to-right in
+/// column order, bit-exact with the reference
+/// `row.iter().map(|v| v * v).sum::<f32>()` fold.
+pub fn row_squared_norms_into(t: &Tensor, out: &mut Tensor) {
+    let cols = t.cols();
+    out.resize(t.rows(), 1);
+    for (dst, row) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(t.as_slice().chunks_exact(cols))
+    {
+        let mut acc = 0.0f32;
+        for &v in row {
+            acc += v * v;
+        }
+        *dst = acc;
+    }
+}
+
 /// Row-broadcast product `out = src ⊙ scale` where `scale` is `1 × cols`,
 /// written into `out` (resized as needed).
 ///

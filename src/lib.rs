@@ -10,8 +10,9 @@
 //! * [`nn`] — tensor / autodiff / layers / optimizers substrate,
 //! * [`passwords`] — alphabet, encoding, synthetic corpus, dataset pipeline,
 //! * [`core`] (also re-exported at the root) — the flow model, training,
-//!   dynamic sampling, Gaussian smoothing, interpolation, and the unified
-//!   guessing-attack engine ([`Guesser`] / [`Attack`]),
+//!   dynamic sampling, Gaussian smoothing, interpolation, the unified
+//!   guessing-attack engine ([`Guesser`] / [`Attack`]), and the
+//!   strength-meter subsystem ([`ProbabilityModel`] / [`SampleTable`]),
 //! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators, all
 //!   implementing [`Guesser`],
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
@@ -43,12 +44,13 @@ pub use passflow_passwords as passwords;
 #[allow(deprecated)]
 pub use passflow_core::run_attack;
 pub use passflow_core::{
-    interpolate, interpolate_passwords, load_checkpoint, load_flow, save_checkpoint, save_flow,
-    train, Attack, AttackConfig, AttackEngine, AttackOutcome, CheckpointReport, DynamicParams,
-    EarlyStopConfig, FlowConfig, FlowError, FlowSnapshot, FlowWorkspace, GaussianSmoothing,
-    GuessSession, Guesser, GuessingStrategy, LatentGuesser, LatentSession, MaskStrategy, PassFlow,
-    Penalization, Schedule, ShardedSet, TrainConfig, TrainLoop, TrainState, Trainer,
-    TrainingReport,
+    attack_unique_rank, interpolate, interpolate_passwords, load_checkpoint, load_flow,
+    save_checkpoint, save_flow, score_wordlist, train, Attack, AttackConfig, AttackEngine,
+    AttackOutcome, CheckpointReport, DynamicParams, EarlyStopConfig, FlowConfig, FlowError,
+    FlowSnapshot, FlowWorkspace, GaussianSmoothing, GuessSession, Guesser, GuessingStrategy,
+    LatentGuesser, LatentSession, MaskStrategy, PassFlow, PasswordStrength, Penalization,
+    ProbabilityModel, SampleTable, SamplingRankEstimate, Schedule, ShardedSet, StrengthEstimate,
+    TrainConfig, TrainLoop, TrainState, Trainer, TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{

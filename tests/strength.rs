@@ -1,0 +1,316 @@
+//! Conformance suite for the strength subsystem: probability models must be
+//! *normalized* (their scores really are probabilities), the flow's fused
+//! log-density path must match the reference to 0 ULP, sharding must never
+//! change a result, and the Monte-Carlo estimator must agree with ground
+//! truth — both the exhaustive enumeration of a tiny model and a real
+//! attack-engine run.
+
+use passflow::baselines::{MarkovModel, PcfgModel};
+use passflow::nn::rng as nnrng;
+use passflow::nn::Tensor;
+use passflow::{
+    attack_unique_rank, score_wordlist, CorpusConfig, FlowConfig, PassFlow, ProbabilityModel,
+    SampleTable, SyntheticCorpusGenerator,
+};
+
+fn corpus(n: usize, seed: u64) -> Vec<String> {
+    SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(n))
+        .generate(seed)
+        .into_passwords()
+}
+
+/// A corpus over the two-character alphabet {a, b}, so model distributions
+/// can be exhaustively enumerated.
+fn tiny_alphabet_corpus() -> Vec<String> {
+    let mut rng = nnrng::seeded(17);
+    let mut out = Vec::new();
+    for _ in 0..400 {
+        use rand::Rng;
+        let len = 1 + rng.gen_range(0..5usize);
+        let pw: String = (0..len)
+            .map(|_| {
+                if rng.gen_range(0..10u32) < 6 {
+                    'a'
+                } else {
+                    'b'
+                }
+            })
+            .collect();
+        out.push(pw);
+    }
+    out
+}
+
+/// All strings over {a, b} of length 1..=max_len.
+fn enumerate_ab(max_len: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for len in 1..=max_len {
+        for bits in 0..(1u32 << len) {
+            let s: String = (0..len)
+                .map(|i| if bits >> i & 1 == 0 { 'a' } else { 'b' })
+                .collect();
+            out.push(s);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Normalization: exp(log_prob) sums to ≈ 1
+// ---------------------------------------------------------------------------
+
+#[test]
+fn markov_log_prob_normalizes_over_a_tiny_alphabet() {
+    let model = MarkovModel::train(&tiny_alphabet_corpus(), 1, 8);
+    // The chain's distribution covers all finite strings; lengths beyond 12
+    // carry the (smoothed) residual mass, so the sum over 1..=12 must land
+    // just below 1. The empty string also carries boundary mass.
+    let empty_mass = model.log_prob("").exp();
+    let sum: f64 = enumerate_ab(12)
+        .iter()
+        .map(|s| model.log_prob(s).exp())
+        .sum::<f64>()
+        + empty_mass;
+    assert!(
+        (0.97..=1.0 + 1e-6).contains(&sum),
+        "exp(log_prob) must sum to ≈1, got {sum}"
+    );
+}
+
+#[test]
+fn pcfg_log_prob_sums_to_exactly_one_over_its_support() {
+    // A hand-picked corpus with a small, fully enumerable support.
+    let train: Vec<String> = ["aa1", "bb2", "ab1", "b22", "aa2", "a1", "bb1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let model = PcfgModel::train(&train, 8);
+    // Support = every string over the grammar's letter/digit terminals of
+    // lengths ≤ 3; enumerating all candidate strings over {a,b,1,2} up to
+    // length 4 covers it with room to spare.
+    let symbols = ['a', 'b', '1', '2'];
+    let mut sum = 0.0f64;
+    let mut stack: Vec<String> = vec![String::new()];
+    while let Some(prefix) = stack.pop() {
+        for c in symbols {
+            let mut s = prefix.clone();
+            s.push(c);
+            if let Some(lp) = model.log_prob(&s) {
+                sum += lp.exp();
+            }
+            if s.len() < 4 {
+                stack.push(s);
+            }
+        }
+    }
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "PCFG is an exact distribution; sum was {sum}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Flow log-density: fused fast path vs reference, 0 ULP
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flow_log_prob_is_bit_exact_with_the_reference_path() {
+    for (i, config) in [
+        FlowConfig::tiny(),
+        FlowConfig::tiny()
+            .with_coupling_layers(2)
+            .with_hidden_size(48),
+        FlowConfig::tiny()
+            .with_coupling_layers(6)
+            .with_hidden_size(24),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rng = nnrng::seeded(80 + i as u64);
+        let flow = PassFlow::new(config, &mut rng).expect("valid config");
+        // Mix canonical password encodings with off-grid random points.
+        let mut x = flow
+            .encode_batch(&[
+                "jimmy91".to_string(),
+                "123456".to_string(),
+                "iloveyou".to_string(),
+            ])
+            .unwrap();
+        let noise = Tensor::randn(5, flow.dim(), &mut rng);
+        let fast = flow.log_prob(&x);
+        let reference = flow.log_prob_reference(&x);
+        assert_eq!(fast.len(), reference.len());
+        for (f, r) in fast.iter().zip(reference.iter()) {
+            assert_eq!(f.to_bits(), r.to_bits(), "config {i}: fused != reference");
+        }
+        x = noise;
+        let fast = flow.log_prob(&x);
+        let reference = flow.log_prob_reference(&x);
+        for (f, r) in fast.iter().zip(reference.iter()) {
+            assert_eq!(f.to_bits(), r.to_bits(), "config {i}: fused != reference");
+        }
+    }
+}
+
+#[test]
+fn flow_batch_scoring_matches_scalar_scoring_bit_for_bit() {
+    let mut rng = nnrng::seeded(90);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
+    let wordlist = flow.sample_passwords(1500, &mut rng); // crosses chunk size
+    let batch = flow.password_log_probs(&wordlist);
+    for (pw, b) in wordlist.iter().zip(batch.iter()) {
+        let scalar = flow.password_log_prob(pw).unwrap();
+        assert_eq!(scalar.to_bits(), b.unwrap().to_bits(), "{pw:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator vs ground truth
+// ---------------------------------------------------------------------------
+
+#[test]
+fn estimator_ci_contains_the_exhaustive_rank() {
+    // PCFG over a tiny-alphabet corpus: the full support is enumerable, so
+    // the *true* descending-probability rank of any password is computable
+    // exactly — the quantity the optimal-attacker estimate approximates.
+    let train = tiny_alphabet_corpus();
+    let model = PcfgModel::train(&train, 8);
+    let table = SampleTable::build(&model, 4_000, 29);
+
+    // Enumerate the support (all {a,b} strings the grammar scores).
+    let scored: Vec<(String, f64)> = enumerate_ab(8)
+        .into_iter()
+        .filter_map(|s| model.log_prob(&s).map(|lp| (s, lp)))
+        .collect();
+    for target_idx in [0usize, 3, 10] {
+        let (target, lp) = &scored[target_idx.min(scored.len() - 1)];
+        let above = scored.iter().filter(|(_, l)| l > lp).count() as f64;
+        let tied = scored.iter().filter(|(_, l)| l == lp).count() as f64;
+        let true_rank = above + (tied + 1.0) / 2.0;
+        let est = table.estimate(*lp);
+        let (lo, hi) = est.ci();
+        // The midpoint tie convention quantizes true ranks to halves, so
+        // allow half a rank of slack on top of the statistical interval.
+        assert!(
+            lo - 0.5 <= true_rank && true_rank <= hi + 0.5,
+            "{target:?}: exhaustive rank {true_rank} outside [{lo:.1}, {hi:.1}]"
+        );
+    }
+}
+
+#[test]
+fn estimator_rank_agrees_with_a_real_attack_engine_run() {
+    // The acceptance check: on a small exact model, the estimator's rank
+    // for a known password must agree with the true unique-guess rank
+    // measured through the AttackEngine, within the reported confidence
+    // interval.
+    let train = corpus(3_000, 13);
+    let model = PcfgModel::train(&train, 10);
+    let table = SampleTable::build(&model, 4_000, 21);
+
+    let mut counts = std::collections::HashMap::new();
+    for p in &train {
+        *counts.entry(p.as_str()).or_insert(0u32) += 1;
+    }
+    let mut by_freq: Vec<(&str, u32)> = counts.into_iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+    for (target, _) in &by_freq[..2] {
+        let lp = model.password_log_prob(target).expect("in support");
+        let predicted = table.sampling_rank(lp);
+        // One attack is one draw of the rank distribution; averaging a few
+        // independent engine runs measures the expectation the estimator
+        // predicts, well within an interval sized for a single run.
+        let mut total = 0.0f64;
+        let runs = 5;
+        for seed in 0..runs {
+            let measured = attack_unique_rank(&model, target, 100_000, seed)
+                .unwrap()
+                .expect("frequent password must fall within the budget");
+            total += measured as f64;
+        }
+        let mean_measured = total / f64::from(runs as u32);
+        assert!(
+            predicted.contains(mean_measured),
+            "{target:?}: mean measured rank {mean_measured:.1} outside \
+             [{:.1}, {:.1}] (predicted {:.1})",
+            predicted.ci_low,
+            predicted.ci_high,
+            predicted.rank
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharding and persistence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table_build_and_scoring_are_shard_invariant_across_models() {
+    let train = corpus(2_000, 23);
+    let markov = MarkovModel::train(&train, 2, 10);
+    let wordlist = corpus(700, 24);
+
+    let table = SampleTable::build(&markov, 2_000, 11);
+    for shards in [2, 8] {
+        assert_eq!(
+            SampleTable::build_sharded(&markov, 2_000, 11, shards),
+            table,
+            "table build diverged at {shards} shards"
+        );
+    }
+    let sequential = score_wordlist(&markov, &table, &wordlist, 1);
+    for shards in [3, 8] {
+        assert_eq!(
+            score_wordlist(&markov, &table, &wordlist, shards),
+            sequential,
+            "scoring diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn persisted_tables_answer_identically_after_reload() {
+    let train = corpus(1_500, 31);
+    let model = MarkovModel::train(&train, 2, 10);
+    let table = SampleTable::build(&model, 1_500, 5);
+
+    let dir = std::env::temp_dir().join("passflow_strength_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("markov.pfstrength");
+    table.save(&path).unwrap();
+    let loaded = SampleTable::load(&path).unwrap();
+    assert_eq!(loaded, table);
+
+    for pw in train.iter().take(50) {
+        let lp = model.password_log_prob(pw).unwrap();
+        let a = table.estimate(lp);
+        let b = loaded.estimate(lp);
+        assert_eq!(a, b, "estimates drifted after reload for {pw:?}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flow_strength_ordering_follows_density() {
+    // A flow-backed meter must rank passwords consistently with its own
+    // density: higher log-probability ⇒ smaller (or equal) guess number.
+    let mut rng = nnrng::seeded(61);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
+    let table = SampleTable::build(&flow, 2_000, 7);
+    let wordlist = flow.sample_passwords(200, &mut rng);
+    let scored = score_wordlist(&flow, &table, &wordlist, 2);
+    let mut pairs: Vec<(f64, f64)> = scored
+        .iter()
+        .filter_map(|s| s.log_prob.zip(s.estimate.map(|e| e.log2_guess_number)))
+        .collect();
+    assert!(!pairs.is_empty());
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for w in pairs.windows(2) {
+        assert!(
+            w[0].1 <= w[1].1 + 1e-9,
+            "guess numbers must be monotone in probability"
+        );
+    }
+}
