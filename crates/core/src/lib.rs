@@ -94,8 +94,8 @@ pub use sample::{
     DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization,
 };
 pub use strength::{
-    attack_unique_rank, score_wordlist, PasswordStrength, ProbabilityModel, SampleTable,
-    SamplingRankEstimate, StrengthEstimate,
+    attack_unique_rank, score_wordlist, FlowScorer, PasswordStrength, ProbabilityModel,
+    SampleTable, SamplingRankEstimate, StrengthEstimate,
 };
 pub use train::{
     train, EarlyStop, EarlyStopConfig, EpochDriver, EpochStats, EpochVerdict, LoopControl,

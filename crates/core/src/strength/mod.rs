@@ -13,7 +13,8 @@
 //!   the PR 1 [`Guesser`] abstraction. Implemented by `PassFlow`
 //!   (change-of-variables through the cached
 //!   [`FlowSnapshot`](crate::FlowSnapshot), batched through
-//!   [`FlowWorkspace`]) and by the Markov/PCFG baselines in
+//!   [`FlowWorkspace`](crate::FlowWorkspace)) and by the Markov/PCFG
+//!   baselines in
 //!   `passflow-baselines`.
 //! * [`SampleTable`] — a persisted, versioned Monte-Carlo sample table:
 //!   sample N passwords from the model, score them, sort by log-probability
@@ -35,14 +36,13 @@
 
 mod estimator;
 mod score;
+mod scorer;
 
 pub use estimator::{SampleTable, SamplingRankEstimate, StrengthEstimate};
 pub use score::{attack_unique_rank, score_wordlist, PasswordStrength};
-
-use passflow_nn::Tensor;
+pub use scorer::FlowScorer;
 
 use crate::engine::Guesser;
-use crate::fastpath::FlowWorkspace;
 use crate::flow::PassFlow;
 
 /// Runs `num_chunks` chunk computations on up to `shards` worker threads
@@ -145,51 +145,16 @@ impl ProbabilityModel for PassFlow {
             .map(|lp| f64::from(lp) + self.log_cell_volume())
     }
 
-    /// Batched scoring through the snapshot fast path: encodable passwords
-    /// are gathered into one tensor per chunk and scored with the fused
+    /// Batched scoring through the snapshot fast path: delegates to a
+    /// [`FlowScorer`] exported from the cached snapshot, which gathers
+    /// encodable passwords into one tensor per chunk and scores them with
+    /// the fused
     /// [`FlowSnapshot::log_prob_into`](crate::FlowSnapshot::log_prob_into)
     /// kernel (one snapshot export, one workspace, no per-password
     /// allocation). Each output row depends only on its input row, so the
     /// batch result is bit-identical to scalar scoring.
     fn password_log_probs(&self, passwords: &[String]) -> Vec<Option<f64>> {
-        /// Rows scored per fused call; bounds scratch memory without
-        /// affecting results (row-independent kernels).
-        const CHUNK_ROWS: usize = 1024;
-
-        let snapshot = self.snapshot();
-        let cell = self.log_cell_volume();
-        let mut ws = FlowWorkspace::new();
-        let mut lp = Tensor::default();
-
-        let mut out: Vec<Option<f64>> = vec![None; passwords.len()];
-        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(CHUNK_ROWS);
-        let mut row_indices: Vec<usize> = Vec::with_capacity(CHUNK_ROWS);
-
-        let mut flush =
-            |rows: &mut Vec<Vec<f32>>, row_indices: &mut Vec<usize>, out: &mut Vec<Option<f64>>| {
-                if rows.is_empty() {
-                    return;
-                }
-                let x = Tensor::from_rows(rows);
-                snapshot.log_prob_into(&x, &mut ws, &mut lp);
-                for (slot, &idx) in lp.as_slice().iter().zip(row_indices.iter()) {
-                    out[idx] = Some(f64::from(*slot) + cell);
-                }
-                rows.clear();
-                row_indices.clear();
-            };
-
-        for (i, password) in passwords.iter().enumerate() {
-            if let Some(features) = self.encoder().encode(password) {
-                rows.push(features);
-                row_indices.push(i);
-                if rows.len() == CHUNK_ROWS {
-                    flush(&mut rows, &mut row_indices, &mut out);
-                }
-            }
-        }
-        flush(&mut rows, &mut row_indices, &mut out);
-        out
+        FlowScorer::new(self).log_probs(passwords)
     }
 }
 

@@ -1,0 +1,201 @@
+//! A detached, `Send + Sync` batch-scoring handle over a flow snapshot.
+//!
+//! [`FlowScorer`] is the serving-side entry point into the fused
+//! log-probability path: it owns an immutable [`FlowSnapshot`], a clone of
+//! the flow's encoder and the quantization-cell volume, so any thread can
+//! score password batches without borrowing the [`PassFlow`] it came from —
+//! and without observing later weight mutations. A trainer can keep
+//! updating the live flow while a server keeps answering from the exported
+//! snapshot; swapping in new weights is just building a fresh scorer.
+//!
+//! Scores are **bit-identical** to
+//! [`ProbabilityModel::password_log_prob`](super::ProbabilityModel) on the
+//! flow the snapshot was exported from: every fused kernel is row-
+//! independent, so batching requests together never changes a result
+//! (asserted by `tests/strength.rs` and the serving suite in
+//! `tests/serve.rs`).
+
+use std::sync::Arc;
+
+use passflow_nn::Tensor;
+use passflow_passwords::PasswordEncoder;
+
+use crate::fastpath::{FlowSnapshot, FlowWorkspace};
+use crate::flow::PassFlow;
+
+/// Rows scored per fused call; bounds scratch memory without affecting
+/// results (row-independent kernels).
+const CHUNK_ROWS: usize = 1024;
+
+/// An owned, immutable scoring handle: snapshot + encoder + cell volume.
+///
+/// Cheap to clone (the snapshot is shared behind an [`Arc`]); `Send + Sync`,
+/// so one scorer can be shared by any number of serving threads.
+#[derive(Clone, Debug)]
+pub struct FlowScorer {
+    snapshot: Arc<FlowSnapshot>,
+    encoder: PasswordEncoder,
+    log_cell_volume: f64,
+}
+
+impl FlowScorer {
+    /// Exports a scorer from the flow's current weights (reusing the flow's
+    /// cached snapshot when it is current).
+    ///
+    /// The scorer is detached: later weight mutations on `flow` do not
+    /// affect it.
+    pub fn new(flow: &PassFlow) -> FlowScorer {
+        FlowScorer {
+            snapshot: flow.snapshot(),
+            encoder: flow.encoder().clone(),
+            log_cell_volume: flow.log_cell_volume(),
+        }
+    }
+
+    /// Dimensionality of the underlying flow.
+    pub fn dim(&self) -> usize {
+        self.snapshot.dim()
+    }
+
+    /// The encoder the scorer canonicalizes passwords with.
+    pub fn encoder(&self) -> &PasswordEncoder {
+        &self.encoder
+    }
+
+    /// Scores one password; `None` if it cannot be encoded. Bit-identical
+    /// to scoring it inside any batch.
+    pub fn log_prob(&self, password: &str) -> Option<f64> {
+        let mut ws = FlowWorkspace::new();
+        let mut out = vec![None];
+        self.log_probs_with(
+            std::slice::from_ref(&password.to_string()),
+            &mut ws,
+            &mut out,
+        );
+        out[0]
+    }
+
+    /// Scores a batch of passwords, allocating a fresh workspace.
+    ///
+    /// Returns exactly one entry per input password, in input order;
+    /// unencodable passwords score `None`.
+    pub fn log_probs(&self, passwords: &[String]) -> Vec<Option<f64>> {
+        let mut ws = FlowWorkspace::new();
+        let mut out = Vec::new();
+        self.log_probs_with(passwords, &mut ws, &mut out);
+        out
+    }
+
+    /// Scores a batch of passwords into `out` through a caller-managed
+    /// workspace — the allocation-free steady-state form used by the
+    /// serving batcher, which keeps one workspace alive across ticks.
+    ///
+    /// `out` is cleared and refilled with one entry per input password, in
+    /// input order. Results are bit-identical for any chunking of the same
+    /// passwords (each output row depends only on its own input row).
+    pub fn log_probs_with(
+        &self,
+        passwords: &[String],
+        ws: &mut FlowWorkspace,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
+        out.resize(passwords.len(), None);
+
+        let mut lp = Tensor::default();
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
+        let mut row_indices: Vec<usize> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
+
+        let mut flush =
+            |rows: &mut Vec<Vec<f32>>, row_indices: &mut Vec<usize>, out: &mut Vec<Option<f64>>| {
+                if rows.is_empty() {
+                    return;
+                }
+                let x = Tensor::from_rows(rows);
+                self.snapshot.log_prob_into(&x, ws, &mut lp);
+                for (slot, &idx) in lp.as_slice().iter().zip(row_indices.iter()) {
+                    out[idx] = Some(f64::from(*slot) + self.log_cell_volume);
+                }
+                rows.clear();
+                row_indices.clear();
+            };
+
+        for (i, password) in passwords.iter().enumerate() {
+            if let Some(features) = self.encoder.encode(password) {
+                rows.push(features);
+                row_indices.push(i);
+                if rows.len() == CHUNK_ROWS {
+                    flush(&mut rows, &mut row_indices, out);
+                }
+            }
+        }
+        flush(&mut rows, &mut row_indices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConfig;
+    use crate::strength::ProbabilityModel;
+    use passflow_nn::rng as nnrng;
+
+    fn tiny_flow(seed: u64) -> PassFlow {
+        let mut rng = nnrng::seeded(seed);
+        PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn scorer_matches_the_flow_bit_for_bit() {
+        let flow = tiny_flow(71);
+        let scorer = FlowScorer::new(&flow);
+        for pw in ["jimmy91", "123456", "", "dragon"] {
+            match (flow.password_log_prob(pw), scorer.log_prob(pw)) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "{pw:?}"),
+                (None, None) => {}
+                other => panic!("flow/scorer disagree for {pw:?}: {other:?}"),
+            }
+        }
+        assert!(scorer.log_prob("waytoolongtoencode").is_none());
+    }
+
+    #[test]
+    fn scorer_is_detached_from_later_weight_mutations() {
+        let flow = tiny_flow(72);
+        let scorer = FlowScorer::new(&flow);
+        let before = scorer.log_prob("monkey12").unwrap();
+        for p in flow.parameters() {
+            p.set_value(p.value().add_scalar(0.125));
+        }
+        // The live flow moved; the detached scorer did not.
+        let after_live = flow.password_log_prob("monkey12").unwrap();
+        let after_scorer = scorer.log_prob("monkey12").unwrap();
+        assert_ne!(before.to_bits(), after_live.to_bits());
+        assert_eq!(before.to_bits(), after_scorer.to_bits());
+    }
+
+    #[test]
+    fn workspace_reuse_and_chunking_do_not_change_scores() {
+        let flow = tiny_flow(73);
+        let scorer = FlowScorer::new(&flow);
+        let passwords: Vec<String> = (0..50).map(|i| format!("pw{i}")).collect();
+        let whole = scorer.log_probs(&passwords);
+        let mut ws = FlowWorkspace::new();
+        let mut out = Vec::new();
+        let mut pieced = Vec::new();
+        for chunk in passwords.chunks(7) {
+            scorer.log_probs_with(chunk, &mut ws, &mut out);
+            pieced.extend(out.iter().copied());
+        }
+        assert_eq!(whole.len(), pieced.len());
+        for (a, b) in whole.iter().zip(pieced.iter()) {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn scorer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowScorer>();
+    }
+}

@@ -1,0 +1,395 @@
+//! The adaptive micro-batching queue between HTTP handlers and the flow.
+//!
+//! Per-request scalar scoring wastes the blocked GEMM the inference fast
+//! path was built around: a 1-row matrix product cannot amortize anything.
+//! The batcher turns concurrent single-password requests back into the
+//! batched [`FlowSnapshot::log_prob_into`] shape: handlers enqueue jobs on
+//! a **bounded** MPSC channel (overload is shed at enqueue time with a 503,
+//! never by buffering without limit) and one batcher thread coalesces them
+//! into per-tick micro-batches.
+//!
+//! Each tick works like this:
+//!
+//! 1. Block on the first job (an idle server burns no CPU).
+//! 2. **Adaptive wait**: if the *previous* tick filled `max_batch`, the
+//!    queue is saturated — drain whatever is ready without sleeping (any
+//!    waiting would only grow latency; the backlog already guarantees full
+//!    batches). Otherwise, wait up to `max_wait` for stragglers so
+//!    concurrent requests land in one GEMM instead of many.
+//! 3. Group the drained jobs by their resolved model `Arc` (requests
+//!    resolve models at dispatch, so a hot-swap never mixes weights inside
+//!    a response) and run **one** fused scoring call per group.
+//! 4. Send each job its slice of the results over its reply channel.
+//!
+//! Because every fused kernel is row-independent, a password's score is
+//! bit-identical whether it was scored alone or coalesced into a 64-row
+//! tick — the concurrency suite in `tests/serve.rs` asserts this at 0 ULP.
+//!
+//! [`FlowSnapshot::log_prob_into`]: passflow_core::FlowSnapshot::log_prob_into
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use passflow_core::FlowWorkspace;
+
+use crate::metrics::Metrics;
+use crate::registry::ServedModel;
+
+/// A scoring job: the passwords of one request plus where to send results.
+pub struct ScoreJob {
+    /// The model resolved at dispatch time (immutable for this job).
+    pub model: Arc<ServedModel>,
+    /// Passwords to score (one per row of the request's `passwords` array).
+    pub passwords: Vec<String>,
+    /// One-shot reply channel; receives exactly one result vector, in
+    /// input order, one entry per password.
+    pub reply: mpsc::SyncSender<Vec<Option<f64>>>,
+}
+
+/// Tuning knobs for the batcher.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Maximum passwords scored per tick (the GEMM row count).
+    pub max_batch: usize,
+    /// Maximum time a tick waits for stragglers after its first job.
+    pub max_wait: Duration,
+    /// Bound of the job queue; enqueueing beyond it sheds load (503).
+    pub queue_capacity: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// What travels over the batcher queue.
+enum Job {
+    /// A scoring job from a handler.
+    Score(ScoreJob),
+    /// Shutdown token: score what is already queued, then exit.
+    Shutdown,
+}
+
+/// Handle for submitting jobs to the batcher thread.
+#[derive(Clone)]
+pub struct BatcherHandle {
+    sender: mpsc::SyncSender<Job>,
+}
+
+/// Why a job could not be enqueued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The bounded queue is full — the server is overloaded.
+    Overloaded,
+    /// The batcher has shut down.
+    ShuttingDown,
+}
+
+impl BatcherHandle {
+    /// Enqueues a job without blocking; overload is reported, not buffered.
+    pub fn submit(&self, job: ScoreJob) -> Result<(), EnqueueError> {
+        self.sender.try_send(Job::Score(job)).map_err(|e| match e {
+            mpsc::TrySendError::Full(_) => EnqueueError::Overloaded,
+            mpsc::TrySendError::Disconnected(_) => EnqueueError::ShuttingDown,
+        })
+    }
+}
+
+/// The batcher thread plus its submission handle.
+pub struct Batcher {
+    handle: BatcherHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the batcher thread.
+    pub fn spawn(config: BatcherConfig, metrics: Arc<Metrics>) -> Batcher {
+        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let thread = std::thread::Builder::new()
+            .name("passflow-batcher".to_string())
+            .spawn(move || run_loop(&receiver, config, &metrics))
+            .expect("spawning the batcher thread");
+        Batcher {
+            handle: BatcherHandle { sender },
+            thread: Some(thread),
+        }
+    }
+
+    /// A cloneable submission handle for connection handlers.
+    pub fn handle(&self) -> BatcherHandle {
+        self.handle.clone()
+    }
+}
+
+impl Drop for Batcher {
+    /// Sends the shutdown token and joins the thread; jobs already queued
+    /// are still scored before the thread exits (graceful drain). Handle
+    /// clones held elsewhere merely get [`EnqueueError::ShuttingDown`] (or
+    /// an unanswered reply channel) afterwards — they cannot stall the
+    /// join.
+    fn drop(&mut self) {
+        let _ = self.handle.sender.send(Job::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run_loop(receiver: &mpsc::Receiver<Job>, config: BatcherConfig, metrics: &Metrics) {
+    let max_batch = config.max_batch.max(1);
+    let mut ws = FlowWorkspace::new();
+    let mut scores: Vec<Option<f64>> = Vec::new();
+    // Whether the previous tick was full — the saturation signal driving
+    // the adaptive wait.
+    let mut saturated = false;
+    let mut stop = false;
+
+    while !stop {
+        // 1. Block for the first job of the tick.
+        let first = match receiver.recv() {
+            Ok(Job::Score(job)) => job,
+            Ok(Job::Shutdown) | Err(mpsc::RecvError) => return,
+        };
+        let mut jobs = vec![first];
+        let mut rows: usize = jobs[0].passwords.len();
+
+        // 2. Drain up to max_batch rows, waiting only while unsaturated.
+        let deadline = Instant::now() + config.max_wait;
+        while rows < max_batch {
+            let received = if saturated {
+                receiver.try_recv().ok()
+            } else {
+                deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                    .and_then(|remaining| receiver.recv_timeout(remaining).ok())
+            };
+            match received {
+                Some(Job::Score(job)) => {
+                    rows += job.passwords.len();
+                    jobs.push(job);
+                }
+                Some(Job::Shutdown) => {
+                    stop = true;
+                    break;
+                }
+                None => break,
+            }
+        }
+        saturated = rows >= max_batch;
+        metrics.record_batch(rows);
+        score_tick(&jobs, &mut ws, &mut scores);
+    }
+
+    // Graceful drain: score anything that was queued before the shutdown
+    // token, one final oversized tick per model.
+    let mut pending = Vec::new();
+    while let Ok(Job::Score(job)) = receiver.try_recv() {
+        pending.push(job);
+    }
+    if !pending.is_empty() {
+        metrics.record_batch(pending.iter().map(|j| j.passwords.len()).sum());
+        score_tick(&pending, &mut ws, &mut scores);
+    }
+}
+
+/// Scores one tick: one fused call per distinct model, results split back
+/// out to each job's reply channel in input order.
+///
+/// Jobs arrive roughly model-sorted (most deployments serve one hot model),
+/// so grouping by pointer identity over the small job list is cheaper than
+/// a hash map. Requests resolved their model `Arc` at dispatch, so a
+/// hot-swap never mixes weights inside a single response.
+fn score_tick(jobs: &[ScoreJob], ws: &mut FlowWorkspace, scores: &mut Vec<Option<f64>>) {
+    let mut scored = vec![false; jobs.len()];
+    for i in 0..jobs.len() {
+        if scored[i] {
+            continue;
+        }
+        let model = &jobs[i].model;
+        let group: Vec<usize> = (i..jobs.len())
+            .filter(|&j| !scored[j] && Arc::ptr_eq(&jobs[j].model, model))
+            .collect();
+        // Single-job groups (every serial-mode tick, and any tick with one
+        // request) score the job's own password slice directly; only a
+        // genuinely coalesced group pays for concatenating the strings.
+        let concatenated: Vec<String>;
+        let batch: &[String] = if group.len() == 1 {
+            &jobs[group[0]].passwords
+        } else {
+            concatenated = group
+                .iter()
+                .flat_map(|&j| jobs[j].passwords.iter().cloned())
+                .collect();
+            &concatenated
+        };
+        model.log_probs_with(batch, ws, scores);
+
+        let mut offset = 0usize;
+        for &j in &group {
+            let n = jobs[j].passwords.len();
+            let slice = scores[offset..offset + n].to_vec();
+            offset += n;
+            scored[j] = true;
+            // A dropped receiver (client disconnected mid-flight) is not
+            // an error; the score is simply discarded.
+            let _ = jobs[j].reply.try_send(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServedModel;
+    use passflow_core::{FlowConfig, PassFlow, ProbabilityModel};
+    use passflow_nn::rng as nnrng;
+
+    fn served(seed: u64) -> (PassFlow, Arc<ServedModel>) {
+        let mut rng = nnrng::seeded(seed);
+        let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap();
+        let model = Arc::new(ServedModel::from_flow("m", &flow, 1, None));
+        (flow, model)
+    }
+
+    fn submit_one(handle: &BatcherHandle, model: &Arc<ServedModel>, pw: &str) -> Option<f64> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        handle
+            .submit(ScoreJob {
+                model: Arc::clone(model),
+                passwords: vec![pw.to_string()],
+                reply,
+            })
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(30)).unwrap()[0]
+    }
+
+    #[test]
+    fn batched_scores_match_direct_scoring() {
+        let (flow, model) = served(41);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::spawn(BatcherConfig::default(), Arc::clone(&metrics));
+        let handle = batcher.handle();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let handle = handle.clone();
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    (0..5)
+                        .map(|i| {
+                            let pw = format!("pw{t}x{i}");
+                            (pw.clone(), submit_one(&handle, &model, &pw))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for t in threads {
+            for (pw, got) in t.join().unwrap() {
+                let expected = flow.password_log_prob(&pw).unwrap();
+                assert_eq!(got.unwrap().to_bits(), expected.to_bits(), "{pw}");
+            }
+        }
+        drop(batcher);
+        assert!(
+            metrics.total_requests() == 0,
+            "batcher records batches only"
+        );
+    }
+
+    #[test]
+    fn mixed_model_ticks_never_cross_wires() {
+        let (flow_a, model_a) = served(42);
+        let (flow_b, model_b) = served(43);
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                // A long wait forces both models into the same tick.
+                max_wait: Duration::from_millis(50),
+                ..BatcherConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        );
+        let handle = batcher.handle();
+        let ha = handle.clone();
+        let a = std::thread::spawn(move || submit_one(&ha, &model_a, "jimmy91"));
+        let b = submit_one(&handle, &model_b, "jimmy91");
+        let a = a.join().unwrap();
+        assert_eq!(
+            a.unwrap().to_bits(),
+            flow_a.password_log_prob("jimmy91").unwrap().to_bits()
+        );
+        assert_eq!(
+            b.unwrap().to_bits(),
+            flow_b.password_log_prob("jimmy91").unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn overload_is_shed_not_buffered() {
+        let (_flow, model) = served(44);
+        // Capacity-1 queue with a stalled batcher: fill it, then expect
+        // Overloaded. Stall by submitting a job whose model scoring is slow
+        // enough — instead, simply don't start draining: use max_wait 0 and
+        // flood from this thread faster than the batcher can drain.
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 1,
+            },
+            Arc::new(Metrics::new()),
+        );
+        let handle = batcher.handle();
+        let mut saw_overload = false;
+        let mut receivers = Vec::new();
+        for i in 0..200 {
+            let (reply, rx) = mpsc::sync_channel(1);
+            match handle.submit(ScoreJob {
+                model: Arc::clone(&model),
+                passwords: vec![format!("pw{i}")],
+                reply,
+            }) {
+                Ok(()) => receivers.push(rx),
+                Err(EnqueueError::Overloaded) => {
+                    saw_overload = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(saw_overload, "a capacity-1 queue must shed a 200-job flood");
+        // Accepted jobs still complete (graceful drain on drop).
+        drop(batcher);
+        for rx in receivers {
+            assert!(rx.recv_timeout(Duration::from_secs(30)).is_ok());
+        }
+    }
+
+    #[test]
+    fn multi_password_jobs_keep_input_order() {
+        let (flow, model) = served(45);
+        let batcher = Batcher::spawn(BatcherConfig::default(), Arc::new(Metrics::new()));
+        let passwords: Vec<String> = (0..10).map(|i| format!("word{i}")).collect();
+        let (reply, rx) = mpsc::sync_channel(1);
+        batcher
+            .handle()
+            .submit(ScoreJob {
+                model,
+                passwords: passwords.clone(),
+                reply,
+            })
+            .unwrap();
+        let scores = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let expected = flow.password_log_probs(&passwords);
+        assert_eq!(scores.len(), expected.len());
+        for (a, b) in scores.iter().zip(expected.iter()) {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    }
+}

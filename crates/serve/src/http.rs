@@ -1,0 +1,446 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! The server speaks exactly the subset the wire schema needs — `GET` and
+//! `POST`, `Content-Length` framing, keep-alive and pipelining — and treats
+//! everything else as a protocol error with a precise 4xx/5xx status.
+//! Every limit is enforced *while reading*, so an adversarial peer can
+//! never make the server buffer an unbounded request line, header block or
+//! body; partial/split reads are handled naturally by reading through a
+//! [`BufRead`] until each syntactic element is complete. The conformance
+//! suite in `tests/serve.rs` drives this parser with malformed request
+//! lines, oversized headers, split writes and pipelined bursts.
+
+use std::io::{BufRead, Write};
+
+/// Maximum bytes in the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Maximum number of request headers.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum bytes in a single header line.
+pub const MAX_HEADER_LINE: usize = 4096;
+/// Maximum request body size in bytes.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased by the wire format.
+    pub method: String,
+    /// Request target path (query strings are not used by the API).
+    pub path: String,
+    /// `(lowercased-name, value)` header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A protocol-level rejection: the status line and message the peer gets.
+///
+/// Protocol errors poison the byte stream (the parser cannot know where
+/// the broken request ends), so the connection always closes after the
+/// error response. Semantic errors in well-framed requests (bad JSON, an
+/// unknown model) are not `HttpError`s — they flow through the router as
+/// ordinary responses and keep the connection alive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Human-readable reason included in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn fatal(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// The result of trying to read one request off a connection.
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire are not a well-formed request.
+    Error(HttpError),
+}
+
+/// Reads one HTTP/1.1 request from `reader`, enforcing all size limits.
+///
+/// Returns [`ReadOutcome::Closed`] on clean EOF before the first byte, and
+/// [`ReadOutcome::Error`] (with the right 4xx status) for malformed or
+/// oversized input, truncated bodies, or unsupported framing. I/O errors
+/// (including read timeouts) surface as errors with status 408.
+pub fn read_request<R: BufRead>(reader: &mut R) -> ReadOutcome {
+    // -- request line ------------------------------------------------------
+    let line = match read_line_limited(reader, MAX_REQUEST_LINE) {
+        Ok(None) => return ReadOutcome::Closed,
+        Ok(Some(LimitedLine::Line(line))) => line,
+        Ok(Some(LimitedLine::TooLong)) => {
+            return ReadOutcome::Error(HttpError::fatal(414, "request line too long"));
+        }
+        Ok(Some(LimitedLine::Truncated)) => {
+            return ReadOutcome::Error(HttpError::fatal(400, "truncated request line"));
+        }
+        Ok(Some(LimitedLine::NotUtf8)) => {
+            return ReadOutcome::Error(HttpError::fatal(400, "request line is not UTF-8"));
+        }
+        Err(_) => return ReadOutcome::Error(HttpError::fatal(408, "read failed or timed out")),
+    };
+    if line.is_empty() {
+        return ReadOutcome::Error(HttpError::fatal(400, "empty request line"));
+    }
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return ReadOutcome::Error(HttpError::fatal(400, "malformed request line"));
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ReadOutcome::Error(HttpError::fatal(400, "malformed method"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return ReadOutcome::Error(HttpError::fatal(505, "unsupported HTTP version"));
+        }
+    };
+
+    // -- headers -----------------------------------------------------------
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line_limited(reader, MAX_HEADER_LINE) {
+            Ok(Some(LimitedLine::Line(line))) => line,
+            Ok(Some(LimitedLine::TooLong)) => {
+                return ReadOutcome::Error(HttpError::fatal(431, "header line too long"));
+            }
+            Ok(Some(LimitedLine::Truncated)) | Ok(None) => {
+                return ReadOutcome::Error(HttpError::fatal(400, "truncated header block"));
+            }
+            Ok(Some(LimitedLine::NotUtf8)) => {
+                return ReadOutcome::Error(HttpError::fatal(400, "header line is not UTF-8"));
+            }
+            Err(_) => {
+                return ReadOutcome::Error(HttpError::fatal(408, "read failed or timed out"));
+            }
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return ReadOutcome::Error(HttpError::fatal(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Error(HttpError::fatal(400, "malformed header line"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return ReadOutcome::Error(HttpError::fatal(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // -- framing -----------------------------------------------------------
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return ReadOutcome::Error(HttpError::fatal(501, "chunked bodies are not supported"));
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return ReadOutcome::Error(HttpError::fatal(400, "malformed content-length"));
+            }
+        },
+    };
+    if content_length > MAX_BODY {
+        return ReadOutcome::Error(HttpError::fatal(413, "request body too large"));
+    }
+
+    // -- body --------------------------------------------------------------
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = reader.read_exact(&mut body) {
+            let status = if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                400
+            } else {
+                408
+            };
+            return ReadOutcome::Error(HttpError::fatal(status, "truncated request body"));
+        }
+    }
+
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => http11,
+    };
+
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// One CRLF/LF-terminated line read under a byte cap.
+enum LimitedLine {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The cap was hit before a terminator arrived; the stream is poisoned.
+    TooLong,
+    /// EOF arrived mid-line.
+    Truncated,
+    /// The line terminated but its bytes are not valid UTF-8.
+    NotUtf8,
+}
+
+/// Reads bytes until `\n` or `cap`, without ever buffering more than `cap`
+/// bytes. `Ok(None)` means clean EOF before any byte arrived.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+) -> std::io::Result<Option<LimitedLine>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF: clean only if nothing of this line was read yet.
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(LimitedLine::Truncated))
+            };
+        }
+        let take = buf.len().min(cap + 1 - line.len());
+        if let Some(nl) = buf[..take].iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..nl]);
+            reader.consume(nl + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Ok(Some(LimitedLine::Line(s))),
+                Err(_) => Ok(Some(LimitedLine::NotUtf8)),
+            };
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if line.len() > cap {
+            return Ok(Some(LimitedLine::TooLong));
+        }
+    }
+}
+
+/// Canonical reason phrases for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response with `Content-Length` framing.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_complete_post() {
+        let raw = b"POST /v1/score HTTP/1.1\r\ncontent-length: 4\r\nHost: x\r\n\r\nbody";
+        match parse(raw) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/score");
+                assert_eq!(req.body, b"body");
+                assert!(req.keep_alive);
+                assert_eq!(req.header("host"), Some("x"));
+            }
+            _ => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_partial_is_an_error() {
+        assert!(matches!(parse(b""), ReadOutcome::Closed));
+        match parse(b"GET / HT") {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 400, "EOF mid-line is truncation"),
+            _ => panic!("partial request line must error"),
+        }
+        // Non-UTF-8 bytes in the request line are malformed, not "too long".
+        match parse(b"GET /caf\xe9 HTTP/1.1\r\n\r\n") {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 400),
+            _ => panic!("non-UTF-8 request line must error"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET  / HTTP/1.1\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            match parse(raw) {
+                ReadOutcome::Error(e) => assert_eq!(e.status, 400, "{raw:?}"),
+                _ => panic!("{raw:?} must be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_elements_hit_their_limits() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        match parse(long_line.as_bytes()) {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 414),
+            _ => panic!("long request line must be rejected"),
+        }
+        let big_header = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "v".repeat(MAX_HEADER_LINE)
+        );
+        match parse(big_header.as_bytes()) {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 431),
+            _ => panic!("oversized header must be rejected"),
+        }
+        let many: String = (0..MAX_HEADERS + 1)
+            .map(|i| format!("h{i}: v\r\n"))
+            .collect();
+        match parse(format!("GET / HTTP/1.1\r\n{many}\r\n").as_bytes()) {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 431),
+            _ => panic!("too many headers must be rejected"),
+        }
+        let body = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        match parse(body.as_bytes()) {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 413),
+            _ => panic!("oversized body must be rejected"),
+        }
+    }
+
+    #[test]
+    fn framing_oddities_are_rejected() {
+        for (raw, status) in [
+            (&b"GET / HTTP/2\r\n\r\n"[..], 505),
+            (b"GET / HTTP/1.1\r\nbad header\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\ncontent-length: nan\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 501),
+            (b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort", 400),
+        ] {
+            match parse(raw) {
+                ReadOutcome::Error(e) => assert_eq!(e.status, status, "{raw:?}"),
+                _ => panic!("{raw:?} must be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        match parse(close) {
+            ReadOutcome::Request(r) => assert!(!r.keep_alive),
+            _ => panic!(),
+        }
+        let one_zero = b"GET / HTTP/1.0\r\n\r\n";
+        match parse(one_zero) {
+            ReadOutcome::Request(r) => assert!(!r.keep_alive),
+            _ => panic!(),
+        }
+        let ka10 = b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n";
+        match parse(ka10) {
+            ReadOutcome::Request(r) => assert!(r.keep_alive),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        for expected in ["/healthz", "/metrics"] {
+            match read_request(&mut reader) {
+                ReadOutcome::Request(r) => assert_eq!(r.path, expected),
+                _ => panic!("pipelined request lost"),
+            }
+        }
+        assert!(matches!(read_request(&mut reader), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,79 @@
+//! # passflow-serve
+//!
+//! Online serving for the PassFlow reproduction: a std-only HTTP/1.1
+//! service that turns the batch-oriented inference fast path into a
+//! request/response API suitable for a credential-screening or
+//! strength-meter endpoint.
+//!
+//! The design has three load-bearing pieces (DESIGN.md, "Serving
+//! architecture"):
+//!
+//! * the **adaptive micro-batching queue** ([`Batcher`]) — concurrent
+//!   single-password requests are coalesced into one fused
+//!   `FlowSnapshot::log_prob_into` batch per tick (flush on max-batch or
+//!   deadline, with a saturation-driven adaptive wait), so serving
+//!   throughput scales with the blocked GEMM instead of per-request scalar
+//!   calls, while every score stays bit-identical to serial scoring;
+//! * the **hot-swappable model registry** ([`ModelRegistry`]) — named,
+//!   versioned, immutable [`ServedModel`]s behind `RwLock<Arc<...>>`
+//!   handles, so freshly trained checkpoints swap in under load with zero
+//!   dropped requests and no torn responses;
+//! * a **deliberately small HTTP layer** ([`http`]) — `std::net` + threads,
+//!   every size limit enforced while reading, adversarial input answered
+//!   with precise 4xx statuses (`tests/serve.rs` is the conformance suite).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /v1/score` | password → log-prob + guess-number estimate (CI) |
+//! | `POST /v1/logprob` | batch log-probs through any `ProbabilityModel` |
+//! | `GET /healthz` | liveness + registered model names |
+//! | `GET /metrics` | request counts, batch-size histogram, p50/p99 latency |
+//! | `POST /admin/shutdown` | graceful stop (opt-in, for CI smoke tests) |
+//!
+//! The request/response wire schema is specified in DESIGN.md ("Artifact
+//! schemas").
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use passflow_core::{FlowConfig, PassFlow};
+//! use passflow_serve::{serve, ModelRegistry, ServedModel, ServerConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+//!
+//! let server = serve(ServerConfig::default(), registry)?;
+//! let response = passflow_serve::client::request(
+//!     server.addr(),
+//!     "POST",
+//!     "/v1/score",
+//!     Some(r#"{"passwords":["jimmy91"]}"#),
+//! )?;
+//! assert_eq!(response.status, 200);
+//! server.shutdown();
+//! server.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob};
+pub use json::Json;
+pub use metrics::Metrics;
+pub use registry::{ModelRegistry, ServedModel};
+pub use server::{serve, ServerConfig, ServerHandle, MAX_REQUEST_PASSWORDS};

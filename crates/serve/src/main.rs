@@ -1,0 +1,143 @@
+//! The `passflow-serve` binary: run the scoring service from the shell.
+//!
+//! ```text
+//! passflow-serve [--addr 127.0.0.1:8077] [--checkpoint model.pf]
+//!                [--table table.pfs] [--table-samples 2000]
+//!                [--max-batch 64] [--max-wait-ms 2] [--allow-shutdown]
+//! ```
+//!
+//! Without `--checkpoint` a deterministic demo flow (seed 0, `tiny`
+//! config) is served under the name `default` — enough for smoke tests
+//! and the CI `serve-smoke` job. A [`SampleTable`] for guess-number
+//! estimates is loaded from `--table` or built on startup from
+//! `--table-samples` samples.
+//!
+//! The process serves until `POST /admin/shutdown` (always enabled in the
+//! binary: a server you cannot stop cleanly is not operable) or until
+//! stdin reaches EOF when `--until-stdin-eof` is passed, then drains and
+//! exits 0. Internal failures exit non-zero with a message on stderr.
+
+use std::sync::Arc;
+
+use passflow_core::{load_flow, FlowConfig, PassFlow, SampleTable};
+use passflow_serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+
+struct Args {
+    addr: String,
+    checkpoint: Option<String>,
+    table: Option<String>,
+    table_samples: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+    until_stdin_eof: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8077".to_string(),
+        checkpoint: None,
+        table: None,
+        table_samples: 2_000,
+        max_batch: 64,
+        max_wait_ms: 2,
+        until_stdin_eof: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--table" => args.table = Some(value("--table")?),
+            "--table-samples" => {
+                args.table_samples = value("--table-samples")?
+                    .parse()
+                    .map_err(|_| "--table-samples must be a number".to_string())?;
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|_| "--max-batch must be a number".to_string())?;
+            }
+            "--max-wait-ms" => {
+                args.max_wait_ms = value("--max-wait-ms")?
+                    .parse()
+                    .map_err(|_| "--max-wait-ms must be a number".to_string())?;
+            }
+            "--allow-shutdown" => {} // accepted for compatibility; always on
+            "--until-stdin-eof" => args.until_stdin_eof = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let flow: PassFlow = match &args.checkpoint {
+        Some(path) => load_flow(path).map_err(|e| format!("loading {path:?}: {e}"))?,
+        None => {
+            let mut rng = passflow_nn_seeded(0);
+            PassFlow::new(FlowConfig::tiny(), &mut rng)
+                .map_err(|e| format!("building the demo flow: {e}"))?
+        }
+    };
+    let table = match &args.table {
+        Some(path) => Some(SampleTable::load(path).map_err(|e| format!("loading {path:?}: {e}"))?),
+        None if args.table_samples > 0 => {
+            eprintln!(
+                "building a {}-sample strength table (pass --table-samples 0 to skip)…",
+                args.table_samples
+            );
+            Some(SampleTable::build(&flow, args.table_samples, 7))
+        }
+        None => None,
+    };
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, table));
+
+    let config = ServerConfig {
+        addr: args
+            .addr
+            .parse()
+            .map_err(|e| format!("bad --addr {:?}: {e}", args.addr))?,
+        batcher: BatcherConfig {
+            max_batch: args.max_batch,
+            max_wait: std::time::Duration::from_millis(args.max_wait_ms),
+            ..BatcherConfig::default()
+        },
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    };
+    let server = serve(config, registry).map_err(|e| format!("bind failed: {e}"))?;
+    eprintln!(
+        "serving on http://{} (POST /v1/score, POST /v1/logprob, GET /healthz, GET /metrics; \
+         stop with POST /admin/shutdown)",
+        server.addr()
+    );
+
+    if args.until_stdin_eof {
+        // Also stop when our parent closes stdin (CI-friendly lifecycle).
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink);
+        server.shutdown();
+    }
+    server.join();
+    eprintln!("shutdown complete");
+    Ok(())
+}
+
+/// Seeded RNG without pulling `rand` trait imports into scope at the top.
+fn passflow_nn_seeded(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("passflow-serve: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Lock-free serving metrics with a text exposition endpoint.
+//!
+//! Counters and histograms are plain relaxed atomics — recording a request
+//! never takes a lock, so the hot path cost is a handful of fetch-adds.
+//! `GET /metrics` renders a Prometheus-style text exposition: request
+//! counts by endpoint and status class, the micro-batch size histogram, and
+//! request latency with p50/p99 estimated from a log-spaced histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bucket bounds (inclusive) for the batch-size histogram.
+const BATCH_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Upper bucket bounds (inclusive, microseconds) for the latency histogram.
+const LATENCY_BUCKETS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    10_000_000,
+];
+
+/// Endpoints tracked individually; everything else lands in `other`.
+const ENDPOINTS: [&str; 5] = ["score", "logprob", "healthz", "metrics", "other"];
+
+/// Aggregated serving metrics. One instance is shared (behind an `Arc`) by
+/// every connection handler and the batcher thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `requests[endpoint][status_class]` — status classes 2xx/4xx/5xx.
+    requests: [[AtomicU64; 3]; 5],
+    /// Batch-size histogram buckets plus overflow, and sum/count for means.
+    batch_buckets: [AtomicU64; 10],
+    batch_sum: AtomicU64,
+    batch_ticks: AtomicU64,
+    /// Latency histogram buckets plus overflow, and sum/count.
+    latency_buckets: [AtomicU64; 15],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+fn endpoint_index(endpoint: &str) -> usize {
+    ENDPOINTS
+        .iter()
+        .position(|e| *e == endpoint)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request for `endpoint` with `status`.
+    pub fn record_request(&self, endpoint: &str, status: u16) {
+        let class = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            _ => 2,
+        };
+        self.requests[endpoint_index(endpoint)][class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batcher tick that scored `size` passwords.
+    pub fn record_batch(&self, size: usize) {
+        let size = size as u64;
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        self.batch_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.batch_sum.fetch_add(size, Ordering::Relaxed);
+        self.batch_ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's total latency (read → response flushed).
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded across all endpoints and statuses.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .flatten()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Latency quantile in microseconds, estimated from the histogram
+    /// (upper bound of the bucket containing the quantile).
+    fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Renders the text exposition served at `GET /metrics`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# TYPE passflow_requests_total counter\n");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            for (ci, class) in ["2xx", "4xx", "5xx"].iter().enumerate() {
+                let n = self.requests[ei][ci].load(Ordering::Relaxed);
+                if n > 0 || *endpoint != "other" {
+                    let _ = writeln!(
+                        out,
+                        "passflow_requests_total{{endpoint=\"{endpoint}\",status=\"{class}\"}} {n}"
+                    );
+                }
+            }
+        }
+
+        out.push_str("# TYPE passflow_batch_size histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in BATCH_BUCKETS.iter().enumerate() {
+            cumulative += self.batch_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "passflow_batch_size_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.batch_buckets[BATCH_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "passflow_batch_size_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "passflow_batch_size_sum {}",
+            self.batch_sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "passflow_batch_size_count {}",
+            self.batch_ticks.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# TYPE passflow_request_latency_seconds summary\n");
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "passflow_request_latency_seconds{{quantile=\"{label}\"}} {:.6}",
+                self.latency_quantile_us(q) as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "passflow_request_latency_seconds_sum {:.6}",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "passflow_request_latency_seconds_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.record_request("score", 200);
+        m.record_request("score", 200);
+        m.record_request("score", 400);
+        m.record_request("metrics", 200);
+        m.record_request("nonsense", 500);
+        assert_eq!(m.total_requests(), 5);
+        let text = m.render();
+        assert!(text.contains("passflow_requests_total{endpoint=\"score\",status=\"2xx\"} 2"));
+        assert!(text.contains("passflow_requests_total{endpoint=\"score\",status=\"4xx\"} 1"));
+        assert!(text.contains("passflow_requests_total{endpoint=\"other\",status=\"5xx\"} 1"));
+    }
+
+    #[test]
+    fn batch_histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        for size in [1, 1, 3, 64, 500] {
+            m.record_batch(size);
+        }
+        let text = m.render();
+        assert!(text.contains("passflow_batch_size_bucket{le=\"1\"} 2"));
+        assert!(text.contains("passflow_batch_size_bucket{le=\"4\"} 3"));
+        assert!(text.contains("passflow_batch_size_bucket{le=\"64\"} 4"));
+        assert!(text.contains("passflow_batch_size_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("passflow_batch_size_sum 569"));
+        assert!(text.contains("passflow_batch_size_count 5"));
+    }
+
+    #[test]
+    fn latency_quantiles_track_the_distribution() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(80));
+        }
+        m.record_latency(Duration::from_millis(40));
+        // p50 lands in the ≤100µs bucket, p99 well below the 40ms outlier…
+        assert_eq!(m.latency_quantile_us(0.5), 100);
+        assert_eq!(m.latency_quantile_us(0.99), 100);
+        // …and p999 would catch it (bucket upper bound 50ms).
+        assert_eq!(m.latency_quantile_us(0.999), 50_000);
+        let text = m.render();
+        assert!(text.contains("passflow_request_latency_seconds{quantile=\"0.5\"} 0.000100"));
+        assert!(text.contains("passflow_request_latency_seconds_count 100"));
+    }
+}

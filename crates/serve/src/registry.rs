@@ -1,0 +1,249 @@
+//! Named served models behind atomically hot-swappable handles.
+//!
+//! A [`ServedModel`] is an immutable scoring unit: a versioned backend
+//! (either a detached [`FlowScorer`] snapshot or any boxed
+//! [`ProbabilityModel`]) plus an optional [`SampleTable`] for guess-number
+//! estimates. The [`ModelRegistry`] maps names to `RwLock<Arc<ServedModel>>`
+//! handles: a request resolves its model to an `Arc` **once**, at dispatch
+//! time, and every byte of its response is produced by that one immutable
+//! model — so swapping in a freshly trained checkpoint under load never
+//! drops a request and never produces a torn (half-old, half-new) response.
+//! The concurrency suite in `tests/serve.rs` hammers a swap mid-load to
+//! assert exactly that.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use passflow_core::{
+    FlowScorer, FlowWorkspace, PassFlow, ProbabilityModel, SampleTable, StrengthEstimate,
+};
+
+/// The scoring implementation behind a served model.
+enum Backend {
+    /// A detached flow snapshot scored through the fused batch kernels.
+    Flow(FlowScorer),
+    /// Any probability model, scored through its own (possibly batched)
+    /// `password_log_probs` implementation.
+    Dyn(Arc<dyn ProbabilityModel>),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Flow(_) => f.write_str("Backend::Flow"),
+            Backend::Dyn(_) => f.write_str("Backend::Dyn"),
+        }
+    }
+}
+
+/// An immutable, versioned model as served to requests.
+///
+/// Once constructed, a `ServedModel` never changes: new weights mean a new
+/// `ServedModel` with a higher version, swapped into the registry handle.
+#[derive(Debug)]
+pub struct ServedModel {
+    name: String,
+    version: u64,
+    backend: Backend,
+    table: Option<SampleTable>,
+}
+
+impl ServedModel {
+    /// Builds a served model from a flow by exporting a detached weight
+    /// snapshot ([`FlowScorer`]); the live flow can keep training.
+    pub fn from_flow(
+        name: impl Into<String>,
+        flow: &PassFlow,
+        version: u64,
+        table: Option<SampleTable>,
+    ) -> Self {
+        ServedModel {
+            name: name.into(),
+            version,
+            backend: Backend::Flow(FlowScorer::new(flow)),
+            table,
+        }
+    }
+
+    /// Builds a served model from any [`ProbabilityModel`] (a Markov or
+    /// PCFG baseline, say). Mutating the model after handing it to the
+    /// registry is the caller's responsibility to avoid.
+    pub fn from_model(
+        name: impl Into<String>,
+        model: Arc<dyn ProbabilityModel>,
+        version: u64,
+        table: Option<SampleTable>,
+    ) -> Self {
+        ServedModel {
+            name: name.into(),
+            version,
+            backend: Backend::Dyn(model),
+            table,
+        }
+    }
+
+    /// The registry name of this model.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic version, echoed in every response so clients (and the
+    /// hot-swap tests) can attribute each score to exact weights.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The sample table backing guess-number estimates, if one was built.
+    pub fn table(&self) -> Option<&SampleTable> {
+        self.table.as_ref()
+    }
+
+    /// Scores a batch of passwords through a caller-managed workspace (the
+    /// batcher thread keeps one alive across ticks; non-flow backends
+    /// ignore it). One entry per input, in input order; bit-identical to
+    /// scoring each password alone.
+    pub fn log_probs_with(
+        &self,
+        passwords: &[String],
+        ws: &mut FlowWorkspace,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        match &self.backend {
+            Backend::Flow(scorer) => scorer.log_probs_with(passwords, ws, out),
+            Backend::Dyn(model) => {
+                out.clear();
+                out.extend(model.password_log_probs(passwords));
+            }
+        }
+    }
+
+    /// Guess-number estimate for an already computed log-probability;
+    /// `None` when the model has no sample table.
+    pub fn estimate(&self, log_prob: f64) -> Option<StrengthEstimate> {
+        self.table.as_ref().map(|t| t.estimate(log_prob))
+    }
+}
+
+/// A name → hot-swappable model map shared by all serving threads.
+///
+/// The outer lock guards the *name set* (rarely written); each model sits
+/// behind its own `RwLock<Arc<ServedModel>>` handle, so swapping one
+/// model's weights contends only with requests resolving that model, and a
+/// resolved `Arc` is immune to later swaps.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<RwLock<Arc<ServedModel>>>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under its name, replacing any previous entry.
+    pub fn insert(&self, model: ServedModel) {
+        let name = model.name().to_string();
+        let handle = Arc::new(RwLock::new(Arc::new(model)));
+        self.models.write().insert(name, handle);
+    }
+
+    /// Resolves `name` to the current model, or `None` if unregistered.
+    ///
+    /// The returned `Arc` is a consistent snapshot: a concurrent
+    /// [`swap`](Self::swap) affects only requests resolved after it.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        let models = self.models.read();
+        models.get(name).map(|handle| Arc::clone(&handle.read()))
+    }
+
+    /// Atomically replaces the model registered under `model.name()`.
+    ///
+    /// Returns the displaced model (callers usually let it drop once its
+    /// in-flight requests finish), or `Err` with the new model if nothing
+    /// is registered under that name (use [`insert`](Self::insert) first —
+    /// a swap should never silently create an endpoint).
+    #[allow(clippy::result_large_err)]
+    pub fn swap(&self, model: ServedModel) -> Result<Arc<ServedModel>, ServedModel> {
+        let models = self.models.read();
+        match models.get(model.name()) {
+            Some(handle) => {
+                let mut slot = handle.write();
+                Ok(std::mem::replace(&mut *slot, Arc::new(model)))
+            }
+            None => Err(model),
+        }
+    }
+
+    /// Registered model names, sorted (for `/healthz`).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use passflow_core::FlowConfig;
+    use passflow_nn::rng as nnrng;
+
+    fn tiny_flow(seed: u64) -> PassFlow {
+        let mut rng = nnrng::seeded(seed);
+        PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn resolved_models_survive_swaps() {
+        let registry = ModelRegistry::new();
+        let flow_a = tiny_flow(1);
+        let flow_b = tiny_flow(2);
+        registry.insert(ServedModel::from_flow("default", &flow_a, 1, None));
+
+        let resolved = registry.get("default").unwrap();
+        assert_eq!(resolved.version(), 1);
+
+        let old = registry
+            .swap(ServedModel::from_flow("default", &flow_b, 2, None))
+            .unwrap();
+        assert_eq!(old.version(), 1);
+        assert_eq!(registry.get("default").unwrap().version(), 2);
+
+        // The Arc resolved before the swap still scores with version-1
+        // weights — a request in flight during a swap is never torn.
+        let mut ws = FlowWorkspace::new();
+        let mut out = Vec::new();
+        resolved.log_probs_with(&["jimmy91".to_string()], &mut ws, &mut out);
+        let expected = flow_a.password_log_prob("jimmy91").unwrap();
+        assert_eq!(out[0].unwrap().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn swap_requires_an_existing_entry() {
+        let registry = ModelRegistry::new();
+        let flow = tiny_flow(3);
+        let rejected = registry.swap(ServedModel::from_flow("missing", &flow, 1, None));
+        assert!(rejected.is_err());
+        assert!(registry.get("missing").is_none());
+        assert!(registry.names().is_empty());
+    }
+
+    #[test]
+    fn flow_and_dyn_backends_score_identically() {
+        let flow = tiny_flow(4);
+        let served_flow = ServedModel::from_flow("f", &flow, 1, None);
+        let served_dyn = ServedModel::from_model("d", Arc::new(flow.clone()), 1, None);
+        let passwords: Vec<String> = vec!["abc".into(), "123456".into(), "toolongtoencode!".into()];
+        let mut ws = FlowWorkspace::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        served_flow.log_probs_with(&passwords, &mut ws, &mut a);
+        served_dyn.log_probs_with(&passwords, &mut ws, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
+        }
+    }
+}

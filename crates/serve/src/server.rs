@@ -1,0 +1,515 @@
+//! The TCP accept loop, router and request handlers.
+//!
+//! Connections are handled thread-per-connection (bounded by
+//! [`ServerConfig::max_connections`]): each handler loops over keep-alive
+//! requests, parses them through the [`crate::http`] layer, and
+//! dispatches:
+//!
+//! * `POST /v1/score` — single or multi-password strength scoring through
+//!   the adaptive micro-batcher,
+//! * `POST /v1/logprob` — batch log-probabilities (the request body *is*
+//!   the batch, so it goes straight to the model),
+//! * `GET /healthz` — liveness plus registered model names,
+//! * `GET /metrics` — text exposition of the serving metrics,
+//! * `POST /admin/shutdown` — graceful stop, when enabled in the config.
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or the admin endpoint) stops
+//! the accept loop, lets in-flight handlers finish their current request,
+//! drains the batcher queue, and joins every thread before
+//! [`ServerHandle::join`] returns — "clean shutdown" is an assertable
+//! property, and CI asserts it.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob};
+use crate::http::{self, HttpError, ReadOutcome, Request};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::registry::{ModelRegistry, ServedModel};
+
+/// Maximum passwords in one request body (`/v1/score` and `/v1/logprob`).
+/// Larger batches get a clean 413 — client-side batching beyond the
+/// server's own micro-batch size buys nothing.
+pub const MAX_REQUEST_PASSWORDS: usize = 256;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: SocketAddr,
+    /// Batcher tuning (micro-batch size, straggler wait, queue bound).
+    pub batcher: BatcherConfig,
+    /// Maximum concurrently handled connections; excess connections are
+    /// answered with 503 and closed instead of piling up threads.
+    pub max_connections: usize,
+    /// Per-connection read timeout (a stalled peer cannot pin a handler).
+    pub read_timeout: Duration,
+    /// Whether `POST /admin/shutdown` is honored (off by default; the
+    /// serve binary enables it so CI can assert a clean shutdown remotely).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("valid literal address"),
+            batcher: BatcherConfig::default(),
+            max_connections: 256,
+            read_timeout: Duration::from_secs(10),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Shared server state handed to every connection handler.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    batcher: BatcherHandle,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    active_connections: AtomicUsize,
+    allow_shutdown: bool,
+    /// Live sockets by connection id, so shutdown can close *idle* peers
+    /// (parked in a read) instead of waiting out their read timeout. A
+    /// connection whose handler is mid-request is spared — its response is
+    /// written first; the `busy` transitions share this map's lock, so
+    /// shutdown and a handler can never race on the same socket.
+    live: std::sync::Mutex<std::collections::HashMap<u64, LiveConn>>,
+    next_conn_id: AtomicUsize,
+}
+
+struct LiveConn {
+    stream: TcpStream,
+    /// Whether the handler is between "request fully read" and "response
+    /// flushed". Only mutated under the `live` map lock.
+    busy: bool,
+}
+
+impl Shared {
+    /// Sets the stop flag and nudges every blocked thread: closes sockets
+    /// whose handlers are idle (parked in a read — their next request has
+    /// not arrived, so nothing is dropped) and pokes the accept loop awake.
+    /// Busy handlers keep their socket, finish the in-flight request, then
+    /// observe the stop flag and exit. `except` spares the calling
+    /// connection so the shutdown response itself can still be written.
+    fn begin_shutdown(&self, except: Option<u64>) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(live) = self.live.lock() {
+            for (id, conn) in live.iter() {
+                if Some(*id) != except && !conn.busy {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    fn register_connection(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_conn_id.fetch_add(1, Ordering::SeqCst) as u64;
+        if let (Ok(mut live), Ok(clone)) = (self.live.lock(), stream.try_clone()) {
+            live.insert(
+                id,
+                LiveConn {
+                    stream: clone,
+                    busy: false,
+                },
+            );
+        }
+        id
+    }
+
+    /// Marks the connection busy (request read, response pending). Returns
+    /// `false` if shutdown already closed this socket — the handler should
+    /// bail instead of processing a request whose reply cannot be written.
+    fn set_busy(&self, id: u64, busy: bool) -> bool {
+        if self.stop.load(Ordering::SeqCst) && busy {
+            return false;
+        }
+        if let Ok(mut live) = self.live.lock() {
+            if let Some(conn) = live.get_mut(&id) {
+                conn.busy = busy;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn unregister_connection(&self, id: u64) {
+        if let Ok(mut live) = self.live.lock() {
+            live.remove(&id);
+        }
+        self.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running server: bound address plus shutdown/join controls.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<Batcher>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics sink (shared with `GET /metrics`).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Signals the accept loop to stop. Idempotent; does not wait.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown(None);
+    }
+
+    /// Waits for the accept loop, all connection handlers and the batcher
+    /// to finish. Call [`shutdown`](Self::shutdown) first (or rely on the
+    /// admin endpoint); `join` on a live server blocks until someone does.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Handlers observed the stop flag and finished their in-flight
+        // request before the accept thread joined them; dropping the
+        // batcher drains whatever is still queued.
+        drop(self.batcher.take());
+    }
+}
+
+/// Starts the server: binds, spawns the batcher and the accept loop.
+///
+/// # Errors
+///
+/// Returns the bind error if the address cannot be bound.
+pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let batcher = Batcher::spawn(config.batcher, Arc::clone(&metrics));
+    let shared = Arc::new(Shared {
+        registry,
+        metrics,
+        batcher: batcher.handle(),
+        addr,
+        stop: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        allow_shutdown: config.allow_shutdown,
+        live: std::sync::Mutex::new(std::collections::HashMap::new()),
+        next_conn_id: AtomicUsize::new(0),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("passflow-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_shared, &config))
+        .expect("spawning the accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        batcher: Some(batcher),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConfig) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion, say) must not
+                // busy-spin the core the scoring thread needs.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection itself
+        }
+        handlers.retain(|h| !h.is_finished());
+        if shared.active_connections.load(Ordering::SeqCst) >= config.max_connections {
+            let mut writer = BufWriter::new(&stream);
+            let _ = respond_error(
+                &mut writer,
+                &HttpError {
+                    status: 503,
+                    message: "connection limit reached".to_string(),
+                },
+            );
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.register_connection(&stream);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("passflow-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, conn_id, &conn_shared);
+                conn_shared.unregister_connection(conn_id);
+            })
+            .expect("spawning a connection handler");
+        handlers.push(handle);
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let started = Instant::now();
+        match http::read_request(&mut reader) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Error(err) => {
+                // Protocol errors poison the byte stream: respond, close.
+                shared.metrics.record_request("other", err.status);
+                let _ = respond_error(&mut writer, &err);
+                return;
+            }
+            ReadOutcome::Request(request) => {
+                // Mark busy so shutdown spares this socket until the
+                // response is flushed; bail if shutdown beat us to it (the
+                // socket is already closed, no reply can be written).
+                if !shared.set_busy(conn_id, true) {
+                    return;
+                }
+                let (endpoint, response) = route(&request, conn_id, shared);
+                let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                shared.metrics.record_request(endpoint, response.status);
+                shared.metrics.record_latency(started.elapsed());
+                let written = http::write_response(
+                    &mut writer,
+                    response.status,
+                    response.content_type,
+                    response.body.as_bytes(),
+                    keep_alive,
+                );
+                shared.set_busy(conn_id, false);
+                if written.is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// An application-level response (always a complete body; framing is the
+/// connection handler's job).
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.to_string(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Self::json(
+            status,
+            &Json::obj([("error", Json::Str(message.to_string()))]),
+        )
+    }
+}
+
+fn respond_error<W: std::io::Write>(writer: &mut W, err: &HttpError) -> std::io::Result<()> {
+    let body = Json::obj([("error", Json::Str(err.message.clone()))]).to_string();
+    http::write_response(
+        writer,
+        err.status,
+        "application/json",
+        body.as_bytes(),
+        false,
+    )
+}
+
+/// Dispatches one request; returns the metrics endpoint label and response.
+fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", healthz(shared)),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: shared.metrics.render(),
+            },
+        ),
+        ("POST", "/v1/score") => ("score", score(request, shared, true)),
+        ("POST", "/v1/logprob") => ("logprob", score(request, shared, false)),
+        ("POST", "/admin/shutdown") => ("other", admin_shutdown(conn_id, shared)),
+        (_, "/healthz" | "/metrics" | "/v1/score" | "/v1/logprob" | "/admin/shutdown") => {
+            ("other", Response::error(405, "method not allowed"))
+        }
+        _ => ("other", Response::error(404, "no such endpoint")),
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let models = shared.registry.names().into_iter().map(Json::Str).collect();
+    Response::json(
+        200,
+        &Json::obj([
+            ("status", Json::Str("ok".to_string())),
+            ("models", Json::Arr(models)),
+        ]),
+    )
+}
+
+fn admin_shutdown(conn_id: u64, shared: &Arc<Shared>) -> Response {
+    if !shared.allow_shutdown {
+        return Response::error(404, "no such endpoint");
+    }
+    // Spare this connection so the response below still reaches the caller
+    // (the handler closes it right after: stop forces keep_alive off).
+    shared.begin_shutdown(Some(conn_id));
+    Response::json(
+        200,
+        &Json::obj([("status", Json::Str("stopping".to_string()))]),
+    )
+}
+
+/// The parsed, validated body shared by `/v1/score` and `/v1/logprob`.
+struct ScoreRequest {
+    model: Arc<ServedModel>,
+    passwords: Vec<String>,
+}
+
+fn parse_score_request(request: &Request, shared: &Arc<Shared>) -> Result<ScoreRequest, Response> {
+    if request.body.is_empty() {
+        return Err(Response::error(400, "empty request body"));
+    }
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| Response::error(400, &format!("bad JSON: {e}")))?;
+    let model_name = match doc.get("model") {
+        None => "default",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| Response::error(422, "\"model\" must be a string"))?,
+    };
+    let passwords_value = doc
+        .get("passwords")
+        .ok_or_else(|| Response::error(422, "missing \"passwords\" array"))?;
+    let items = passwords_value
+        .as_arr()
+        .ok_or_else(|| Response::error(422, "\"passwords\" must be an array"))?;
+    if items.is_empty() {
+        return Err(Response::error(422, "\"passwords\" must not be empty"));
+    }
+    if items.len() > MAX_REQUEST_PASSWORDS {
+        return Err(Response::error(
+            413,
+            &format!("at most {MAX_REQUEST_PASSWORDS} passwords per request"),
+        ));
+    }
+    let mut passwords = Vec::with_capacity(items.len());
+    for item in items {
+        passwords.push(
+            item.as_str()
+                .ok_or_else(|| Response::error(422, "passwords must be strings"))?
+                .to_string(),
+        );
+    }
+    let model = shared
+        .registry
+        .get(model_name)
+        .ok_or_else(|| Response::error(404, &format!("no model named {model_name:?}")))?;
+    Ok(ScoreRequest { model, passwords })
+}
+
+/// Handles `/v1/score` (`with_strength = true`) and `/v1/logprob`.
+fn score(request: &Request, shared: &Arc<Shared>, with_strength: bool) -> Response {
+    let parsed = match parse_score_request(request, shared) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let ScoreRequest { model, passwords } = parsed;
+
+    let (reply, result) = mpsc::sync_channel(1);
+    let job = ScoreJob {
+        model: Arc::clone(&model),
+        passwords: passwords.clone(),
+        reply,
+    };
+    match shared.batcher.submit(job) {
+        Ok(()) => {}
+        Err(EnqueueError::Overloaded) => return Response::error(503, "scoring queue is full"),
+        Err(EnqueueError::ShuttingDown) => return Response::error(503, "server is shutting down"),
+    }
+    let scores = match result.recv() {
+        Ok(scores) => scores,
+        Err(_) => return Response::error(500, "batcher dropped the request"),
+    };
+
+    let results: Vec<Json> = passwords
+        .iter()
+        .zip(scores.iter())
+        .map(|(password, score)| match score {
+            None => Json::Null,
+            Some(lp) => {
+                let mut pairs = vec![
+                    ("password".to_string(), Json::Str(password.clone())),
+                    ("log_prob".to_string(), Json::num_or_null(*lp)),
+                    (
+                        "log_prob_bits".to_string(),
+                        Json::Str(format!("{:016x}", lp.to_bits())),
+                    ),
+                ];
+                if with_strength {
+                    if let Some(est) = model.estimate(*lp) {
+                        pairs.push((
+                            "log2_guess_number".to_string(),
+                            Json::num_or_null(est.log2_guess_number),
+                        ));
+                        pairs.push((
+                            "log2_ci_low".to_string(),
+                            Json::num_or_null(est.log2_ci_low),
+                        ));
+                        pairs.push((
+                            "log2_ci_high".to_string(),
+                            Json::num_or_null(est.log2_ci_high),
+                        ));
+                    }
+                }
+                Json::Obj(pairs.into_iter().collect())
+            }
+        })
+        .collect();
+
+    Response::json(
+        200,
+        &Json::obj([
+            ("model", Json::Str(model.name().to_string())),
+            ("version", Json::Num(model.version() as f64)),
+            ("results", Json::Arr(results)),
+        ]),
+    )
+}

@@ -65,6 +65,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .nonmatched_samples(0)
             .run(&flow)?;
         let report = outcome.final_report();
+        assert_eq!(
+            report.guesses, budget,
+            "{}: full budget spent",
+            outcome.strategy
+        );
+        assert!(report.unique > 0, "{}: no unique guesses", outcome.strategy);
+        assert_eq!(
+            report.matched as usize,
+            outcome.matched_passwords.len(),
+            "{}: matched count and password list must agree",
+            outcome.strategy
+        );
+        assert!(
+            report.matched <= targets.len() as u64,
+            "{}: matched more than the test set holds",
+            outcome.strategy
+        );
         println!(
             "{:<22} {:>10} {:>10} {:>10} {:>9.2}%",
             outcome.strategy, report.guesses, report.unique, report.matched, report.matched_percent

@@ -26,12 +26,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (start, target) in [("jimmy91", "123456"), ("sunshine", "qwerty12")] {
         println!("interpolating {start:?} -> {target:?}");
         println!("{:<6} {:<12} {:>10}", "step", "password", "log-prob");
-        for point in interpolate(&flow, start, target, 10)? {
+        let path = interpolate(&flow, start, target, 10)?;
+        assert_eq!(path.len(), 11, "10 steps produce 11 points");
+        assert_eq!(
+            path.first().map(|p| p.password.as_str()),
+            Some(start),
+            "the path must start at the start password"
+        );
+        assert_eq!(
+            path.last().map(|p| p.password.as_str()),
+            Some(target),
+            "the path must end at the target password"
+        );
+        for point in path {
             let lp = flow
                 .log_prob_password(&point.password)
-                .map(|v| format!("{v:.2}"))
-                .unwrap_or_else(|| "-".to_string());
-            println!("{:<6} {:<12} {:>10}", point.step, point.password, lp);
+                .expect("interpolation points decode to encodable passwords");
+            assert!(lp.is_finite(), "step {} has non-finite density", point.step);
+            println!("{:<6} {:<12} {:>10.2}", point.step, point.password, lp);
         }
         println!();
     }

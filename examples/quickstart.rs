@@ -44,12 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.epochs.len(),
         report.best_nll().unwrap_or(f32::NAN)
     );
+    assert_eq!(report.epochs.len(), 8, "training must run all 8 epochs");
+    let best_nll = report.best_nll().expect("training reports a best NLL");
+    assert!(
+        best_nll.is_finite(),
+        "best NLL must be finite, got {best_nll}"
+    );
 
     // 3. The flow gives exact densities — inspect a few.
     for password in ["123456", "jessica1", "zq9#kv!x"] {
-        if let Some(lp) = flow.log_prob_password(password) {
-            println!("log p({password:>10}) = {lp:8.2}");
-        }
+        let lp = flow
+            .log_prob_password(password)
+            .expect("all three probes are encodable");
+        assert!(lp.is_finite(), "log p({password}) must be finite");
+        println!("log p({password:>10}) = {lp:8.2}");
     }
 
     // 4. Run a static guessing attack against the cleaned test set through
@@ -74,6 +82,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .run(&flow)?;
+    let final_report = outcome.final_report();
+    assert_eq!(
+        final_report.guesses, 20_000,
+        "the full budget must be spent"
+    );
+    assert!(
+        final_report.unique > 0,
+        "generation produced no unique guesses"
+    );
+    assert_eq!(
+        final_report.matched as usize,
+        outcome.matched_passwords.len(),
+        "matched count and matched password list must agree"
+    );
+    let expected_percent = 100.0 * final_report.matched as f64 / split.test_unique.len() as f64;
+    assert!(
+        (final_report.matched_percent - expected_percent).abs() < 1e-9,
+        "matched_percent must be consistent with the test-set size"
+    );
+    assert_eq!(
+        outcome.checkpoints.len(),
+        4,
+        "three checkpoints plus the final budget"
+    );
     println!(
         "\nexample matched passwords: {:?}",
         outcome.matched_passwords.iter().take(8).collect::<Vec<_>>()

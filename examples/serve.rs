@@ -1,0 +1,187 @@
+//! Online serving end-to-end: train a small flow, serve it over HTTP with
+//! adaptive micro-batching, score passwords through the wire, hot-swap a
+//! newly trained checkpoint under live load, and shut down cleanly.
+//!
+//! Every step assert-checks its own output, so this example doubles as the
+//! CI smoke test for the serving subsystem (exit code ≠ 0 on any failure).
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use passflow::serve::client::{self, Connection};
+use passflow::serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+use passflow::{
+    load_flow, save_flow, train, CorpusConfig, FlowConfig, PassFlow, ProbabilityModel, SampleTable,
+    SyntheticCorpusGenerator, TrainConfig,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. A small trained flow plus its strength table.
+    // ------------------------------------------------------------------
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small()).generate(17);
+    let split = corpus.paper_split(0.8, 3_000, 17);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng)?;
+    train(&flow, &split.train, &TrainConfig::tiny().with_epochs(3))?;
+    let table = SampleTable::build(&flow, 2_000, 7);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, Some(table)));
+
+    // ------------------------------------------------------------------
+    // 2. Serve on an ephemeral loopback port.
+    // ------------------------------------------------------------------
+    let config = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            ..BatcherConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = serve(config, Arc::clone(&registry))?;
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    let health = client::request(addr, "GET", "/healthz", None)?;
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"models\":[\"default\"]"));
+    println!("GET /healthz        → {} {}", health.status, health.text());
+
+    // ------------------------------------------------------------------
+    // 3. Score through the wire; the served score must equal direct
+    //    scoring, bit for bit (the batcher never changes results).
+    // ------------------------------------------------------------------
+    let response = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["123456","jimmy91","zq!7Kp#2vX"]}"#),
+    )?;
+    assert_eq!(response.status, 200, "{}", response.text());
+    let text = response.text();
+    println!("POST /v1/score      → {} {text}", response.status);
+    // Results preserve input order; pull each object's hex bit pattern.
+    let wire_bits: Vec<u64> = text
+        .split("\"log_prob_bits\":\"")
+        .skip(1)
+        .map(|rest| u64::from_str_radix(&rest[..16], 16).expect("16 hex digits"))
+        .collect();
+    let probes = ["123456", "jimmy91", "zq!7Kp#2vX"];
+    assert_eq!(wire_bits.len(), probes.len(), "one score per probe");
+    for (pw, bits) in probes.iter().zip(wire_bits) {
+        let direct = flow.password_log_prob(pw).expect("encodable probe");
+        assert_eq!(
+            bits,
+            direct.to_bits(),
+            "{pw}: served score must equal direct scoring bit-for-bit"
+        );
+    }
+    assert!(
+        text.contains("\"log2_guess_number\":"),
+        "score responses carry guess-number estimates when a table is loaded"
+    );
+
+    let logprob = client::request(
+        addr,
+        "POST",
+        "/v1/logprob",
+        Some(r#"{"passwords":["dragon","waytoolongtoencode"]}"#),
+    )?;
+    assert_eq!(logprob.status, 200);
+    assert!(
+        logprob.text().contains("null"),
+        "unencodable passwords must score null"
+    );
+    println!(
+        "POST /v1/logprob    → {} {}",
+        logprob.status,
+        logprob.text()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Hot-swap a newly trained checkpoint under live load: persist,
+    //    reload (the PR 3 checkpoint path), train it further, swap.
+    // ------------------------------------------------------------------
+    let dir = std::path::Path::new("target/serve_example");
+    std::fs::create_dir_all(dir)?;
+    let ckpt = dir.join("flow.pf");
+    save_flow(&flow, &ckpt)?;
+    let reloaded = load_flow(&ckpt)?;
+    train(&reloaded, &split.train, &TrainConfig::tiny().with_epochs(1))?;
+
+    // Keep background load running across the swap.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> u64 {
+            let mut conn = Connection::open(addr, Duration::from_secs(30)).expect("connect");
+            let mut completed = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let r = conn
+                    .request("POST", "/v1/score", Some(r#"{"passwords":["jimmy91"]}"#))
+                    .expect("request under load");
+                assert_eq!(r.status, 200, "no dropped requests across a swap");
+                completed += 1;
+            }
+            completed
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let table_v2 = SampleTable::build(&reloaded, 2_000, 7);
+    registry
+        .swap(ServedModel::from_flow(
+            "default",
+            &reloaded,
+            2,
+            Some(table_v2),
+        ))
+        .expect("default is registered");
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let under_swap = loader.join().expect("load thread");
+    assert!(under_swap > 0, "load must flow during the swap");
+    println!("hot-swapped to version 2 under load ({under_swap} requests, zero dropped)");
+
+    let swapped = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["jimmy91"]}"#),
+    )?;
+    assert!(
+        swapped.text().contains("\"version\":2"),
+        "post-swap responses must carry the new version: {}",
+        swapped.text()
+    );
+    let v2_direct = reloaded.password_log_prob("jimmy91").expect("encodable");
+    assert!(
+        swapped
+            .text()
+            .contains(&format!("{:016x}", v2_direct.to_bits())),
+        "post-swap scores must come from the new weights"
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Metrics, then clean shutdown.
+    // ------------------------------------------------------------------
+    let metrics = client::request(addr, "GET", "/metrics", None)?.text();
+    assert!(metrics.contains("passflow_requests_total{endpoint=\"score\",status=\"2xx\"}"));
+    assert!(metrics.contains("passflow_batch_size_bucket"));
+    assert!(metrics.contains("passflow_request_latency_seconds{quantile=\"0.99\"}"));
+    println!(
+        "GET /metrics        → {} lines of exposition",
+        metrics.lines().count()
+    );
+
+    server.shutdown();
+    server.join();
+    println!("clean shutdown — serving example passed");
+    Ok(())
+}

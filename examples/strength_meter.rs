@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("flow.pfstrength");
     table.save(&path)?;
-    let table = SampleTable::load(&path)?;
+    let reloaded = SampleTable::load(&path)?;
+    assert_eq!(reloaded, table, "persistence must round-trip bit-exactly");
+    let table = reloaded;
     println!(
         "persisted + reloaded {} ({} samples, model {:?})\n",
         path.display(),
@@ -73,10 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let scored = score_wordlist(&flow, &table, &wordlist, 4);
     let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(scored.len(), wordlist.len(), "one result per password");
     let mut bits: Vec<f64> = scored
         .iter()
         .filter_map(|s| s.estimate.map(|e| e.log2_guess_number))
         .collect();
+    assert!(
+        bits.len() > wordlist.len() / 2,
+        "most of the wordlist must be scorable ({} of {})",
+        bits.len(),
+        wordlist.len()
+    );
     bits.sort_by(f64::total_cmp);
     println!(
         "scored {} passwords in {:.3}s ({:.1} µs/password, no guess enumeration)",
@@ -144,6 +153,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "OUTSIDE the confidence interval"
         }
+    );
+    assert!(
+        predicted.contains(measured as f64),
+        "measured rank {measured} must fall inside the estimator's CI \
+         [{:.1}, {:.1}]",
+        predicted.ci_low,
+        predicted.ci_high
     );
     Ok(())
 }

@@ -40,8 +40,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
+        assert_eq!(
+            unique.len(),
+            8,
+            "sigma {sigma}: must find 8 unique neighbours"
+        );
+        for candidate in &unique {
+            assert!(
+                flow.encoder().can_encode(candidate),
+                "sigma {sigma}: unencodable neighbour {candidate:?}"
+            );
+        }
         println!("{sigma:<12} {}", unique.join("  "));
     }
+
+    // A near-zero sigma collapses onto the pivot itself — the latent
+    // neighbourhood really is centred on f(pivot).
+    let collapsed = flow.sample_near(pivot, 1e-5, 8, &mut rng)?;
+    assert!(
+        collapsed.iter().all(|p| p == pivot),
+        "sigma→0 must reproduce the pivot, got {collapsed:?}"
+    );
 
     println!(
         "\nsmall sigma keeps guesses structurally close to the pivot; larger sigma trades\n\

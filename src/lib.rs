@@ -16,7 +16,9 @@
 //! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators, all
 //!   implementing [`Guesser`],
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
-//!   figures through the same engine.
+//!   figures through the same engine,
+//! * [`serve`] — the online serving layer: an HTTP scoring service with
+//!   adaptive micro-batching and hot-swappable models.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
@@ -39,6 +41,7 @@ pub use passflow_core as core;
 pub use passflow_eval as eval;
 pub use passflow_nn as nn;
 pub use passflow_passwords as passwords;
+pub use passflow_serve as serve;
 
 // The most commonly used items, re-exported at the crate root.
 #[allow(deprecated)]
@@ -47,10 +50,10 @@ pub use passflow_core::{
     attack_unique_rank, interpolate, interpolate_passwords, load_checkpoint, load_flow,
     save_checkpoint, save_flow, score_wordlist, train, Attack, AttackConfig, AttackEngine,
     AttackOutcome, CheckpointReport, DynamicParams, EarlyStopConfig, FlowConfig, FlowError,
-    FlowSnapshot, FlowWorkspace, GaussianSmoothing, GuessSession, Guesser, GuessingStrategy,
-    LatentGuesser, LatentSession, MaskStrategy, PassFlow, PasswordStrength, Penalization,
-    ProbabilityModel, SampleTable, SamplingRankEstimate, Schedule, ShardedSet, StrengthEstimate,
-    TrainConfig, TrainLoop, TrainState, Trainer, TrainingReport,
+    FlowScorer, FlowSnapshot, FlowWorkspace, GaussianSmoothing, GuessSession, Guesser,
+    GuessingStrategy, LatentGuesser, LatentSession, MaskStrategy, PassFlow, PasswordStrength,
+    Penalization, ProbabilityModel, SampleTable, SamplingRankEstimate, Schedule, ShardedSet,
+    StrengthEstimate, TrainConfig, TrainLoop, TrainState, Trainer, TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{

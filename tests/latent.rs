@@ -1,0 +1,276 @@
+//! Latent-space sweep: first direct integration coverage for the paper's
+//! latent-space machinery — `interpolate.rs` (Algorithm 2), `mask.rs`
+//! (Section III-A.1) and `conditional.rs` (the Section VII template
+//! completion).
+//!
+//! The themes: interpolation paths recover their endpoints and stay on the
+//! straight latent line; coupling masks leave masked positions bit-exactly
+//! fixed while free positions move, and round-trip through
+//! forward ∘ inverse; conditional samples honor their template; and every
+//! stochastic path is deterministic under a fixed seed.
+
+use passflow::core::{conditional_guess, ConditionalConfig, PasswordTemplate};
+use passflow::nn::rng as nnrng;
+use passflow::nn::Tensor;
+use passflow::{interpolate, interpolate_passwords, FlowConfig, MaskStrategy, PassFlow};
+
+fn tiny_flow(seed: u64) -> PassFlow {
+    let mut rng = nnrng::seeded(seed);
+    PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Interpolation (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interpolation_recovers_its_endpoints() {
+    let flow = tiny_flow(11);
+    for (start, target, steps) in [
+        ("jimmy91", "123456", 8),
+        ("sunshine", "qwerty12", 3),
+        ("a", "zzzzzzzzzz", 12),
+    ] {
+        let path = interpolate(&flow, start, target, steps).unwrap();
+        assert_eq!(path.len(), steps + 1, "{start}→{target}");
+        assert_eq!(path.first().unwrap().password, start);
+        assert_eq!(path.last().unwrap().password, target);
+        // Endpoint latents are exactly the flow's own latents.
+        assert_eq!(
+            path.first().unwrap().latent,
+            flow.latent_of(start).unwrap(),
+            "start latent must be f(start)"
+        );
+        // Every intermediate decodes to an encodable password.
+        for point in &path {
+            assert!(
+                flow.encoder().can_encode(&point.password),
+                "step {} decodes to unencodable {:?}",
+                point.step,
+                point.password
+            );
+        }
+    }
+}
+
+#[test]
+fn interpolation_path_is_the_straight_latent_line() {
+    let flow = tiny_flow(12);
+    let steps = 10;
+    let path = interpolate(&flow, "monkey", "dragon", steps).unwrap();
+    let z0 = &path[0].latent;
+    let zn = &path[steps].latent;
+    for point in &path {
+        let alpha = point.step as f32 / steps as f32;
+        for j in 0..z0.len() {
+            let expected = z0[j] + (zn[j] - z0[j]) * alpha;
+            assert!(
+                (point.latent[j] - expected).abs() < 1e-3,
+                "step {} dim {j}: {} vs {expected}",
+                point.step,
+                point.latent[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn interpolation_is_deterministic_and_validates_input() {
+    let flow = tiny_flow(13);
+    // No RNG anywhere: two runs are identical, including latents.
+    let a = interpolate(&flow, "hello1", "world2", 6).unwrap();
+    let b = interpolate(&flow, "hello1", "world2", 6).unwrap();
+    assert_eq!(a, b);
+    // The convenience wrapper agrees with the full path.
+    let only_passwords = interpolate_passwords(&flow, "hello1", "world2", 6).unwrap();
+    let from_path: Vec<String> = a.into_iter().map(|p| p.password).collect();
+    assert_eq!(only_passwords, from_path);
+    // Bad input errors instead of panicking.
+    assert!(interpolate(&flow, "waytoolongforthedim", "ok", 3).is_err());
+    assert!(interpolate(&flow, "ok", "ok2", 0).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Masking (Section III-A.1)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn coupling_masks_fix_masked_positions_and_move_free_ones() {
+    let mut rng = nnrng::seeded(21);
+    for strategy in [
+        MaskStrategy::CharRun(1),
+        MaskStrategy::CharRun(2),
+        MaskStrategy::Horizontal,
+    ] {
+        let dim = 10;
+        let mask = strategy.mask_for_layer(0, dim);
+        let layer = passflow::core::CouplingLayer::new(dim, 16, 1, &mask, &mut rng);
+        let x = Tensor::randn(5, dim, &mut rng);
+        let (z, _log_det) = layer.forward(&x);
+        for i in 0..x.rows() {
+            for (j, &m) in mask.iter().enumerate() {
+                if m == 1.0 {
+                    // Masked (conditioning) positions pass through exactly.
+                    assert_eq!(
+                        z.get(i, j).to_bits(),
+                        x.get(i, j).to_bits(),
+                        "{strategy}: masked position ({i},{j}) moved"
+                    );
+                }
+            }
+        }
+        // Free positions move for a generic (random-weight) layer.
+        let moved = (0..x.rows()).any(|i| {
+            (0..dim).any(|j| mask[j] == 0.0 && z.get(i, j).to_bits() != x.get(i, j).to_bits())
+        });
+        assert!(moved, "{strategy}: no free position was transformed");
+
+        // Round trip: inverse ∘ forward recovers the input.
+        let back = layer.inverse(&z);
+        for (a, b) in back.as_slice().iter().zip(x.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-4, "{strategy}: round trip drifted");
+        }
+    }
+}
+
+#[test]
+fn alternating_masks_transform_every_position_across_the_flow() {
+    // Through a full flow (alternating masks), *no* position survives
+    // unchanged — complementary layers cover all dimensions.
+    let flow = tiny_flow(22);
+    let mut rng = nnrng::seeded(23);
+    let x = Tensor::randn(4, flow.dim(), &mut rng);
+    let (z, _) = flow.forward(&x);
+    for i in 0..x.rows() {
+        for j in 0..flow.dim() {
+            assert_ne!(
+                z.get(i, j).to_bits(),
+                x.get(i, j).to_bits(),
+                "position ({i},{j}) untouched by the whole flow"
+            );
+        }
+    }
+}
+
+#[test]
+fn mask_strategies_produce_valid_flows() {
+    // A flow built with each strategy inverts correctly on passwords.
+    for strategy in [
+        MaskStrategy::CharRun(1),
+        MaskStrategy::CharRun(2),
+        MaskStrategy::Horizontal,
+    ] {
+        let mut rng = nnrng::seeded(24);
+        let config = FlowConfig::tiny().with_masking(strategy);
+        let flow = PassFlow::new(config, &mut rng).unwrap();
+        let x = flow
+            .encode_batch(&["jimmy91".to_string(), "dragon".to_string()])
+            .unwrap();
+        let (z, _) = flow.forward(&x);
+        let back = flow.inverse(&z);
+        assert_eq!(
+            flow.decode_batch(&back),
+            vec!["jimmy91".to_string(), "dragon".to_string()],
+            "{strategy}: flow round trip lost the passwords"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conditional guessing (Section VII)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conditional_samples_honor_their_condition() {
+    let flow = tiny_flow(31);
+    let config = ConditionalConfig {
+        num_seeds: 8,
+        samples_per_round: 128,
+        rounds: 3,
+        sigma: 0.3,
+    };
+    for template_text in ["ji***1", "*asswor*", "ab**"] {
+        let template = PasswordTemplate::parse(template_text).unwrap();
+        let mut rng = nnrng::seeded(32);
+        let guesses = conditional_guess(&flow, &template, &config, 25, &mut rng).unwrap();
+        for guess in &guesses {
+            assert!(
+                template.matches(&guess.password),
+                "{template_text}: {:?} violates the template",
+                guess.password
+            );
+            assert_eq!(guess.password.chars().count(), template.len());
+            assert!(guess.log_prob.is_finite());
+        }
+        // Ranked by decreasing likelihood, no duplicates.
+        for pair in guesses.windows(2) {
+            assert!(pair[0].log_prob >= pair[1].log_prob);
+            assert_ne!(pair[0].password, pair[1].password);
+        }
+    }
+}
+
+#[test]
+fn conditional_search_is_deterministic_under_a_fixed_seed() {
+    let flow = tiny_flow(33);
+    let template = PasswordTemplate::parse("m**key").unwrap();
+    let config = ConditionalConfig::default();
+    let a = conditional_guess(&flow, &template, &config, 15, &mut nnrng::seeded(34)).unwrap();
+    let b = conditional_guess(&flow, &template, &config, 15, &mut nnrng::seeded(34)).unwrap();
+    assert_eq!(a, b, "same seed must reproduce the same completions");
+    let c = conditional_guess(&flow, &template, &config, 15, &mut nnrng::seeded(35)).unwrap();
+    // A different seed explores differently (not required to differ, but a
+    // fully seed-independent search would make the determinism test vacuous;
+    // assert on the searched sets only when both are non-empty).
+    if !a.is_empty() && !c.is_empty() {
+        let pw = |gs: &[passflow::core::ConditionalGuess]| {
+            gs.iter().map(|g| g.password.clone()).collect::<Vec<_>>()
+        };
+        // Identical prefixes are fine; byte-identical full results from
+        // different seeds would be suspicious but are not impossible for
+        // tiny alphabet slices — so this stays a soft signal, not a hard
+        // assert.
+        let _ = (pw(&a), pw(&c));
+    }
+}
+
+#[test]
+fn conditional_rejects_inconsistent_templates() {
+    let flow = tiny_flow(36);
+    let mut rng = nnrng::seeded(37);
+    // Longer than the flow's max length.
+    let too_long = PasswordTemplate::parse("abcdefghijk*").unwrap();
+    assert!(
+        conditional_guess(&flow, &too_long, &ConditionalConfig::default(), 5, &mut rng).is_err()
+    );
+    // Characters outside the alphabet.
+    let foreign = PasswordTemplate::parse("päss*").unwrap();
+    assert!(
+        conditional_guess(&flow, &foreign, &ConditionalConfig::default(), 5, &mut rng).is_err()
+    );
+    // Degenerate parses.
+    assert!(PasswordTemplate::parse("").is_err());
+    assert!(PasswordTemplate::parse("nowildcard").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn latent_pipeline_is_deterministic_end_to_end() {
+    // Same seeds → byte-identical flows → byte-identical latent artifacts.
+    let flow_a = tiny_flow(41);
+    let flow_b = tiny_flow(41);
+    let path_a = interpolate_passwords(&flow_a, "jimmy91", "123456", 7).unwrap();
+    let path_b = interpolate_passwords(&flow_b, "jimmy91", "123456", 7).unwrap();
+    assert_eq!(path_a, path_b);
+
+    let near_a = flow_a
+        .sample_near("jimmy91", 0.1, 16, &mut nnrng::seeded(42))
+        .unwrap();
+    let near_b = flow_b
+        .sample_near("jimmy91", 0.1, 16, &mut nnrng::seeded(42))
+        .unwrap();
+    assert_eq!(near_a, near_b);
+}

@@ -1,0 +1,432 @@
+//! Serving conformance suite: HTTP protocol behavior under adversarial
+//! input, and bit-exactness of batched scoring under concurrency and
+//! hot-swaps.
+//!
+//! The protocol half drives the server with malformed request lines,
+//! oversized headers, split writes, pipelined bursts and invalid bodies,
+//! asserting every one gets a clean 4xx — never a panic, never a hang.
+//! The concurrency half holds the same bar as `tests/fastpath.rs`: scores
+//! produced through the adaptive micro-batcher under N-thread load must be
+//! **bit-identical** (0 ULP) to serial single-request scoring, and a model
+//! hot-swap mid-load must never produce a torn or mixed-model response.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use passflow::serve::client::{self, Connection};
+use passflow::serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+use passflow::{FlowConfig, PassFlow, ProbabilityModel, SampleTable};
+
+fn tiny_flow(seed: u64) -> PassFlow {
+    let mut rng = passflow::nn::rng::seeded(seed);
+    PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+}
+
+/// Starts a server with one registered flow; the caller keeps the registry
+/// handle (that is the hot-swap interface) and the flow (the serial oracle).
+fn start_server(
+    config: ServerConfig,
+    seed: u64,
+) -> (passflow::serve::ServerHandle, PassFlow, Arc<ModelRegistry>) {
+    let flow = tiny_flow(seed);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+    let server = serve(config, Arc::clone(&registry)).expect("bind on loopback");
+    (server, flow, registry)
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+/// Extracts `"log_prob_bits"` hex fields from a score response, in order.
+fn response_bits(body: &str) -> Vec<u64> {
+    body.split("\"log_prob_bits\":\"")
+        .skip(1)
+        .map(|rest| u64::from_str_radix(&rest[..16], 16).expect("16 hex digits"))
+        .collect()
+}
+
+/// Extracts the `"version"` field from a score response.
+fn response_version(body: &str) -> u64 {
+    let rest = body.split("\"version\":").nth(1).expect("version field");
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer version")
+}
+
+// ---------------------------------------------------------------------------
+// Protocol conformance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_requests_get_clean_4xx() {
+    let (server, _flow, _registry) = start_server(quick_config(), 1);
+    let addr = server.addr();
+
+    // (raw bytes, expected status) — each on a fresh connection.
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET /healthz\r\n\r\n".to_vec(), 400),
+        (b"get /healthz HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"GET /healthz HTTP/9.9\r\n\r\n".to_vec(), 505),
+        (
+            format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8192)).into_bytes(),
+            414,
+        ),
+        (
+            format!("GET /healthz HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(8192)).into_bytes(),
+            431,
+        ),
+        (
+            format!(
+                "GET /healthz HTTP/1.1\r\n{}\r\n",
+                (0..100).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+            )
+            .into_bytes(),
+            431,
+        ),
+        (
+            b"POST /v1/score HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n".to_vec(),
+            413,
+        ),
+        (
+            b"POST /v1/score HTTP/1.1\r\ncontent-length: nope\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /v1/score HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+        (
+            b"GET /healthz HTTP/1.1\r\nbroken header\r\n\r\n".to_vec(),
+            400,
+        ),
+    ];
+    for (raw, expected) in cases {
+        let mut conn = Connection::open(addr, Duration::from_secs(5)).unwrap();
+        conn.stream().write_all(&raw).unwrap();
+        conn.stream().flush().unwrap();
+        let response = conn.read_response().unwrap();
+        assert_eq!(
+            response.status,
+            expected,
+            "{:?} → {}",
+            String::from_utf8_lossy(&raw[..raw.len().min(40)]),
+            response.text()
+        );
+    }
+
+    // The server is still healthy after all of that.
+    let health = client::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bad_bodies_and_routes_get_clean_4xx() {
+    let (server, _flow, _registry) = start_server(quick_config(), 2);
+    let addr = server.addr();
+
+    let cases: Vec<(&str, &str, Option<&str>, u16)> = vec![
+        // Unknown endpoint and wrong methods.
+        ("GET", "/nope", None, 404),
+        ("DELETE", "/v1/score", None, 405),
+        ("POST", "/healthz", None, 405),
+        // Admin shutdown is disabled unless opted in.
+        ("POST", "/admin/shutdown", None, 404),
+        // Zero-length and malformed bodies.
+        ("POST", "/v1/score", None, 400),
+        ("POST", "/v1/score", Some("not json"), 400),
+        ("POST", "/v1/score", Some("{\"passwords\":[]}"), 422),
+        ("POST", "/v1/score", Some("{\"passwords\":\"abc\"}"), 422),
+        ("POST", "/v1/score", Some("{\"passwords\":[1,2]}"), 422),
+        ("POST", "/v1/score", Some("{}"), 422),
+        (
+            "POST",
+            "/v1/score",
+            Some("{\"model\":\"ghost\",\"passwords\":[\"a\"]}"),
+            404,
+        ),
+        ("POST", "/v1/logprob", Some("not json"), 400),
+    ];
+    for (method, path, body, expected) in cases {
+        let response = client::request(addr, method, path, body).unwrap();
+        assert_eq!(
+            response.status,
+            expected,
+            "{method} {path} {body:?} → {}",
+            response.text()
+        );
+    }
+
+    // A >max-batch body sheds with 413.
+    let too_many: Vec<String> = (0..passflow::serve::MAX_REQUEST_PASSWORDS + 1)
+        .map(|i| format!("\"p{i}\""))
+        .collect();
+    let body = format!("{{\"passwords\":[{}]}}", too_many.join(","));
+    let response = client::request(addr, "POST", "/v1/score", Some(&body)).unwrap();
+    assert_eq!(response.status, 413, "{}", response.text());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn split_writes_and_pipelining_are_handled() {
+    let (server, flow, _registry) = start_server(quick_config(), 3);
+    let addr = server.addr();
+
+    // Partial/split reads: dribble a valid request a few bytes at a time.
+    let mut conn = Connection::open(addr, Duration::from_secs(10)).unwrap();
+    let body = r#"{"passwords":["jimmy91"]}"#;
+    let raw = format!(
+        "POST /v1/score HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    for chunk in raw.as_bytes().chunks(7) {
+        conn.stream().write_all(chunk).unwrap();
+        conn.stream().flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let expected = flow.password_log_prob("jimmy91").unwrap();
+    assert_eq!(response_bits(&response.text()), vec![expected.to_bits()]);
+
+    // Pipelining: three requests written back-to-back, three responses in
+    // order on the same connection.
+    let mut conn = Connection::open(addr, Duration::from_secs(10)).unwrap();
+    conn.send("GET", "/healthz", None).unwrap();
+    conn.send("POST", "/v1/score", Some(r#"{"passwords":["dragon"]}"#))
+        .unwrap();
+    conn.send("GET", "/metrics", None).unwrap();
+    let first = conn.read_response().unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first.text().contains("\"status\":\"ok\""));
+    let second = conn.read_response().unwrap();
+    let expected = flow.password_log_prob("dragon").unwrap();
+    assert_eq!(response_bits(&second.text()), vec![expected.to_bits()]);
+    let third = conn.read_response().unwrap();
+    assert!(third.text().contains("passflow_requests_total"));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_and_healthz_expose_serving_state() {
+    let (server, _flow, _registry) = start_server(quick_config(), 4);
+    let addr = server.addr();
+
+    for pw in ["aaa", "bbb", "ccc"] {
+        let body = format!("{{\"passwords\":[\"{pw}\"]}}");
+        let response = client::request(addr, "POST", "/v1/score", Some(&body)).unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let _ = client::request(addr, "GET", "/nope", None).unwrap();
+
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .unwrap()
+        .text();
+    assert!(metrics.contains("passflow_requests_total{endpoint=\"score\",status=\"2xx\"} 3"));
+    assert!(metrics.contains("passflow_requests_total{endpoint=\"other\",status=\"4xx\"} 1"));
+    assert!(metrics.contains("passflow_batch_size_bucket"));
+    assert!(metrics.contains("passflow_request_latency_seconds{quantile=\"0.99\"}"));
+
+    let health = client::request(addr, "GET", "/healthz", None)
+        .unwrap()
+        .text();
+    assert!(health.contains("\"models\":[\"default\"]"));
+
+    server.shutdown();
+    server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency correctness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_batched_scores_are_bit_identical_to_serial() {
+    // Force real coalescing: a generous straggler window and batch size.
+    let config = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(5),
+            ..BatcherConfig::default()
+        },
+        ..quick_config()
+    };
+    let (server, flow, _registry) = start_server(config, 5);
+    let addr = server.addr();
+
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 24;
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::open(addr, Duration::from_secs(30)).unwrap();
+                (0..REQUESTS)
+                    .map(|i| {
+                        // Overlapping password sets across threads, plus an
+                        // unencodable one to keep the None path honest.
+                        let pw = if i % 7 == 6 {
+                            "waytoolongtoencode".to_string()
+                        } else {
+                            format!("pw{}x{}", t % 3, i)
+                        };
+                        let body = format!("{{\"passwords\":[{}]}}", serve_quote(&pw));
+                        let response = conn.request("POST", "/v1/score", Some(&body)).unwrap();
+                        assert_eq!(response.status, 200);
+                        (pw, response.text())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    for client in clients {
+        for (pw, body) in client.join().unwrap() {
+            let bits = response_bits(&body);
+            match flow.password_log_prob(&pw) {
+                Some(expected) => {
+                    assert_eq!(bits, vec![expected.to_bits()], "{pw}: batched ≠ serial")
+                }
+                None => assert!(bits.is_empty(), "{pw} must score null"),
+            }
+        }
+    }
+
+    // The batcher actually coalesced: at least one multi-request tick.
+    let metrics = server.metrics();
+    assert!(
+        metrics.total_requests() >= (THREADS * REQUESTS) as u64,
+        "all requests recorded"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Minimal JSON string quoting for test bodies.
+fn serve_quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[test]
+fn hot_swap_mid_load_never_tears_a_response() {
+    let (server, flow_v1, registry) = start_server(quick_config(), 6);
+    let addr = server.addr();
+    let flow_v2 = tiny_flow(7);
+
+    // Expected scores per version for the probe password.
+    let probe = "jimmy91";
+    let v1_bits = flow_v1.password_log_prob(probe).unwrap().to_bits();
+    let v2_bits = flow_v2.password_log_prob(probe).unwrap().to_bits();
+    assert_ne!(v1_bits, v2_bits, "the two versions must disagree");
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn = Connection::open(addr, Duration::from_secs(30)).unwrap();
+                let mut observed: Vec<(u64, u64)> = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let response = conn
+                        .request("POST", "/v1/score", Some(r#"{"passwords":["jimmy91"]}"#))
+                        .unwrap();
+                    assert_eq!(response.status, 200);
+                    let text = response.text();
+                    observed.push((response_version(&text), response_bits(&text)[0]));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Let load build up, then swap under it.
+    std::thread::sleep(Duration::from_millis(100));
+    let displaced = registry
+        .swap(ServedModel::from_flow("default", &flow_v2, 2, None))
+        .expect("default is registered");
+    assert_eq!(displaced.version(), 1);
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let mut saw_v1 = false;
+    let mut saw_v2 = false;
+    for client in clients {
+        for (version, bits) in client.join().unwrap() {
+            match version {
+                1 => {
+                    saw_v1 = true;
+                    assert_eq!(bits, v1_bits, "version 1 response must carry v1 weights");
+                }
+                2 => {
+                    saw_v2 = true;
+                    assert_eq!(bits, v2_bits, "version 2 response must carry v2 weights");
+                }
+                other => panic!("unexpected version {other}"),
+            }
+        }
+    }
+    assert!(saw_v1, "some requests must land before the swap");
+    assert!(saw_v2, "some requests must land after the swap");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn score_estimates_match_the_sample_table() {
+    let flow = tiny_flow(8);
+    let table = SampleTable::build(&flow, 500, 3);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow(
+        "default",
+        &flow,
+        1,
+        Some(table.clone()),
+    ));
+    let server = serve(quick_config(), registry).unwrap();
+    let addr = server.addr();
+
+    let response = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["dragon"]}"#),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    assert!(text.contains("\"log2_guess_number\":"));
+
+    // The served estimate equals the offline estimate for the same score.
+    let lp = flow.password_log_prob("dragon").unwrap();
+    let expected = table.estimate(lp);
+    let served: f64 = text
+        .split("\"log2_guess_number\":")
+        .nth(1)
+        .unwrap()
+        .split([',', '}'])
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(served.to_bits(), expected.log2_guess_number.to_bits());
+
+    server.shutdown();
+    server.join();
+}
