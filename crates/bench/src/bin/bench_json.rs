@@ -235,6 +235,82 @@ fn main() {
         });
     }
 
+    // -- digest store: build throughput, 4-way merge, range lookups ---------
+    // `build_1M` ingests distinct synthetic digests (SHA-1 of an integer
+    // counter — cheaper than generating passwords, same store-side work)
+    // through the external-sort builder with spills forced; `merge_4way`
+    // unions four shard artifacts; `range_lookup` is the serving hot path
+    // (binary-searched block + prefix-decompressed scan per query).
+    {
+        use passflow_store::{sha1, DigestConfig, DigestStore, DigestStoreBuilder};
+
+        let scratch = std::env::temp_dir();
+        let stamp = std::process::id();
+        let build_records: u64 = if quick { 100_000 } else { 1_000_000 };
+        let path = scratch.join(format!("pfbench-build-{stamp}.pfd"));
+        let t0 = Instant::now();
+        let mut builder = DigestStoreBuilder::new(DigestConfig::default())
+            .with_memory_records(1 << 18)
+            .with_scratch_dir(&scratch);
+        for i in 0..build_records {
+            builder
+                .add_digest(&sha1::sha1(&i.to_le_bytes()), 1)
+                .expect("digest ingest");
+        }
+        let stats = builder.finish(&path).expect("digest build");
+        entries.push(Entry {
+            name: "digest/build_1M",
+            seconds_per_iter: t0.elapsed().as_secs_f64(),
+            elements_per_iter: build_records,
+        });
+        assert_eq!(stats.record_count, build_records, "SHA-1 never collided");
+
+        let shard_paths: Vec<std::path::PathBuf> = (0..4)
+            .map(|s| scratch.join(format!("pfbench-shard-{stamp}-{s}.pfd")))
+            .collect();
+        let shard_records = build_records / 8;
+        for (s, shard_path) in shard_paths.iter().enumerate() {
+            let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+            // Shards overlap pairwise so the merge exercises count summing.
+            let lo = s as u64 * shard_records / 2;
+            for i in lo..lo + shard_records {
+                builder
+                    .add_digest(&sha1::sha1(&i.to_le_bytes()), 1)
+                    .expect("digest ingest");
+            }
+            builder.finish(shard_path).expect("shard build");
+        }
+        let merged = scratch.join(format!("pfbench-merged-{stamp}.pfd"));
+        let t0 = Instant::now();
+        let stats = passflow_store::merge_artifacts(&shard_paths, &merged).expect("merge");
+        entries.push(Entry {
+            name: "digest/merge_4way",
+            seconds_per_iter: t0.elapsed().as_secs_f64(),
+            elements_per_iter: stats.record_count,
+        });
+
+        let store = DigestStore::open(&path).expect("open digest");
+        let prefixes: Vec<String> = (0..256)
+            .map(|i| sha1::to_hex(&sha1::sha1(&(i as u64).to_le_bytes()))[..5].to_string())
+            .collect();
+        let s = median_secs(samples, || {
+            for prefix in &prefixes {
+                std::hint::black_box(store.range(prefix).expect("range query"));
+            }
+        });
+        entries.push(Entry {
+            name: "digest/range_lookup",
+            seconds_per_iter: s,
+            elements_per_iter: prefixes.len() as u64,
+        });
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&merged);
+        for shard_path in &shard_paths {
+            let _ = std::fs::remove_file(shard_path);
+        }
+    }
+
     // -- emit ---------------------------------------------------------------
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = format!(

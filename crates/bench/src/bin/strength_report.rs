@@ -43,10 +43,32 @@ fn main() -> passflow_core::Result<()> {
         ("train", train_slice),
         ("test (unique)", &workbench.split.test_unique),
     ];
+
+    // Treat the training corpus as the "breached" set: every training
+    // password lands in a digest store, so the report's Breached % column
+    // shows how much of each dataset an attacker gets by pure replay.
+    let digest_path = std::env::temp_dir().join(format!(
+        "passflow-strength-breach-{}.pfd",
+        std::process::id()
+    ));
+    let mut digest_builder =
+        passflow_store::DigestStoreBuilder::new(passflow_store::DigestConfig::default());
+    for pw in &workbench.split.train {
+        digest_builder
+            .add_password(pw)
+            .map_err(|e| passflow_core::FlowError::InvalidConfig(format!("digest build: {e}")))?;
+    }
+    digest_builder
+        .finish(&digest_path)
+        .map_err(|e| passflow_core::FlowError::InvalidConfig(format!("digest build: {e}")))?;
+    let digest = passflow_store::DigestStore::open(&digest_path)
+        .map_err(|e| passflow_core::FlowError::InvalidConfig(format!("digest open: {e}")))?;
+
     emit(
-        &guess_number_distribution(&entries, &datasets, shards),
+        &guess_number_distribution(&entries, &datasets, shards, Some(&digest)),
         "strength_distribution",
     );
+    let _ = std::fs::remove_file(&digest_path);
     emit(
         &model_agreement(&entries, &workbench.split.test_unique, shards),
         "strength_agreement",

@@ -16,6 +16,7 @@
 //!   another's attack order.
 
 use passflow_core::{score_wordlist, PasswordStrength, ProbabilityModel, SampleTable};
+use passflow_store::DigestStore;
 
 use crate::report::Table;
 
@@ -64,6 +65,11 @@ fn dataset_bits(entry: ModelEntry<'_>, dataset: &[String], shards: usize) -> (Ve
 /// the p10/p25/p50/p75/p90 percentiles of the estimated log₂ guess number
 /// and the fraction of passwords the model could not score.
 ///
+/// When a breach [`DigestStore`] is supplied, each row also reports the
+/// fraction of the dataset found in it ("Breached %") — strength estimates
+/// for already-breached passwords are moot (an attacker replays the breach
+/// before guessing), so the column contextualizes the percentiles.
+///
 /// Reading the rows: the median ("p50 bits") is the dataset's typical
 /// strength under that model's attack order; the p10–p90 spread shows how
 /// unevenly strength is distributed.
@@ -71,21 +77,23 @@ pub fn guess_number_distribution(
     models: &[ModelEntry<'_>],
     datasets: &[(&str, &[String])],
     shards: usize,
+    digest: Option<&DigestStore>,
 ) -> Table {
-    let mut table = Table::new(
-        "Strength: guess-number distribution (log2 guesses)",
-        vec![
-            "Model".to_string(),
-            "Dataset".to_string(),
-            "Passwords".to_string(),
-            "p10".to_string(),
-            "p25".to_string(),
-            "p50".to_string(),
-            "p75".to_string(),
-            "p90".to_string(),
-            "Unscored %".to_string(),
-        ],
-    );
+    let mut header = vec![
+        "Model".to_string(),
+        "Dataset".to_string(),
+        "Passwords".to_string(),
+        "p10".to_string(),
+        "p25".to_string(),
+        "p50".to_string(),
+        "p75".to_string(),
+        "p90".to_string(),
+        "Unscored %".to_string(),
+    ];
+    if digest.is_some() {
+        header.push("Breached %".to_string());
+    }
+    let mut table = Table::new("Strength: guess-number distribution (log2 guesses)", header);
     for entry in models {
         for (dataset_name, dataset) in datasets {
             let (bits, unscored) = dataset_bits(*entry, dataset, shards);
@@ -103,6 +111,16 @@ pub fn guess_number_distribution(
                 "{:.2}",
                 100.0 * unscored as f64 / dataset.len().max(1) as f64
             ));
+            if let Some(store) = digest {
+                let breached = dataset
+                    .iter()
+                    .filter(|pw| matches!(store.contains_password(pw), Ok(Some(_))))
+                    .count();
+                row.push(format!(
+                    "{:.2}",
+                    100.0 * breached as f64 / dataset.len().max(1) as f64
+                ));
+            }
             table.push_row(row);
         }
     }
@@ -200,8 +218,13 @@ mod tests {
         let entries: Vec<ModelEntry<'_>> = vec![(&markov, &tables[0]), (&pcfg, &tables[1])];
         let eval_set = corpus(300);
         let datasets: Vec<(&str, &[String])> = vec![("train", &train[..200]), ("eval", &eval_set)];
-        let table = guess_number_distribution(&entries, &datasets, 2);
+        let table = guess_number_distribution(&entries, &datasets, 2, None);
         assert_eq!(table.num_rows(), 4);
+        assert_eq!(
+            table.headers.len(),
+            9,
+            "no breached column without a digest"
+        );
         // Percentiles are ascending within each row.
         for row in &table.rows {
             let bits: Vec<f64> = row[3..8].iter().map(|c| c.parse().unwrap()).collect();
@@ -212,6 +235,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn distribution_breached_column_matches_store_contents() {
+        use passflow_store::{DigestConfig, DigestStore, DigestStoreBuilder};
+
+        let train = corpus(1_000);
+        let markov = MarkovModel::train(&train, 2, 10);
+        let table_m = SampleTable::build(&markov, 500, 5);
+        let entries: Vec<ModelEntry<'_>> = vec![(&markov, &table_m)];
+        let eval_set = corpus(200);
+
+        // Breach exactly the first half of the eval set.
+        let path =
+            std::env::temp_dir().join(format!("pfdigest-strength-{}.pfd", std::process::id()));
+        let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+        for pw in &eval_set[..100] {
+            builder.add_password(pw).unwrap();
+        }
+        builder.finish(&path).unwrap();
+        let store = DigestStore::open(&path).unwrap();
+
+        let datasets: Vec<(&str, &[String])> = vec![("eval", &eval_set)];
+        let table = guess_number_distribution(&entries, &datasets, 2, Some(&store));
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(table.headers.last().unwrap(), "Breached %");
+        let breached: f64 = table.rows[0].last().unwrap().parse().unwrap();
+        // Exactly half the dataset was archived (synthetic passwords can
+        // collide between halves, so allow a small overshoot, never under).
+        assert!(
+            (50.0..=60.0).contains(&breached),
+            "expected ~50% breached, got {breached}"
+        );
     }
 
     #[test]

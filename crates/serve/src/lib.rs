@@ -28,9 +28,15 @@
 //! |---|---|
 //! | `POST /v1/score` | password → log-prob + guess-number estimate (CI) |
 //! | `POST /v1/logprob` | batch log-probs through any `ProbabilityModel` |
+//! | `POST /v1/screen` | strength + breach membership from the digest store |
+//! | `GET /v1/range/{prefix5}` | k-anonymity breach range (HIBP-style) |
+//! | `GET /v1/models` | registered models with current versions |
 //! | `GET /healthz` | liveness + registered model names |
 //! | `GET /metrics` | request counts, batch-size histogram, p50/p99 latency |
 //! | `POST /admin/shutdown` | graceful stop (opt-in, for CI smoke tests) |
+//!
+//! The breach endpoints answer 503 until a [`passflow_store::DigestStore`]
+//! is attached via [`ServerConfig::digest`] (the binary's `--digest` flag).
 //!
 //! The request/response wire schema is specified in DESIGN.md ("Artifact
 //! schemas").

@@ -3,6 +3,7 @@
 //! ```text
 //! passflow-serve [--addr 127.0.0.1:8077] [--checkpoint model.pf]
 //!                [--table table.pfs] [--table-samples 2000]
+//!                [--digest breach.pfd]
 //!                [--max-batch 64] [--max-wait-ms 2] [--allow-shutdown]
 //! ```
 //!
@@ -27,6 +28,7 @@ struct Args {
     checkpoint: Option<String>,
     table: Option<String>,
     table_samples: usize,
+    digest: Option<String>,
     max_batch: usize,
     max_wait_ms: u64,
     until_stdin_eof: bool,
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         table: None,
         table_samples: 2_000,
+        digest: None,
         max_batch: 64,
         max_wait_ms: 2,
         until_stdin_eof: false,
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = value("--addr")?,
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
             "--table" => args.table = Some(value("--table")?),
+            "--digest" => args.digest = Some(value("--digest")?),
             "--table-samples" => {
                 args.table_samples = value("--table-samples")?
                     .parse()
@@ -98,6 +102,22 @@ fn run() -> Result<(), String> {
     let registry = Arc::new(ModelRegistry::new());
     registry.insert(ServedModel::from_flow("default", &flow, 1, table));
 
+    let digest = match &args.digest {
+        Some(path) => Some(Arc::new(
+            passflow_store::DigestStore::open(path)
+                .map_err(|e| format!("loading {path:?}: {e}"))?,
+        )),
+        None => None,
+    };
+    if let Some(store) = &digest {
+        eprintln!(
+            "breach digest loaded: {} records in {} blocks ({} bytes)",
+            store.record_count(),
+            store.block_count(),
+            store.file_len()
+        );
+    }
+
     let config = ServerConfig {
         addr: args
             .addr
@@ -109,11 +129,13 @@ fn run() -> Result<(), String> {
             ..BatcherConfig::default()
         },
         allow_shutdown: true,
+        digest,
         ..ServerConfig::default()
     };
     let server = serve(config, registry).map_err(|e| format!("bind failed: {e}"))?;
     eprintln!(
-        "serving on http://{} (POST /v1/score, POST /v1/logprob, GET /healthz, GET /metrics; \
+        "serving on http://{} (POST /v1/score, POST /v1/logprob, POST /v1/screen, \
+         GET /v1/range/{{prefix5}}, GET /v1/models, GET /healthz, GET /metrics; \
          stop with POST /admin/shutdown)",
         server.addr()
     );

@@ -19,14 +19,16 @@ const LATENCY_BUCKETS_US: [u64; 14] = [
 ];
 
 /// Endpoints tracked individually; everything else lands in `other`.
-const ENDPOINTS: [&str; 5] = ["score", "logprob", "healthz", "metrics", "other"];
+const ENDPOINTS: [&str; 8] = [
+    "score", "logprob", "screen", "range", "models", "healthz", "metrics", "other",
+];
 
 /// Aggregated serving metrics. One instance is shared (behind an `Arc`) by
 /// every connection handler and the batcher thread.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// `requests[endpoint][status_class]` — status classes 2xx/4xx/5xx.
-    requests: [[AtomicU64; 3]; 5],
+    requests: [[AtomicU64; 3]; 8],
     /// Batch-size histogram buckets plus overflow, and sum/count for means.
     batch_buckets: [AtomicU64; 10],
     batch_sum: AtomicU64,

@@ -183,6 +183,20 @@ impl ModelRegistry {
         names.sort();
         names
     }
+
+    /// Sorted `(name, current version)` pairs (for `GET /v1/models`).
+    ///
+    /// Each version is read through the model's own handle, so the pair is
+    /// a consistent snapshot of that model even while swaps are in flight.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let models = self.models.read();
+        let mut entries: Vec<(String, u64)> = models
+            .iter()
+            .map(|(name, handle)| (name.clone(), handle.read().version()))
+            .collect();
+        entries.sort();
+        entries
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use crate::http::{self, HttpError, ReadOutcome, Request};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::registry::{ModelRegistry, ServedModel};
+use passflow_store::DigestStore;
 
 /// Maximum passwords in one request body (`/v1/score` and `/v1/logprob`).
 /// Larger batches get a clean 413 — client-side batching beyond the
@@ -51,6 +52,11 @@ pub struct ServerConfig {
     /// Whether `POST /admin/shutdown` is honored (off by default; the
     /// serve binary enables it so CI can assert a clean shutdown remotely).
     pub allow_shutdown: bool,
+    /// Breach digest store backing `GET /v1/range/{prefix}` and
+    /// `POST /v1/screen`; when `None` those endpoints answer 503 so a
+    /// misconfigured deployment fails loudly instead of calling every
+    /// password clean.
+    pub digest: Option<Arc<DigestStore>>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +67,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             read_timeout: Duration::from_secs(10),
             allow_shutdown: false,
+            digest: None,
         }
     }
 }
@@ -74,6 +81,7 @@ struct Shared {
     stop: AtomicBool,
     active_connections: AtomicUsize,
     allow_shutdown: bool,
+    digest: Option<Arc<DigestStore>>,
     /// Live sockets by connection id, so shutdown can close *idle* peers
     /// (parked in a read) instead of waiting out their read timeout. A
     /// connection whose handler is mid-request is spared — its response is
@@ -203,6 +211,7 @@ pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
         stop: AtomicBool::new(false),
         active_connections: AtomicUsize::new(0),
         allow_shutdown: config.allow_shutdown,
+        digest: config.digest.clone(),
         live: std::sync::Mutex::new(std::collections::HashMap::new()),
         next_conn_id: AtomicUsize::new(0),
     });
@@ -352,6 +361,13 @@ fn respond_error<W: std::io::Write>(writer: &mut W, err: &HttpError) -> std::io:
 
 /// Dispatches one request; returns the metrics endpoint label and response.
 fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str, Response) {
+    if let Some(prefix) = request.path.strip_prefix("/v1/range/") {
+        return if request.method == "GET" {
+            ("range", range(prefix, shared))
+        } else {
+            ("other", Response::error(405, "method not allowed"))
+        };
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => ("healthz", healthz(shared)),
         ("GET", "/metrics") => (
@@ -362,12 +378,16 @@ fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str
                 body: shared.metrics.render(),
             },
         ),
-        ("POST", "/v1/score") => ("score", score(request, shared, true)),
-        ("POST", "/v1/logprob") => ("logprob", score(request, shared, false)),
+        ("GET", "/v1/models") => ("models", models(shared)),
+        ("POST", "/v1/score") => ("score", score(request, shared, ScoreMode::Strength)),
+        ("POST", "/v1/logprob") => ("logprob", score(request, shared, ScoreMode::LogProb)),
+        ("POST", "/v1/screen") => ("screen", screen(request, shared)),
         ("POST", "/admin/shutdown") => ("other", admin_shutdown(conn_id, shared)),
-        (_, "/healthz" | "/metrics" | "/v1/score" | "/v1/logprob" | "/admin/shutdown") => {
-            ("other", Response::error(405, "method not allowed"))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/models" | "/v1/score" | "/v1/logprob" | "/v1/screen"
+            | "/admin/shutdown",
+        ) => ("other", Response::error(405, "method not allowed")),
         _ => ("other", Response::error(404, "no such endpoint")),
     }
 }
@@ -445,8 +465,76 @@ fn parse_score_request(request: &Request, shared: &Arc<Shared>) -> Result<ScoreR
     Ok(ScoreRequest { model, passwords })
 }
 
-/// Handles `/v1/score` (`with_strength = true`) and `/v1/logprob`.
-fn score(request: &Request, shared: &Arc<Shared>, with_strength: bool) -> Response {
+/// What a scoring endpoint adds on top of raw log-probabilities.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ScoreMode {
+    /// `/v1/score`: log-probs plus guess-number estimates.
+    Strength,
+    /// `/v1/logprob`: log-probs only.
+    LogProb,
+    /// `/v1/screen`: log-probs, estimates, *and* breach membership.
+    Screen,
+}
+
+/// `GET /v1/models` — registered models with their current versions.
+fn models(shared: &Arc<Shared>) -> Response {
+    let models = shared
+        .registry
+        .entries()
+        .into_iter()
+        .map(|(name, version)| {
+            Json::obj([
+                ("name", Json::Str(name)),
+                ("version", Json::Num(version as f64)),
+            ])
+        })
+        .collect();
+    Response::json(200, &Json::obj([("models", Json::Arr(models))]))
+}
+
+/// `GET /v1/range/{prefix}` — the k-anonymity range endpoint: suffixes (and
+/// counts) of every stored digest under a 5-hex-char prefix. The client
+/// hashes locally and reveals only 20 bits of the digest.
+fn range(prefix: &str, shared: &Arc<Shared>) -> Response {
+    let Some(digest) = shared.digest.as_ref() else {
+        return Response::error(503, "no digest store is configured");
+    };
+    if prefix.len() != 5 || !prefix.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Response::error(422, "range prefix must be exactly 5 hex characters");
+    }
+    let entries = match digest.range(prefix) {
+        Ok(entries) => entries,
+        Err(e) => return Response::error(500, &format!("range query failed: {e}")),
+    };
+    let suffixes = entries
+        .iter()
+        .map(|entry| {
+            Json::obj([
+                ("suffix", Json::Str(entry.suffix.clone())),
+                ("count", Json::Num(entry.count as f64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::obj([
+            ("prefix", Json::Str(prefix.to_ascii_uppercase())),
+            ("suffixes", Json::Arr(suffixes)),
+        ]),
+    )
+}
+
+/// `POST /v1/screen` — strength scoring plus breach membership in one
+/// round-trip (the trusted-server variant of range screening).
+fn screen(request: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.digest.is_none() {
+        return Response::error(503, "no digest store is configured");
+    }
+    score(request, shared, ScoreMode::Screen)
+}
+
+/// Handles `/v1/score`, `/v1/logprob` and the scoring half of `/v1/screen`.
+fn score(request: &Request, shared: &Arc<Shared>, mode: ScoreMode) -> Response {
     let parsed = match parse_score_request(request, shared) {
         Ok(parsed) => parsed,
         Err(response) => return response,
@@ -469,20 +557,28 @@ fn score(request: &Request, shared: &Arc<Shared>, with_strength: bool) -> Respon
         Err(_) => return Response::error(500, "batcher dropped the request"),
     };
 
-    let results: Vec<Json> = passwords
-        .iter()
-        .zip(scores.iter())
-        .map(|(password, score)| match score {
-            None => Json::Null,
+    let with_strength = mode != ScoreMode::LogProb;
+    let mut results: Vec<Json> = Vec::with_capacity(passwords.len());
+    for (password, score) in passwords.iter().zip(scores.iter()) {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        match score {
+            // Unencodable passwords score as null; `/v1/screen` still
+            // reports their breach status (membership needs no model).
+            None if mode != ScoreMode::Screen => {
+                results.push(Json::Null);
+                continue;
+            }
+            None => {
+                pairs.push(("password".to_string(), Json::Str(password.clone())));
+                pairs.push(("log_prob".to_string(), Json::Null));
+            }
             Some(lp) => {
-                let mut pairs = vec![
-                    ("password".to_string(), Json::Str(password.clone())),
-                    ("log_prob".to_string(), Json::num_or_null(*lp)),
-                    (
-                        "log_prob_bits".to_string(),
-                        Json::Str(format!("{:016x}", lp.to_bits())),
-                    ),
-                ];
+                pairs.push(("password".to_string(), Json::Str(password.clone())));
+                pairs.push(("log_prob".to_string(), Json::num_or_null(*lp)));
+                pairs.push((
+                    "log_prob_bits".to_string(),
+                    Json::Str(format!("{:016x}", lp.to_bits())),
+                ));
                 if with_strength {
                     if let Some(est) = model.estimate(*lp) {
                         pairs.push((
@@ -499,10 +595,24 @@ fn score(request: &Request, shared: &Arc<Shared>, with_strength: bool) -> Respon
                         ));
                     }
                 }
-                Json::Obj(pairs.into_iter().collect())
             }
-        })
-        .collect();
+        }
+        if mode == ScoreMode::Screen {
+            // `screen()` verified the store exists before dispatching.
+            let digest = shared.digest.as_ref().expect("screen mode has a digest");
+            match digest.contains_password(password) {
+                Ok(hit) => {
+                    pairs.push(("breached".to_string(), Json::Bool(hit.is_some())));
+                    pairs.push((
+                        "breach_count".to_string(),
+                        Json::Num(hit.unwrap_or(0) as f64),
+                    ));
+                }
+                Err(e) => return Response::error(500, &format!("digest lookup failed: {e}")),
+            }
+        }
+        results.push(Json::Obj(pairs.into_iter().collect()));
+    }
 
     Response::json(
         200,

@@ -1,0 +1,215 @@
+//! `digest_tool` — build, merge, query and verify `PFDIGEST v1` artifacts.
+//!
+//! ```text
+//! digest_tool build  --out breach.pfd [--no-counts] [--digest-bytes 16]
+//!                    [--block-records 1024] [--memory-records N]
+//!                    [wordlist…]          # stdin when no files given
+//! digest_tool merge  --out merged.pfd shard1.pfd shard2.pfd …
+//! digest_tool query  --digest breach.pfd (--password PW | --prefix HEX | --hash HEX)
+//! digest_tool verify --digest breach.pfd
+//! digest_tool hash   PASSWORD             # prints SHA1(password) hex
+//! ```
+//!
+//! Exit status is non-zero on any failure, so CI can drive the whole
+//! build → verify → serve → curl pipeline from a shell script.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use passflow_store::{
+    merge_artifacts, sha1, DigestConfig, DigestStore, DigestStoreBuilder, StoreError,
+};
+
+fn usage() -> String {
+    "usage: digest_tool <build|merge|query|verify|hash> [options]\n\
+     \x20 build  --out FILE [--no-counts] [--digest-bytes N] [--block-records N] \
+     [--memory-records N] [wordlist…]\n\
+     \x20 merge  --out FILE shard.pfd…\n\
+     \x20 query  --digest FILE (--password PW | --prefix HEX | --hash HEX)\n\
+     \x20 verify --digest FILE\n\
+     \x20 hash   PASSWORD"
+        .to_string()
+}
+
+/// Pulls `--flag value` out of `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Pulls a bare `--flag` out of `args`, removing it.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_usize(value: Option<String>, flag: &str, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} must be a number")),
+    }
+}
+
+fn build(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_value(&mut args, "--out")?.ok_or("build needs --out")?;
+    let config = DigestConfig {
+        digest_bytes: parse_usize(
+            take_value(&mut args, "--digest-bytes")?,
+            "--digest-bytes",
+            16,
+        )?,
+        counts: !take_flag(&mut args, "--no-counts"),
+        records_per_block: parse_usize(
+            take_value(&mut args, "--block-records")?,
+            "--block-records",
+            1024,
+        )?,
+    };
+    let memory = parse_usize(
+        take_value(&mut args, "--memory-records")?,
+        "--memory-records",
+        passflow_store::DEFAULT_MEMORY_RECORDS,
+    )?;
+    let mut builder = DigestStoreBuilder::new(config).with_memory_records(memory);
+    let mut total = 0u64;
+    if args.is_empty() {
+        total += builder
+            .add_wordlist(std::io::stdin().lock())
+            .map_err(|e| e.to_string())?;
+    } else {
+        for path in &args {
+            let file = std::fs::File::open(path).map_err(|e| format!("opening {path:?}: {e}"))?;
+            total += builder
+                .add_wordlist(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    let stats = builder.finish(&out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} unique digests from {total} passwords, {} blocks, {} bytes",
+        stats.record_count, stats.block_count, stats.bytes
+    );
+    Ok(())
+}
+
+fn merge(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_value(&mut args, "--out")?.ok_or("merge needs --out")?;
+    if args.is_empty() {
+        return Err("merge needs at least one input artifact".to_string());
+    }
+    let stats = merge_artifacts(&args, &out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} unique digests from {} shards, {} blocks, {} bytes",
+        stats.record_count,
+        args.len(),
+        stats.block_count,
+        stats.bytes
+    );
+    Ok(())
+}
+
+fn query(mut args: Vec<String>) -> Result<(), String> {
+    let path = take_value(&mut args, "--digest")?.ok_or("query needs --digest")?;
+    let store = DigestStore::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let password = take_value(&mut args, "--password")?;
+    let prefix = take_value(&mut args, "--prefix")?;
+    let hash = take_value(&mut args, "--hash")?;
+    match (password, prefix, hash) {
+        (Some(pw), None, None) => {
+            let digest = sha1::password_digest(&pw);
+            match store.contains_password(&pw).map_err(|e| e.to_string())? {
+                Some(count) => println!("BREACHED {} count={count}", sha1::to_hex(&digest)),
+                None => println!("CLEAN {}", sha1::to_hex(&digest)),
+            }
+        }
+        (None, Some(prefix), None) => {
+            let entries = store.range(&prefix).map_err(|e| e.to_string())?;
+            for entry in &entries {
+                println!("{}:{}", entry.suffix, entry.count);
+            }
+            eprintln!(
+                "{} suffixes under prefix {}",
+                entries.len(),
+                prefix.to_ascii_uppercase()
+            );
+        }
+        (None, None, Some(hex)) => {
+            let digest = sha1::from_hex(&hex).ok_or("--hash must be hex of even length")?;
+            if digest.len() < store.config().digest_bytes {
+                return Err(format!(
+                    "--hash needs at least {} bytes of digest",
+                    store.config().digest_bytes
+                ));
+            }
+            match store.contains_digest(&digest).map_err(|e| e.to_string())? {
+                Some(count) => println!("BREACHED {} count={count}", hex.to_ascii_uppercase()),
+                None => println!("CLEAN {}", hex.to_ascii_uppercase()),
+            }
+        }
+        _ => return Err("query needs exactly one of --password, --prefix, --hash".to_string()),
+    }
+    Ok(())
+}
+
+fn verify(mut args: Vec<String>) -> Result<(), String> {
+    let path = take_value(&mut args, "--digest")?.ok_or("verify needs --digest")?;
+    let store = DigestStore::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let report = store.verify().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "ok: {} records in {} blocks, {} bytes, checksum {:016x} ({:?})",
+        report.record_count,
+        report.block_count,
+        store.file_len(),
+        report.checksum,
+        store.config(),
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "build" => build(args),
+        "merge" => merge(args),
+        "query" => query(args),
+        "verify" => verify(args),
+        "hash" => {
+            let pw = args.first().ok_or("hash needs a password argument")?;
+            println!("{}", sha1::to_hex(&sha1::password_digest(pw)));
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("digest_tool: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// Referenced so the error type stays nameable from the binary even if the
+// API above changes shape; also keeps `StoreError` in the public surface.
+#[allow(dead_code)]
+fn _assert_error_is_std(e: StoreError) -> Box<dyn std::error::Error> {
+    Box::new(e)
+}

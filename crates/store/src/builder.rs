@@ -1,0 +1,224 @@
+//! Bounded-memory streaming construction of `PFDIGEST v1` artifacts.
+//!
+//! The builder ingests an arbitrarily large password or digest stream —
+//! wordlists, attack guess streams — while holding at most
+//! `memory_records` records in RAM. When the in-memory buffer fills it is
+//! sorted, duplicate digests are merged (counts summed) and the run is
+//! spilled to a scratch file; [`DigestStoreBuilder::finish`] then k-way
+//! merges every run plus the final buffer straight into the
+//! [`crate::format::ArtifactWriter`]. This is a classic
+//! external merge sort, so build memory is bounded by the spill threshold
+//! regardless of input size, and the resulting artifact is byte-identical
+//! to what an unbounded in-memory build would produce.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::format::{format_err, ArtifactWriter, DigestConfig, DigestStats, RawDigest, Result};
+use crate::merge::{merge_sources, RecordSource};
+use crate::sha1;
+
+/// Default spill threshold: ~28 MB of buffered records.
+pub const DEFAULT_MEMORY_RECORDS: usize = 1 << 20;
+
+/// Monotonic suffix so concurrent builders never collide on scratch names.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Streaming artifact builder with external-merge-sort spills.
+pub struct DigestStoreBuilder {
+    config: DigestConfig,
+    memory_records: usize,
+    scratch_dir: PathBuf,
+    buffer: Vec<(RawDigest, u64)>,
+    runs: Vec<PathBuf>,
+    ingested: u64,
+}
+
+impl DigestStoreBuilder {
+    /// Creates a builder; scratch runs default to [`std::env::temp_dir`].
+    pub fn new(config: DigestConfig) -> DigestStoreBuilder {
+        DigestStoreBuilder {
+            config,
+            memory_records: DEFAULT_MEMORY_RECORDS,
+            scratch_dir: std::env::temp_dir(),
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            ingested: 0,
+        }
+    }
+
+    /// Caps in-memory buffered records before a sorted run is spilled.
+    #[must_use]
+    pub fn with_memory_records(mut self, n: usize) -> DigestStoreBuilder {
+        self.memory_records = n.max(1);
+        self
+    }
+
+    /// Directory for spilled sorted runs (must exist and be writable).
+    #[must_use]
+    pub fn with_scratch_dir(mut self, dir: impl Into<PathBuf>) -> DigestStoreBuilder {
+        self.scratch_dir = dir.into();
+        self
+    }
+
+    /// Records ingested so far (pre-dedup).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Ingests one password (count 1); duplicates accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Spill I/O failures.
+    pub fn add_password(&mut self, password: &str) -> Result<()> {
+        self.add_digest(&sha1::password_digest(password), 1)
+    }
+
+    /// Ingests a raw digest with an explicit count (full or pre-truncated;
+    /// only the first `digest_bytes` are significant).
+    ///
+    /// # Errors
+    ///
+    /// Spill I/O failures, or a digest shorter than the store width.
+    pub fn add_digest(&mut self, digest: &[u8], count: u64) -> Result<()> {
+        if digest.len() < self.config.digest_bytes {
+            return format_err(format!(
+                "digest is {} bytes, store needs at least {}",
+                digest.len(),
+                self.config.digest_bytes
+            ));
+        }
+        self.buffer.push((
+            crate::format::truncate_digest(digest, self.config.digest_bytes),
+            count.max(1),
+        ));
+        self.ingested += 1;
+        if self.buffer.len() >= self.memory_records {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Ingests every non-empty line of a wordlist reader as one password.
+    ///
+    /// # Errors
+    ///
+    /// Read or spill failures.
+    pub fn add_wordlist(&mut self, reader: impl BufRead) -> Result<u64> {
+        let mut added = 0u64;
+        for line in reader.lines() {
+            let line = line?;
+            if !line.is_empty() {
+                self.add_password(&line)?;
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Sorts and dedups `buffer` in place (counts summed, saturating).
+    fn compact(buffer: &mut Vec<(RawDigest, u64)>) {
+        buffer.sort_unstable_by_key(|r| r.0);
+        buffer.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1 = kept.1.saturating_add(next.1);
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// Spills the compacted buffer as one sorted run file.
+    fn spill(&mut self) -> Result<()> {
+        Self::compact(&mut self.buffer);
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .scratch_dir
+            .join(format!("pfdigest-run-{}-{seq}.tmp", std::process::id()));
+        let mut out = BufWriter::new(File::create(&path)?);
+        let db = self.config.digest_bytes;
+        for (digest, count) in &self.buffer {
+            out.write_all(&digest[..db])?;
+            out.write_all(&count.to_le_bytes())?;
+        }
+        out.flush()?;
+        self.buffer.clear();
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Merges all spilled runs plus the live buffer into the artifact at
+    /// `path`, returning its stats. Consumes the builder; scratch runs are
+    /// deleted afterwards.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures at any stage; the target path is written atomically.
+    pub fn finish(mut self, path: impl AsRef<Path>) -> Result<DigestStats> {
+        Self::compact(&mut self.buffer);
+        let buffer = std::mem::take(&mut self.buffer);
+        let db = self.config.digest_bytes;
+
+        let mut sources: Vec<Box<dyn RecordSource>> = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            sources.push(Box::new(RunReader {
+                reader: BufReader::new(File::open(run)?),
+                digest_bytes: db,
+            }));
+        }
+        sources.push(Box::new(VecSource {
+            iter: buffer.into_iter(),
+        }));
+
+        let mut writer = ArtifactWriter::create(path, self.config)?;
+        merge_sources(sources, &mut writer)?;
+        writer.finish()
+        // `self` drops here and removes the run files.
+    }
+}
+
+impl Drop for DigestStoreBuilder {
+    fn drop(&mut self) {
+        for run in &self.runs {
+            let _ = std::fs::remove_file(run);
+        }
+    }
+}
+
+/// A spilled sorted run: fixed-size `digest_bytes + 8` records.
+struct RunReader {
+    reader: BufReader<File>,
+    digest_bytes: usize,
+}
+
+impl RecordSource for RunReader {
+    fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
+        let mut digest = [0u8; sha1::DIGEST_LEN];
+        match self.reader.read_exact(&mut digest[..self.digest_bytes]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let mut count = [0u8; 8];
+        self.reader.read_exact(&mut count)?;
+        Ok(Some((digest, u64::from_le_bytes(count))))
+    }
+}
+
+/// The final in-memory buffer as a merge source.
+struct VecSource {
+    iter: std::vec::IntoIter<(RawDigest, u64)>,
+}
+
+impl RecordSource for VecSource {
+    fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
+        Ok(self.iter.next())
+    }
+}

@@ -1,0 +1,108 @@
+//! K-way merge of sorted record streams and whole artifacts.
+//!
+//! Shard artifacts built by separate attack runs (or machines) union into
+//! one store with [`merge_artifacts`]: digests are deduplicated and their
+//! breach counts summed, following the balanced-partition discipline of
+//! the external sort — every input stream is already sorted, so the merge
+//! is a single streaming pass with one heap entry per input and bounded
+//! memory. Because the output is a pure function of the merged record
+//! stream, merging is associative *and* commutative at the byte level:
+//! `merge(a, b, c, d)`, `merge(merge(a, b), merge(c, d))` and any input
+//! permutation produce identical files (asserted by `tests/store.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::Path;
+
+use crate::format::{
+    format_err, ArtifactWriter, DigestStats, DigestStore, RawDigest, RecordCursor, Result,
+};
+
+/// A sorted, deduplicated record stream (runs, buffers, open artifacts).
+pub(crate) trait RecordSource {
+    /// The next record in ascending digest order, or `None` when drained.
+    fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>>;
+}
+
+impl RecordSource for RecordCursor<'_> {
+    fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
+        RecordCursor::next_record(self)
+    }
+}
+
+/// Streams the union of `sources` into `writer`: strictly ascending
+/// digests, equal digests collapsed with saturating count sums.
+pub(crate) fn merge_sources(
+    mut sources: Vec<Box<dyn RecordSource + '_>>,
+    writer: &mut ArtifactWriter,
+) -> Result<()> {
+    // Heap of (next digest, source index); counts live in `heads`.
+    let mut heads: Vec<Option<u64>> = vec![None; sources.len()];
+    let mut heap: BinaryHeap<Reverse<(RawDigest, usize)>> = BinaryHeap::new();
+    for (i, source) in sources.iter_mut().enumerate() {
+        if let Some((digest, count)) = source.next_record()? {
+            heads[i] = Some(count);
+            heap.push(Reverse((digest, i)));
+        }
+    }
+
+    while let Some(Reverse((digest, i))) = heap.pop() {
+        let mut count = heads[i].take().expect("queued source has a head");
+        if let Some((next, c)) = sources[i].next_record()? {
+            heads[i] = Some(c);
+            heap.push(Reverse((next, i)));
+        }
+        // Absorb every other source currently sitting on the same digest.
+        while let Some(Reverse((d, j))) = heap.peek() {
+            if *d != digest {
+                break;
+            }
+            let j = *j;
+            heap.pop();
+            count = count.saturating_add(heads[j].take().expect("queued source has a head"));
+            if let Some((next, c)) = sources[j].next_record()? {
+                heads[j] = Some(c);
+                heap.push(Reverse((next, j)));
+            }
+        }
+        writer.push(&digest, count)?;
+    }
+    Ok(())
+}
+
+/// Unions N shard artifacts into one at `out`.
+///
+/// All inputs must share the same [`DigestConfig`](crate::DigestConfig)
+/// (digest width, counts flag, block size) — that is what guarantees the
+/// merged artifact is byte-identical to a one-pass build over the union.
+///
+/// # Errors
+///
+/// No inputs, mismatched configs, unreadable inputs, or write failures.
+pub fn merge_artifacts<P: AsRef<Path>>(inputs: &[P], out: impl AsRef<Path>) -> Result<DigestStats> {
+    if inputs.is_empty() {
+        return format_err("merge needs at least one input artifact");
+    }
+    let stores: Vec<DigestStore> = inputs
+        .iter()
+        .map(DigestStore::open)
+        .collect::<Result<_>>()?;
+    let config = stores[0].config();
+    for store in &stores[1..] {
+        if store.config() != config {
+            return format_err(format!(
+                "mismatched shard configs: {:?} vs {:?} ({})",
+                config,
+                store.config(),
+                store.path().display()
+            ));
+        }
+    }
+    let sources: Vec<Box<dyn RecordSource + '_>> = stores
+        .iter()
+        .map(|s| Box::new(s.records()) as Box<dyn RecordSource + '_>)
+        .collect();
+    let mut writer = ArtifactWriter::create(out, config)?;
+    merge_sources(sources, &mut writer)?;
+    writer.finish()
+}

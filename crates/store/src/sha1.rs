@@ -1,0 +1,188 @@
+//! A self-contained SHA-1 implementation (FIPS 180-4).
+//!
+//! Breach screening hashes passwords with SHA-1 because that is the digest
+//! the HIBP-style k-anonymity protocol is defined over: clients reveal only
+//! the first 5 hex characters of `SHA1(password)` and match the suffix
+//! locally. SHA-1 is used here strictly as a *screening identifier* — its
+//! known collision attacks are irrelevant to membership lookups (an
+//! attacker gains nothing by colliding a breached password with a clean
+//! one they had to know anyway).
+//!
+//! The implementation is the straightforward 80-round compression function
+//! over 512-bit blocks; `tests` pin the FIPS test vectors.
+
+/// Byte length of a full SHA-1 digest.
+pub const DIGEST_LEN: usize = 20;
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut state: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
+
+    // Process the complete 64-byte blocks of the message…
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block.try_into().expect("exact 64-byte chunk"));
+    }
+
+    // …then the padded tail: 0x80, zeros, and the bit length (big-endian).
+    let rem = chunks.remainder();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() + 9 > 64 { 2 } else { 1 };
+    tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_blocks * 64].chunks_exact(64) {
+        compress(&mut state, block.try_into().expect("exact 64-byte chunk"));
+    }
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Computes `SHA1(password-bytes)` — the record key of a digest store.
+pub fn password_digest(password: &str) -> [u8; DIGEST_LEN] {
+    sha1(password.as_bytes())
+}
+
+/// Uppercase hex of a digest (the wire casing of the k-anonymity protocol).
+pub fn to_hex(digest: &[u8]) -> String {
+    let mut out = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out.to_ascii_uppercase()
+}
+
+/// Parses hex (either case) into bytes; `None` on non-hex or odd length.
+pub fn from_hex(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibbles = parse_nibbles(hex)?;
+    Some(
+        nibbles
+            .chunks_exact(2)
+            .map(|p| (p[0] << 4) | p[1])
+            .collect(),
+    )
+}
+
+/// Parses hex of any length into one nibble (0–15) per character.
+pub fn parse_nibbles(hex: &str) -> Option<Vec<u8>> {
+    hex.chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect()
+}
+
+/// One SHA-1 compression round over a 64-byte block.
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(word.try_into().expect("4-byte word"));
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+            _ => (b ^ c ^ d, 0xCA62_C1D6),
+        };
+        let t = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = t;
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_of(data: &[u8]) -> String {
+        to_hex(&sha1(data)).to_ascii_lowercase()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex_of(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex_of(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex_of(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex_of(b"The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+        assert_eq!(
+            hex_of(&vec![b'a'; 1_000_000]),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_exact() {
+        // Lengths straddling the "length fits in the last block" boundary
+        // (55/56/63/64/65 bytes) exercise both 1- and 2-block tails.
+        for n in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0x5Au8; n];
+            let d = sha1(&data);
+            // Self-consistency: hashing the same input twice agrees, and a
+            // one-byte change disagrees.
+            assert_eq!(d, sha1(&data), "len {n}");
+            let mut flipped = data.clone();
+            flipped[n / 2] ^= 1;
+            assert_ne!(d, sha1(&flipped), "len {n}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let d = password_digest("password123");
+        let hex = to_hex(&d);
+        assert_eq!(hex.len(), 40);
+        assert_eq!(from_hex(&hex).unwrap(), d.to_vec());
+        assert_eq!(from_hex(&hex.to_ascii_lowercase()).unwrap(), d.to_vec());
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex");
+        assert_eq!(parse_nibbles("0fF").unwrap(), vec![0, 15, 15]);
+    }
+
+    #[test]
+    fn known_breach_hash() {
+        // The canonical HIBP example: SHA1("password123").
+        assert_eq!(
+            to_hex(&password_digest("password123")),
+            "CBFDAC6008F9CAB4083784CBD1874F76618D2A97"
+        );
+    }
+}

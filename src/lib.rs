@@ -18,7 +18,10 @@
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
 //!   figures through the same engine,
 //! * [`serve`] — the online serving layer: an HTTP scoring service with
-//!   adaptive micro-batching and hot-swappable models.
+//!   adaptive micro-batching and hot-swappable models,
+//! * [`store`] — the breach-screening store: packed sorted digest
+//!   artifacts (`PFDIGEST v1`) with bounded-memory builds, shard merging
+//!   and k-anonymity range queries.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
@@ -42,6 +45,7 @@ pub use passflow_eval as eval;
 pub use passflow_nn as nn;
 pub use passflow_passwords as passwords;
 pub use passflow_serve as serve;
+pub use passflow_store as store;
 
 // The most commonly used items, re-exported at the crate root.
 #[allow(deprecated)]
@@ -59,6 +63,7 @@ pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{
     Alphabet, CorpusConfig, CorpusSplit, PasswordCorpus, PasswordEncoder, SyntheticCorpusGenerator,
 };
+pub use passflow_store::{merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder};
 
 #[cfg(test)]
 mod tests {

@@ -430,3 +430,250 @@ fn score_estimates_match_the_sample_table() {
     server.shutdown();
     server.join();
 }
+
+// ---------------------------------------------------------------------------
+// Breach screening endpoints (digest store)
+// ---------------------------------------------------------------------------
+
+/// Builds a digest store from `passwords` in a temp file and opens it.
+fn digest_fixture(
+    tag: &str,
+    passwords: &[&str],
+) -> (Arc<passflow::DigestStore>, std::path::PathBuf) {
+    let path =
+        std::env::temp_dir().join(format!("pfdigest-serve-{tag}-{}.pfd", std::process::id()));
+    let mut builder = passflow::DigestStoreBuilder::new(passflow::DigestConfig::default());
+    for pw in passwords {
+        builder.add_password(pw).unwrap();
+    }
+    builder.finish(&path).unwrap();
+    (Arc::new(passflow::DigestStore::open(&path).unwrap()), path)
+}
+
+#[test]
+fn models_endpoint_lists_registered_models_with_versions() {
+    let (server, flow, registry) = start_server(quick_config(), 40);
+    let addr = server.addr();
+    registry.insert(ServedModel::from_flow("alt", &flow, 7, None));
+
+    let response = client::request(addr, "GET", "/v1/models", None).unwrap();
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    assert!(text.contains("\"name\":\"alt\""), "{text}");
+    assert!(text.contains("\"name\":\"default\""), "{text}");
+    assert!(text.contains("\"version\":7"), "{text}");
+
+    // A swap bumps the reported version.
+    registry
+        .swap(ServedModel::from_flow("alt", &flow, 8, None))
+        .unwrap();
+    let text = client::request(addr, "GET", "/v1/models", None)
+        .unwrap()
+        .text();
+    assert!(text.contains("\"version\":8"), "{text}");
+    assert!(!text.contains("\"version\":7"), "{text}");
+
+    assert_eq!(
+        client::request(addr, "POST", "/v1/models", None)
+            .unwrap()
+            .status,
+        405
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn breach_endpoints_answer_503_without_a_digest_store() {
+    let (server, _flow, _registry) = start_server(quick_config(), 41);
+    let addr = server.addr();
+
+    let range = client::request(addr, "GET", "/v1/range/CBFDA", None).unwrap();
+    assert_eq!(range.status, 503, "{}", range.text());
+    let screen = client::request(
+        addr,
+        "POST",
+        "/v1/screen",
+        Some(r#"{"passwords":["dragon"]}"#),
+    )
+    .unwrap();
+    assert_eq!(screen.status, 503, "{}", screen.text());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn range_endpoint_serves_k_anonymity_suffixes() {
+    let breached = ["password123", "dragon", "letmein", "jimmy91"];
+    let (digest, path) = digest_fixture("range", &breached);
+    let flow = tiny_flow(42);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+    let server = serve(
+        ServerConfig {
+            digest: Some(Arc::clone(&digest)),
+            ..quick_config()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Every breached password's suffix appears under its own prefix, and
+    // the served set matches the offline range query exactly.
+    for pw in breached {
+        let hex = passflow::store::sha1::to_hex(&passflow::store::sha1::password_digest(pw));
+        let (prefix, _) = hex.split_at(5);
+        let response = client::request(addr, "GET", &format!("/v1/range/{prefix}"), None).unwrap();
+        assert_eq!(response.status, 200);
+        let text = response.text();
+        for entry in digest.range(prefix).unwrap() {
+            assert!(
+                text.contains(&format!("\"suffix\":\"{}\"", entry.suffix)),
+                "{pw}: missing {} in {text}",
+                entry.suffix
+            );
+        }
+        assert!(text.contains(&format!("\"prefix\":\"{prefix}\"")), "{text}");
+    }
+
+    // A prefix with no members answers 200 with an empty set (the
+    // k-anonymity protocol must not leak membership through the status).
+    let response = client::request(addr, "GET", "/v1/range/00000", None).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(
+        response.text().contains("\"suffixes\":[]"),
+        "{}",
+        response.text()
+    );
+
+    // Malformed prefixes: wrong length or non-hex are 422, not 404.
+    for bad in ["CBFD", "CBFDAA", "zzzzz", "%20%20"] {
+        let response = client::request(addr, "GET", &format!("/v1/range/{bad}"), None).unwrap();
+        assert_eq!(response.status, 422, "prefix {bad:?}: {}", response.text());
+    }
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn screen_verdicts_match_offline_contains_exactly() {
+    let breached = ["password123", "dragon", "dragon", "abc123"];
+    let (digest, path) = digest_fixture("screen", &breached);
+    let flow = tiny_flow(43);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+    let server = serve(
+        ServerConfig {
+            digest: Some(Arc::clone(&digest)),
+            ..quick_config()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A mix of breached, clean, repeated-breach and unencodable passwords.
+    let probes = ["password123", "dragon", "NotBreached42", "abc123", "héllo"];
+    let body = format!(
+        "{{\"passwords\":[{}]}}",
+        probes
+            .iter()
+            .map(|p| format!("{p:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let response = client::request(addr, "POST", "/v1/screen", Some(&body)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let text = response.text();
+
+    // JSON objects render with sorted keys, so within one result the
+    // breach fields precede "password" — parse backwards from the marker.
+    for pw in probes {
+        let offline = digest.contains_password(pw).unwrap();
+        let before = text
+            .split(&format!("\"password\":\"{pw}\""))
+            .next()
+            .unwrap_or_else(|| panic!("{pw} missing from {text}"));
+        let served_breached = before
+            .rsplit("\"breached\":")
+            .next()
+            .unwrap()
+            .starts_with("true");
+        assert_eq!(
+            served_breached,
+            offline.is_some(),
+            "{pw}: served {served_breached}, offline {offline:?}"
+        );
+        let served_count: u64 = before
+            .rsplit("\"breach_count\":")
+            .next()
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(served_count, offline.unwrap_or(0), "{pw} count");
+    }
+    // The unencodable password still got a verdict with a null score.
+    let unencodable = text.split("\"password\":\"héllo\"").next().unwrap();
+    assert!(
+        unencodable
+            .rsplit("\"breach_count\":")
+            .next()
+            .unwrap()
+            .contains("\"log_prob\":null"),
+        "{unencodable}"
+    );
+
+    // Screening is also visible in the metrics under its own endpoint.
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .unwrap()
+        .text();
+    assert!(
+        metrics.contains("passflow_requests_total{endpoint=\"screen\",status=\"2xx\"} 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
+// JSON hardening regressions (depth limit, lone surrogates)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deeply_nested_and_lone_surrogate_bodies_get_400() {
+    let (server, _flow, _registry) = start_server(quick_config(), 44);
+    let addr = server.addr();
+
+    // 64 nested arrays blows the parser's depth limit → 400, not a stack
+    // overflow or a hang.
+    let deep = format!("{{\"passwords\":{}{}}}", "[".repeat(64), "]".repeat(64));
+    let response = client::request(addr, "POST", "/v1/score", Some(&deep)).unwrap();
+    assert_eq!(response.status, 400, "{}", response.text());
+
+    // A lone UTF-16 surrogate escape is invalid JSON text → 400.
+    let lone = r#"{"passwords":["\ud800"]}"#;
+    let response = client::request(addr, "POST", "/v1/score", Some(lone)).unwrap();
+    assert_eq!(response.status, 400, "{}", response.text());
+
+    // A valid surrogate *pair* still parses (the limit is precise).
+    let pair = r#"{"passwords":["😀"]}"#;
+    let response = client::request(addr, "POST", "/v1/score", Some(pair)).unwrap();
+    assert_ne!(response.status, 400, "{}", response.text());
+
+    // The server is still alive and correct after the adversarial bodies.
+    let health = client::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+
+    server.shutdown();
+    server.join();
+}

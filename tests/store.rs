@@ -1,0 +1,295 @@
+//! Digest-store conformance suite: build → query round-trips against a
+//! `BTreeMap` oracle (with external-sort spills forced), byte-identical
+//! one-pass vs sharded-merge builds (merge associativity and
+//! commutativity), corruption and truncation detection on load, and
+//! boundary prefix queries.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use passflow::store::sha1;
+use passflow::{merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder};
+
+/// A scratch dir that removes itself (and its artifacts) on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "pfdigest-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic synthetic passwords with deliberate duplicates.
+fn corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("pw-{}-{}", i % (n / 3 + 1), i % 7))
+        .collect()
+}
+
+#[test]
+fn round_trip_matches_btreemap_oracle_with_spills_forced() {
+    let scratch = Scratch::new("oracle");
+    let passwords = corpus(5_000);
+
+    // Oracle: digest-keyed counts, exactly the artifact's dedup semantics.
+    let mut oracle: BTreeMap<[u8; 20], u64> = BTreeMap::new();
+    for pw in &passwords {
+        *oracle.entry(sha1::password_digest(pw)).or_insert(0) += 1;
+    }
+
+    // 64-record spill threshold forces dozens of external-sort runs.
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default())
+        .with_memory_records(64)
+        .with_scratch_dir(&scratch.0);
+    for pw in &passwords {
+        builder.add_password(pw).unwrap();
+    }
+    let out = scratch.path("oracle.pfd");
+    let stats = builder.finish(&out).unwrap();
+    assert_eq!(stats.record_count, oracle.len() as u64);
+
+    let store = DigestStore::open(&out).unwrap();
+    assert_eq!(store.record_count(), oracle.len() as u64);
+    store.verify().unwrap();
+
+    // Membership and counts agree with the oracle for every member…
+    for (digest, count) in &oracle {
+        assert_eq!(store.contains_digest(digest).unwrap(), Some(*count));
+    }
+    // …and for known non-members.
+    for i in 0..500u64 {
+        let absent = sha1::sha1(&i.to_be_bytes());
+        let expected = oracle.get(&absent).copied();
+        assert_eq!(store.contains_digest(&absent).unwrap(), expected);
+    }
+
+    // Range queries reconstruct the full record set exactly.
+    let mut reconstructed: BTreeMap<[u8; 20], u64> = BTreeMap::new();
+    for block in 0u32..256 {
+        let prefix = format!("{block:02X}");
+        for entry in store.range(&prefix).unwrap() {
+            let hex = format!("{prefix}{}", entry.suffix);
+            let bytes = sha1::from_hex(&hex).unwrap();
+            let mut digest = [0u8; 20];
+            digest[..bytes.len()].copy_from_slice(&bytes);
+            reconstructed.insert(digest, entry.count);
+        }
+    }
+    // The store truncates digests to 16 bytes; truncate the oracle to match.
+    let truncated: BTreeMap<[u8; 20], u64> = oracle
+        .iter()
+        .map(|(d, c)| {
+            let mut t = [0u8; 20];
+            t[..16].copy_from_slice(&d[..16]);
+            (t, *c)
+        })
+        .collect();
+    assert_eq!(reconstructed, truncated);
+}
+
+#[test]
+fn one_pass_and_sharded_merge_builds_are_byte_identical() {
+    let scratch = Scratch::new("merge");
+    let passwords = corpus(4_000);
+
+    // One-pass build over everything.
+    let one_pass = scratch.path("one_pass.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    for pw in &passwords {
+        builder.add_password(pw).unwrap();
+    }
+    builder.finish(&one_pass).unwrap();
+
+    // Four overlapping shards (offset windows, so counts must sum).
+    let shard_paths: Vec<PathBuf> = (0..4).map(|s| scratch.path(&format!("s{s}.pfd"))).collect();
+    for (s, path) in shard_paths.iter().enumerate() {
+        let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+        for pw in passwords.iter().skip(s).step_by(4) {
+            builder.add_password(pw).unwrap();
+        }
+        builder.finish(path).unwrap();
+    }
+
+    // 4-way merge == one-pass, byte for byte.
+    let merged_4way = scratch.path("m4.pfd");
+    merge_artifacts(&shard_paths, &merged_4way).unwrap();
+    let reference = std::fs::read(&one_pass).unwrap();
+    assert_eq!(std::fs::read(&merged_4way).unwrap(), reference, "4-way");
+
+    // Associativity: merge(merge(s0,s1), merge(s2,s3)) == one-pass.
+    let left = scratch.path("left.pfd");
+    let right = scratch.path("right.pfd");
+    merge_artifacts(&shard_paths[..2], &left).unwrap();
+    merge_artifacts(&shard_paths[2..], &right).unwrap();
+    let pairwise = scratch.path("pairwise.pfd");
+    merge_artifacts(&[left, right], &pairwise).unwrap();
+    assert_eq!(std::fs::read(&pairwise).unwrap(), reference, "associative");
+
+    // Commutativity: reversed shard order == one-pass.
+    let reversed: Vec<PathBuf> = shard_paths.iter().rev().cloned().collect();
+    let merged_rev = scratch.path("rev.pfd");
+    merge_artifacts(&reversed, &merged_rev).unwrap();
+    assert_eq!(
+        std::fs::read(&merged_rev).unwrap(),
+        reference,
+        "commutative"
+    );
+
+    // And the merged store serves identical range responses.
+    let a = DigestStore::open(&one_pass).unwrap();
+    let b = DigestStore::open(&merged_4way).unwrap();
+    for pw in passwords.iter().take(64) {
+        let prefix = &sha1::to_hex(&sha1::password_digest(pw))[..5];
+        assert_eq!(a.range(prefix).unwrap(), b.range(prefix).unwrap());
+    }
+}
+
+#[test]
+fn merge_rejects_mismatched_configs_and_empty_inputs() {
+    let scratch = Scratch::new("mismatch");
+    let wide = scratch.path("wide.pfd");
+    let narrow = scratch.path("narrow.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    builder.add_password("alpha").unwrap();
+    builder.finish(&wide).unwrap();
+    let mut builder = DigestStoreBuilder::new(DigestConfig {
+        digest_bytes: 8,
+        ..DigestConfig::default()
+    });
+    builder.add_password("alpha").unwrap();
+    builder.finish(&narrow).unwrap();
+
+    let out = scratch.path("out.pfd");
+    let err = merge_artifacts(&[wide, narrow], &out).unwrap_err();
+    assert!(
+        err.to_string().contains("mismatched"),
+        "unexpected error: {err}"
+    );
+    let none: [PathBuf; 0] = [];
+    assert!(merge_artifacts(&none, &out).is_err(), "empty input list");
+}
+
+#[test]
+fn corrupted_and_truncated_artifacts_fail_to_open_or_verify() {
+    let scratch = Scratch::new("corrupt");
+    let path = scratch.path("victim.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    for pw in corpus(2_000) {
+        builder.add_password(&pw).unwrap();
+    }
+    builder.finish(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Sanity: the pristine artifact opens and verifies.
+    DigestStore::open(&path).unwrap().verify().unwrap();
+
+    // Bad magic.
+    let mut bytes = pristine.clone();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(DigestStore::open(&path).is_err(), "bad magic must not open");
+
+    // Unsupported version.
+    let mut bytes = pristine.clone();
+    bytes[8] = 99;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(DigestStore::open(&path).is_err(), "bad version");
+
+    // Truncation: drop the tail (index) — open must fail, not misread.
+    for keep in [10, 63, 64, pristine.len() / 2, pristine.len() - 7] {
+        std::fs::write(&path, &pristine[..keep]).unwrap();
+        assert!(DigestStore::open(&path).is_err(), "truncated to {keep}");
+    }
+
+    // Flipping a record byte passes open (header and index are intact) but
+    // must be caught by the checksum verify pass.
+    let mut bytes = pristine.clone();
+    bytes[70] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    match DigestStore::open(&path) {
+        // Either the decode breaks outright (fine), or verify flags it.
+        Err(_) => {}
+        Ok(store) => {
+            assert!(store.verify().is_err(), "checksum must catch a bit flip");
+        }
+    }
+}
+
+#[test]
+fn empty_store_and_boundary_prefixes_answer_cleanly() {
+    let scratch = Scratch::new("boundary");
+
+    // An empty store is valid: zero records, every query answers empty.
+    let empty = scratch.path("empty.pfd");
+    DigestStoreBuilder::new(DigestConfig::default())
+        .finish(&empty)
+        .unwrap();
+    let store = DigestStore::open(&empty).unwrap();
+    assert_eq!(store.record_count(), 0);
+    store.verify().unwrap();
+    assert_eq!(store.contains_password("anything").unwrap(), None);
+    assert!(store.range("00000").unwrap().is_empty());
+    assert!(store.range("FFFFF").unwrap().is_empty());
+
+    // A store with digests pinned at both extremes of the keyspace.
+    let edges = scratch.path("edges.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    builder.add_digest(&[0x00; 20], 3).unwrap();
+    builder.add_digest(&[0xFF; 20], 9).unwrap();
+    builder.finish(&edges).unwrap();
+    let store = DigestStore::open(&edges).unwrap();
+
+    let low = store.range("00000").unwrap();
+    assert_eq!(low.len(), 1);
+    assert_eq!(low[0].count, 3);
+    assert!(low[0].suffix.chars().all(|c| c == '0'));
+    let high = store.range("fffff").unwrap();
+    assert_eq!(high.len(), 1, "lowercase prefixes work too");
+    assert_eq!(high[0].count, 9);
+    assert!(store.range("77777").unwrap().is_empty(), "middle is empty");
+
+    // Prefix validation: empty, non-hex, and longer than the digest.
+    assert!(store.range("").is_err());
+    assert!(store.range("zzzzz").is_err());
+    assert!(store.range(&"A".repeat(33)).is_err(), "33 > 2×16 hex chars");
+    // A whole-digest prefix (32 hex chars at 16 stored bytes) is allowed
+    // and acts as exact lookup.
+    let full = sha1::to_hex(&[0u8; 16]);
+    assert_eq!(store.range(&full).unwrap().len(), 1);
+}
+
+#[test]
+fn counts_disabled_stores_serve_presence_only() {
+    let scratch = Scratch::new("nocounts");
+    let path = scratch.path("presence.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig {
+        counts: false,
+        ..DigestConfig::default()
+    });
+    builder.add_password("hello").unwrap();
+    builder.add_password("hello").unwrap();
+    builder.add_password("world").unwrap();
+    builder.finish(&path).unwrap();
+
+    let store = DigestStore::open(&path).unwrap();
+    assert_eq!(store.record_count(), 2);
+    // Counts collapse to 1 when the artifact does not store them.
+    assert_eq!(store.contains_password("hello").unwrap(), Some(1));
+    assert_eq!(store.contains_password("absent").unwrap(), None);
+}
