@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use passflow_core::{FlowConfig, PassFlow, SampleTable};
-use passflow_serve::client::Connection;
+use passflow_serve::client::{request_with_retry, Connection, RetryPolicy};
 use passflow_serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
 
 /// Concurrent client threads. Each holds one keep-alive connection and
@@ -60,13 +60,31 @@ fn hammer(addr: std::net::SocketAddr, clients: usize, duration: Duration) -> (u6
             let completed = Arc::clone(&completed);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
+                // Per-thread jitter seed: a shed burst must not come back
+                // as a synchronized stampede.
+                let policy = RetryPolicy {
+                    seed: t as u64,
+                    ..RetryPolicy::default()
+                };
                 let mut conn =
                     Connection::open(addr, Duration::from_secs(30)).expect("connect to loopback");
                 let body = format!("{{\"passwords\":[\"password{t}\"]}}");
                 while stop.load(Ordering::Relaxed) == 0 {
-                    let response = conn
-                        .request("POST", "/v1/score", Some(&body))
-                        .expect("score request");
+                    // Transient sheds (503) and torn keep-alive connections
+                    // back off and retry instead of killing the run; only
+                    // genuine failures (or a 503 that outlives every
+                    // retry) abort.
+                    let response = match conn.request("POST", "/v1/score", Some(&body)) {
+                        Ok(r) if r.status != 503 => r,
+                        _ => {
+                            let r =
+                                request_with_retry(addr, "POST", "/v1/score", Some(&body), &policy)
+                                    .expect("score request after retries");
+                            conn = Connection::open(addr, Duration::from_secs(30))
+                                .expect("reconnect to loopback");
+                            r
+                        }
+                    };
                     assert_eq!(response.status, 200, "{}", response.text());
                     completed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -114,9 +132,14 @@ fn main() {
 
         // Correctness spot check before measuring: the served score equals
         // direct scoring, bit for bit, through whichever batch shape.
-        let response = Connection::open(addr, Duration::from_secs(10))
-            .and_then(|mut c| c.request("POST", "/v1/score", Some("{\"passwords\":[\"jimmy91\"]}")))
-            .expect("probe request");
+        let response = request_with_retry(
+            addr,
+            "POST",
+            "/v1/score",
+            Some("{\"passwords\":[\"jimmy91\"]}"),
+            &RetryPolicy::default(),
+        )
+        .expect("probe request");
         let expected = passflow_core::ProbabilityModel::password_log_prob(&flow, "jimmy91")
             .expect("encodable probe");
         let bits_text = response

@@ -27,6 +27,7 @@
 //!
 //! [`FlowSnapshot::log_prob_into`]: passflow_core::FlowSnapshot::log_prob_into
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,9 +43,23 @@ pub struct ScoreJob {
     pub model: Arc<ServedModel>,
     /// Passwords to score (one per row of the request's `passwords` array).
     pub passwords: Vec<String>,
-    /// One-shot reply channel; receives exactly one result vector, in
-    /// input order, one entry per password.
-    pub reply: mpsc::SyncSender<Vec<Option<f64>>>,
+    /// Latest instant at which scoring this job is still useful. Jobs
+    /// found expired at drain time are answered [`ScoreOutcome::Expired`]
+    /// (the handler turns that into a 504) instead of burning GEMM rows on
+    /// a response nobody is waiting for.
+    pub deadline: Instant,
+    /// One-shot reply channel; receives exactly one outcome.
+    pub reply: mpsc::SyncSender<ScoreOutcome>,
+}
+
+/// What a job's reply channel receives.
+#[derive(Clone, Debug)]
+pub enum ScoreOutcome {
+    /// Scores in input order, one entry per password (`None` for
+    /// unencodable passwords).
+    Scored(Vec<Option<f64>>),
+    /// The job's deadline expired before a tick picked it up.
+    Expired,
 }
 
 /// Tuning knobs for the batcher.
@@ -80,6 +95,7 @@ enum Job {
 #[derive(Clone)]
 pub struct BatcherHandle {
     sender: mpsc::SyncSender<Job>,
+    alive: Arc<AtomicBool>,
 }
 
 /// Why a job could not be enqueued.
@@ -99,6 +115,12 @@ impl BatcherHandle {
             mpsc::TrySendError::Disconnected(_) => EnqueueError::ShuttingDown,
         })
     }
+
+    /// Whether the batcher thread is still running (for `/healthz`; flips
+    /// false on graceful shutdown *and* if the thread ever dies).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
 }
 
 /// The batcher thread plus its submission handle.
@@ -111,12 +133,26 @@ impl Batcher {
     /// Spawns the batcher thread.
     pub fn spawn(config: BatcherConfig, metrics: Arc<Metrics>) -> Batcher {
         let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let alive = Arc::new(AtomicBool::new(true));
+        let alive_flag = Arc::clone(&alive);
         let thread = std::thread::Builder::new()
             .name("passflow-batcher".to_string())
-            .spawn(move || run_loop(&receiver, config, &metrics))
+            .spawn(move || {
+                // Flips the liveness flag however the loop exits — a panic
+                // unwinding through here still marks the batcher dead, so
+                // `/healthz` tells the truth.
+                struct AliveGuard(Arc<AtomicBool>);
+                impl Drop for AliveGuard {
+                    fn drop(&mut self) {
+                        self.0.store(false, Ordering::SeqCst);
+                    }
+                }
+                let _guard = AliveGuard(alive_flag);
+                run_loop(&receiver, config, &metrics);
+            })
             .expect("spawning the batcher thread");
         Batcher {
-            handle: BatcherHandle { sender },
+            handle: BatcherHandle { sender, alive },
             thread: Some(thread),
         }
     }
@@ -182,21 +218,45 @@ fn run_loop(receiver: &mpsc::Receiver<Job>, config: BatcherConfig, metrics: &Met
                 None => break,
             }
         }
+        // Saturation is a queue-pressure signal, so expired jobs count
+        // toward it — they occupied queue slots all the same.
         saturated = rows >= max_batch;
-        metrics.record_batch(rows);
-        score_tick(&jobs, &mut ws, &mut scores);
+        let live = expire_jobs(jobs, metrics);
+        if live.is_empty() {
+            continue;
+        }
+        metrics.record_batch(live.iter().map(|j| j.passwords.len()).sum());
+        score_tick(&live, &mut ws, &mut scores);
     }
 
     // Graceful drain: score anything that was queued before the shutdown
-    // token, one final oversized tick per model.
+    // token, one final oversized tick per model. Deadlines still apply —
+    // an expired job is no more worth scoring at shutdown than before.
     let mut pending = Vec::new();
     while let Ok(Job::Score(job)) = receiver.try_recv() {
         pending.push(job);
     }
+    let pending = expire_jobs(pending, metrics);
     if !pending.is_empty() {
         metrics.record_batch(pending.iter().map(|j| j.passwords.len()).sum());
         score_tick(&pending, &mut ws, &mut scores);
     }
+}
+
+/// Answers every already-expired job with [`ScoreOutcome::Expired`] (the
+/// handler's 504) and returns the jobs still worth scoring.
+fn expire_jobs(jobs: Vec<ScoreJob>, metrics: &Metrics) -> Vec<ScoreJob> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.deadline <= now {
+            metrics.record_deadline_expired();
+            let _ = job.reply.try_send(ScoreOutcome::Expired);
+        } else {
+            live.push(job);
+        }
+    }
+    live
 }
 
 /// Scores one tick: one fused call per distinct model, results split back
@@ -239,7 +299,7 @@ fn score_tick(jobs: &[ScoreJob], ws: &mut FlowWorkspace, scores: &mut Vec<Option
             scored[j] = true;
             // A dropped receiver (client disconnected mid-flight) is not
             // an error; the score is simply discarded.
-            let _ = jobs[j].reply.try_send(slice);
+            let _ = jobs[j].reply.try_send(ScoreOutcome::Scored(slice));
         }
     }
 }
@@ -258,16 +318,29 @@ mod tests {
         (flow, model)
     }
 
+    /// A deadline far enough out that tests never trip it accidentally.
+    fn lenient_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(300)
+    }
+
+    fn expect_scores(outcome: ScoreOutcome) -> Vec<Option<f64>> {
+        match outcome {
+            ScoreOutcome::Scored(scores) => scores,
+            ScoreOutcome::Expired => panic!("job expired under a lenient deadline"),
+        }
+    }
+
     fn submit_one(handle: &BatcherHandle, model: &Arc<ServedModel>, pw: &str) -> Option<f64> {
         let (reply, rx) = mpsc::sync_channel(1);
         handle
             .submit(ScoreJob {
                 model: Arc::clone(model),
                 passwords: vec![pw.to_string()],
+                deadline: lenient_deadline(),
                 reply,
             })
             .unwrap();
-        rx.recv_timeout(Duration::from_secs(30)).unwrap()[0]
+        expect_scores(rx.recv_timeout(Duration::from_secs(30)).unwrap())[0]
     }
 
     #[test]
@@ -353,6 +426,7 @@ mod tests {
             match handle.submit(ScoreJob {
                 model: Arc::clone(&model),
                 passwords: vec![format!("pw{i}")],
+                deadline: lenient_deadline(),
                 reply,
             }) {
                 Ok(()) => receivers.push(rx),
@@ -372,6 +446,43 @@ mod tests {
     }
 
     #[test]
+    fn expired_jobs_are_dropped_not_scored() {
+        let (_flow, model) = served(46);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                // A long straggler wait gives the already-expired job time
+                // to be drained into a tick deterministically.
+                max_wait: Duration::from_millis(50),
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let handle = batcher.handle();
+        assert!(handle.is_alive());
+
+        let (reply, expired_rx) = mpsc::sync_channel(1);
+        handle
+            .submit(ScoreJob {
+                model: Arc::clone(&model),
+                passwords: vec!["stale".to_string()],
+                deadline: Instant::now() - Duration::from_millis(1),
+                reply,
+            })
+            .unwrap();
+        // A live job in the same tick still gets scored.
+        let live = submit_one(&handle, &model, "fresh");
+        assert!(live.is_some());
+        match expired_rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            ScoreOutcome::Expired => {}
+            ScoreOutcome::Scored(_) => panic!("expired job must not be scored"),
+        }
+        assert_eq!(metrics.deadline_expired_total(), 1);
+        drop(batcher);
+        assert!(!handle.is_alive(), "drained batcher reports dead");
+    }
+
+    #[test]
     fn multi_password_jobs_keep_input_order() {
         let (flow, model) = served(45);
         let batcher = Batcher::spawn(BatcherConfig::default(), Arc::new(Metrics::new()));
@@ -382,10 +493,11 @@ mod tests {
             .submit(ScoreJob {
                 model,
                 passwords: passwords.clone(),
+                deadline: lenient_deadline(),
                 reply,
             })
             .unwrap();
-        let scores = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let scores = expect_scores(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         let expected = flow.password_log_probs(&passwords);
         assert_eq!(scores.len(), expected.len());
         for (a, b) in scores.iter().zip(expected.iter()) {

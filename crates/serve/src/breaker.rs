@@ -1,0 +1,269 @@
+//! A circuit breaker guarding the digest store.
+//!
+//! The store backs two endpoints with different promises: `/v1/screen`
+//! *degrades* (scores without breach verdicts) and `/v1/range` *refuses*
+//! (an honest 503) when reads fail. Both decisions go through this breaker
+//! so a dying disk is probed a bounded number of times instead of once per
+//! request:
+//!
+//! ```text
+//!            K consecutive failures
+//!  Closed ───────────────────────────▶ Open
+//!    ▲                                  │ cooldown elapses
+//!    │ probe succeeds                   ▼
+//!    └────────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+//!
+//! While `Open`, every admission is rejected without touching the store —
+//! the disk gets its cooldown, requests get their degraded answer
+//! immediately instead of after a timeout. After the cooldown one request
+//! is admitted as a **probe** ([`Admission::Probe`]); its outcome decides
+//! whether the breaker closes or re-opens. A probe whose handler dies
+//! without reporting does not wedge the state machine: another probe is
+//! allowed once a fresh cooldown passes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive store failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The three breaker states, exposed on `/healthz` and `/metrics`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Store healthy; requests flow.
+    Closed,
+    /// Store failing; requests are rejected without touching it.
+    Open,
+    /// Cooldown elapsed; one probe in flight decides what happens next.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase label used in health and metrics output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What [`CircuitBreaker::admit`] decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: use the store, report the outcome.
+    Allow,
+    /// Breaker half-open and this request is the probe: use the store and
+    /// **definitely** report the outcome — it decides the next state.
+    Probe,
+    /// Breaker open: do not touch the store; degrade or refuse.
+    Reject,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the breaker opened (drives the cooldown).
+    opened_at: Option<Instant>,
+    /// When the in-flight half-open probe was admitted; a probe older than
+    /// a full cooldown is presumed lost and its slot is re-issued.
+    probe_started: Option<Instant>,
+}
+
+/// The breaker itself: cheap enough to sit in front of every store access.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+    transitions: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_started: None,
+            }),
+            transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether one request may touch the store.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_none_or(|at| at.elapsed() >= self.config.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_started = Some(Instant::now());
+                    self.transitions.fetch_add(1, Ordering::Relaxed);
+                    Admission::Probe
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                // One probe at a time — unless the previous one is so old
+                // it must have died unreported.
+                let stale = inner
+                    .probe_started
+                    .is_none_or(|at| at.elapsed() >= self.config.cooldown);
+                if stale {
+                    inner.probe_started = Some(Instant::now());
+                    Admission::Probe
+                } else {
+                    Admission::Reject
+                }
+            }
+        }
+    }
+
+    /// Reports a successful store interaction.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.consecutive_failures = 0;
+        if inner.state != BreakerState::Closed {
+            inner.state = BreakerState::Closed;
+            inner.opened_at = None;
+            inner.probe_started = None;
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reports a failed store interaction; returns `true` if this failure
+    /// tripped (or re-tripped) the breaker open.
+    pub fn record_failure(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    self.transitions.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to a full cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_started = None;
+                self.transitions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            // Late failure reports from requests admitted before the trip.
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Current state (for `/healthz` and `/metrics`).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// Total state transitions since startup.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(30),
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_and_recovers_via_probe() {
+        let b = fast();
+        assert_eq!(b.admit(), Admission::Allow);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Reject, "open rejects immediately");
+
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe, "cooldown admits one probe");
+        assert_eq!(b.admit(), Admission::Reject, "but only one");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_successes_reset_the_count() {
+        let b = fast();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Interleaved successes keep a flaky-but-alive store closed.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "never 3 in a row");
+        assert!(b.transitions() >= 4);
+    }
+
+    #[test]
+    fn a_lost_probe_does_not_wedge_half_open() {
+        let b = fast();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit(), Admission::Probe);
+        // The probe's handler dies without reporting…
+        std::thread::sleep(Duration::from_millis(40));
+        // …and after another cooldown the slot is re-issued.
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -10,7 +10,8 @@
 //! suite in `tests/serve.rs` drives this parser with malformed request
 //! lines, oversized headers, split writes and pipelined bursts.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum bytes in the request line (method + target + version).
 pub const MAX_REQUEST_LINE: usize = 4096;
@@ -256,6 +257,78 @@ fn read_line_limited<R: BufRead>(
     }
 }
 
+/// A [`BufRead`] wrapper enforcing a **wall-clock budget per request** —
+/// the slow-loris defense. Per-read socket timeouts only bound the gap
+/// between bytes; a peer dribbling one byte per second passes every
+/// per-read check while pinning a handler forever. The budget arms when
+/// the first byte of a request arrives (idle keep-alive gaps are free) and
+/// every subsequent `fill_buf` checks total elapsed time; when the budget
+/// is blown the read fails with [`std::io::ErrorKind::TimedOut`], which
+/// [`read_request`] turns into a 408 and a closed connection. Call
+/// [`rearm`](Self::rearm) between requests.
+#[derive(Debug)]
+pub struct BudgetReader<R> {
+    inner: R,
+    budget: Duration,
+    started: Option<Instant>,
+}
+
+impl<R: BufRead> BudgetReader<R> {
+    /// Wraps `inner` with a per-request wall-clock `budget`.
+    pub fn new(inner: R, budget: Duration) -> BudgetReader<R> {
+        BudgetReader {
+            inner,
+            budget,
+            started: None,
+        }
+    }
+
+    /// Disarms the budget until the next byte arrives (call between
+    /// keep-alive requests, so idle gaps do not count against anyone).
+    pub fn rearm(&mut self) {
+        self.started = None;
+    }
+
+    fn check(&self) -> std::io::Result<()> {
+        if let Some(started) = self.started {
+            if started.elapsed() > self.budget {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request read budget exhausted",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Read for BudgetReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.check()?;
+        let n = self.inner.read(buf)?;
+        if n > 0 && self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for BudgetReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.check()?;
+        let armed = self.started.is_some();
+        let buf = self.inner.fill_buf()?;
+        if !buf.is_empty() && !armed {
+            self.started = Some(Instant::now());
+        }
+        Ok(buf)
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
 /// Canonical reason phrases for the statuses the server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -270,6 +343,7 @@ pub fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Internal Server Error",
     }
@@ -432,6 +506,64 @@ mod tests {
             }
         }
         assert!(matches!(read_request(&mut reader), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn budget_reader_cuts_off_dribbling_peers() {
+        /// Serves one byte per fill_buf, sleeping first — a loopback
+        /// slow-loris.
+        struct Dribble {
+            left: usize,
+            delay: Duration,
+            buf: [u8; 1],
+            buffered: bool,
+        }
+        impl Read for Dribble {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let inner = self.fill_buf()?;
+                let n = inner.len().min(buf.len());
+                buf[..n].copy_from_slice(&inner[..n]);
+                self.consume(n);
+                Ok(n)
+            }
+        }
+        impl BufRead for Dribble {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if !self.buffered {
+                    if self.left == 0 {
+                        return Ok(&[]);
+                    }
+                    std::thread::sleep(self.delay);
+                    self.left -= 1;
+                    self.buf[0] = b'G';
+                    self.buffered = true;
+                }
+                Ok(&self.buf)
+            }
+            fn consume(&mut self, amt: usize) {
+                if amt > 0 {
+                    self.buffered = false;
+                }
+            }
+        }
+
+        let dribble = Dribble {
+            left: 1000,
+            delay: Duration::from_millis(5),
+            buf: [0],
+            buffered: false,
+        };
+        let mut reader = BudgetReader::new(dribble, Duration::from_millis(25));
+        match read_request(&mut reader) {
+            ReadOutcome::Error(e) => assert_eq!(e.status, 408, "budget blown is a timeout"),
+            _ => panic!("a dribbling peer must be cut off"),
+        }
+
+        // Rearmed, a prompt request still parses fine.
+        let prompt = BufReader::new(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]);
+        let mut reader = BudgetReader::new(prompt, Duration::from_secs(5));
+        reader.rearm();
+        assert!(matches!(read_request(&mut reader), ReadOutcome::Request(_)));
     }
 
     #[test]

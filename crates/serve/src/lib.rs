@@ -20,7 +20,16 @@
 //!   dropped requests and no torn responses;
 //! * a **deliberately small HTTP layer** ([`http`]) — `std::net` + threads,
 //!   every size limit enforced while reading, adversarial input answered
-//!   with precise 4xx statuses (`tests/serve.rs` is the conformance suite).
+//!   with precise 4xx statuses (`tests/serve.rs` is the conformance suite);
+//! * an explicit **failure model** (DESIGN.md, "Failure model &
+//!   degradation") — per-request deadlines (server default, shortenable
+//!   via `X-Passflow-Deadline-Ms`; expired jobs answer 504), a
+//!   [`CircuitBreaker`] on the digest store under which `/v1/screen`
+//!   degrades to scores-only (`"breached": null, "degraded": true`) while
+//!   `/v1/range` answers an honest 503, wall-clock read budgets against
+//!   slow-loris peers, and socket write timeouts. `tests/chaos.rs` drives
+//!   all of it under seeded fault injection
+//!   ([`passflow_store::FaultPlan`]).
 //!
 //! ## Endpoints
 //!
@@ -31,7 +40,7 @@
 //! | `POST /v1/screen` | strength + breach membership from the digest store |
 //! | `GET /v1/range/{prefix5}` | k-anonymity breach range (HIBP-style) |
 //! | `GET /v1/models` | registered models with current versions |
-//! | `GET /healthz` | liveness + registered model names |
+//! | `GET /healthz` | per-component health (registry, batcher, store + breaker) |
 //! | `GET /metrics` | request counts, batch-size histogram, p50/p99 latency |
 //! | `POST /admin/shutdown` | graceful stop (opt-in, for CI smoke tests) |
 //!
@@ -71,6 +80,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batcher;
+pub mod breaker;
 pub mod client;
 pub mod http;
 pub mod json;
@@ -78,7 +88,8 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob};
+pub use batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob, ScoreOutcome};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use registry::{ModelRegistry, ServedModel};

@@ -5,6 +5,8 @@
 //!                [--table table.pfs] [--table-samples 2000]
 //!                [--digest breach.pfd]
 //!                [--max-batch 64] [--max-wait-ms 2] [--allow-shutdown]
+//!                [--deadline-ms 10000] [--breaker-failures 5]
+//!                [--breaker-cooldown-ms 5000]
 //! ```
 //!
 //! Without `--checkpoint` a deterministic demo flow (seed 0, `tiny`
@@ -21,7 +23,9 @@
 use std::sync::Arc;
 
 use passflow_core::{load_flow, FlowConfig, PassFlow, SampleTable};
-use passflow_serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+use passflow_serve::{
+    serve, BatcherConfig, BreakerConfig, ModelRegistry, ServedModel, ServerConfig,
+};
 
 struct Args {
     addr: String,
@@ -31,10 +35,14 @@ struct Args {
     digest: Option<String>,
     max_batch: usize,
     max_wait_ms: u64,
+    deadline_ms: u64,
+    breaker_failures: u32,
+    breaker_cooldown_ms: u64,
     until_stdin_eof: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = (ServerConfig::default(), BreakerConfig::default());
     let mut args = Args {
         addr: "127.0.0.1:8077".to_string(),
         checkpoint: None,
@@ -43,6 +51,9 @@ fn parse_args() -> Result<Args, String> {
         digest: None,
         max_batch: 64,
         max_wait_ms: 2,
+        deadline_ms: defaults.0.default_deadline.as_millis() as u64,
+        breaker_failures: defaults.1.failure_threshold,
+        breaker_cooldown_ms: defaults.1.cooldown.as_millis() as u64,
         until_stdin_eof: false,
     };
     let mut it = std::env::args().skip(1);
@@ -67,6 +78,21 @@ fn parse_args() -> Result<Args, String> {
                 args.max_wait_ms = value("--max-wait-ms")?
                     .parse()
                     .map_err(|_| "--max-wait-ms must be a number".to_string())?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms must be a number".to_string())?;
+            }
+            "--breaker-failures" => {
+                args.breaker_failures = value("--breaker-failures")?
+                    .parse()
+                    .map_err(|_| "--breaker-failures must be a number".to_string())?;
+            }
+            "--breaker-cooldown-ms" => {
+                args.breaker_cooldown_ms = value("--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|_| "--breaker-cooldown-ms must be a number".to_string())?;
             }
             "--allow-shutdown" => {} // accepted for compatibility; always on
             "--until-stdin-eof" => args.until_stdin_eof = true,
@@ -127,6 +153,11 @@ fn run() -> Result<(), String> {
             max_batch: args.max_batch,
             max_wait: std::time::Duration::from_millis(args.max_wait_ms),
             ..BatcherConfig::default()
+        },
+        default_deadline: std::time::Duration::from_millis(args.deadline_ms),
+        breaker: BreakerConfig {
+            failure_threshold: args.breaker_failures.max(1),
+            cooldown: std::time::Duration::from_millis(args.breaker_cooldown_ms),
         },
         allow_shutdown: true,
         digest,

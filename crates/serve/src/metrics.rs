@@ -37,6 +37,16 @@ pub struct Metrics {
     latency_buckets: [AtomicU64; 15],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
+    /// Digest-store read failures observed by handlers (after retries).
+    store_faults: AtomicU64,
+    /// Jobs dropped because their deadline expired before scoring.
+    deadline_expired: AtomicU64,
+    /// Requests shed at enqueue time (batcher queue full).
+    shed: AtomicU64,
+    /// Digest-store breaker state: 0 closed, 1 open, 2 half-open.
+    breaker_state: AtomicU64,
+    /// Breaker state transitions since startup.
+    breaker_transitions: AtomicU64,
 }
 
 fn endpoint_index(endpoint: &str) -> usize {
@@ -84,6 +94,45 @@ impl Metrics {
         self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one digest-store read failure (after the store's own
+    /// bounded retries — these are the failures the breaker also sees).
+    pub fn record_store_fault(&self) {
+        self.store_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one job dropped because its deadline expired (a 504).
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed at enqueue time (queue-full 503).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the breaker's current state and transition count (called
+    /// by handlers after each breaker interaction — a gauge, not a counter).
+    pub fn set_breaker(&self, state: u64, transitions: u64) {
+        self.breaker_state.store(state, Ordering::Relaxed);
+        self.breaker_transitions
+            .store(transitions, Ordering::Relaxed);
+    }
+
+    /// Deadline-expired jobs so far (test hook).
+    pub fn deadline_expired_total(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Shed requests so far (test hook).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Store faults so far (test hook).
+    pub fn store_faults_total(&self) -> u64 {
+        self.store_faults.load(Ordering::Relaxed)
     }
 
     /// Total requests recorded across all endpoints and statuses.
@@ -173,6 +222,37 @@ impl Metrics {
             "passflow_request_latency_seconds_count {}",
             self.latency_count.load(Ordering::Relaxed)
         );
+
+        out.push_str("# TYPE passflow_store_faults_total counter\n");
+        let _ = writeln!(
+            out,
+            "passflow_store_faults_total {}",
+            self.store_faults.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE passflow_deadline_expired_total counter\n");
+        let _ = writeln!(
+            out,
+            "passflow_deadline_expired_total {}",
+            self.deadline_expired.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE passflow_shed_total counter\n");
+        let _ = writeln!(
+            out,
+            "passflow_shed_total {}",
+            self.shed.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE passflow_breaker_state gauge\n");
+        let _ = writeln!(
+            out,
+            "passflow_breaker_state {}",
+            self.breaker_state.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE passflow_breaker_transitions_total counter\n");
+        let _ = writeln!(
+            out,
+            "passflow_breaker_transitions_total {}",
+            self.breaker_transitions.load(Ordering::Relaxed)
+        );
         out
     }
 }
@@ -226,5 +306,24 @@ mod tests {
         let text = m.render();
         assert!(text.contains("passflow_request_latency_seconds{quantile=\"0.5\"} 0.000100"));
         assert!(text.contains("passflow_request_latency_seconds_count 100"));
+    }
+
+    #[test]
+    fn robustness_counters_render() {
+        let m = Metrics::new();
+        m.record_store_fault();
+        m.record_deadline_expired();
+        m.record_deadline_expired();
+        m.record_shed();
+        m.set_breaker(1, 3);
+        let text = m.render();
+        assert!(text.contains("passflow_store_faults_total 1"));
+        assert!(text.contains("passflow_deadline_expired_total 2"));
+        assert!(text.contains("passflow_shed_total 1"));
+        assert!(text.contains("passflow_breaker_state 1"));
+        assert!(text.contains("passflow_breaker_transitions_total 3"));
+        assert_eq!(m.deadline_expired_total(), 2);
+        assert_eq!(m.shed_total(), 1);
+        assert_eq!(m.store_faults_total(), 1);
     }
 }

@@ -177,6 +177,16 @@ impl ModelRegistry {
         }
     }
 
+    /// Number of registered models (for `/healthz`).
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// Whether no models are registered (a server with nothing to serve).
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+
     /// Registered model names, sorted (for `/healthz`).
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.models.read().keys().cloned().collect();

@@ -25,8 +25,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob};
-use crate::http::{self, HttpError, ReadOutcome, Request};
+use crate::batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob, ScoreOutcome};
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::http::{self, BudgetReader, HttpError, ReadOutcome, Request};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::registry::{ModelRegistry, ServedModel};
@@ -49,6 +50,21 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-connection read timeout (a stalled peer cannot pin a handler).
     pub read_timeout: Duration,
+    /// Per-connection write timeout (a peer that stops *reading* cannot
+    /// pin a handler flushing a large response either).
+    pub write_timeout: Duration,
+    /// Wall-clock budget for reading one complete request — the slow-loris
+    /// bound. Per-read timeouts only limit the gap between bytes; this
+    /// limits the total, so a peer dribbling a byte at a time is cut off
+    /// with a 408. Idle keep-alive time between requests is not counted.
+    pub request_read_budget: Duration,
+    /// Default per-request deadline. Clients may *shorten* it per request
+    /// with an `X-Passflow-Deadline-Ms` header (never extend); jobs whose
+    /// deadline expires before the batcher picks them up answer 504.
+    pub default_deadline: Duration,
+    /// Circuit-breaker tuning for the digest store (failure threshold and
+    /// cooldown before half-open probes).
+    pub breaker: BreakerConfig,
     /// Whether `POST /admin/shutdown` is honored (off by default; the
     /// serve binary enables it so CI can assert a clean shutdown remotely).
     pub allow_shutdown: bool,
@@ -66,6 +82,10 @@ impl Default for ServerConfig {
             batcher: BatcherConfig::default(),
             max_connections: 256,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_read_budget: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(10),
+            breaker: BreakerConfig::default(),
             allow_shutdown: false,
             digest: None,
         }
@@ -82,6 +102,12 @@ struct Shared {
     active_connections: AtomicUsize,
     allow_shutdown: bool,
     digest: Option<Arc<DigestStore>>,
+    /// Circuit breaker in front of every digest-store read.
+    breaker: CircuitBreaker,
+    /// Server default for per-request deadlines.
+    default_deadline: Duration,
+    /// Wall-clock budget for reading one request (slow-loris bound).
+    read_budget: Duration,
     /// Live sockets by connection id, so shutdown can close *idle* peers
     /// (parked in a read) instead of waiting out their read timeout. A
     /// connection whose handler is mid-request is spared — its response is
@@ -153,6 +179,42 @@ impl Shared {
         }
         self.active_connections.fetch_sub(1, Ordering::SeqCst);
     }
+
+    /// Mirrors the breaker's state into the metrics gauge (0 closed,
+    /// 1 open, 2 half-open) after every breaker interaction.
+    fn publish_breaker(&self) {
+        let state = match self.breaker.state() {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        self.metrics.set_breaker(state, self.breaker.transitions());
+    }
+
+    /// One breach lookup through the circuit breaker. `Some(hit)` is a
+    /// healthy verdict; `None` means *degraded* — breaker open, or the
+    /// read failed (which also feeds the breaker). Never errors: the
+    /// caller's promise is "scores always, verdicts when the store is
+    /// healthy".
+    fn screen_lookup(&self, password: &str) -> Option<Option<u64>> {
+        let digest = self.digest.as_ref()?;
+        let verdict = match self.breaker.admit() {
+            Admission::Reject => None,
+            Admission::Allow | Admission::Probe => match digest.contains_password(password) {
+                Ok(hit) => {
+                    self.breaker.record_success();
+                    Some(hit)
+                }
+                Err(_) => {
+                    self.metrics.record_store_fault();
+                    self.breaker.record_failure();
+                    None
+                }
+            },
+        };
+        self.publish_breaker();
+        verdict
+    }
 }
 
 /// A running server: bound address plus shutdown/join controls.
@@ -212,6 +274,9 @@ pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
         active_connections: AtomicUsize::new(0),
         allow_shutdown: config.allow_shutdown,
         digest: config.digest.clone(),
+        breaker: CircuitBreaker::new(config.breaker),
+        default_deadline: config.default_deadline,
+        read_budget: config.request_read_budget,
         live: std::sync::Mutex::new(std::collections::HashMap::new()),
         next_conn_id: AtomicUsize::new(0),
     });
@@ -258,6 +323,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
             continue;
         }
         let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
         let _ = stream.set_nodelay(true);
         shared.active_connections.fetch_add(1, Ordering::SeqCst);
         let conn_id = shared.register_connection(&stream);
@@ -280,10 +346,13 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = BudgetReader::new(BufReader::new(read_half), shared.read_budget);
     let mut writer = BufWriter::new(stream);
 
     loop {
+        // Each request gets a fresh read budget; idle keep-alive gaps
+        // between requests cost nothing.
+        reader.rearm();
         let started = Instant::now();
         match http::read_request(&mut reader) {
             ReadOutcome::Closed => return,
@@ -392,13 +461,53 @@ fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str
     }
 }
 
+/// `GET /healthz` — structured per-component health. Always HTTP 200 (the
+/// process is alive and answering; *content* says how well): orchestrators
+/// and the CI smoke test key off the JSON, and a degraded-but-serving
+/// process must not be restart-looped by a naive probe. Top-level `status`
+/// is `"ok"` only when every component is healthy.
 fn healthz(shared: &Arc<Shared>) -> Response {
-    let models = shared.registry.names().into_iter().map(Json::Str).collect();
+    let names = shared.registry.names();
+    let registry_ok = !names.is_empty();
+    let batcher_ok = shared.batcher.is_alive();
+    let models = names.into_iter().map(Json::Str).collect();
+    let ok_or = |ok: bool, degraded: &str| Json::Str(if ok { "ok" } else { degraded }.to_string());
+
+    let digest_component = match shared.digest.as_ref() {
+        None => Json::obj([("status", Json::Str("absent".to_string()))]),
+        Some(_) => {
+            let state = shared.breaker.state();
+            Json::obj([
+                ("status", ok_or(state == BreakerState::Closed, "degraded")),
+                ("breaker", Json::Str(state.label().to_string())),
+            ])
+        }
+    };
+    let digest_ok = shared.digest.is_none() || shared.breaker.state() == BreakerState::Closed;
+
+    let all_ok = registry_ok && batcher_ok && digest_ok;
     Response::json(
         200,
         &Json::obj([
-            ("status", Json::Str("ok".to_string())),
+            ("status", ok_or(all_ok, "degraded")),
             ("models", Json::Arr(models)),
+            (
+                "components",
+                Json::obj([
+                    (
+                        "registry",
+                        Json::obj([
+                            ("status", ok_or(registry_ok, "empty")),
+                            ("models", Json::Num(shared.registry.len() as f64)),
+                        ]),
+                    ),
+                    (
+                        "batcher",
+                        Json::obj([("status", ok_or(batcher_ok, "dead"))]),
+                    ),
+                    ("digest_store", digest_component),
+                ]),
+            ),
         ]),
     )
 }
@@ -502,9 +611,25 @@ fn range(prefix: &str, shared: &Arc<Shared>) -> Response {
     if prefix.len() != 5 || !prefix.bytes().all(|b| b.is_ascii_hexdigit()) {
         return Response::error(422, "range prefix must be exactly 5 hex characters");
     }
-    let entries = match digest.range(prefix) {
+    // Unlike `/v1/screen`, the range endpoint has nothing useful to serve
+    // without the store — its whole payload *is* store data — so partial
+    // failure gets an honest 503, through the same breaker.
+    if shared.breaker.admit() == Admission::Reject {
+        shared.publish_breaker();
+        return Response::error(503, "digest store unavailable (circuit open)");
+    }
+    let outcome = digest.range(prefix);
+    match &outcome {
+        Ok(_) => shared.breaker.record_success(),
+        Err(_) => {
+            shared.metrics.record_store_fault();
+            shared.breaker.record_failure();
+        }
+    }
+    shared.publish_breaker();
+    let entries = match outcome {
         Ok(entries) => entries,
-        Err(e) => return Response::error(500, &format!("range query failed: {e}")),
+        Err(e) => return Response::error(503, &format!("range query failed: {e}")),
     };
     let suffixes = entries
         .iter()
@@ -533,6 +658,19 @@ fn screen(request: &Request, shared: &Arc<Shared>) -> Response {
     score(request, shared, ScoreMode::Screen)
 }
 
+/// Resolves one request's scoring deadline: the server default, optionally
+/// *shortened* (never extended) by an `X-Passflow-Deadline-Ms` header.
+fn request_deadline(request: &Request, shared: &Arc<Shared>) -> Result<Instant, Response> {
+    let mut budget = shared.default_deadline;
+    if let Some(raw) = request.header("x-passflow-deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| Response::error(400, "malformed X-Passflow-Deadline-Ms header"))?;
+        budget = budget.min(Duration::from_millis(ms));
+    }
+    Ok(Instant::now() + budget)
+}
+
 /// Handles `/v1/score`, `/v1/logprob` and the scoring half of `/v1/screen`.
 fn score(request: &Request, shared: &Arc<Shared>, mode: ScoreMode) -> Response {
     let parsed = match parse_score_request(request, shared) {
@@ -540,24 +678,39 @@ fn score(request: &Request, shared: &Arc<Shared>, mode: ScoreMode) -> Response {
         Err(response) => return response,
     };
     let ScoreRequest { model, passwords } = parsed;
+    let deadline = match request_deadline(request, shared) {
+        Ok(deadline) => deadline,
+        Err(response) => return response,
+    };
+    if deadline <= Instant::now() {
+        // A zero (or already-blown) deadline never reaches the batcher.
+        shared.metrics.record_deadline_expired();
+        return Response::error(504, "request deadline expired");
+    }
 
     let (reply, result) = mpsc::sync_channel(1);
     let job = ScoreJob {
         model: Arc::clone(&model),
         passwords: passwords.clone(),
+        deadline,
         reply,
     };
     match shared.batcher.submit(job) {
         Ok(()) => {}
-        Err(EnqueueError::Overloaded) => return Response::error(503, "scoring queue is full"),
+        Err(EnqueueError::Overloaded) => {
+            shared.metrics.record_shed();
+            return Response::error(503, "scoring queue is full");
+        }
         Err(EnqueueError::ShuttingDown) => return Response::error(503, "server is shutting down"),
     }
     let scores = match result.recv() {
-        Ok(scores) => scores,
+        Ok(ScoreOutcome::Scored(scores)) => scores,
+        Ok(ScoreOutcome::Expired) => return Response::error(504, "request deadline expired"),
         Err(_) => return Response::error(500, "batcher dropped the request"),
     };
 
     let with_strength = mode != ScoreMode::LogProb;
+    let mut degraded = false;
     let mut results: Vec<Json> = Vec::with_capacity(passwords.len());
     for (password, score) in passwords.iter().zip(scores.iter()) {
         let mut pairs: Vec<(String, Json)> = Vec::new();
@@ -598,28 +751,37 @@ fn score(request: &Request, shared: &Arc<Shared>, mode: ScoreMode) -> Response {
             }
         }
         if mode == ScoreMode::Screen {
-            // `screen()` verified the store exists before dispatching.
-            let digest = shared.digest.as_ref().expect("screen mode has a digest");
-            match digest.contains_password(password) {
-                Ok(hit) => {
+            match shared.screen_lookup(password) {
+                Some(hit) => {
                     pairs.push(("breached".to_string(), Json::Bool(hit.is_some())));
                     pairs.push((
                         "breach_count".to_string(),
                         Json::Num(hit.unwrap_or(0) as f64),
                     ));
                 }
-                Err(e) => return Response::error(500, &format!("digest lookup failed: {e}")),
+                // Store unavailable or breaker open: degrade to
+                // scores-only rather than failing the whole request. The
+                // scores above are still bit-exact; only the breach
+                // verdict is withheld, and `"breached": null` says so
+                // explicitly (a degraded answer must never read as "not
+                // breached").
+                None => {
+                    degraded = true;
+                    pairs.push(("breached".to_string(), Json::Null));
+                    pairs.push(("degraded".to_string(), Json::Bool(true)));
+                }
             }
         }
         results.push(Json::Obj(pairs.into_iter().collect()));
     }
 
-    Response::json(
-        200,
-        &Json::obj([
-            ("model", Json::Str(model.name().to_string())),
-            ("version", Json::Num(model.version() as f64)),
-            ("results", Json::Arr(results)),
-        ]),
-    )
+    let mut top: Vec<(&str, Json)> = vec![
+        ("model", Json::Str(model.name().to_string())),
+        ("version", Json::Num(model.version() as f64)),
+        ("results", Json::Arr(results)),
+    ];
+    if mode == ScoreMode::Screen {
+        top.push(("degraded", Json::Bool(degraded)));
+    }
+    Response::json(200, &Json::obj(top))
 }

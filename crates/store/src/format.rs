@@ -31,9 +31,10 @@
 //! [`merge`](crate::merge::merge_artifacts) produce byte-identical files.
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::io::{FileIo, RetryPolicy, StoreIo};
 use crate::sha1;
 
 /// Artifact magic bytes.
@@ -50,6 +51,25 @@ pub enum StoreError {
     Io(std::io::Error),
     /// A malformed artifact, query or record stream (message says where).
     Format(String),
+    /// A positioned read failed even after the bounded retry discipline in
+    /// [`crate::io::read_exact_at`] — the artifact is (for now) unreachable,
+    /// not provably corrupt. Serving layers treat this as "store
+    /// unavailable": degrade or 503, never 500, and feed the circuit
+    /// breaker.
+    Unavailable {
+        /// What the store was doing when the read failed.
+        context: String,
+        /// The final I/O error after retries were exhausted.
+        error: std::io::Error,
+    },
+}
+
+impl StoreError {
+    /// Whether this is a retryable-availability failure (as opposed to
+    /// provable corruption or a write-path I/O error).
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, StoreError::Unavailable { .. })
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -57,6 +77,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Format(msg) => write!(f, "format error: {msg}"),
+            StoreError::Unavailable { context, error } => {
+                write!(f, "store unavailable ({context}): {error}")
+            }
         }
     }
 }
@@ -494,9 +517,8 @@ pub struct VerifyReport {
 /// query, so the store is `Send + Sync` and cheap to share behind an `Arc`
 /// across serving threads.
 pub struct DigestStore {
-    file: File,
-    #[cfg(not(unix))]
-    seek_lock: std::sync::Mutex<()>,
+    io: Box<dyn StoreIo>,
+    retry: RetryPolicy,
     config: DigestConfig,
     record_count: u64,
     checksum: u64,
@@ -525,14 +547,37 @@ impl DigestStore {
     /// wrong: bad magic/version/config, truncated file, index out of
     /// bounds or out of order, record counts that do not add up.
     pub fn open(path: impl AsRef<Path>) -> Result<DigestStore> {
+        let io = FileIo::open(path.as_ref())?;
+        DigestStore::open_with_io(path, Box::new(io))
+    }
+
+    /// Opens an artifact through a caller-supplied [`StoreIo`] — the seam
+    /// the chaos suite uses to slide a
+    /// [`FaultyIo`](crate::io::FaultyIo) under a live store. Header and
+    /// index reads go through the same bounded-retry discipline as query
+    /// reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`DigestStore::open`], plus [`StoreError::Unavailable`] when the
+    /// supplied io cannot complete the header/index reads.
+    pub fn open_with_io(path: impl AsRef<Path>, io: Box<dyn StoreIo>) -> Result<DigestStore> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
-        let file_len = file.metadata()?.len();
+        let retry = RetryPolicy::default();
+        let file_len = io.byte_len().map_err(|error| StoreError::Unavailable {
+            context: "reading artifact length".to_string(),
+            error,
+        })?;
         let mut raw_header = [0u8; HEADER_LEN as usize];
         if file_len < HEADER_LEN {
             return format_err("file shorter than the PFDIGEST header");
         }
-        file.read_exact(&mut raw_header)?;
+        crate::io::read_exact_at(io.as_ref(), &mut raw_header, 0, &retry).map_err(|error| {
+            StoreError::Unavailable {
+                context: "reading the PFDIGEST header".to_string(),
+                error,
+            }
+        })?;
         let header = Header::decode(&raw_header)?;
         let db = header.config.digest_bytes;
 
@@ -546,9 +591,12 @@ impl DigestStore {
         {
             return format_err("index offset/length disagree with the file size (truncated?)");
         }
-        file.seek(SeekFrom::Start(header.index_offset))?;
         let mut raw_index = vec![0u8; index_len as usize];
-        file.read_exact(&mut raw_index)?;
+        crate::io::read_exact_at(io.as_ref(), &mut raw_index, header.index_offset, &retry)
+            .map_err(|error| StoreError::Unavailable {
+                context: "reading the block index".to_string(),
+                error,
+            })?;
 
         let mut index = Vec::with_capacity(header.block_count as usize);
         let mut total_records = 0u64;
@@ -582,9 +630,8 @@ impl DigestStore {
         }
 
         Ok(DigestStore {
-            file,
-            #[cfg(not(unix))]
-            seek_lock: std::sync::Mutex::new(()),
+            io,
+            retry,
             config: header.config,
             record_count: header.record_count,
             checksum: header.checksum,
@@ -619,28 +666,27 @@ impl DigestStore {
         &self.path
     }
 
-    /// Positioned read that never disturbs other threads' reads.
-    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt as _;
-            self.file.read_exact_at(buf, offset)?;
-        }
-        #[cfg(not(unix))]
-        {
-            let _guard = self.seek_lock.lock().expect("seek lock");
-            let mut f = &self.file;
-            f.seek(SeekFrom::Start(offset))?;
-            f.read_exact(buf)?;
-        }
-        Ok(())
+    /// Overrides the bounded-retry policy applied to positioned reads.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Positioned read through the pluggable io, with bounded retry; the
+    /// exhausted/permanent case surfaces as [`StoreError::Unavailable`].
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64, context: &str) -> Result<()> {
+        crate::io::read_exact_at(self.io.as_ref(), buf, offset, &self.retry).map_err(|error| {
+            StoreError::Unavailable {
+                context: context.to_string(),
+                error,
+            }
+        })
     }
 
     /// Reads and decodes block `i` into `out` (cleared first).
     fn decode_block_into(&self, i: usize, out: &mut Vec<(RawDigest, u64)>) -> Result<()> {
         let entry = &self.index[i];
         let mut raw = vec![0u8; entry.len as usize];
-        self.read_exact_at(&mut raw, entry.offset)?;
+        self.read_exact_at(&mut raw, entry.offset, "reading a record block")?;
         out.clear();
         let db = self.config.digest_bytes;
         let mut prev = [0u8; sha1::DIGEST_LEN];

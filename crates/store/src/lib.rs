@@ -47,6 +47,7 @@
 
 pub mod builder;
 pub mod format;
+pub mod io;
 pub mod merge;
 pub mod sha1;
 
@@ -55,4 +56,5 @@ pub use format::{
     DigestConfig, DigestStats, DigestStore, RangeEntry, RawDigest, RecordCursor, Result,
     StoreError, VerifyReport,
 };
+pub use io::{FaultInjector, FaultPlan, FaultyIo, FileIo, RetryPolicy, StoreIo};
 pub use merge::merge_artifacts;

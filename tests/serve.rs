@@ -646,6 +646,116 @@ fn screen_verdicts_match_offline_contains_exactly() {
 }
 
 // ---------------------------------------------------------------------------
+// Robustness: vanished clients and per-component health
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clients_that_vanish_mid_request_leak_nothing() {
+    let (server, flow, _registry) = start_server(quick_config(), 45);
+    let addr = server.addr();
+
+    // Complete requests whose clients vanish before reading the response:
+    // the batcher still scores the job, and both the dead reply channel
+    // and the failed response write must be absorbed silently.
+    for i in 0..10 {
+        let mut conn = Connection::open(addr, Duration::from_secs(5)).unwrap();
+        conn.send(
+            "POST",
+            "/v1/score",
+            Some(&format!("{{\"passwords\":[\"gone{i}\"]}}")),
+        )
+        .unwrap();
+        drop(conn);
+    }
+    // Every orphaned request is still read, routed and *counted* — wait
+    // for the handlers to get there rather than racing them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.metrics().total_requests() < 10 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned requests must still be processed and recorded \
+             (saw {} of 10)",
+            server.metrics().total_requests()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // No phantom failure metrics: nothing expired, nothing was shed.
+    assert_eq!(server.metrics().deadline_expired_total(), 0);
+    assert_eq!(server.metrics().shed_total(), 0);
+
+    // And the server is fully healthy: live batcher, bit-exact scores.
+    let health = client::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("\"status\":\"ok\""),
+        "{}",
+        health.text()
+    );
+    let response = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["jimmy91"]}"#),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let expected = flow.password_log_prob("jimmy91").unwrap();
+    assert_eq!(response_bits(&response.text()), vec![expected.to_bits()]);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn healthz_reports_per_component_status() {
+    // Without a digest store: every component reported, store "absent",
+    // and absence does not degrade overall health.
+    let (server, _flow, _registry) = start_server(quick_config(), 46);
+    let health = client::request(server.addr(), "GET", "/healthz", None)
+        .unwrap()
+        .text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"components\":"), "{health}");
+    assert!(
+        health.contains("\"registry\":{\"models\":1,\"status\":\"ok\"}"),
+        "{health}"
+    );
+    assert!(
+        health.contains("\"batcher\":{\"status\":\"ok\"}"),
+        "{health}"
+    );
+    assert!(
+        health.contains("\"digest_store\":{\"status\":\"absent\"}"),
+        "{health}"
+    );
+    server.shutdown();
+    server.join();
+
+    // With a digest store: the breaker state is part of the report.
+    let (digest, path) = digest_fixture("healthz", &["dragon"]);
+    let flow = tiny_flow(47);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+    let server = serve(
+        ServerConfig {
+            digest: Some(digest),
+            ..quick_config()
+        },
+        registry,
+    )
+    .unwrap();
+    let health = client::request(server.addr(), "GET", "/healthz", None)
+        .unwrap()
+        .text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"breaker\":\"closed\""), "{health}");
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
 // JSON hardening regressions (depth limit, lone surrogates)
 // ---------------------------------------------------------------------------
 

@@ -275,6 +275,76 @@ fn empty_store_and_boundary_prefixes_answer_cleanly() {
 }
 
 #[test]
+fn injected_faults_are_deterministic_and_outages_surface_typed_errors() {
+    use passflow::store::{FaultPlan, FaultyIo, FileIo};
+
+    let scratch = Scratch::new("faults");
+    let path = scratch.path("faulty.pfd");
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    for pw in corpus(3_000) {
+        builder.add_password(&pw).unwrap();
+    }
+    builder.finish(&path).unwrap();
+    let clean = DigestStore::open(&path).unwrap();
+
+    // ~35% of reads misbehave, deterministically per (seed, read index).
+    let plan = FaultPlan {
+        seed: 42,
+        short_read_per_mille: 150,
+        interrupt_per_mille: 120,
+        transient_per_mille: 80,
+        latency: std::time::Duration::ZERO,
+    };
+    let probes: Vec<String> = corpus(200);
+    let run = || {
+        let io = FaultyIo::new(Box::new(FileIo::open(&path).unwrap()), plan);
+        let injector = io.injector();
+        // Open quietly (the corruption tests own open-failure paths),
+        // then arm the plan for every lookup.
+        injector.set_active(false);
+        let store = DigestStore::open_with_io(&path, Box::new(io)).unwrap();
+        injector.set_active(true);
+        let verdicts: Vec<Option<u64>> = probes
+            .iter()
+            .map(|pw| store.contains_password(pw).unwrap())
+            .collect();
+        (store, injector, verdicts)
+    };
+
+    // Same seed → same fault stream → same injected count, twice over.
+    let (store, injector, verdicts) = run();
+    let (_store2, injector2, verdicts2) = run();
+    assert_eq!(verdicts, verdicts2, "same seed, same outcomes");
+    assert_eq!(injector.injected_faults(), injector2.injected_faults());
+    assert!(injector.injected_faults() > 0, "the plan must have fired");
+
+    // Bounded retries make the noisy store answer exactly like the clean
+    // one — membership, counts, and a full checksum verify pass.
+    for (pw, verdict) in probes.iter().zip(&verdicts) {
+        assert_eq!(clean.contains_password(pw).unwrap(), *verdict, "{pw}");
+    }
+    store.verify().unwrap();
+
+    // A total outage is a *typed* availability error — distinct from
+    // corruption, and never a panic.
+    let member = &probes[0];
+    let prefix = sha1::to_hex(&sha1::password_digest(member))[..5].to_string();
+    injector.set_outage(true);
+    let err = store.contains_password(member).unwrap_err();
+    assert!(err.is_unavailable(), "got {err}");
+    assert!(err.to_string().contains("store unavailable"), "{err}");
+    let err = store.range(&prefix).unwrap_err();
+    assert!(err.is_unavailable(), "range too: {err}");
+
+    // And the moment the outage ends, the store serves again.
+    injector.set_outage(false);
+    assert_eq!(
+        store.contains_password(member).unwrap(),
+        clean.contains_password(member).unwrap()
+    );
+}
+
+#[test]
 fn counts_disabled_stores_serve_presence_only() {
     let scratch = Scratch::new("nocounts");
     let path = scratch.path("presence.pfd");
