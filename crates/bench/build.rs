@@ -1,0 +1,26 @@
+//! Captures build provenance for the benchmark JSON header: the exact
+//! rustc that compiled the benches and the RUSTFLAGS in effect (which is
+//! where `-C target-cpu=...` lives in this repo's `.cargo/config.toml`).
+//! Throughput numbers without compiler provenance are not comparable
+//! across checkouts.
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=PASSFLOW_BENCH_RUSTC={version}");
+
+    // Cargo passes the effective RUSTFLAGS to build scripts with a unit
+    // separator between flags.
+    let rustflags = std::env::var("CARGO_ENCODED_RUSTFLAGS")
+        .unwrap_or_default()
+        .replace('\u{1f}', " ");
+    println!("cargo:rustc-env=PASSFLOW_BENCH_RUSTFLAGS={rustflags}");
+    println!("cargo:rerun-if-env-changed=CARGO_ENCODED_RUSTFLAGS");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

@@ -3,10 +3,15 @@
 //! A minimal xtask-style harness: it times the acceptance benchmarks — the
 //! flow inverse on the `eval_6x48` architecture, the end-to-end guessing
 //! attack, one training epoch at 1 vs N gradient workers, and the strength
-//! meter's table-build/lookup/scoring path — plus the GEMM microkernel,
-//! and writes the medians to a JSON file so CI and successive PRs can
-//! track a machine-local trajectory. The JSON layout (`passflow-bench-v1`)
-//! is specified once in DESIGN.md, "Artifact schemas".
+//! meter's table-build/lookup/scoring path — plus the GEMM microkernel, a
+//! GEMM size × thread-count sweep (with in-bench bit-equality asserts
+//! against the single-threaded result), and the int8 quantized tier
+//! against its exact f32 counterpart — and writes the medians to a JSON
+//! file so CI and successive PRs can track a machine-local trajectory.
+//! The JSON layout (`passflow-bench-v2`) is specified once in DESIGN.md,
+//! "Artifact schemas"; the header records `host_cpus`, the compiling
+//! rustc, and the RUSTFLAGS in effect (target-cpu provenance), because
+//! none of the throughput numbers are comparable without them.
 //!
 //! ```text
 //! cargo run --release -p passflow-bench --bin bench_json -- \
@@ -53,9 +58,17 @@ fn median_secs(samples: usize, mut body: impl FnMut()) -> f64 {
 }
 
 struct Entry {
-    name: &'static str,
+    name: String,
     seconds_per_iter: f64,
     elements_per_iter: u64,
+}
+
+/// Summary of the quantized tier's fidelity, emitted in the JSON header
+/// alongside the timing rows so the speedup always travels with its error.
+struct QuantSummary {
+    max_abs_delta_logprob: f64,
+    mean_abs_delta_logprob: f64,
+    compression: f64,
 }
 
 fn main() {
@@ -80,10 +93,122 @@ fn main() {
         passflow_nn::kernels::matmul_into(&a, &b, &mut out);
     });
     entries.push(Entry {
-        name: "tensor/matmul_256x64x64",
+        name: "tensor/matmul_256x64x64".to_string(),
         seconds_per_iter: s,
         elements_per_iter: 256 * 64 * 64,
     });
+
+    // -- GEMM size × thread-count sweep -------------------------------------
+    // The ROADMAP asks for the scaling curve, not one point. Each
+    // (shape, threads) cell is timed independently, and every threaded
+    // result is asserted bit-identical to the single-threaded one — the
+    // contract the row-partitioned kernel keeps at any thread count. On a
+    // single-vCPU host the thread counts tie; the `host_cpus` header field
+    // records which regime produced the numbers.
+    {
+        use passflow_nn::ThreadPool;
+        for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 64, 64), (256, 256, 256)] {
+            let mut rng = nnrng::seeded(41);
+            let a = Tensor::randn(m, k, &mut rng);
+            let b = Tensor::randn(k, n, &mut rng);
+            let mut reference = Tensor::default();
+            passflow_nn::kernels::matmul_into(&a, &b, &mut reference);
+            for threads in [1usize, 2, 4] {
+                let pool = (threads > 1).then(|| ThreadPool::new(threads));
+                let mut out = Tensor::default();
+                let s = median_secs(samples, || {
+                    passflow_nn::kernels::matmul_into_with(&a, &b, &mut out, pool.as_ref());
+                });
+                assert_eq!(
+                    out.as_slice(),
+                    reference.as_slice(),
+                    "GEMM at {threads} threads must be bit-identical to 1 thread"
+                );
+                entries.push(Entry {
+                    name: format!("gemm/{m}x{k}x{n}/threads_{threads}"),
+                    seconds_per_iter: s,
+                    elements_per_iter: (m * k * n) as u64,
+                });
+            }
+        }
+    }
+
+    // -- quantized tier: int8 linear kernel vs exact f32 --------------------
+    // A deliberately memory-bound shape: at 1024×1024 the f32 weight matrix
+    // is 4 MiB per pass while the int8 copy is 1 MiB, so the quantized row
+    // isolates the tier's bandwidth advantage rather than ALU throughput.
+    let quant_summary;
+    {
+        use passflow_nn::{LinearSnapshot, QuantizedLinearSnapshot};
+        let (m, k, n) = (16usize, 1024usize, 1024usize);
+        let mut rng = nnrng::seeded(43);
+        let exact =
+            LinearSnapshot::new(Tensor::randn(k, n, &mut rng), Tensor::randn(1, n, &mut rng));
+        let quantized = QuantizedLinearSnapshot::from_snapshot(&exact);
+        let x = Tensor::randn(m, k, &mut rng);
+        let mut out = Tensor::default();
+        let s = median_secs(samples, || {
+            exact.forward_into(&x, &mut out);
+        });
+        entries.push(Entry {
+            name: format!("quantized/linear_f32_{m}x{k}x{n}"),
+            seconds_per_iter: s,
+            elements_per_iter: (m * k * n) as u64,
+        });
+        let s = median_secs(samples, || {
+            quantized.forward_into(&x, &mut out, None);
+        });
+        entries.push(Entry {
+            name: format!("quantized/linear_int8_{m}x{k}x{n}"),
+            seconds_per_iter: s,
+            elements_per_iter: (m * k * n) as u64,
+        });
+
+        // Flow level: exact vs int8 password scoring through the real
+        // FlowScorer / QuantizedScorer path — encoded, bounded inputs, the
+        // domain the documented error bound is stated for. Two
+        // architectures: the narrow acceptance one (weights fit L2, so the
+        // int8 tier's convert overhead makes it a modest loss) and a wide
+        // one whose f32 residual blocks are 4 MiB each — past this host's
+        // L2 — where the 4×-smaller int8 weight stream wins. The crossover
+        // is the point of the tier: it exists for wide scoring-only models,
+        // not for the narrow acceptance architecture.
+        let wordlist = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(2_000))
+            .generate(29)
+            .into_passwords();
+        for (arch, couplings, hidden, batch, arch_samples) in [
+            ("eval_6x48", 6usize, 48usize, 2_000usize, samples.min(10)),
+            ("wide_2x1024", 2, 1_024, 256, samples.min(3)),
+        ] {
+            let mut rng = nnrng::seeded(47);
+            let flow = PassFlow::new(
+                FlowConfig::evaluation()
+                    .with_coupling_layers(couplings)
+                    .with_hidden_size(hidden),
+                &mut rng,
+            )
+            .expect("valid config");
+            let slice = &wordlist[..batch];
+            let exact = passflow_core::FlowScorer::new(&flow);
+            let quantized = passflow_core::QuantizedScorer::from_scorer(&exact);
+            let s = median_secs(arch_samples, || {
+                std::hint::black_box(exact.log_probs(slice));
+            });
+            entries.push(Entry {
+                name: format!("quantized/logprob_exact_{batch}/{arch}"),
+                seconds_per_iter: s,
+                elements_per_iter: batch as u64,
+            });
+            let s = median_secs(arch_samples, || {
+                std::hint::black_box(quantized.log_probs(slice));
+            });
+            entries.push(Entry {
+                name: format!("quantized/logprob_int8_{batch}/{arch}"),
+                seconds_per_iter: s,
+                elements_per_iter: batch as u64,
+            });
+        }
+    }
 
     // -- inverse_256 / eval_6x48 (the acceptance micro-bench) ---------------
     let mut rng = nnrng::seeded(11);
@@ -100,7 +225,7 @@ fn main() {
         flow.inverse(&z);
     });
     entries.push(Entry {
-        name: "flow_pass/inverse_256/eval_6x48",
+        name: "flow_pass/inverse_256/eval_6x48".to_string(),
         seconds_per_iter: s,
         elements_per_iter: 256,
     });
@@ -111,7 +236,7 @@ fn main() {
         snapshot.inverse_into(&z, &mut ws, &mut x);
     });
     entries.push(Entry {
-        name: "flow_pass/inverse_into_256/eval_6x48",
+        name: "flow_pass/inverse_into_256/eval_6x48".to_string(),
         seconds_per_iter: s,
         elements_per_iter: 256,
     });
@@ -149,7 +274,7 @@ fn main() {
                 trainer.train(&passwords).expect("training succeeds");
             });
             entries.push(Entry {
-                name,
+                name: name.to_string(),
                 seconds_per_iter: s,
                 elements_per_iter: 2_048,
             });
@@ -185,7 +310,7 @@ fn main() {
                 .expect("flow attacks always run");
         });
         entries.push(Entry {
-            name,
+            name: name.to_string(),
             seconds_per_iter: s,
             elements_per_iter: budget,
         });
@@ -200,7 +325,7 @@ fn main() {
         let t0 = Instant::now();
         let table = SampleTable::build(&flow, table_samples, 7);
         entries.push(Entry {
-            name: "strength/table_build",
+            name: "strength/table_build".to_string(),
             seconds_per_iter: t0.elapsed().as_secs_f64(),
             elements_per_iter: table_samples as u64,
         });
@@ -219,7 +344,7 @@ fn main() {
             }
         });
         entries.push(Entry {
-            name: "strength/lookup_10k",
+            name: "strength/lookup_10k".to_string(),
             seconds_per_iter: s,
             elements_per_iter: scores.len() as u64,
         });
@@ -229,10 +354,23 @@ fn main() {
             std::hint::black_box(passflow_core::score_wordlist(&flow, &table, slice, 1));
         });
         entries.push(Entry {
-            name: "strength/score_wordlist_1000",
+            name: "strength/score_wordlist_1000".to_string(),
             seconds_per_iter: s,
             elements_per_iter: 1_000,
         });
+
+        // Quantized-tier fidelity, measured on the *trained* flow — the
+        // regime the tier serves. (An untrained flow amplifies int8 weight
+        // error through each coupling's `exp(s)` and reports a uselessly
+        // pessimistic delta.)
+        let exact = passflow_core::FlowScorer::new(&flow);
+        let quantized = passflow_core::QuantizedScorer::from_scorer(&exact);
+        let report = passflow_core::probe_quantization(&exact, &quantized, &wordlist);
+        quant_summary = QuantSummary {
+            max_abs_delta_logprob: report.max_abs_delta,
+            mean_abs_delta_logprob: report.mean_abs_delta,
+            compression: report.compression(),
+        };
     }
 
     // -- digest store: build throughput, 4-way merge, range lookups ---------
@@ -259,7 +397,7 @@ fn main() {
         }
         let stats = builder.finish(&path).expect("digest build");
         entries.push(Entry {
-            name: "digest/build_1M",
+            name: "digest/build_1M".to_string(),
             seconds_per_iter: t0.elapsed().as_secs_f64(),
             elements_per_iter: build_records,
         });
@@ -284,7 +422,7 @@ fn main() {
         let t0 = Instant::now();
         let stats = passflow_store::merge_artifacts(&shard_paths, &merged).expect("merge");
         entries.push(Entry {
-            name: "digest/merge_4way",
+            name: "digest/merge_4way".to_string(),
             seconds_per_iter: t0.elapsed().as_secs_f64(),
             elements_per_iter: stats.record_count,
         });
@@ -299,7 +437,7 @@ fn main() {
             }
         });
         entries.push(Entry {
-            name: "digest/range_lookup",
+            name: "digest/range_lookup".to_string(),
             seconds_per_iter: s,
             elements_per_iter: prefixes.len() as u64,
         });
@@ -313,8 +451,27 @@ fn main() {
 
     // -- emit ---------------------------------------------------------------
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // Provenance captured at compile time by build.rs; the RUSTFLAGS line
+    // is where `-C target-cpu=...` shows up, so the JSON says which ISA
+    // the kernels were compiled for.
+    let rustc_version = env!("PASSFLOW_BENCH_RUSTC");
+    let rustflags = env!("PASSFLOW_BENCH_RUSTFLAGS")
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"");
+    let simd = if passflow_nn::kernels::simd_tile_available() {
+        "avx2+fma"
+    } else {
+        "scalar"
+    };
     let mut json = format!(
-        "{{\n  \"schema\": \"passflow-bench-v1\",\n  \"host_cpus\": {host_cpus},\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"passflow-bench-v2\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"rustc_version\": \"{rustc_version}\",\n  \"rustflags\": \"{rustflags}\",\n  \
+         \"simd_tile\": \"{simd}\",\n  \"quantized\": {{ \
+         \"max_abs_delta_logprob\": {:.9}, \"mean_abs_delta_logprob\": {:.9}, \
+         \"compression\": {:.3} }},\n  \"results\": {{\n",
+        quant_summary.max_abs_delta_logprob,
+        quant_summary.mean_abs_delta_logprob,
+        quant_summary.compression,
     );
     for (i, e) in entries.iter().enumerate() {
         let rate = e.elements_per_iter as f64 / e.seconds_per_iter;

@@ -123,6 +123,7 @@ fn main() {
                 max_batch,
                 max_wait: Duration::from_millis(2),
                 queue_capacity: 1024,
+                ..BatcherConfig::default()
             },
             max_connections: CLIENTS + 8,
             ..ServerConfig::default()

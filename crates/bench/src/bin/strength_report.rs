@@ -3,8 +3,13 @@
 //! and the Markov/PCFG baselines.
 //!
 //! ```text
-//! cargo run --release -p passflow-bench --bin strength_report -- --scale smoke
+//! cargo run --release -p passflow-bench --bin strength_report -- --scale smoke [--threads N]
 //! ```
+//!
+//! Worker threads follow the repo-wide discipline: `--threads` wins, then
+//! the `PASSFLOW_THREADS` environment variable, then the scale preset's
+//! shard count — always clamped to the host. Thread counts only change
+//! wall-clock, never a reported number.
 
 use passflow_bench::{emit, prepare, scale_from_env};
 use passflow_core::ProbabilityModel;
@@ -14,9 +19,25 @@ use passflow_eval::strength::{
 
 use passflow_baselines::{MarkovModel, PcfgModel};
 
+/// Parses `--threads N` from the command line, if present.
+fn threads_flag() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
 fn main() -> passflow_core::Result<()> {
     let scale = scale_from_env();
-    let shards = scale.attack_shards;
+    let explicit = threads_flag();
+    let shards = if explicit.is_some() || std::env::var_os("PASSFLOW_THREADS").is_some() {
+        passflow_nn::resolve_threads(explicit)
+    } else {
+        passflow_nn::clamp_threads(scale.attack_shards)
+    };
     let workbench = prepare(scale)?;
 
     let max_len = workbench.flow.encoder().max_len();

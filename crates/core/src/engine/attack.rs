@@ -170,7 +170,9 @@ impl<'a> Attack<'a> {
     /// same seed.
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        // Repo-wide thread discipline: clamp to the host (results are
+        // shard-count invariant, so this only affects throughput).
+        self.shards = passflow_nn::clamp_threads(shards);
         self
     }
 

@@ -18,7 +18,10 @@ use passflow_nn::kernels::{
     affine_coupling_forward_into, affine_coupling_inverse_into, mul_row_broadcast_into,
     row_squared_norms_into,
 };
-use passflow_nn::{NetWorkspace, Parameter, ResNetSnapshot, Tensor};
+use passflow_nn::{
+    NetWorkspace, Parameter, QuantizedResNetSnapshot, ResNetSnapshot, Tensor, ThreadPool,
+};
+use std::sync::Arc;
 
 /// ln(2π), matching the constant used by the training loss and the prior.
 const LN_2PI: f32 = 1.837_877_1;
@@ -56,6 +59,28 @@ impl FlowWorkspace {
     /// Creates an empty (cold) workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a workspace whose GEMMs run on a fresh [`ThreadPool`] of
+    /// `threads` threads (`threads <= 1` installs no pool — the serial
+    /// path). Results are bit-identical at any thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        let mut ws = Self::new();
+        if threads > 1 {
+            ws.set_thread_pool(Some(Arc::new(ThreadPool::new(threads))));
+        }
+        ws
+    }
+
+    /// Installs (or removes, with `None`) the GEMM thread pool used by every
+    /// forward/inverse/log-prob pass through this workspace.
+    pub fn set_thread_pool(&mut self, pool: Option<Arc<ThreadPool>>) {
+        self.net.set_thread_pool(pool);
+    }
+
+    /// The installed GEMM thread pool, if any.
+    pub fn thread_pool(&self) -> Option<&ThreadPool> {
+        self.net.thread_pool()
     }
 }
 
@@ -193,6 +218,15 @@ impl FlowSnapshot {
         self.couplings.len()
     }
 
+    /// Bytes held by the f32 coupling-network weights (for compression
+    /// reporting against [`QuantizedFlowSnapshot::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.couplings
+            .iter()
+            .map(|c| c.s_net.memory_bytes() + c.t_net.memory_bytes())
+            .sum()
+    }
+
     /// Returns `true` while no source parameter has been mutated since the
     /// snapshot was exported.
     pub fn is_current(&self) -> bool {
@@ -285,17 +319,166 @@ impl FlowSnapshot {
         self.forward_into(x, &mut ws, &mut z, &mut log_det);
         (z, log_det)
     }
+
+    /// Converts this snapshot to the opt-in int8 tier (see
+    /// [`QuantizedFlowSnapshot`]). The conversion is deterministic; the
+    /// resulting scores are approximate — measure the error with
+    /// `strength::probe_quantization` before serving from it.
+    pub fn quantize(&self) -> QuantizedFlowSnapshot {
+        QuantizedFlowSnapshot {
+            couplings: self
+                .couplings
+                .iter()
+                .map(QuantizedCouplingSnapshot::from_coupling)
+                .collect(),
+            dim: self.dim,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized tier
+// ---------------------------------------------------------------------------
+
+/// One coupling layer with int8-quantized `s`/`t` networks.
+///
+/// Only the scoring direction (forward + log-determinant) is provided: the
+/// quantized tier exists for scoring-only workloads (serve `/v1/score`,
+/// strength tables), and inverting through approximate weights would let
+/// quantization error compound across the guess-generation chain.
+#[derive(Clone, Debug)]
+pub struct QuantizedCouplingSnapshot {
+    mask: Tensor,
+    inv_mask: Tensor,
+    s_net: QuantizedResNetSnapshot,
+    t_net: QuantizedResNetSnapshot,
+    dim: usize,
+}
+
+impl QuantizedCouplingSnapshot {
+    fn from_coupling(coupling: &CouplingSnapshot) -> Self {
+        QuantizedCouplingSnapshot {
+            mask: coupling.mask.clone(),
+            inv_mask: coupling.inv_mask.clone(),
+            s_net: QuantizedResNetSnapshot::from_snapshot(&coupling.s_net),
+            t_net: QuantizedResNetSnapshot::from_snapshot(&coupling.t_net),
+            dim: coupling.dim,
+        }
+    }
+
+    /// Quantized forward transform; same structure as
+    /// [`CouplingSnapshot::forward_into`], approximate values.
+    fn forward_into(
+        &self,
+        x: &Tensor,
+        ws: &mut FlowWorkspace,
+        z_out: &mut Tensor,
+        log_det_acc: &mut Tensor,
+    ) {
+        assert_eq!(x.cols(), self.dim, "input width must equal coupling dim");
+        mul_row_broadcast_into(x, &self.mask, &mut ws.masked);
+        self.s_net.forward_into(&ws.masked, &mut ws.net, &mut ws.s);
+        self.t_net.forward_into(&ws.masked, &mut ws.net, &mut ws.t);
+        affine_coupling_forward_into(
+            x,
+            &ws.s,
+            &ws.t,
+            &self.mask,
+            &self.inv_mask,
+            z_out,
+            log_det_acc,
+        );
+    }
+}
+
+/// The opt-in int8 tier of a [`FlowSnapshot`]: every coupling network's
+/// weights stored as one byte per element plus per-row scales (~4× smaller),
+/// scoring through the same fused kernels.
+///
+/// Scores are **approximate**: per model, the error bound
+/// (max |Δ log-prob| vs. the exact `log_prob_reference` oracle) must be
+/// measured — `strength::probe_quantization` does exactly that — and
+/// reported to callers so they opt in knowingly. Scores are deterministic
+/// and thread-count invariant, exactly like the f32 path.
+#[derive(Clone, Debug)]
+pub struct QuantizedFlowSnapshot {
+    couplings: Vec<QuantizedCouplingSnapshot>,
+    dim: usize,
+}
+
+impl QuantizedFlowSnapshot {
+    /// Dimensionality of the data and latent spaces.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of coupling layers.
+    pub fn num_couplings(&self) -> usize {
+        self.couplings.len()
+    }
+
+    /// Bytes held by the quantized coupling networks.
+    pub fn memory_bytes(&self) -> usize {
+        self.couplings
+            .iter()
+            .map(|c| c.s_net.memory_bytes() + c.t_net.memory_bytes())
+            .sum()
+    }
+
+    /// Quantized forward flow; same contract as
+    /// [`FlowSnapshot::forward_into`], approximate values.
+    pub fn forward_into(
+        &self,
+        x: &Tensor,
+        ws: &mut FlowWorkspace,
+        z_out: &mut Tensor,
+        log_det_out: &mut Tensor,
+    ) {
+        assert_eq!(x.cols(), self.dim, "input width must equal flow dimension");
+        log_det_out.resize(x.rows(), 1);
+        log_det_out.as_mut_slice().fill(0.0);
+        chain(
+            self.couplings.iter(),
+            x,
+            ws,
+            z_out,
+            |coupling, src, ws, dst| {
+                coupling.forward_into(src, ws, dst, log_det_out);
+            },
+        );
+    }
+
+    /// Quantized log-density of each row of `x` into `log_prob_out`
+    /// (`rows × 1`); same structure as [`FlowSnapshot::log_prob_into`],
+    /// approximate values.
+    pub fn log_prob_into(&self, x: &Tensor, ws: &mut FlowWorkspace, log_prob_out: &mut Tensor) {
+        let mut z = std::mem::take(&mut ws.z_buf);
+        let mut log_det = std::mem::take(&mut ws.log_det_buf);
+        self.forward_into(x, ws, &mut z, &mut log_det);
+        row_squared_norms_into(&z, log_prob_out);
+        let norm = self.dim as f32 * LN_2PI;
+        for (lp, ld) in log_prob_out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(log_det.as_slice())
+        {
+            *lp = -0.5 * (*lp + norm) + ld;
+        }
+        ws.z_buf = z;
+        ws.log_det_buf = log_det;
+    }
 }
 
 /// Chains coupling layers (in the iterator's order) through the workspace's
 /// ping/pong buffers: the first layer reads `input`, the last writes `out`,
-/// and intermediates bounce between two reused scratch tensors.
-fn chain<'a>(
-    couplings: impl ExactSizeIterator<Item = &'a CouplingSnapshot>,
+/// and intermediates bounce between two reused scratch tensors. Generic over
+/// the coupling type so the exact and quantized tiers share it.
+fn chain<'a, C: 'a>(
+    couplings: impl ExactSizeIterator<Item = &'a C>,
     input: &Tensor,
     ws: &mut FlowWorkspace,
     out: &mut Tensor,
-    mut step_fn: impl FnMut(&CouplingSnapshot, &Tensor, &mut FlowWorkspace, &mut Tensor),
+    mut step_fn: impl FnMut(&C, &Tensor, &mut FlowWorkspace, &mut Tensor),
 ) {
     let n = couplings.len();
     let mut ping = std::mem::take(&mut ws.ping);

@@ -78,7 +78,9 @@ pub use engine::{
     LatentGuesser, LatentSession, ShardedSet,
 };
 pub use error::{FlowError, Result};
-pub use fastpath::{CouplingSnapshot, FlowSnapshot, FlowWorkspace};
+pub use fastpath::{
+    CouplingSnapshot, FlowSnapshot, FlowWorkspace, QuantizedCouplingSnapshot, QuantizedFlowSnapshot,
+};
 pub use flow::PassFlow;
 #[allow(deprecated)]
 pub use guess::run_attack;
@@ -94,8 +96,9 @@ pub use sample::{
     DynamicParams, GaussianSmoothing, GuessingStrategy, MatchedLatents, Penalization,
 };
 pub use strength::{
-    attack_unique_rank, score_wordlist, FlowScorer, PasswordStrength, ProbabilityModel,
-    SampleTable, SamplingRankEstimate, StrengthEstimate,
+    attack_unique_rank, probe_quantization, score_wordlist, FlowScorer, PasswordStrength,
+    ProbabilityModel, QuantizationReport, QuantizedScorer, SampleTable, SamplingRankEstimate,
+    StrengthEstimate,
 };
 pub use train::{
     train, EarlyStop, EarlyStopConfig, EpochDriver, EpochStats, EpochVerdict, LoopControl,

@@ -40,7 +40,7 @@ mod scorer;
 
 pub use estimator::{SampleTable, SamplingRankEstimate, StrengthEstimate};
 pub use score::{attack_unique_rank, score_wordlist, PasswordStrength};
-pub use scorer::FlowScorer;
+pub use scorer::{probe_quantization, FlowScorer, QuantizationReport, QuantizedScorer};
 
 use crate::engine::Guesser;
 use crate::flow::PassFlow;
@@ -54,7 +54,9 @@ pub(crate) fn run_chunks<T: Send>(
     shards: usize,
     produce: &(dyn Fn(usize) -> T + Sync),
 ) -> Vec<T> {
-    let workers = shards.min(num_chunks).max(1);
+    // Shard counts are throughput knobs with result invariance, so they go
+    // through the repo-wide clamp (see `passflow_nn::pool`).
+    let workers = passflow_nn::clamp_threads(shards).min(num_chunks).max(1);
     if workers == 1 {
         return (0..num_chunks).map(produce).collect();
     }

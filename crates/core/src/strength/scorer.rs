@@ -17,15 +17,67 @@
 
 use std::sync::Arc;
 
-use passflow_nn::Tensor;
+use passflow_nn::{Tensor, ThreadPool};
 use passflow_passwords::PasswordEncoder;
 
-use crate::fastpath::{FlowSnapshot, FlowWorkspace};
+use crate::fastpath::{FlowSnapshot, FlowWorkspace, QuantizedFlowSnapshot};
 use crate::flow::PassFlow;
 
 /// Rows scored per fused call; bounds scratch memory without affecting
 /// results (row-independent kernels).
 const CHUNK_ROWS: usize = 1024;
+
+/// The shared encode-chunk-score loop behind both scoring tiers.
+///
+/// `out` is cleared and refilled with one entry per input password, in
+/// input order; unencodable passwords score `None`. `score` is called per
+/// chunk with (encoded batch, workspace, log-prob output). If `pool` is
+/// `Some`, it is installed into `ws` for the duration of the call (a
+/// caller-installed pool is left alone when `pool` is `None`).
+fn score_chunked(
+    encoder: &PasswordEncoder,
+    log_cell_volume: f64,
+    pool: Option<&Arc<ThreadPool>>,
+    passwords: &[String],
+    ws: &mut FlowWorkspace,
+    out: &mut Vec<Option<f64>>,
+    mut score: impl FnMut(&Tensor, &mut FlowWorkspace, &mut Tensor),
+) {
+    if let Some(pool) = pool {
+        ws.set_thread_pool(Some(Arc::clone(pool)));
+    }
+    out.clear();
+    out.resize(passwords.len(), None);
+
+    let mut lp = Tensor::default();
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
+    let mut row_indices: Vec<usize> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
+
+    let mut flush =
+        |rows: &mut Vec<Vec<f32>>, row_indices: &mut Vec<usize>, out: &mut Vec<Option<f64>>| {
+            if rows.is_empty() {
+                return;
+            }
+            let x = Tensor::from_rows(rows);
+            score(&x, ws, &mut lp);
+            for (slot, &idx) in lp.as_slice().iter().zip(row_indices.iter()) {
+                out[idx] = Some(f64::from(*slot) + log_cell_volume);
+            }
+            rows.clear();
+            row_indices.clear();
+        };
+
+    for (i, password) in passwords.iter().enumerate() {
+        if let Some(features) = encoder.encode(password) {
+            rows.push(features);
+            row_indices.push(i);
+            if rows.len() == CHUNK_ROWS {
+                flush(&mut rows, &mut row_indices, out);
+            }
+        }
+    }
+    flush(&mut rows, &mut row_indices, out);
+}
 
 /// An owned, immutable scoring handle: snapshot + encoder + cell volume.
 ///
@@ -36,6 +88,7 @@ pub struct FlowScorer {
     snapshot: Arc<FlowSnapshot>,
     encoder: PasswordEncoder,
     log_cell_volume: f64,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl FlowScorer {
@@ -49,7 +102,31 @@ impl FlowScorer {
             snapshot: flow.snapshot(),
             encoder: flow.encoder().clone(),
             log_cell_volume: flow.log_cell_volume(),
+            pool: None,
         }
+    }
+
+    /// Runs this scorer's GEMMs on a pool of `threads` threads (resolved
+    /// through [`passflow_nn::clamp_threads`] by callers; `threads <= 1`
+    /// keeps the serial path). Scores are bit-identical at any thread count
+    /// — this is purely a throughput knob.
+    pub fn with_threads(mut self, threads: usize) -> FlowScorer {
+        self.pool = if threads > 1 {
+            Some(Arc::new(ThreadPool::new(threads)))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// The flow snapshot this scorer reads.
+    pub fn snapshot(&self) -> &Arc<FlowSnapshot> {
+        &self.snapshot
+    }
+
+    /// The log-volume of one quantization cell (added to every score).
+    pub fn log_cell_volume(&self) -> f64 {
+        self.log_cell_volume
     }
 
     /// Dimensionality of the underlying flow.
@@ -92,44 +169,199 @@ impl FlowScorer {
     ///
     /// `out` is cleared and refilled with one entry per input password, in
     /// input order. Results are bit-identical for any chunking of the same
-    /// passwords (each output row depends only on its own input row).
+    /// passwords (each output row depends only on its own input row) and at
+    /// any thread count.
     pub fn log_probs_with(
         &self,
         passwords: &[String],
         ws: &mut FlowWorkspace,
         out: &mut Vec<Option<f64>>,
     ) {
-        out.clear();
-        out.resize(passwords.len(), None);
+        score_chunked(
+            &self.encoder,
+            self.log_cell_volume,
+            self.pool.as_ref(),
+            passwords,
+            ws,
+            out,
+            |x, ws, lp| self.snapshot.log_prob_into(x, ws, lp),
+        );
+    }
+}
 
-        let mut lp = Tensor::default();
-        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
-        let mut row_indices: Vec<usize> = Vec::with_capacity(CHUNK_ROWS.min(passwords.len()));
+// ---------------------------------------------------------------------------
+// Quantized tier
+// ---------------------------------------------------------------------------
 
-        let mut flush =
-            |rows: &mut Vec<Vec<f32>>, row_indices: &mut Vec<usize>, out: &mut Vec<Option<f64>>| {
-                if rows.is_empty() {
-                    return;
-                }
-                let x = Tensor::from_rows(rows);
-                self.snapshot.log_prob_into(&x, ws, &mut lp);
-                for (slot, &idx) in lp.as_slice().iter().zip(row_indices.iter()) {
-                    out[idx] = Some(f64::from(*slot) + self.log_cell_volume);
-                }
-                rows.clear();
-                row_indices.clear();
-            };
+/// The opt-in int8 scoring handle: same contract as [`FlowScorer`], ~4×
+/// smaller weights, **approximate** scores.
+///
+/// Build one with [`QuantizedScorer::new`] and measure its error with
+/// [`probe_quantization`] before serving from it — the bound is a property
+/// of the weights, not a universal constant. Scores remain deterministic,
+/// batching-invariant and thread-count invariant.
+#[derive(Clone, Debug)]
+pub struct QuantizedScorer {
+    snapshot: Arc<QuantizedFlowSnapshot>,
+    encoder: PasswordEncoder,
+    log_cell_volume: f64,
+    pool: Option<Arc<ThreadPool>>,
+}
 
-        for (i, password) in passwords.iter().enumerate() {
-            if let Some(features) = self.encoder.encode(password) {
-                rows.push(features);
-                row_indices.push(i);
-                if rows.len() == CHUNK_ROWS {
-                    flush(&mut rows, &mut row_indices, out);
-                }
-            }
+impl QuantizedScorer {
+    /// Quantizes the flow's current weights into a detached scoring handle.
+    pub fn new(flow: &PassFlow) -> QuantizedScorer {
+        QuantizedScorer::from_scorer(&FlowScorer::new(flow))
+    }
+
+    /// Quantizes the snapshot behind an existing exact scorer (inheriting
+    /// its encoder, cell volume and thread pool).
+    pub fn from_scorer(scorer: &FlowScorer) -> QuantizedScorer {
+        QuantizedScorer {
+            snapshot: Arc::new(scorer.snapshot.quantize()),
+            encoder: scorer.encoder.clone(),
+            log_cell_volume: scorer.log_cell_volume,
+            pool: scorer.pool.clone(),
         }
-        flush(&mut rows, &mut row_indices, out);
+    }
+
+    /// See [`FlowScorer::with_threads`].
+    pub fn with_threads(mut self, threads: usize) -> QuantizedScorer {
+        self.pool = if threads > 1 {
+            Some(Arc::new(ThreadPool::new(threads)))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Dimensionality of the underlying flow.
+    pub fn dim(&self) -> usize {
+        self.snapshot.dim()
+    }
+
+    /// The encoder the scorer canonicalizes passwords with.
+    pub fn encoder(&self) -> &PasswordEncoder {
+        &self.encoder
+    }
+
+    /// Bytes held by the quantized coupling networks.
+    pub fn memory_bytes(&self) -> usize {
+        self.snapshot.memory_bytes()
+    }
+
+    /// Scores one password (approximate); `None` if it cannot be encoded.
+    pub fn log_prob(&self, password: &str) -> Option<f64> {
+        let mut ws = FlowWorkspace::new();
+        let mut out = vec![None];
+        self.log_probs_with(
+            std::slice::from_ref(&password.to_string()),
+            &mut ws,
+            &mut out,
+        );
+        out[0]
+    }
+
+    /// Scores a batch of passwords (approximate), allocating a fresh
+    /// workspace.
+    pub fn log_probs(&self, passwords: &[String]) -> Vec<Option<f64>> {
+        let mut ws = FlowWorkspace::new();
+        let mut out = Vec::new();
+        self.log_probs_with(passwords, &mut ws, &mut out);
+        out
+    }
+
+    /// Scores a batch of passwords into `out` through a caller-managed
+    /// workspace; same contract as [`FlowScorer::log_probs_with`], with
+    /// quantized (approximate) values.
+    pub fn log_probs_with(
+        &self,
+        passwords: &[String],
+        ws: &mut FlowWorkspace,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        score_chunked(
+            &self.encoder,
+            self.log_cell_volume,
+            self.pool.as_ref(),
+            passwords,
+            ws,
+            out,
+            |x, ws, lp| self.snapshot.log_prob_into(x, ws, lp),
+        );
+    }
+}
+
+/// The measured quantization error of a model over a probe wordlist —
+/// the per-model report the issue requires before anyone serves from the
+/// int8 tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizationReport {
+    /// Passwords that encoded and were scored by both tiers.
+    pub samples: usize,
+    /// Passwords the encoder rejected (scored by neither tier).
+    pub skipped: usize,
+    /// max |log p_exact − log p_quantized| over the probe set.
+    pub max_abs_delta: f64,
+    /// mean |log p_exact − log p_quantized| over the probe set.
+    pub mean_abs_delta: f64,
+    /// Bytes of f32 coupling-network weights in the exact snapshot.
+    pub exact_bytes: usize,
+    /// Bytes of int8 weights + scales in the quantized snapshot.
+    pub quantized_bytes: usize,
+}
+
+impl QuantizationReport {
+    /// Weight-memory compression ratio (exact ÷ quantized).
+    pub fn compression(&self) -> f64 {
+        if self.quantized_bytes == 0 {
+            return 0.0;
+        }
+        self.exact_bytes as f64 / self.quantized_bytes as f64
+    }
+}
+
+/// Measures the quantized tier's scoring error against the exact tier over
+/// a probe wordlist.
+///
+/// The exact tier is bit-identical to `PassFlow::log_prob_reference` (the
+/// conformance suite's oracle), so the deltas here are exactly the deltas
+/// against the reference implementation. Callers assert
+/// `report.max_abs_delta` against their documented bound before opting in.
+pub fn probe_quantization(
+    exact: &FlowScorer,
+    quantized: &QuantizedScorer,
+    passwords: &[String],
+) -> QuantizationReport {
+    let exact_scores = exact.log_probs(passwords);
+    let quant_scores = quantized.log_probs(passwords);
+    let mut samples = 0usize;
+    let mut skipped = 0usize;
+    let mut max_abs_delta = 0.0f64;
+    let mut sum_abs_delta = 0.0f64;
+    for (e, q) in exact_scores.iter().zip(quant_scores.iter()) {
+        match (e, q) {
+            (Some(e), Some(q)) => {
+                let delta = (e - q).abs();
+                max_abs_delta = max_abs_delta.max(delta);
+                sum_abs_delta += delta;
+                samples += 1;
+            }
+            (None, None) => skipped += 1,
+            _ => unreachable!("both tiers share one encoder"),
+        }
+    }
+    QuantizationReport {
+        samples,
+        skipped,
+        max_abs_delta,
+        mean_abs_delta: if samples > 0 {
+            sum_abs_delta / samples as f64
+        } else {
+            0.0
+        },
+        exact_bytes: exact.snapshot.memory_bytes(),
+        quantized_bytes: quantized.snapshot.memory_bytes(),
     }
 }
 
@@ -197,5 +429,61 @@ mod tests {
     fn scorer_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FlowScorer>();
+        assert_send_sync::<QuantizedScorer>();
+    }
+
+    #[test]
+    fn threaded_scorer_is_bit_identical_to_serial() {
+        let flow = tiny_flow(74);
+        let serial = FlowScorer::new(&flow);
+        let threaded = FlowScorer::new(&flow).with_threads(3);
+        let passwords: Vec<String> = (0..40).map(|i| format!("secret{i}")).collect();
+        let a = serial.log_probs(&passwords);
+        let b = threaded.log_probs(&passwords);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn quantized_scorer_tracks_exact_and_reports_error() {
+        let flow = tiny_flow(75);
+        let exact = FlowScorer::new(&flow);
+        let quantized = QuantizedScorer::from_scorer(&exact);
+        let passwords: Vec<String> = (0..60)
+            .map(|i| format!("pw{i}"))
+            .chain(["waytoolongtoencode".to_string()])
+            .collect();
+        let report = probe_quantization(&exact, &quantized, &passwords);
+        assert_eq!(report.samples, 60);
+        assert_eq!(report.skipped, 1);
+        assert!(report.max_abs_delta.is_finite());
+        assert!(report.mean_abs_delta <= report.max_abs_delta);
+        // The tiny test flow's layers are narrow, so per-row scales and the
+        // f32 bias eat into the 4× weight compression; production-width
+        // layers approach 4×.
+        assert!(
+            report.compression() > 2.0,
+            "int8 weights must be markedly smaller, got {:.2}×",
+            report.compression()
+        );
+        // Unencodable passwords score None on both tiers.
+        assert!(quantized.log_prob("waytoolongtoencode").is_none());
+    }
+
+    #[test]
+    fn quantized_scores_are_deterministic_and_thread_invariant() {
+        let flow = tiny_flow(76);
+        let quantized = QuantizedScorer::new(&flow);
+        let passwords: Vec<String> = (0..30).map(|i| format!("hunter{i}")).collect();
+        let once = quantized.log_probs(&passwords);
+        let twice = quantized.log_probs(&passwords);
+        let threaded = QuantizedScorer::new(&flow)
+            .with_threads(4)
+            .log_probs(&passwords);
+        for ((a, b), c) in once.iter().zip(twice.iter()).zip(threaded.iter()) {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+            assert_eq!(a.map(f64::to_bits), c.map(f64::to_bits));
+        }
     }
 }

@@ -197,10 +197,8 @@ impl<'a> Trainer<'a> {
         let amplitude = config.dequantization * self.flow.encoder().quantization_step();
 
         // Worker count is a pure throughput knob (results are invariant),
-        // so running more threads than the host has cores is pure
-        // scheduling overhead — clamp instead of oversubscribing.
-        let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        let effective_workers = config.grad_workers.min(host_cores);
+        // so it goes through the repo-wide clamp (see `passflow_nn::pool`).
+        let effective_workers = passflow_nn::clamp_threads(config.grad_workers);
 
         let mut driver = FlowDriver {
             flow: self.flow,

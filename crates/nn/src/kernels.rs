@@ -23,6 +23,7 @@
 //! contiguous and row-major, which the i-k-j kernel streams with unit
 //! stride.)
 
+use crate::pool::ThreadPool;
 use crate::tensor::Tensor;
 use crate::ActivationKind;
 
@@ -35,6 +36,24 @@ enum Epilogue<'a> {
     Bias(&'a [f32]),
     /// `out += acc + bias[j]` (fused residual branch).
     BiasAdd(&'a [f32]),
+}
+
+/// Whether the explicit AVX2/FMA inner tile is available on this host.
+///
+/// On `x86_64` this is a cached runtime CPUID check; elsewhere it is `false`
+/// and every call takes the scalar tile (which `-C target-cpu` may still
+/// auto-vectorize — the explicit tile exists so peak width never depends on
+/// build flags). Both tiles compute identical bytes, so the dispatch is
+/// invisible in results.
+pub fn simd_tile_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
 /// One register tile: `R` output rows × `W` output columns at `(i, j)`.
@@ -88,7 +107,106 @@ fn tile<const R: usize, const W: usize>(
     }
 }
 
+/// The explicit AVX2/FMA inner tiles (`x86_64` only).
+///
+/// Each function computes exactly the same per-lane operations as the scalar
+/// [`tile`] it replaces: one `vfmadd` per `(row, column, p)` with `p`
+/// ascending, bias added once after the full accumulation. SIMD re-tiles the
+/// *independent* row/column loops only — the `p` reduction order per output
+/// element is untouched — so scalar and SIMD tiles agree to 0 ULP (asserted
+/// by the `simd_tile_matches_scalar_tile` test on AVX2 hosts).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::Epilogue;
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    use std::sync::OnceLock;
+
+    /// Cached CPUID probe for AVX2 + FMA.
+    pub(super) fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// `R` rows × 16 columns at `(i, j)`: two 8-lane accumulators per row.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2+FMA are available ([`available`]) and that
+    /// the `R`×16 tile at `(i, j)` is in bounds for `a`/`b`/`out` with the
+    /// given `k`/`n` strides (the same contract the scalar tile's slicing
+    /// enforces).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tile16<const R: usize>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        epi: Epilogue<'_>,
+    ) {
+        debug_assert!((i + R) * k <= a.len());
+        debug_assert!(k == 0 || (k - 1) * n + j + 16 <= b.len());
+        let mut acc_lo = [_mm256_setzero_ps(); R];
+        let mut acc_hi = [_mm256_setzero_ps(); R];
+        let mut b_off = j;
+        for p in 0..k {
+            let b_lo = _mm256_loadu_ps(b.as_ptr().add(b_off));
+            let b_hi = _mm256_loadu_ps(b.as_ptr().add(b_off + 8));
+            for r in 0..R {
+                let a_val = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+                acc_lo[r] = _mm256_fmadd_ps(a_val, b_lo, acc_lo[r]);
+                acc_hi[r] = _mm256_fmadd_ps(a_val, b_hi, acc_hi[r]);
+            }
+            b_off += n;
+        }
+        let (bias_lo, bias_hi): (__m256, __m256) = match epi {
+            Epilogue::Store => (_mm256_setzero_ps(), _mm256_setzero_ps()),
+            Epilogue::Bias(bias) | Epilogue::BiasAdd(bias) => (
+                _mm256_loadu_ps(bias.as_ptr().add(j)),
+                _mm256_loadu_ps(bias.as_ptr().add(j + 8)),
+            ),
+        };
+        for r in 0..R {
+            let out_ptr = out.as_mut_ptr().add((i + r) * n + j);
+            match epi {
+                Epilogue::Store => {
+                    _mm256_storeu_ps(out_ptr, acc_lo[r]);
+                    _mm256_storeu_ps(out_ptr.add(8), acc_hi[r]);
+                }
+                // Same operation order as the scalar epilogues:
+                // `acc + bias`, then (for BiasAdd) `out + (acc + bias)`.
+                Epilogue::Bias(_) => {
+                    _mm256_storeu_ps(out_ptr, _mm256_add_ps(acc_lo[r], bias_lo));
+                    _mm256_storeu_ps(out_ptr.add(8), _mm256_add_ps(acc_hi[r], bias_hi));
+                }
+                Epilogue::BiasAdd(_) => {
+                    let cur_lo = _mm256_loadu_ps(out_ptr);
+                    let cur_hi = _mm256_loadu_ps(out_ptr.add(8));
+                    _mm256_storeu_ps(
+                        out_ptr,
+                        _mm256_add_ps(cur_lo, _mm256_add_ps(acc_lo[r], bias_lo)),
+                    );
+                    _mm256_storeu_ps(
+                        out_ptr.add(8),
+                        _mm256_add_ps(cur_hi, _mm256_add_ps(acc_hi[r], bias_hi)),
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// All column tiles for a block of `R` rows starting at row `i`.
+#[allow(clippy::too_many_arguments)] // flat GEMM plumbing: slices + dims
 #[inline(always)]
 fn row_block<const R: usize>(
     a: &[f32],
@@ -98,8 +216,20 @@ fn row_block<const R: usize>(
     k: usize,
     n: usize,
     epi: Epilogue<'_>,
+    use_simd: bool,
 ) {
     let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        while j + 16 <= n {
+            // SAFETY: AVX2+FMA availability is checked before `use_simd` is
+            // set; bounds follow from `j + 16 <= n` and `i + R <= m`.
+            unsafe { simd::tile16::<R>(a, b, out, i, j, k, n, epi) };
+            j += 16;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
     while j + 16 <= n {
         tile::<R, 16>(a, b, out, i, j, k, n, epi);
         j += 16;
@@ -118,20 +248,110 @@ fn row_block<const R: usize>(
     }
 }
 
-/// The blocked GEMM driver: `out ∘= a (m×k) × b (k×n)` under `epi`.
-fn gemm(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], epi: Epilogue<'_>) {
+/// Single-threaded blocked GEMM over a row range — the unit of work the
+/// threaded driver hands to each pool block.
+#[allow(clippy::too_many_arguments)] // flat GEMM plumbing: slices + dims
+fn gemm_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+    use_simd: bool,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     let mut i = 0;
     while i + 4 <= m {
-        row_block::<4>(a, b, out, i, k, n, epi);
+        row_block::<4>(a, b, out, i, k, n, epi, use_simd);
         i += 4;
     }
     while i < m {
-        row_block::<1>(a, b, out, i, k, n, epi);
+        row_block::<1>(a, b, out, i, k, n, epi, use_simd);
         i += 1;
     }
+}
+
+/// A raw output pointer that may cross threads. Soundness: the threaded
+/// driver hands each pool block a *disjoint* row range of `out`, so no two
+/// threads ever touch the same element.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Below this many multiply-accumulates a GEMM is not worth a pool
+/// dispatch: handing a job to parked workers costs a few microseconds,
+/// which only amortizes once the kernel itself runs tens of microseconds.
+/// Pure throughput cut-off — results are identical on either side of it.
+const PAR_MIN_MACS: usize = 1 << 17;
+
+/// Fewest output rows a pool block may carry (keeps blocks on whole
+/// 4-row register blocks and bounds per-block dispatch overhead).
+const PAR_MIN_BLOCK_ROWS: usize = 16;
+
+/// The blocked GEMM driver: `out ∘= a (m×k) × b (k×n)` under `epi`,
+/// optionally splitting output row blocks across a [`ThreadPool`].
+///
+/// **Bit-exactness across thread counts.** The i/j loops are fully
+/// independent — every output element is `Σ_p fma(a[i][p], b[p][j], ·)`
+/// with `p` ascending regardless of which thread computes it — so
+/// partitioning rows across threads (in any assignment) produces the same
+/// bytes as the serial loop. Only the row partition is parallelized; `p`
+/// accumulation order is untouched.
+#[allow(clippy::too_many_arguments)] // flat GEMM plumbing: slices + dims
+fn gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+    pool: Option<&ThreadPool>,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let use_simd = simd_tile_available();
+    let threads = pool.map_or(1, ThreadPool::threads);
+    if threads <= 1 || m < 2 * PAR_MIN_BLOCK_ROWS || m * k * n < PAR_MIN_MACS {
+        return gemm_rows(a, m, k, b, n, out, epi, use_simd);
+    }
+    let pool = pool.expect("threads > 1 implies a pool");
+    // Row blocks: multiples of 4 (whole register blocks), a few per thread
+    // for dynamic load balance, never smaller than PAR_MIN_BLOCK_ROWS.
+    let target_blocks = threads * 4;
+    let rows_per_block = m
+        .div_ceil(target_blocks)
+        .next_multiple_of(4)
+        .max(PAR_MIN_BLOCK_ROWS);
+    let blocks = m.div_ceil(rows_per_block);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    pool.run(blocks, &move |block| {
+        // Read the whole wrapper (not `out_ptr.0`) so edition-2021 closure
+        // capture grabs `SendPtr` (which is `Sync`), not the bare `*mut f32`
+        // field (which is not).
+        let base = { out_ptr }.0;
+        let start = block * rows_per_block;
+        let rows = rows_per_block.min(m - start);
+        // SAFETY: blocks tile `0..m` disjointly, so each reconstructed
+        // sub-slice covers rows `start..start+rows` and nothing else.
+        let out_block = unsafe { std::slice::from_raw_parts_mut(base.add(start * n), rows * n) };
+        gemm_rows(
+            &a[start * k..(start + rows) * k],
+            rows,
+            k,
+            b,
+            n,
+            out_block,
+            epi,
+            use_simd,
+        );
+    });
 }
 
 /// Matrix product `a × b` written into `out` (resized as needed; previous
@@ -141,6 +361,13 @@ fn gemm(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32], epi
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_into_with(a, b, out, None);
+}
+
+/// [`matmul_into`] with an optional [`ThreadPool`] splitting output row
+/// blocks across threads. Bit-exact with the single-threaded call at any
+/// thread count (see the GEMM driver's invariance argument).
+pub fn matmul_into_with(a: &Tensor, b: &Tensor, out: &mut Tensor, pool: Option<&ThreadPool>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -160,6 +387,26 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         n,
         out.as_mut_slice(),
         Epilogue::Store,
+        pool,
+    );
+}
+
+/// [`matmul_into`] forced onto the scalar inner tile (no explicit SIMD,
+/// single-threaded) — the conformance oracle the SIMD tile and the threaded
+/// driver are tested against. Production code never needs this.
+pub fn matmul_into_scalar_tile(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.resize(m, n);
+    gemm_rows(
+        a.as_slice(),
+        m,
+        k,
+        b.as_slice(),
+        n,
+        out.as_mut_slice(),
+        Epilogue::Store,
+        false,
     );
 }
 
@@ -174,6 +421,18 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
 /// Panics on shape mismatch (`input.cols() != weight.rows()` or `bias` not
 /// `1 × weight.cols()`).
 pub fn matmul_bias_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    matmul_bias_into_with(input, weight, bias, out, None);
+}
+
+/// [`matmul_bias_into`] with an optional [`ThreadPool`]; bit-exact with the
+/// single-threaded call at any thread count.
+pub fn matmul_bias_into_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+    pool: Option<&ThreadPool>,
+) {
     assert_eq!(input.cols(), weight.rows(), "matmul_bias shape mismatch");
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
@@ -187,6 +446,7 @@ pub fn matmul_bias_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mu
         n,
         out.as_mut_slice(),
         Epilogue::Bias(bias.as_slice()),
+        pool,
     );
 }
 
@@ -201,6 +461,18 @@ pub fn matmul_bias_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mu
 /// Panics on shape mismatch, including `out` not being
 /// `input.rows() × weight.cols()`.
 pub fn matmul_bias_add_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    matmul_bias_add_into_with(input, weight, bias, out, None);
+}
+
+/// [`matmul_bias_add_into`] with an optional [`ThreadPool`]; bit-exact with
+/// the single-threaded call at any thread count.
+pub fn matmul_bias_add_into_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+    pool: Option<&ThreadPool>,
+) {
     assert_eq!(input.cols(), weight.rows(), "matmul_bias shape mismatch");
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
@@ -217,6 +489,7 @@ pub fn matmul_bias_add_into(input: &Tensor, weight: &Tensor, bias: &Tensor, out:
         weight.cols(),
         out.as_mut_slice(),
         Epilogue::BiasAdd(bias.as_slice()),
+        pool,
     );
 }
 
@@ -456,6 +729,69 @@ mod tests {
             let reference = naive_matmul(&a, &b);
             assert_eq!(fast.as_slice(), reference.as_slice(), "{m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn simd_tile_matches_scalar_tile_bit_for_bit() {
+        // On hosts without AVX2 the fast path already *is* the scalar tile
+        // and this degenerates to a self-comparison (still a valid check of
+        // the dispatch plumbing).
+        let mut r = rng();
+        for (m, k, n) in [(4, 32, 16), (5, 7, 48), (33, 17, 35), (1, 64, 16)] {
+            let a = Tensor::randn(m, k, &mut r);
+            let b = Tensor::randn(k, n, &mut r);
+            let mut fast = Tensor::zeros(0, 0);
+            matmul_into(&a, &b, &mut fast);
+            let mut scalar = Tensor::zeros(0, 0);
+            matmul_into_scalar_tile(&a, &b, &mut scalar);
+            assert_eq!(fast.as_slice(), scalar.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn threaded_gemm_is_bit_exact_at_every_thread_count() {
+        let mut r = rng();
+        // Shapes chosen to cross the parallel cut-off (the big one) and sit
+        // under it (the small ones, which must still answer correctly
+        // through the pooled entry point).
+        for (m, k, n) in [(128, 64, 48), (37, 5, 9), (256, 33, 17)] {
+            let a = Tensor::randn(m, k, &mut r);
+            let b = Tensor::randn(k, n, &mut r);
+            let mut serial = Tensor::zeros(0, 0);
+            matmul_into(&a, &b, &mut serial);
+            for threads in [2, 3, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let mut threaded = Tensor::zeros(0, 0);
+                matmul_into_with(&a, &b, &mut threaded, Some(&pool));
+                assert_eq!(
+                    threaded.as_slice(),
+                    serial.as_slice(),
+                    "{m}x{k}x{n} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_epilogues_match_serial() {
+        let mut r = rng();
+        let pool = ThreadPool::new(4);
+        let x = Tensor::randn(192, 40, &mut r);
+        let w = Tensor::randn(40, 56, &mut r);
+        let b = Tensor::randn(1, 56, &mut r);
+        let base = Tensor::randn(192, 56, &mut r);
+
+        let mut serial = Tensor::zeros(0, 0);
+        matmul_bias_into(&x, &w, &b, &mut serial);
+        let mut threaded = Tensor::zeros(0, 0);
+        matmul_bias_into_with(&x, &w, &b, &mut threaded, Some(&pool));
+        assert_eq!(threaded.as_slice(), serial.as_slice(), "bias epilogue");
+
+        let mut serial = base.clone();
+        matmul_bias_add_into(&x, &w, &b, &mut serial);
+        let mut threaded = base.clone();
+        matmul_bias_add_into_with(&x, &w, &b, &mut threaded, Some(&pool));
+        assert_eq!(threaded.as_slice(), serial.as_slice(), "bias-add epilogue");
     }
 
     #[test]

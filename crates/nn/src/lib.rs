@@ -49,6 +49,8 @@ pub mod kernels;
 mod layers;
 pub mod math;
 mod optim;
+pub mod pool;
+mod quant;
 pub mod rng;
 mod snapshot;
 mod tensor;
@@ -57,5 +59,7 @@ pub use autograd::{GradBatch, Parameter, Tape, Var};
 pub use error::{NnError, Result};
 pub use layers::{Activation, ActivationKind, Linear, Module, ResNet, ResidualBlock, Sequential};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
+pub use pool::{clamp_threads, host_threads, resolve_threads, ThreadPool};
+pub use quant::{QuantizedBlockSnapshot, QuantizedLinearSnapshot, QuantizedResNetSnapshot};
 pub use snapshot::{BlockSnapshot, LinearSnapshot, NetWorkspace, ResNetSnapshot, WeightSnapshot};
 pub use tensor::Tensor;

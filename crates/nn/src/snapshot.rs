@@ -14,27 +14,37 @@
 //! [`crate::kernels`] for the operation-order argument.
 
 use crate::kernels::{
-    activate_in_place, matmul_bias_add_into, matmul_bias_into, relu_in_place, tanh_in_place,
+    activate_in_place, matmul_bias_add_into_with, matmul_bias_into_with, relu_in_place,
+    tanh_in_place,
 };
 use crate::layers::ActivationKind;
+use crate::pool::ThreadPool;
 use crate::tensor::Tensor;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Workspace
 // ---------------------------------------------------------------------------
 
-/// A pool of scratch tensors reused across forward passes.
+/// A pool of scratch tensors reused across forward passes, plus the
+/// (optional) GEMM thread pool every forward pass through this workspace
+/// uses.
 ///
 /// Buffers are taken from and returned to the pool around each use; once the
 /// pool has warmed up to a model's widest activation, no further allocation
 /// occurs regardless of how many batches are processed.
+///
+/// The thread pool is a pure throughput knob: every kernel dispatched
+/// through it is bit-exact (0 ULP) with the single-threaded path at any
+/// thread count, so installing or removing a pool never changes results.
 #[derive(Clone, Debug, Default)]
 pub struct NetWorkspace {
     pool: Vec<Tensor>,
+    threads: Option<Arc<ThreadPool>>,
 }
 
 impl NetWorkspace {
-    /// Creates an empty workspace.
+    /// Creates an empty workspace (single-threaded kernels).
     pub fn new() -> Self {
         Self::default()
     }
@@ -47,6 +57,17 @@ impl NetWorkspace {
     /// Returns a scratch tensor to the pool for reuse.
     pub fn put(&mut self, t: Tensor) {
         self.pool.push(t);
+    }
+
+    /// Installs (or removes, with `None`) the GEMM thread pool used by
+    /// forward passes through this workspace.
+    pub fn set_thread_pool(&mut self, pool: Option<Arc<ThreadPool>>) {
+        self.threads = pool;
+    }
+
+    /// The installed GEMM thread pool, if any.
+    pub fn thread_pool(&self) -> Option<&ThreadPool> {
+        self.threads.as_deref()
     }
 }
 
@@ -86,15 +107,47 @@ impl LinearSnapshot {
         self.weight.cols()
     }
 
+    /// The `in × out` weight matrix.
+    pub fn weight_tensor(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The `1 × out` bias row vector.
+    pub fn bias_tensor(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Bytes held by the f32 weights + bias (for compression reporting
+    /// against the quantized tier).
+    pub fn memory_bytes(&self) -> usize {
+        (self.weight.as_slice().len() + self.bias.as_slice().len()) * std::mem::size_of::<f32>()
+    }
+
     /// Fused `out = input × W + b`, resizing `out` as needed.
     pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) {
-        matmul_bias_into(input, &self.weight, &self.bias, out);
+        self.forward_into_with(input, out, None);
+    }
+
+    /// [`Self::forward_into`] with an optional GEMM thread pool
+    /// (bit-identical results at any thread count).
+    pub fn forward_into_with(&self, input: &Tensor, out: &mut Tensor, pool: Option<&ThreadPool>) {
+        matmul_bias_into_with(input, &self.weight, &self.bias, out, pool);
     }
 
     /// Fused residual `out += input × W + b` (`out` must already be
     /// `input.rows() × out_features`).
     pub fn forward_add_into(&self, input: &Tensor, out: &mut Tensor) {
-        matmul_bias_add_into(input, &self.weight, &self.bias, out);
+        self.forward_add_into_with(input, out, None);
+    }
+
+    /// [`Self::forward_add_into`] with an optional GEMM thread pool.
+    pub fn forward_add_into_with(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        pool: Option<&ThreadPool>,
+    ) {
+        matmul_bias_add_into_with(input, &self.weight, &self.bias, out, pool);
     }
 }
 
@@ -139,20 +192,54 @@ impl ResNetSnapshot {
         }
     }
 
-    /// Runs the forward pass into `out`, using `ws` for hidden activations.
+    /// The input projection layer.
+    pub fn input_layer(&self) -> &LinearSnapshot {
+        &self.input
+    }
+
+    /// The residual blocks, in forward order.
+    pub fn block_layers(&self) -> &[BlockSnapshot] {
+        &self.blocks
+    }
+
+    /// The output projection layer.
+    pub fn output_layer(&self) -> &LinearSnapshot {
+        &self.output
+    }
+
+    /// Whether the output is squashed through `tanh`.
+    pub fn output_tanh(&self) -> bool {
+        self.output_tanh
+    }
+
+    /// Total bytes held by the f32 weights across all layers.
+    pub fn memory_bytes(&self) -> usize {
+        self.input.memory_bytes()
+            + self.output.memory_bytes()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.fc1.memory_bytes() + b.fc2.memory_bytes())
+                .sum::<usize>()
+    }
+
+    /// Runs the forward pass into `out`, using `ws` for hidden activations
+    /// (and its thread pool, if one is installed).
     ///
-    /// Bit-exact with `ResNet::forward_tensor`.
+    /// Bit-exact with `ResNet::forward_tensor` at any thread count.
     pub fn forward_into(&self, x: &Tensor, ws: &mut NetWorkspace, out: &mut Tensor) {
         let mut h = ws.take();
         let mut tmp = ws.take();
-        self.input.forward_into(x, &mut h);
+        self.input.forward_into_with(x, &mut h, ws.thread_pool());
         relu_in_place(&mut h);
         for block in &self.blocks {
-            block.fc1.forward_into(&h, &mut tmp);
+            block.fc1.forward_into_with(&h, &mut tmp, ws.thread_pool());
             activate_in_place(block.activation, &mut tmp);
-            block.fc2.forward_add_into(&tmp, &mut h);
+            block
+                .fc2
+                .forward_add_into_with(&tmp, &mut h, ws.thread_pool());
         }
-        self.output.forward_into(&h, out);
+        self.output.forward_into_with(&h, out, ws.thread_pool());
         if self.output_tanh {
             tanh_in_place(out);
         }
@@ -187,16 +274,16 @@ impl WeightSnapshot {
     /// module's `forward_tensor`.
     pub fn forward_into(&self, x: &Tensor, ws: &mut NetWorkspace, out: &mut Tensor) {
         match self {
-            WeightSnapshot::Linear(l) => l.forward_into(x, out),
+            WeightSnapshot::Linear(l) => l.forward_into_with(x, out, ws.thread_pool()),
             WeightSnapshot::Activation(kind) => {
                 out.copy_from(x);
                 activate_in_place(*kind, out);
             }
             WeightSnapshot::Residual(block) => {
                 let mut tmp = ws.take();
-                block.fc1.forward_into(x, &mut tmp);
+                block.fc1.forward_into_with(x, &mut tmp, ws.thread_pool());
                 activate_in_place(block.activation, &mut tmp);
-                block.fc2.forward_into(&tmp, out);
+                block.fc2.forward_into_with(&tmp, out, ws.thread_pool());
                 // IEEE addition is commutative in value, so `fc2out + x`
                 // equals the reference `x + fc2out` to the last bit.
                 out.add_assign(x);

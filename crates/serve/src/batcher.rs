@@ -71,6 +71,10 @@ pub struct BatcherConfig {
     pub max_wait: Duration,
     /// Bound of the job queue; enqueueing beyond it sheds load (503).
     pub queue_capacity: usize,
+    /// GEMM threads for the batcher's scoring workspace (resolved through
+    /// the repo-wide [`passflow_nn::clamp_threads`] discipline; `1` keeps
+    /// the serial kernels). Scores are bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for BatcherConfig {
@@ -79,6 +83,7 @@ impl Default for BatcherConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(2),
             queue_capacity: 1024,
+            threads: 1,
         }
     }
 }
@@ -179,7 +184,7 @@ impl Drop for Batcher {
 
 fn run_loop(receiver: &mpsc::Receiver<Job>, config: BatcherConfig, metrics: &Metrics) {
     let max_batch = config.max_batch.max(1);
-    let mut ws = FlowWorkspace::new();
+    let mut ws = FlowWorkspace::with_threads(passflow_nn::clamp_threads(config.threads));
     let mut scores: Vec<Option<f64>> = Vec::new();
     // Whether the previous tick was full — the saturation signal driving
     // the adaptive wait.
@@ -415,6 +420,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: Duration::ZERO,
                 queue_capacity: 1,
+                ..BatcherConfig::default()
             },
             Arc::new(Metrics::new()),
         );

@@ -7,6 +7,7 @@
 //!                [--max-batch 64] [--max-wait-ms 2] [--allow-shutdown]
 //!                [--deadline-ms 10000] [--breaker-failures 5]
 //!                [--breaker-cooldown-ms 5000]
+//!                [--threads N] [--quantized]
 //! ```
 //!
 //! Without `--checkpoint` a deterministic demo flow (seed 0, `tiny`
@@ -14,6 +15,14 @@
 //! and the CI `serve-smoke` job. A [`SampleTable`] for guess-number
 //! estimates is loaded from `--table` or built on startup from
 //! `--table-samples` samples.
+//!
+//! `--threads` sets the batcher's GEMM thread count (default: the
+//! `PASSFLOW_THREADS` environment variable, else 1; always clamped to the
+//! host) — scores are bit-identical at any thread count. `--quantized`
+//! serves the model through the **int8 quantized tier** (~4× smaller
+//! weights, approximate scores); the measured error bound
+//! (max |Δ log-prob| over a probe wordlist) is printed at startup so the
+//! operator opts in knowingly.
 //!
 //! The process serves until `POST /admin/shutdown` (always enabled in the
 //! binary: a server you cannot stop cleanly is not operable) or until
@@ -39,6 +48,8 @@ struct Args {
     breaker_failures: u32,
     breaker_cooldown_ms: u64,
     until_stdin_eof: bool,
+    threads: Option<usize>,
+    quantized: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
         breaker_failures: defaults.1.failure_threshold,
         breaker_cooldown_ms: defaults.1.cooldown.as_millis() as u64,
         until_stdin_eof: false,
+        threads: None,
+        quantized: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +107,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--breaker-cooldown-ms must be a number".to_string())?;
             }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads must be a number".to_string())?,
+                );
+            }
+            "--quantized" => args.quantized = true,
             "--allow-shutdown" => {} // accepted for compatibility; always on
             "--until-stdin-eof" => args.until_stdin_eof = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -126,7 +147,27 @@ fn run() -> Result<(), String> {
     };
 
     let registry = Arc::new(ModelRegistry::new());
-    registry.insert(ServedModel::from_flow("default", &flow, 1, table));
+    if args.quantized {
+        // Measure and surface the model's quantization error before
+        // serving approximate scores — the opt-in must be informed.
+        let exact = passflow_core::FlowScorer::new(&flow);
+        let quantized = passflow_core::QuantizedScorer::from_scorer(&exact);
+        let probe: Vec<String> = (0..512).map(|i| format!("probe{i}")).collect();
+        let report = passflow_core::probe_quantization(&exact, &quantized, &probe);
+        eprintln!(
+            "quantized tier: max |Δ log-prob| {:.6}, mean {:.6} over {} probes; \
+             weights {:.2}× smaller ({} → {} bytes)",
+            report.max_abs_delta,
+            report.mean_abs_delta,
+            report.samples,
+            report.compression(),
+            report.exact_bytes,
+            report.quantized_bytes
+        );
+        registry.insert(ServedModel::from_flow_quantized("default", &flow, 1, table));
+    } else {
+        registry.insert(ServedModel::from_flow("default", &flow, 1, table));
+    }
 
     let digest = match &args.digest {
         Some(path) => Some(Arc::new(
@@ -152,6 +193,7 @@ fn run() -> Result<(), String> {
         batcher: BatcherConfig {
             max_batch: args.max_batch,
             max_wait: std::time::Duration::from_millis(args.max_wait_ms),
+            threads: passflow_nn::resolve_threads(args.threads),
             ..BatcherConfig::default()
         },
         default_deadline: std::time::Duration::from_millis(args.deadline_ms),

@@ -17,13 +17,17 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use passflow_core::{
-    FlowScorer, FlowWorkspace, PassFlow, ProbabilityModel, SampleTable, StrengthEstimate,
+    FlowScorer, FlowWorkspace, PassFlow, ProbabilityModel, QuantizedScorer, SampleTable,
+    StrengthEstimate,
 };
 
 /// The scoring implementation behind a served model.
 enum Backend {
     /// A detached flow snapshot scored through the fused batch kernels.
     Flow(FlowScorer),
+    /// The opt-in int8 quantized tier of a flow snapshot (~4× smaller,
+    /// approximate scores; see `probe_quantization`).
+    Quantized(QuantizedScorer),
     /// Any probability model, scored through its own (possibly batched)
     /// `password_log_probs` implementation.
     Dyn(Arc<dyn ProbabilityModel>),
@@ -33,6 +37,7 @@ impl std::fmt::Debug for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Backend::Flow(_) => f.write_str("Backend::Flow"),
+            Backend::Quantized(_) => f.write_str("Backend::Quantized"),
             Backend::Dyn(_) => f.write_str("Backend::Dyn"),
         }
     }
@@ -65,6 +70,30 @@ impl ServedModel {
             backend: Backend::Flow(FlowScorer::new(flow)),
             table,
         }
+    }
+
+    /// Builds a served model scoring through the **int8 quantized tier** of
+    /// the flow's snapshot — scores are approximate; callers opt in after
+    /// checking the model's measured error bound
+    /// ([`passflow_core::probe_quantization`]).
+    pub fn from_flow_quantized(
+        name: impl Into<String>,
+        flow: &PassFlow,
+        version: u64,
+        table: Option<SampleTable>,
+    ) -> Self {
+        ServedModel {
+            name: name.into(),
+            version,
+            backend: Backend::Quantized(QuantizedScorer::new(flow)),
+            table,
+        }
+    }
+
+    /// Whether this model scores through the approximate int8 tier
+    /// (surfaced in `GET /v1/models` so clients can tell the tiers apart).
+    pub fn quantized(&self) -> bool {
+        matches!(self.backend, Backend::Quantized(_))
     }
 
     /// Builds a served model from any [`ProbabilityModel`] (a Markov or
@@ -112,6 +141,7 @@ impl ServedModel {
     ) {
         match &self.backend {
             Backend::Flow(scorer) => scorer.log_probs_with(passwords, ws, out),
+            Backend::Quantized(scorer) => scorer.log_probs_with(passwords, ws, out),
             Backend::Dyn(model) => {
                 out.clear();
                 out.extend(model.password_log_probs(passwords));
@@ -194,15 +224,19 @@ impl ModelRegistry {
         names
     }
 
-    /// Sorted `(name, current version)` pairs (for `GET /v1/models`).
+    /// Sorted `(name, current version, quantized)` triples (for
+    /// `GET /v1/models`).
     ///
-    /// Each version is read through the model's own handle, so the pair is
-    /// a consistent snapshot of that model even while swaps are in flight.
-    pub fn entries(&self) -> Vec<(String, u64)> {
+    /// Each triple is read through the model's own handle, so it is a
+    /// consistent snapshot of that model even while swaps are in flight.
+    pub fn entries(&self) -> Vec<(String, u64, bool)> {
         let models = self.models.read();
-        let mut entries: Vec<(String, u64)> = models
+        let mut entries: Vec<(String, u64, bool)> = models
             .iter()
-            .map(|(name, handle)| (name.clone(), handle.read().version()))
+            .map(|(name, handle)| {
+                let model = handle.read();
+                (name.clone(), model.version(), model.quantized())
+            })
             .collect();
         entries.sort();
         entries

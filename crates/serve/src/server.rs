@@ -591,10 +591,11 @@ fn models(shared: &Arc<Shared>) -> Response {
         .registry
         .entries()
         .into_iter()
-        .map(|(name, version)| {
+        .map(|(name, version, quantized)| {
             Json::obj([
                 ("name", Json::Str(name)),
                 ("version", Json::Num(version as f64)),
+                ("quantized", Json::Bool(quantized)),
             ])
         })
         .collect();

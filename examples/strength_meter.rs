@@ -24,8 +24,9 @@ use std::time::Instant;
 
 use passflow::baselines::PcfgModel;
 use passflow::{
-    attack_unique_rank, score_wordlist, train, CorpusConfig, FlowConfig, PassFlow,
-    ProbabilityModel, SampleTable, SyntheticCorpusGenerator, TrainConfig,
+    attack_unique_rank, probe_quantization, score_wordlist, train, CorpusConfig, FlowConfig,
+    FlowScorer, PassFlow, ProbabilityModel, QuantizedScorer, SampleTable, SyntheticCorpusGenerator,
+    TrainConfig,
 };
 use rand::SeedableRng;
 
@@ -160,6 +161,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          [{:.1}, {:.1}]",
         predicted.ci_low,
         predicted.ci_high
+    );
+
+    // ------------------------------------------------------------------
+    // 5. The int8 quantized scoring tier: the same 10k wordlist through
+    //    both tiers. Quantization trades an approximate score (bounded
+    //    below) for 4×-smaller coupling weights — the win is memory, so
+    //    on this deliberately tiny model (weights fit L1) expect the time
+    //    ratio near or below 1×; BENCH_PR8.json shows the wide-model case
+    //    where the smaller weight stream is a real speedup.
+    // ------------------------------------------------------------------
+    let exact = FlowScorer::new(&flow);
+    let quantized = QuantizedScorer::from_scorer(&exact);
+
+    let t0 = Instant::now();
+    let exact_scores = exact.log_probs(&wordlist);
+    let exact_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let quant_scores = quantized.log_probs(&wordlist);
+    let quant_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(exact_scores.len(), quant_scores.len());
+
+    let report = probe_quantization(&exact, &quantized, &wordlist);
+    println!(
+        "\nquantized scoring tier ({} passwords):\n  \
+         exact {exact_secs:.3}s, int8 {quant_secs:.3}s (speedup {:.2}x)\n  \
+         max |delta log-prob| {:.4}, mean {:.6}, weights {:.2}x smaller",
+        report.samples,
+        exact_secs / quant_secs,
+        report.max_abs_delta,
+        report.mean_abs_delta,
+        report.compression()
+    );
+
+    // The documented accuracy contract (DESIGN.md, "Threaded GEMM, SIMD
+    // tiles & quantized tier"); `tests/fastpath.rs` asserts the same bound
+    // against the exact `log_prob_reference` oracle.
+    const QUANT_LOG_PROB_BOUND: f64 = 1.0;
+    assert!(
+        report.max_abs_delta > 0.0 && report.max_abs_delta < QUANT_LOG_PROB_BOUND,
+        "quantized tier out of contract: max |delta log-prob| = {}, \
+         documented bound {QUANT_LOG_PROB_BOUND}",
+        report.max_abs_delta
     );
     Ok(())
 }

@@ -11,8 +11,9 @@
 //! * [`passwords`] — alphabet, encoding, synthetic corpus, dataset pipeline,
 //! * [`core`] (also re-exported at the root) — the flow model, training,
 //!   dynamic sampling, Gaussian smoothing, interpolation, the unified
-//!   guessing-attack engine ([`Guesser`] / [`Attack`]), and the
+//!   guessing-attack engine ([`Guesser`] / [`Attack`]), the
 //!   strength-meter subsystem ([`ProbabilityModel`] / [`SampleTable`]),
+//!   and the int8 quantized scoring tier ([`QuantizedScorer`]),
 //! * [`baselines`] — Markov, PCFG, WGAN and CWAE comparators, all
 //!   implementing [`Guesser`],
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
@@ -52,12 +53,13 @@ pub use passflow_store as store;
 pub use passflow_core::run_attack;
 pub use passflow_core::{
     attack_unique_rank, interpolate, interpolate_passwords, load_checkpoint, load_flow,
-    save_checkpoint, save_flow, score_wordlist, train, Attack, AttackConfig, AttackEngine,
-    AttackOutcome, CheckpointReport, DynamicParams, EarlyStopConfig, FlowConfig, FlowError,
-    FlowScorer, FlowSnapshot, FlowWorkspace, GaussianSmoothing, GuessSession, Guesser,
+    probe_quantization, save_checkpoint, save_flow, score_wordlist, train, Attack, AttackConfig,
+    AttackEngine, AttackOutcome, CheckpointReport, DynamicParams, EarlyStopConfig, FlowConfig,
+    FlowError, FlowScorer, FlowSnapshot, FlowWorkspace, GaussianSmoothing, GuessSession, Guesser,
     GuessingStrategy, LatentGuesser, LatentSession, MaskStrategy, PassFlow, PasswordStrength,
-    Penalization, ProbabilityModel, SampleTable, SamplingRankEstimate, Schedule, ShardedSet,
-    StrengthEstimate, TrainConfig, TrainLoop, TrainState, Trainer, TrainingReport,
+    Penalization, ProbabilityModel, QuantizationReport, QuantizedFlowSnapshot, QuantizedScorer,
+    SampleTable, SamplingRankEstimate, Schedule, ShardedSet, StrengthEstimate, TrainConfig,
+    TrainLoop, TrainState, Trainer, TrainingReport,
 };
 pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{

@@ -457,6 +457,7 @@ fn saturated_batcher_sheds_503_and_serves_on() {
                 max_batch: 64,
                 max_wait: Duration::from_millis(40),
                 queue_capacity: 1,
+                ..BatcherConfig::default()
             },
             max_connections: 64,
             ..chaos_config()

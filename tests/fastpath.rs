@@ -203,3 +203,120 @@ fn snapshot_cache_follows_training_updates() {
         "stale snapshot: weight update did not change generated guesses"
     );
 }
+
+/// The scalar reference the GEMM contract is stated against: one FMA per
+/// (row, col, p) with `p` ascending — exactly the accumulation order the
+/// register-blocked, SIMD and threaded kernels all preserve.
+fn gemm_reference(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = a[i * k + p].mul_add(b[p * n + j], acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[test]
+fn threaded_gemm_matches_reference_over_ragged_shapes() {
+    use passflow::nn::kernels::{matmul_into, matmul_into_with};
+    use passflow::nn::ThreadPool;
+
+    // A property-style sweep: shapes chosen to hit every tail of the
+    // blocked kernel — 16/8/4/1-wide column tails, 4-row blocks and
+    // single-row tails, plus k values that are not multiples of anything.
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (1, 7, 17),
+        (3, 5, 16),
+        (4, 16, 24),
+        (5, 3, 20),
+        (7, 9, 7),
+        (8, 32, 33),
+        (31, 17, 29),
+        (64, 24, 48),
+        (65, 31, 41),
+        (128, 48, 21),
+        (256, 64, 64),
+    ];
+    for (case, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut rng = nnrng::seeded(9_000 + case as u64);
+        let a = Tensor::randn(m, k, &mut rng);
+        let b = Tensor::randn(k, n, &mut rng);
+        let reference = gemm_reference(&a, &b);
+
+        let mut serial = Tensor::default();
+        matmul_into(&a, &b, &mut serial);
+        assert_eq!(
+            serial.as_slice(),
+            &reference[..],
+            "{m}x{k}x{n}: single-threaded kernel diverged from the reference"
+        );
+
+        for threads in [2usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut threaded = Tensor::default();
+            matmul_into_with(&a, &b, &mut threaded, Some(&pool));
+            assert_eq!(
+                threaded.as_slice(),
+                serial.as_slice(),
+                "{m}x{k}x{n}: {threads}-thread result is not bit-identical"
+            );
+        }
+    }
+}
+
+/// The quantized tier's documented accuracy contract: on a trained
+/// reference model, int8 scoring stays within this many log-prob units of
+/// the exact `log_prob_reference` oracle. DESIGN.md ("Threaded GEMM, SIMD
+/// tiles & quantized tier") documents the same bound; BENCH_PR8.json
+/// records the value actually measured per host.
+const QUANT_LOG_PROB_BOUND: f64 = 1.0;
+
+#[test]
+fn quantized_log_prob_stays_within_documented_bound_of_reference() {
+    let corpus = SyntheticCorpusGenerator::new(CorpusConfig::small().with_size(2_000))
+        .generate(61)
+        .into_passwords();
+    let mut rng = nnrng::seeded(62);
+    let flow = PassFlow::new(FlowConfig::tiny(), &mut rng).expect("valid config");
+    train(
+        &flow,
+        &corpus,
+        &TrainConfig::tiny().with_epochs(1).with_batch_size(256),
+    )
+    .expect("training succeeds");
+
+    let snapshot = flow.snapshot();
+    let quantized = snapshot.quantize();
+    let x = flow
+        .encode_batch(&corpus[..256])
+        .expect("synthetic corpus passwords always encode");
+    let oracle = flow.log_prob_reference(&x);
+
+    let mut ws = FlowWorkspace::new();
+    let mut lp = Tensor::default();
+    quantized.log_prob_into(&x, &mut ws, &mut lp);
+
+    let mut max_delta = 0.0f64;
+    for (q, r) in lp.as_slice().iter().zip(oracle.iter()) {
+        max_delta = max_delta.max((f64::from(*q) - f64::from(*r)).abs());
+    }
+    assert!(
+        max_delta > 0.0,
+        "int8 quantization must actually perturb scores — a zero delta \
+         means the quantized path silently fell back to f32"
+    );
+    assert!(
+        max_delta < QUANT_LOG_PROB_BOUND,
+        "quantized tier exceeded its documented bound: max |delta log-prob| \
+         = {max_delta}, documented {QUANT_LOG_PROB_BOUND}"
+    );
+}
