@@ -1,22 +1,36 @@
-//! Loopback load generator for the serving subsystem (`BENCH_PR5.json`).
+//! Loopback load generator for the serving subsystem.
 //!
 //! Starts a `passflow-serve` server in-process on an ephemeral loopback
-//! port, hammers `POST /v1/score` from many keep-alive client threads, and
-//! measures end-to-end request throughput twice: once with micro-batching
-//! disabled (`max_batch = 1`, the serial per-request path) and once with
-//! the adaptive batcher at `max_batch = 64`. Both runs carry identical
-//! HTTP/JSON/syscall overhead, so the ratio isolates what batching buys —
-//! scoring through one blocked 64-row GEMM per tick instead of 64 one-row
-//! calls. The acceptance bar for PR 5 is batched ≥ 3× serial.
+//! port and drives it in one of five modes:
+//!
+//! * **hammer** (default) — many keep-alive clients send single-password
+//!   `POST /v1/score` requests back-to-back, measured twice: batching
+//!   disabled (`max_batch = 1`) and the adaptive batcher at
+//!   `max_batch = 64`. Both runs carry identical HTTP/JSON/syscall
+//!   overhead, so the ratio isolates what batching buys. Emits
+//!   `BENCH_PR5.json`; the acceptance bar is batched ≥ 3× serial.
+//! * **synth** — synthesizes a seeded `PFTRACE v1` workload trace
+//!   (heavy-tailed batch sizes, bursty arrivals, score/logprob/screen
+//!   endpoint mix) and writes it to `--trace`.
+//! * **record** — runs a live workload and *records* it: each request's
+//!   measured inter-arrival gap, endpoint and password seed go into a
+//!   `PFTRACE v1` file that `replay` reproduces byte-for-byte.
+//! * **replay** — loads `--trace` (or synthesizes from `--seed`), replays
+//!   it against an in-process server at `--lanes`, honoring recorded
+//!   inter-arrival gaps, and prints throughput plus a digest of every
+//!   response's exact score bits.
+//! * **sweep** — the PR 9 benchmark: a lanes × clients throughput grid,
+//!   a cross-lane-count trace replay asserting **bit-identical** outcomes
+//!   at lanes 1/2/4, and the idle keep-alive figure (threads + VmRSS
+//!   delta for ~1k parked connections). Emits `BENCH_PR9.json`.
 //!
 //! ```text
 //! cargo run --release -p passflow-bench --bin loadgen -- \
-//!     [--quick] [--out BENCH_PR5.json]
+//!     [--mode hammer|synth|record|replay|sweep] [--quick] [--out PATH] \
+//!     [--trace PATH] [--seed N] [--count N] [--clients N] [--lanes N]
 //! ```
 //!
-//! Emits `passflow-bench-v1` rows (schema: DESIGN.md, "Artifact schemas"):
-//! `serve/score_loopback/serial`, `serve/score_loopback/batch64`, and a
-//! `serve/batched_over_serial` speedup row.
+//! Emits `passflow-bench-v1` rows (schema: DESIGN.md, "Artifact schemas").
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,11 +39,13 @@ use std::time::{Duration, Instant};
 
 use passflow_core::{FlowConfig, PassFlow, SampleTable};
 use passflow_serve::client::{request_with_retry, Connection, RetryPolicy};
+use passflow_serve::trace::{self, Trace, TraceRecord, TraceSynthProfile};
 use passflow_serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+use passflow_store::{DigestConfig, DigestStore, DigestStoreBuilder};
 
-/// Concurrent client threads. Each holds one keep-alive connection and
-/// sends single-password requests back-to-back, so up to `CLIENTS`
-/// requests are in flight — enough to fill 64-row ticks under load.
+/// Concurrent client threads for hammer cells. Each holds one keep-alive
+/// connection and sends single-password requests back-to-back, so up to
+/// `CLIENTS` requests are in flight — enough to fill 64-row ticks.
 const CLIENTS: usize = 64;
 
 fn build_registry(quick: bool) -> (Arc<ModelRegistry>, PassFlow) {
@@ -47,6 +63,33 @@ fn build_registry(quick: bool) -> (Arc<ModelRegistry>, PassFlow) {
     let registry = Arc::new(ModelRegistry::new());
     registry.insert(ServedModel::from_flow("default", &flow, 1, Some(table)));
     (registry, flow)
+}
+
+/// A small digest store in a temp file, so traces that mix in
+/// `/v1/screen` exercise the real endpoint instead of a 503.
+fn digest_fixture() -> Arc<DigestStore> {
+    let path = std::env::temp_dir().join(format!("pfdigest-loadgen-{}.pfd", std::process::id()));
+    let mut builder = DigestStoreBuilder::new(DigestConfig::default());
+    for pw in ["password1", "dragon", "letmein", "qwerty99"] {
+        builder.add_password(pw).expect("digest fixture password");
+    }
+    builder.finish(&path).expect("digest fixture build");
+    Arc::new(DigestStore::open(&path).expect("digest fixture open"))
+}
+
+fn server_config(lanes: usize, max_batch: usize, digest: Option<Arc<DigestStore>>) -> ServerConfig {
+    ServerConfig {
+        batcher: BatcherConfig {
+            lanes,
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            ..BatcherConfig::default()
+        },
+        max_connections: 4096,
+        digest,
+        ..ServerConfig::default()
+    }
 }
 
 /// Runs one measured load: `clients` threads for `duration`, returning
@@ -100,101 +143,426 @@ fn hammer(addr: std::net::SocketAddr, clients: usize, duration: Duration) -> (u6
     (completed.load(Ordering::Relaxed), elapsed)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
-    let measure = Duration::from_secs(if quick { 2 } else { 6 });
-    let warmup = Duration::from_millis(if quick { 200 } else { 1_000 });
+/// Bit-exactness probe: one served score must equal direct scoring.
+fn probe_bit_exact(addr: std::net::SocketAddr, flow: &PassFlow) {
+    let response = request_with_retry(
+        addr,
+        "POST",
+        "/v1/score",
+        Some("{\"passwords\":[\"jimmy91\"]}"),
+        &RetryPolicy::default(),
+    )
+    .expect("probe request");
+    let expected = passflow_core::ProbabilityModel::password_log_prob(flow, "jimmy91")
+        .expect("encodable probe");
+    let bits_text = response
+        .text()
+        .split("\"log_prob_bits\":\"")
+        .nth(1)
+        .map(|rest| rest[..16].to_string())
+        .expect("log_prob_bits in response");
+    assert_eq!(
+        u64::from_str_radix(&bits_text, 16).unwrap(),
+        expected.to_bits(),
+        "served score must equal direct scoring"
+    );
+}
 
-    let (registry, flow) = build_registry(quick);
+/// `/proc/self/status` Threads and VmRSS (kB); zeros off-Linux.
+fn proc_threads_and_rss() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |name: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("Threads:"), field("VmRSS:"))
+}
 
-    let mut rows: Vec<(String, u64, f64)> = Vec::new(); // (name, requests, seconds)
-    let mut throughputs: Vec<f64> = Vec::new();
+/// FNV-1a digest over every outcome's status and score bits — two replays
+/// agree on this iff they agreed on every response.
+fn outcome_digest(outcomes: &[trace::ReplayOutcome]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for outcome in outcomes {
+        eat(&outcome.status.to_le_bytes());
+        for bits in &outcome.bits {
+            eat(bits.as_bytes());
+        }
+        for verdict in &outcome.verdicts {
+            eat(verdict.as_bytes());
+        }
+    }
+    hash
+}
 
-    for (label, max_batch) in [("serial", 1usize), ("batch64", 64usize)] {
-        let config = ServerConfig {
-            batcher: BatcherConfig {
-                max_batch,
-                max_wait: Duration::from_millis(2),
-                queue_capacity: 1024,
-                ..BatcherConfig::default()
-            },
-            max_connections: CLIENTS + 8,
-            ..ServerConfig::default()
-        };
-        let server = serve(config, Arc::clone(&registry)).expect("bind loopback");
-        let addr = server.addr();
+struct Args {
+    mode: String,
+    quick: bool,
+    out: Option<String>,
+    trace: String,
+    seed: u64,
+    count: Option<usize>,
+    clients: usize,
+    lanes: usize,
+}
 
-        // Correctness spot check before measuring: the served score equals
-        // direct scoring, bit for bit, through whichever batch shape.
-        let response = request_with_retry(
-            addr,
-            "POST",
-            "/v1/score",
-            Some("{\"passwords\":[\"jimmy91\"]}"),
-            &RetryPolicy::default(),
-        )
-        .expect("probe request");
-        let expected = passflow_core::ProbabilityModel::password_log_prob(&flow, "jimmy91")
-            .expect("encodable probe");
-        let bits_text = response
-            .text()
-            .split("\"log_prob_bits\":\"")
-            .nth(1)
-            .map(|rest| rest[..16].to_string())
-            .expect("log_prob_bits in response");
-        assert_eq!(
-            u64::from_str_radix(&bits_text, 16).unwrap(),
-            expected.to_bits(),
-            "served score must equal direct scoring"
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let value = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    Args {
+        mode: value("--mode").unwrap_or_else(|| "hammer".to_string()),
+        quick: argv.iter().any(|a| a == "--quick"),
+        out: value("--out"),
+        trace: value("--trace").unwrap_or_else(|| "trace.pftrace".to_string()),
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(42),
+        count: value("--count").and_then(|v| v.parse().ok()),
+        clients: value("--clients")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16),
+        lanes: value("--lanes").and_then(|v| v.parse().ok()).unwrap_or(1),
+    }
+}
+
+/// Writes `passflow-bench-v1` JSON: (name, seconds_per_iter, rate) rows.
+fn write_bench_json(path: &str, rows: &[(String, f64, f64)]) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut json = format!(
+        "{{\n  \"schema\": \"passflow-bench-v1\",\n  \"host_cpus\": {host_cpus},\n  \"results\": {{\n"
+    );
+    for (i, (name, spi, rate)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"seconds_per_iter\": {spi:.9}, \"elements_per_second\": {rate:.2} }}{comma}"
         );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(path, &json).expect("writing benchmark JSON");
+    println!("{json}");
+    println!("wrote {path}");
+}
 
+/// The original PR 5 benchmark: serial vs batch64 under hammer load.
+fn run_hammer(args: &Args) {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let measure = Duration::from_secs(if args.quick { 2 } else { 6 });
+    let warmup = Duration::from_millis(if args.quick { 200 } else { 1_000 });
+    let (registry, flow) = build_registry(args.quick);
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut throughputs: Vec<f64> = Vec::new();
+    for (label, max_batch) in [("serial", 1usize), ("batch64", 64usize)] {
+        let server = serve(
+            server_config(args.lanes, max_batch, None),
+            Arc::clone(&registry),
+        )
+        .expect("bind loopback");
+        let addr = server.addr();
+        probe_bit_exact(addr, &flow);
         let _ = hammer(addr, CLIENTS, warmup);
         let (requests, seconds) = hammer(addr, CLIENTS, measure);
         server.shutdown();
         server.join();
 
         let throughput = requests as f64 / seconds;
-        println!("serve/score_loopback/{label}: {requests} requests in {seconds:.2}s = {throughput:.0} req/s");
-        rows.push((format!("serve/score_loopback/{label}"), requests, seconds));
+        println!(
+            "serve/score_loopback/{label}: {requests} requests in {seconds:.2}s = {throughput:.0} req/s"
+        );
+        rows.push((
+            format!("serve/score_loopback/{label}"),
+            seconds / (requests as f64).max(1.0),
+            throughput,
+        ));
         throughputs.push(throughput);
     }
 
     let speedup = throughputs[1] / throughputs[0];
     println!("batched_over_serial: {speedup:.2}×");
-
-    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let mut json = format!(
-        "{{\n  \"schema\": \"passflow-bench-v1\",\n  \"host_cpus\": {host_cpus},\n  \"results\": {{\n"
-    );
-    for (name, requests, seconds) in &rows {
-        let _ = writeln!(
-            json,
-            "    \"{}\": {{ \"seconds_per_iter\": {:.9}, \"elements_per_second\": {:.0} }},",
-            name,
-            seconds / (*requests as f64).max(1.0),
-            *requests as f64 / seconds
-        );
-    }
-    let _ = writeln!(
-        json,
-        "    \"serve/batched_over_serial\": {{ \"seconds_per_iter\": 0.000000000, \"elements_per_second\": {speedup:.2} }}"
-    );
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, &json).expect("writing benchmark JSON");
-    println!("{json}");
-    println!("wrote {out_path}");
+    rows.push(("serve/batched_over_serial".to_string(), 0.0, speedup));
+    write_bench_json(&out_path, &rows);
 
     // The PR 5 acceptance bar; --quick CI runs still assert a clear win.
-    let bar = if quick { 2.0 } else { 3.0 };
+    let bar = if args.quick { 2.0 } else { 3.0 };
     assert!(
         speedup >= bar,
         "batched serving must be ≥ {bar}× serial (measured {speedup:.2}×)"
     );
+}
+
+fn synth_profile() -> TraceSynthProfile {
+    TraceSynthProfile::default()
+}
+
+/// `--mode synth`: write a seeded synthetic trace.
+fn run_synth(args: &Args) {
+    let count = args.count.unwrap_or(if args.quick { 200 } else { 2_000 });
+    let trace = Trace::synth(args.seed, count, &synth_profile());
+    trace
+        .write(std::path::Path::new(&args.trace))
+        .expect("writing trace");
+    println!(
+        "synthesized {} records ({} passwords) from seed {} -> {}",
+        trace.records.len(),
+        trace.total_passwords(),
+        args.seed,
+        args.trace
+    );
+}
+
+/// `--mode record`: run a live workload and record its *measured*
+/// arrival process (gaps, endpoints, password seeds) as a trace.
+fn run_record(args: &Args) {
+    let count = args.count.unwrap_or(if args.quick { 200 } else { 1_000 });
+    let (registry, _flow) = build_registry(args.quick);
+    let server = serve(
+        server_config(args.lanes, 64, Some(digest_fixture())),
+        registry,
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // The shape (endpoint mix, batch sizes, password seeds) comes from the
+    // synth generator; the *timing* is measured off the wire. A recorded
+    // trace therefore replays the workload the server actually saw, not
+    // the workload the generator intended.
+    let planned = Trace::synth(args.seed, count, &synth_profile());
+    let mut conn = Connection::open(addr, Duration::from_secs(30)).expect("connect");
+    let mut records = Vec::with_capacity(count);
+    let mut last = Instant::now();
+    for planned_record in &planned.records {
+        let response = conn
+            .request(
+                "POST",
+                planned_record.endpoint.path(),
+                Some(&planned_record.body()),
+            )
+            .expect("recorded request");
+        assert!(
+            response.status == 200 || response.status == 503,
+            "unexpected status {} while recording",
+            response.status
+        );
+        let now = Instant::now();
+        let gap_us = now.duration_since(last).as_micros().min(u32::MAX as u128) as u32;
+        last = now;
+        records.push(TraceRecord {
+            gap_us,
+            ..*planned_record
+        });
+    }
+    server.shutdown();
+    server.join();
+
+    let trace = Trace { seed: 0, records };
+    trace
+        .write(std::path::Path::new(&args.trace))
+        .expect("writing trace");
+    println!(
+        "recorded {} live requests -> {}",
+        trace.records.len(),
+        args.trace
+    );
+}
+
+/// `--mode replay`: replay a trace file (or a synthesized one) against an
+/// in-process server and report throughput + the outcome digest.
+fn run_replay(args: &Args) {
+    let trace = if std::path::Path::new(&args.trace).exists() {
+        Trace::load(std::path::Path::new(&args.trace)).expect("loading trace")
+    } else {
+        let count = args.count.unwrap_or(if args.quick { 200 } else { 1_000 });
+        println!(
+            "{} not found; synthesizing {count} records from seed {}",
+            args.trace, args.seed
+        );
+        Trace::synth(args.seed, count, &synth_profile())
+    };
+    let (registry, _flow) = build_registry(args.quick);
+    let server = serve(
+        server_config(args.lanes, 64, Some(digest_fixture())),
+        registry,
+    )
+    .expect("bind loopback");
+
+    let start = Instant::now();
+    let outcomes = trace::replay(server.addr(), &trace, args.clients).expect("replay");
+    let seconds = start.elapsed().as_secs_f64();
+    let ok = outcomes.iter().filter(|o| o.status == 200).count();
+    println!(
+        "replayed {} records ({} passwords) in {seconds:.2}s = {:.0} req/s with {} lanes; \
+         {ok} ok; outcome_digest={:016x}",
+        outcomes.len(),
+        trace.total_passwords(),
+        outcomes.len() as f64 / seconds,
+        args.lanes,
+        outcome_digest(&outcomes)
+    );
+    let steals = server.batcher().total_steals();
+    println!("lane steals: {steals}");
+    server.shutdown();
+    server.join();
+}
+
+/// `--mode sweep`: the PR 9 benchmark grid (`BENCH_PR9.json`).
+fn run_sweep(args: &Args) {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let measure = Duration::from_secs(if args.quick { 1 } else { 3 });
+    let warmup = Duration::from_millis(if args.quick { 200 } else { 500 });
+    let idle_conns = if args.quick { 200 } else { 1_000 };
+    let trace_count = if args.quick { 150 } else { 600 };
+    let (registry, flow) = build_registry(args.quick);
+    let digest = digest_fixture();
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+
+    // -- Lane × clients hammer grid -------------------------------------
+    for lanes in [1usize, 2, 4] {
+        for clients in [8usize, 64] {
+            let server = serve(
+                server_config(lanes, 64, Some(Arc::clone(&digest))),
+                Arc::clone(&registry),
+            )
+            .expect("bind loopback");
+            let addr = server.addr();
+            probe_bit_exact(addr, &flow);
+            let _ = hammer(addr, clients, warmup);
+            let (requests, seconds) = hammer(addr, clients, measure);
+            server.shutdown();
+            server.join();
+            let throughput = requests as f64 / seconds;
+            println!(
+                "serve/lane_sweep/lanes{lanes}_clients{clients}: {requests} requests in \
+                 {seconds:.2}s = {throughput:.0} req/s"
+            );
+            rows.push((
+                format!("serve/lane_sweep/lanes{lanes}_clients{clients}"),
+                seconds / (requests as f64).max(1.0),
+                throughput,
+            ));
+        }
+    }
+
+    // -- Cross-lane-count trace replay: bit-identical outcomes ----------
+    let trace = Trace::synth(args.seed, trace_count, &synth_profile());
+    let mut digests = Vec::new();
+    for lanes in [1usize, 2, 4] {
+        let server = serve(
+            server_config(lanes, 64, Some(Arc::clone(&digest))),
+            Arc::clone(&registry),
+        )
+        .expect("bind loopback");
+        let start = Instant::now();
+        let outcomes = trace::replay(server.addr(), &trace, args.clients).expect("replay");
+        let seconds = start.elapsed().as_secs_f64();
+        server.shutdown();
+        server.join();
+        assert!(
+            outcomes.iter().all(|o| o.status == 200),
+            "every replayed request must succeed"
+        );
+        let digest_value = outcome_digest(&outcomes);
+        println!(
+            "serve/trace_replay/lanes{lanes}: {} records in {seconds:.2}s = {:.0} req/s, \
+             outcome digest {digest_value:016x}",
+            outcomes.len(),
+            outcomes.len() as f64 / seconds
+        );
+        rows.push((
+            format!("serve/trace_replay/lanes{lanes}"),
+            seconds / (outcomes.len() as f64).max(1.0),
+            outcomes.len() as f64 / seconds,
+        ));
+        digests.push(digest_value);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "trace replay outcomes must be bit-identical across lane counts: {digests:x?}"
+    );
+    println!("cross-lane outcome digests identical: {:016x}", digests[0]);
+
+    // -- Idle keep-alive cost: ~1k parked connections --------------------
+    let server = serve(
+        server_config(4, 64, Some(Arc::clone(&digest))),
+        Arc::clone(&registry),
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    probe_bit_exact(addr, &flow);
+    let (threads_before, rss_before) = proc_threads_and_rss();
+    let mut parked: Vec<Connection> = (0..idle_conns)
+        .map(|_| Connection::open(addr, Duration::from_secs(30)).expect("idle connection"))
+        .collect();
+    // Let the poller park them all, then measure.
+    std::thread::sleep(Duration::from_millis(500));
+    let (threads_after, rss_after) = proc_threads_and_rss();
+    let thread_delta = threads_after.saturating_sub(threads_before);
+    let rss_delta_kb = rss_after.saturating_sub(rss_before);
+    println!(
+        "serve/idle_conns: {idle_conns} idle keep-alive connections cost {thread_delta} \
+         threads, {rss_delta_kb} kB RSS"
+    );
+    // The whole point of the multiplexer: idle sockets must not spawn
+    // threads (allow a little scheduler slack, never O(connections)).
+    assert!(
+        thread_delta < 8,
+        "{idle_conns} idle connections must cost ~0 threads, measured +{thread_delta}"
+    );
+    // The parked sockets are still live connections: each still serves.
+    for conn in parked.iter_mut().take(5) {
+        let response = conn
+            .request("POST", "/v1/score", Some("{\"passwords\":[\"jimmy91\"]}"))
+            .expect("parked connection revival");
+        assert_eq!(response.status, 200);
+    }
+    drop(parked);
+    server.shutdown();
+    server.join();
+    rows.push((
+        format!("serve/idle_conns/threads_delta_per_{idle_conns}"),
+        0.0,
+        thread_delta as f64,
+    ));
+    rows.push((
+        format!("serve/idle_conns/vmrss_delta_kb_per_{idle_conns}"),
+        0.0,
+        rss_delta_kb as f64,
+    ));
+
+    write_bench_json(&out_path, &rows);
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode.as_str() {
+        "hammer" => run_hammer(&args),
+        "synth" => run_synth(&args),
+        "record" => run_record(&args),
+        "replay" => run_replay(&args),
+        "sweep" => run_sweep(&args),
+        other => {
+            eprintln!("loadgen: unknown --mode {other:?} (hammer|synth|record|replay|sweep)");
+            std::process::exit(2);
+        }
+    }
 }

@@ -59,7 +59,7 @@ pub use autograd::{GradBatch, Parameter, Tape, Var};
 pub use error::{NnError, Result};
 pub use layers::{Activation, ActivationKind, Linear, Module, ResNet, ResidualBlock, Sequential};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
-pub use pool::{clamp_threads, host_threads, resolve_threads, ThreadPool};
+pub use pool::{clamp_lane_threads, clamp_threads, host_threads, resolve_threads, ThreadPool};
 pub use quant::{QuantizedBlockSnapshot, QuantizedLinearSnapshot, QuantizedResNetSnapshot};
 pub use snapshot::{BlockSnapshot, LinearSnapshot, NetWorkspace, ResNetSnapshot, WeightSnapshot};
 pub use tensor::Tensor;

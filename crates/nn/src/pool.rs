@@ -55,10 +55,29 @@ pub fn clamp_threads(requested: usize) -> usize {
     requested.clamp(1, host_threads())
 }
 
+/// Per-lane GEMM thread count under the `lanes × threads ≤ host` clamp.
+///
+/// A sharded consumer (the serve batcher's `--lanes`) has up to `lanes`
+/// threads submitting GEMMs concurrently. Each submission burns the
+/// submitting lane thread *plus* the shared pool's workers, so letting every
+/// lane ask for a full [`resolve_threads`] count would oversubscribe the
+/// host by a factor of `lanes`. This helper clamps the requested per-lane
+/// count so that `lanes × threads` never exceeds [`host_threads`] (and never
+/// drops below 1): `lanes` sharded submitters over a pool sized this way is
+/// at worst a full host, not `lanes` full hosts. Lane counts and thread
+/// counts stay pure throughput knobs — results are bit-identical regardless.
+pub fn clamp_lane_threads(lanes: usize, requested: usize) -> usize {
+    let lanes = lanes.max(1);
+    let per_lane_cap = (host_threads() / lanes).max(1);
+    clamp_threads(requested).min(per_lane_cap)
+}
+
 /// Resolves a thread-count knob the way every passflow binary does:
 /// an explicit value (e.g. a `--threads` flag) wins, otherwise the
 /// `PASSFLOW_THREADS` environment variable, otherwise 1; the result is
 /// clamped by [`clamp_threads`]. Unparsable environment values are ignored.
+/// Sharded callers that multiply the knob across lanes (the serve batcher)
+/// compose this with [`clamp_lane_threads`] so `lanes × threads ≤ host`.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
     let requested = explicit
         .or_else(|| {
@@ -350,5 +369,26 @@ mod tests {
         assert_eq!(resolve_threads(Some(1)), 1);
         assert!(resolve_threads(None) >= 1);
         assert!(resolve_threads(Some(usize::MAX)) <= host_threads());
+    }
+
+    #[test]
+    fn lane_clamp_keeps_lanes_times_threads_within_the_host() {
+        // One lane degenerates to the plain clamp.
+        assert_eq!(clamp_lane_threads(1, 3), clamp_threads(3));
+        assert_eq!(clamp_lane_threads(0, 3), clamp_threads(3), "0 lanes ≡ 1");
+        // The product never exceeds the host, and never hits zero.
+        for lanes in [1usize, 2, 3, 4, 7, 64, 1_000] {
+            for requested in [0usize, 1, 2, 8, usize::MAX] {
+                let per_lane = clamp_lane_threads(lanes, requested);
+                assert!(per_lane >= 1, "lanes={lanes} requested={requested}");
+                assert!(
+                    per_lane == 1 || lanes * per_lane <= host_threads(),
+                    "lanes={lanes} requested={requested} per_lane={per_lane}"
+                );
+                assert!(per_lane <= clamp_threads(requested));
+            }
+        }
+        // More lanes than cores: each lane falls back to serial kernels.
+        assert_eq!(clamp_lane_threads(host_threads() + 1, usize::MAX), 1);
     }
 }

@@ -1,16 +1,35 @@
-//! The adaptive micro-batching queue between HTTP handlers and the flow.
+//! The adaptive micro-batching queue between HTTP handlers and the flow —
+//! sharded into N independent **lanes**.
 //!
 //! Per-request scalar scoring wastes the blocked GEMM the inference fast
 //! path was built around: a 1-row matrix product cannot amortize anything.
 //! The batcher turns concurrent single-password requests back into the
 //! batched [`FlowSnapshot::log_prob_into`] shape: handlers enqueue jobs on
-//! a **bounded** MPSC channel (overload is shed at enqueue time with a 503,
-//! never by buffering without limit) and one batcher thread coalesces them
-//! into per-tick micro-batches.
+//! a **bounded** per-lane queue (overload is shed at enqueue time with a
+//! 503, never by buffering without limit) and each lane thread coalesces
+//! its jobs into per-tick micro-batches.
+//!
+//! With [`BatcherConfig::lanes`] > 1 the single batcher thread becomes a
+//! sharded set (the scale-out path for hosts where one lane saturates a
+//! core before it saturates the scoring tiers):
+//!
+//! * **Dispatch** is round-robin with failover: a submit lands on the
+//!   cursor's lane, or the next alive lane with room; only when *every*
+//!   lane is full does it shed.
+//! * **Work stealing**: a lane whose own queue runs dry mid-tick drains
+//!   the front of its siblings' queues into the same tick, so one hot
+//!   lane's overflow is absorbed before any 503.
+//! * **One shared GEMM pool**: lanes share a single
+//!   [`passflow_nn::ThreadPool`] sized by
+//!   [`passflow_nn::clamp_lane_threads`] (`lanes × threads ≤ host`) rather
+//!   than each spawning `threads` workers.
+//! * **Per-lane liveness**: `/healthz` reports each lane; a dead lane's
+//!   queued jobs are re-dispatched to survivors (see `lane`).
 //!
 //! Each tick works like this:
 //!
-//! 1. Block on the first job (an idle server burns no CPU).
+//! 1. Block on the first job (an idle server burns no CPU beyond a slow
+//!    idle steal scan).
 //! 2. **Adaptive wait**: if the *previous* tick filled `max_batch`, the
 //!    queue is saturated — drain whatever is ready without sleeping (any
 //!    waiting would only grow latency; the backlog already guarantees full
@@ -22,20 +41,24 @@
 //! 4. Send each job its slice of the results over its reply channel.
 //!
 //! Because every fused kernel is row-independent, a password's score is
-//! bit-identical whether it was scored alone or coalesced into a 64-row
-//! tick — the concurrency suite in `tests/serve.rs` asserts this at 0 ULP.
+//! bit-identical whether it was scored alone, coalesced into a 64-row
+//! tick, or stolen by a sibling lane — `tests/serve.rs` and
+//! `tests/lanes.rs` assert this at 0 ULP.
 //!
 //! [`FlowSnapshot::log_prob_into`]: passflow_core::FlowSnapshot::log_prob_into
 
-use std::sync::atomic::{AtomicBool, Ordering};
+mod lane;
+
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use passflow_core::FlowWorkspace;
+use passflow_nn::ThreadPool;
 
 use crate::metrics::Metrics;
 use crate::registry::ServedModel;
+use lane::LaneSet;
 
 /// A scoring job: the passwords of one request plus where to send results.
 pub struct ScoreJob {
@@ -69,12 +92,20 @@ pub struct BatcherConfig {
     pub max_batch: usize,
     /// Maximum time a tick waits for stragglers after its first job.
     pub max_wait: Duration,
-    /// Bound of the job queue; enqueueing beyond it sheds load (503).
+    /// Bound of each lane's job queue; enqueueing beyond it (on every
+    /// lane) sheds load (503).
     pub queue_capacity: usize,
     /// GEMM threads for the batcher's scoring workspace (resolved through
     /// the repo-wide [`passflow_nn::clamp_threads`] discipline; `1` keeps
-    /// the serial kernels). Scores are bit-identical at any thread count.
+    /// the serial kernels). With multiple lanes the per-lane count is
+    /// further clamped by [`passflow_nn::clamp_lane_threads`] so
+    /// `lanes × threads` never oversubscribes the host, and all lanes
+    /// share **one** pool. Scores are bit-identical at any thread count.
     pub threads: usize,
+    /// Number of batcher lanes (independent queue + tick loop pairs).
+    /// `1` reproduces the single-threaded batcher exactly; responses are
+    /// bit-identical at any lane count.
+    pub lanes: usize,
 }
 
 impl Default for BatcherConfig {
@@ -84,81 +115,129 @@ impl Default for BatcherConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 1024,
             threads: 1,
+            lanes: 1,
         }
     }
 }
 
-/// What travels over the batcher queue.
-enum Job {
-    /// A scoring job from a handler.
-    Score(ScoreJob),
-    /// Shutdown token: score what is already queued, then exit.
-    Shutdown,
-}
-
-/// Handle for submitting jobs to the batcher thread.
+/// Handle for submitting jobs to the batcher lanes.
 #[derive(Clone)]
 pub struct BatcherHandle {
-    sender: mpsc::SyncSender<Job>,
-    alive: Arc<AtomicBool>,
+    set: Arc<LaneSet>,
 }
 
 /// Why a job could not be enqueued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EnqueueError {
-    /// The bounded queue is full — the server is overloaded.
+    /// Every lane's bounded queue is full — the server is overloaded.
     Overloaded,
-    /// The batcher has shut down.
+    /// The batcher has shut down (or every lane has died).
     ShuttingDown,
 }
 
 impl BatcherHandle {
     /// Enqueues a job without blocking; overload is reported, not buffered.
     pub fn submit(&self, job: ScoreJob) -> Result<(), EnqueueError> {
-        self.sender.try_send(Job::Score(job)).map_err(|e| match e {
-            mpsc::TrySendError::Full(_) => EnqueueError::Overloaded,
-            mpsc::TrySendError::Disconnected(_) => EnqueueError::ShuttingDown,
-        })
+        self.set.submit(job)
     }
 
-    /// Whether the batcher thread is still running (for `/healthz`; flips
-    /// false on graceful shutdown *and* if the thread ever dies).
+    /// Whether any batcher lane is still running (for `/healthz`; flips
+    /// false on graceful shutdown *and* if every lane thread dies).
     pub fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::SeqCst)
+        self.set.alive_lanes() > 0
+    }
+
+    /// Number of lanes this batcher was spawned with.
+    pub fn lanes(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether a specific lane's thread is still running.
+    pub fn lane_alive(&self, lane: usize) -> bool {
+        self.set.lane_alive(lane)
+    }
+
+    /// Number of lanes still running.
+    pub fn alive_lanes(&self) -> usize {
+        self.set.alive_lanes()
+    }
+
+    /// Jobs lane `lane` has stolen from its siblings so far.
+    pub fn lane_steals(&self, lane: usize) -> u64 {
+        self.set.lane_steals(lane)
+    }
+
+    /// Total steals across all lanes.
+    pub fn total_steals(&self) -> u64 {
+        (0..self.set.len()).map(|i| self.set.lane_steals(i)).sum()
+    }
+
+    /// **Chaos hook**: makes lane `lane` panic at its next wakeup, exactly
+    /// as if its thread had crashed. Queued jobs are re-dispatched to
+    /// surviving lanes; `/healthz` reports the lane dead. For fault
+    /// injection in `tests/chaos.rs` — never called in production paths.
+    pub fn kill_lane(&self, lane: usize) {
+        self.set.request_kill(lane);
     }
 }
 
-/// The batcher thread plus its submission handle.
+/// The batcher lane threads plus their submission handle.
 pub struct Batcher {
     handle: BatcherHandle,
-    thread: Option<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Batcher {
-    /// Spawns the batcher thread.
+    /// Spawns the batcher lanes. All lanes share one GEMM [`ThreadPool`]
+    /// sized by [`passflow_nn::clamp_lane_threads`] — `--lanes` and
+    /// `--threads` compose without oversubscribing the host.
     pub fn spawn(config: BatcherConfig, metrics: Arc<Metrics>) -> Batcher {
-        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
-        let alive = Arc::new(AtomicBool::new(true));
-        let alive_flag = Arc::clone(&alive);
-        let thread = std::thread::Builder::new()
-            .name("passflow-batcher".to_string())
-            .spawn(move || {
-                // Flips the liveness flag however the loop exits — a panic
-                // unwinding through here still marks the batcher dead, so
-                // `/healthz` tells the truth.
-                struct AliveGuard(Arc<AtomicBool>);
-                impl Drop for AliveGuard {
-                    fn drop(&mut self) {
-                        self.0.store(false, Ordering::SeqCst);
-                    }
-                }
-                let _guard = AliveGuard(alive_flag);
-                run_loop(&receiver, config, &metrics);
+        let lanes = config.lanes.max(1);
+        let set = Arc::new(LaneSet::new(
+            lanes,
+            config.queue_capacity.max(1),
+            Arc::clone(&metrics),
+        ));
+        let per_lane = passflow_nn::clamp_lane_threads(lanes, config.threads);
+        let pool = if per_lane > 1 {
+            Some(Arc::new(ThreadPool::new(per_lane)))
+        } else {
+            None
+        };
+        let threads = (0..lanes)
+            .map(|idx| {
+                let set = Arc::clone(&set);
+                let metrics = Arc::clone(&metrics);
+                let pool = pool.clone();
+                std::thread::Builder::new()
+                    .name(format!("passflow-lane-{idx}"))
+                    .spawn(move || {
+                        // Retires the lane however the loop exits — a panic
+                        // unwinding through here still marks it dead (so
+                        // `/healthz` tells the truth) and re-dispatches its
+                        // queued jobs to surviving lanes (so no client
+                        // hangs on a reply that will never come).
+                        struct LaneGuard {
+                            set: Arc<LaneSet>,
+                            idx: usize,
+                        }
+                        impl Drop for LaneGuard {
+                            fn drop(&mut self) {
+                                self.set.retire(self.idx, std::thread::panicking());
+                            }
+                        }
+                        let _guard = LaneGuard {
+                            set: Arc::clone(&set),
+                            idx,
+                        };
+                        lane::lane_loop(&set, idx, &config, &metrics, pool);
+                    })
+                    .expect("spawning a batcher lane thread")
             })
-            .expect("spawning the batcher thread");
+            .collect();
         Batcher {
-            handle: BatcherHandle { sender, alive },
-            thread: Some(thread),
+            handle: BatcherHandle { set },
+            threads,
         }
     }
 
@@ -169,82 +248,16 @@ impl Batcher {
 }
 
 impl Drop for Batcher {
-    /// Sends the shutdown token and joins the thread; jobs already queued
-    /// are still scored before the thread exits (graceful drain). Handle
-    /// clones held elsewhere merely get [`EnqueueError::ShuttingDown`] (or
-    /// an unanswered reply channel) afterwards — they cannot stall the
-    /// join.
+    /// Sets the stop flag and joins every lane; jobs already queued are
+    /// still scored before the threads exit (graceful drain, each lane
+    /// draining its own queue). Handle clones held elsewhere merely get
+    /// [`EnqueueError::ShuttingDown`] (or an unanswered reply channel)
+    /// afterwards — they cannot stall the join.
     fn drop(&mut self) {
-        let _ = self.handle.sender.send(Job::Shutdown);
-        if let Some(thread) = self.thread.take() {
+        self.handle.set.begin_stop();
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
-    }
-}
-
-fn run_loop(receiver: &mpsc::Receiver<Job>, config: BatcherConfig, metrics: &Metrics) {
-    let max_batch = config.max_batch.max(1);
-    let mut ws = FlowWorkspace::with_threads(passflow_nn::clamp_threads(config.threads));
-    let mut scores: Vec<Option<f64>> = Vec::new();
-    // Whether the previous tick was full — the saturation signal driving
-    // the adaptive wait.
-    let mut saturated = false;
-    let mut stop = false;
-
-    while !stop {
-        // 1. Block for the first job of the tick.
-        let first = match receiver.recv() {
-            Ok(Job::Score(job)) => job,
-            Ok(Job::Shutdown) | Err(mpsc::RecvError) => return,
-        };
-        let mut jobs = vec![first];
-        let mut rows: usize = jobs[0].passwords.len();
-
-        // 2. Drain up to max_batch rows, waiting only while unsaturated.
-        let deadline = Instant::now() + config.max_wait;
-        while rows < max_batch {
-            let received = if saturated {
-                receiver.try_recv().ok()
-            } else {
-                deadline
-                    .checked_duration_since(Instant::now())
-                    .filter(|d| !d.is_zero())
-                    .and_then(|remaining| receiver.recv_timeout(remaining).ok())
-            };
-            match received {
-                Some(Job::Score(job)) => {
-                    rows += job.passwords.len();
-                    jobs.push(job);
-                }
-                Some(Job::Shutdown) => {
-                    stop = true;
-                    break;
-                }
-                None => break,
-            }
-        }
-        // Saturation is a queue-pressure signal, so expired jobs count
-        // toward it — they occupied queue slots all the same.
-        saturated = rows >= max_batch;
-        let live = expire_jobs(jobs, metrics);
-        if live.is_empty() {
-            continue;
-        }
-        metrics.record_batch(live.iter().map(|j| j.passwords.len()).sum());
-        score_tick(&live, &mut ws, &mut scores);
-    }
-
-    // Graceful drain: score anything that was queued before the shutdown
-    // token, one final oversized tick per model. Deadlines still apply —
-    // an expired job is no more worth scoring at shutdown than before.
-    let mut pending = Vec::new();
-    while let Ok(Job::Score(job)) = receiver.try_recv() {
-        pending.push(job);
-    }
-    let pending = expire_jobs(pending, metrics);
-    if !pending.is_empty() {
-        metrics.record_batch(pending.iter().map(|j| j.passwords.len()).sum());
-        score_tick(&pending, &mut ws, &mut scores);
     }
 }
 
@@ -509,5 +522,139 @@ mod tests {
         for (a, b) in scores.iter().zip(expected.iter()) {
             assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
         }
+    }
+
+    #[test]
+    fn multi_lane_scores_match_direct_scoring() {
+        let (flow, model) = served(47);
+        let metrics = Arc::new(Metrics::with_lanes(4));
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                lanes: 4,
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let handle = batcher.handle();
+        assert_eq!(handle.lanes(), 4);
+        assert_eq!(handle.alive_lanes(), 4);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let handle = handle.clone();
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    (0..10)
+                        .map(|i| {
+                            let pw = format!("lane{t}x{i}");
+                            (pw.clone(), submit_one(&handle, &model, &pw))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for t in threads {
+            for (pw, got) in t.join().unwrap() {
+                let expected = flow.password_log_prob(&pw).unwrap();
+                assert_eq!(got.unwrap().to_bits(), expected.to_bits(), "{pw}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_slot_queues_force_stealing() {
+        let (flow, model) = served(48);
+        let metrics = Arc::new(Metrics::with_lanes(2));
+        // One-slot lanes and a generous straggler wait: the first lane to
+        // open a tick sits waiting while round-robin keeps landing jobs on
+        // its sibling — the only way those jobs reach a GEMM before the
+        // wait expires is the steal path.
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                lanes: 2,
+                queue_capacity: 1,
+                max_wait: Duration::from_millis(50),
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let handle = batcher.handle();
+        let mut receivers = Vec::new();
+        let mut accepted = Vec::new();
+        for round in 0..40 {
+            let pw = format!("steal{round}");
+            let (reply, rx) = mpsc::sync_channel(1);
+            let job = ScoreJob {
+                model: Arc::clone(&model),
+                passwords: vec![pw.clone()],
+                deadline: lenient_deadline(),
+                reply,
+            };
+            if handle.submit(job).is_ok() {
+                receivers.push(rx);
+                accepted.push(pw);
+            }
+        }
+        for (pw, rx) in accepted.iter().zip(receivers) {
+            let scores = expect_scores(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+            let expected = flow.password_log_prob(pw).unwrap();
+            assert_eq!(scores[0].unwrap().to_bits(), expected.to_bits(), "{pw}");
+        }
+        assert!(
+            handle.total_steals() > 0,
+            "one-slot queues under a 40-job burst must exercise the steal path"
+        );
+        assert_eq!(
+            handle.total_steals(),
+            (0..handle.lanes()).map(|i| handle.lane_steals(i)).sum(),
+            "per-lane steal counters sum to the total"
+        );
+    }
+
+    #[test]
+    fn killed_lane_reports_dead_and_survivors_rescue_its_jobs() {
+        let (flow, model) = served(49);
+        let metrics = Arc::new(Metrics::with_lanes(3));
+        let batcher = Batcher::spawn(
+            BatcherConfig {
+                lanes: 3,
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let handle = batcher.handle();
+        handle.kill_lane(1);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while handle.lane_alive(1) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!handle.lane_alive(1), "killed lane must report dead");
+        assert!(handle.is_alive(), "surviving lanes keep the batcher alive");
+        assert_eq!(handle.alive_lanes(), 2);
+        // Every request after the kill still scores, bit-exact: round-robin
+        // skips the corpse and failover covers its cursor slots.
+        for i in 0..30 {
+            let pw = format!("ak{i}");
+            let got = submit_one(&handle, &model, &pw);
+            let expected = flow.password_log_prob(&pw).unwrap();
+            assert_eq!(got.unwrap().to_bits(), expected.to_bits(), "{pw}");
+        }
+        // Killing the rest flips the batcher dead and submits are refused.
+        handle.kill_lane(0);
+        handle.kill_lane(2);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while handle.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!handle.is_alive());
+        let (reply, _rx) = mpsc::sync_channel(1);
+        assert_eq!(
+            handle.submit(ScoreJob {
+                model,
+                passwords: vec!["x".to_string()],
+                deadline: lenient_deadline(),
+                reply,
+            }),
+            Err(EnqueueError::ShuttingDown)
+        );
     }
 }

@@ -289,6 +289,14 @@ impl<R: BufRead> BudgetReader<R> {
         self.started = None;
     }
 
+    /// The wrapped reader. The connection multiplexer uses this to check
+    /// for already-buffered pipelined bytes before parking a socket (a
+    /// parked socket is watched with `peek`, which cannot see bytes that
+    /// moved into userspace buffers) and to reach the underlying stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
     fn check(&self) -> std::io::Result<()> {
         if let Some(started) = self.started {
             if started.elapsed() > self.budget {

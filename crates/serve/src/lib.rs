@@ -5,15 +5,21 @@
 //! request/response API suitable for a credential-screening or
 //! strength-meter endpoint.
 //!
-//! The design has three load-bearing pieces (DESIGN.md, "Serving
-//! architecture"):
+//! The design has a few load-bearing pieces (DESIGN.md, "Serving
+//! architecture" and "Sharded serving"):
 //!
-//! * the **adaptive micro-batching queue** ([`Batcher`]) — concurrent
-//!   single-password requests are coalesced into one fused
-//!   `FlowSnapshot::log_prob_into` batch per tick (flush on max-batch or
-//!   deadline, with a saturation-driven adaptive wait), so serving
-//!   throughput scales with the blocked GEMM instead of per-request scalar
-//!   calls, while every score stays bit-identical to serial scoring;
+//! * the **sharded adaptive micro-batching queue** ([`Batcher`]) — N
+//!   independent lanes (`--lanes`), each coalescing concurrent
+//!   single-password requests into one fused `FlowSnapshot::log_prob_into`
+//!   batch per tick (flush on max-batch or deadline, with a
+//!   saturation-driven adaptive wait). Submissions round-robin across
+//!   lanes; a full lane's overflow is *stolen* by idle siblings before
+//!   anything sheds 503. All lanes share one GEMM thread pool under a
+//!   `lanes × threads ≤ host` clamp, and every score stays bit-identical
+//!   to serial scoring at any lane count;
+//! * the **connection multiplexer** (`conn`, private) — a poller parks
+//!   idle keep-alive sockets in non-blocking mode and a bounded handler
+//!   pool serves requests, so a thousand idle connections cost ~0 threads;
 //! * the **hot-swappable model registry** ([`ModelRegistry`]) — named,
 //!   versioned, immutable [`ServedModel`]s behind `RwLock<Arc<...>>`
 //!   handles, so freshly trained checkpoints swap in under load with zero
@@ -21,6 +27,10 @@
 //! * a **deliberately small HTTP layer** ([`http`]) — `std::net` + threads,
 //!   every size limit enforced while reading, adversarial input answered
 //!   with precise 4xx statuses (`tests/serve.rs` is the conformance suite);
+//! * the **trace-replay loadgen** ([`trace`]) — versioned `PFTRACE v1`
+//!   request traces (inter-arrival gaps, heavy-tailed batch sizes,
+//!   endpoint mix) that the bench loadgen records, synthesizes from a
+//!   seed, and replays deterministically against a live server;
 //! * an explicit **failure model** (DESIGN.md, "Failure model &
 //!   degradation") — per-request deadlines (server default, shortenable
 //!   via `X-Passflow-Deadline-Ms`; expired jobs answer 504), a
@@ -82,11 +92,13 @@
 pub mod batcher;
 pub mod breaker;
 pub mod client;
+pub(crate) mod conn;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod trace;
 
 pub use batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob, ScoreOutcome};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
@@ -94,3 +106,4 @@ pub use json::Json;
 pub use metrics::Metrics;
 pub use registry::{ModelRegistry, ServedModel};
 pub use server::{serve, ServerConfig, ServerHandle, MAX_REQUEST_PASSWORDS};
+pub use trace::{Trace, TraceRecord, TraceSynthProfile};

@@ -7,7 +7,7 @@
 //!                [--max-batch 64] [--max-wait-ms 2] [--allow-shutdown]
 //!                [--deadline-ms 10000] [--breaker-failures 5]
 //!                [--breaker-cooldown-ms 5000]
-//!                [--threads N] [--quantized]
+//!                [--lanes N] [--handlers N] [--threads N] [--quantized]
 //! ```
 //!
 //! Without `--checkpoint` a deterministic demo flow (seed 0, `tiny`
@@ -16,9 +16,13 @@
 //! estimates is loaded from `--table` or built on startup from
 //! `--table-samples` samples.
 //!
+//! `--lanes` shards the micro-batcher into N independent lanes with work
+//! stealing (default 1); `--handlers` sizes the request-handler pool
+//! (default 64 — idle keep-alive connections cost no threads either way).
 //! `--threads` sets the batcher's GEMM thread count (default: the
 //! `PASSFLOW_THREADS` environment variable, else 1; always clamped to the
-//! host) — scores are bit-identical at any thread count. `--quantized`
+//! host, and further clamped so `lanes × threads ≤ host`) — scores are
+//! bit-identical at any lane or thread count. `--quantized`
 //! serves the model through the **int8 quantized tier** (~4× smaller
 //! weights, approximate scores); the measured error bound
 //! (max |Δ log-prob| over a probe wordlist) is printed at startup so the
@@ -48,6 +52,8 @@ struct Args {
     breaker_failures: u32,
     breaker_cooldown_ms: u64,
     until_stdin_eof: bool,
+    lanes: usize,
+    handlers: Option<usize>,
     threads: Option<usize>,
     quantized: bool,
 }
@@ -66,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         breaker_failures: defaults.1.failure_threshold,
         breaker_cooldown_ms: defaults.1.cooldown.as_millis() as u64,
         until_stdin_eof: false,
+        lanes: 1,
+        handlers: None,
         threads: None,
         quantized: false,
     };
@@ -106,6 +114,21 @@ fn parse_args() -> Result<Args, String> {
                 args.breaker_cooldown_ms = value("--breaker-cooldown-ms")?
                     .parse()
                     .map_err(|_| "--breaker-cooldown-ms must be a number".to_string())?;
+            }
+            "--lanes" => {
+                args.lanes = value("--lanes")?
+                    .parse()
+                    .map_err(|_| "--lanes must be a number".to_string())?;
+                if args.lanes == 0 {
+                    return Err("--lanes must be at least 1".to_string());
+                }
+            }
+            "--handlers" => {
+                args.handlers = Some(
+                    value("--handlers")?
+                        .parse()
+                        .map_err(|_| "--handlers must be a number".to_string())?,
+                );
             }
             "--threads" => {
                 args.threads = Some(
@@ -191,11 +214,16 @@ fn run() -> Result<(), String> {
             .parse()
             .map_err(|e| format!("bad --addr {:?}: {e}", args.addr))?,
         batcher: BatcherConfig {
+            lanes: args.lanes,
             max_batch: args.max_batch,
             max_wait: std::time::Duration::from_millis(args.max_wait_ms),
             threads: passflow_nn::resolve_threads(args.threads),
             ..BatcherConfig::default()
         },
+        handler_threads: args
+            .handlers
+            .unwrap_or(ServerConfig::default().handler_threads)
+            .max(1),
         default_deadline: std::time::Duration::from_millis(args.deadline_ms),
         breaker: BreakerConfig {
             failure_threshold: args.breaker_failures.max(1),
@@ -207,10 +235,12 @@ fn run() -> Result<(), String> {
     };
     let server = serve(config, registry).map_err(|e| format!("bind failed: {e}"))?;
     eprintln!(
-        "serving on http://{} (POST /v1/score, POST /v1/logprob, POST /v1/screen, \
-         GET /v1/range/{{prefix5}}, GET /v1/models, GET /healthz, GET /metrics; \
+        "serving on http://{} with {} batcher lane(s) (POST /v1/score, \
+         POST /v1/logprob, POST /v1/screen, GET /v1/range/{{prefix5}}, \
+         GET /v1/models, GET /healthz, GET /metrics; \
          stop with POST /admin/shutdown)",
-        server.addr()
+        server.addr(),
+        args.lanes
     );
 
     if args.until_stdin_eof {

@@ -5,6 +5,14 @@
 //! `GET /metrics` renders a Prometheus-style text exposition: request
 //! counts by endpoint and status class, the micro-batch size histogram, and
 //! request latency with p50/p99 estimated from a log-spaced histogram.
+//!
+//! A sink built with [`Metrics::with_lanes`] additionally tracks the
+//! sharded batcher per lane: queue depth gauges (`passflow_lane_depth`),
+//! steal counters (`passflow_lane_steals_total`) and per-lane batch-size
+//! histograms (`passflow_lane_batch_size_*`), all labelled `lane="i"`. The
+//! aggregate batch histogram keeps its meaning — every lane records into
+//! both. Lane methods on a sink built without lanes are bounds-checked
+//! no-ops, so unit tests that don't care about sharding stay unchanged.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -47,6 +55,21 @@ pub struct Metrics {
     breaker_state: AtomicU64,
     /// Breaker state transitions since startup.
     breaker_transitions: AtomicU64,
+    /// Per-lane batcher metrics; empty unless built via [`Metrics::with_lanes`].
+    lanes: Vec<LaneMetric>,
+}
+
+/// Per-lane counters for the sharded batcher.
+#[derive(Debug, Default)]
+struct LaneMetric {
+    /// Current queue depth (a gauge, written under the lane's queue lock).
+    depth: AtomicU64,
+    /// Jobs this lane stole from siblings' queues.
+    steals: AtomicU64,
+    /// Batch-size histogram buckets plus overflow, and sum/count.
+    batch_buckets: [AtomicU64; 10],
+    batch_sum: AtomicU64,
+    batch_ticks: AtomicU64,
 }
 
 fn endpoint_index(endpoint: &str) -> usize {
@@ -57,9 +80,73 @@ fn endpoint_index(endpoint: &str) -> usize {
 }
 
 impl Metrics {
-    /// Creates a zeroed metrics sink.
+    /// Creates a zeroed metrics sink (no per-lane series).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a zeroed metrics sink tracking `lanes` batcher lanes.
+    pub fn with_lanes(lanes: usize) -> Self {
+        Metrics {
+            lanes: (0..lanes.max(1)).map(|_| LaneMetric::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of lanes this sink tracks (0 for a sink without lane series).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Publishes lane `lane`'s current queue depth (a gauge).
+    pub fn set_lane_depth(&self, lane: usize, depth: u64) {
+        if let Some(l) = self.lanes.get(lane) {
+            l.depth.store(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one job lane `lane` stole from a sibling's queue.
+    pub fn record_lane_steal(&self, lane: usize) {
+        if let Some(l) = self.lanes.get(lane) {
+            l.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one tick of lane `lane` that scored `size` passwords.
+    pub fn record_lane_batch(&self, lane: usize, size: usize) {
+        let Some(l) = self.lanes.get(lane) else {
+            return;
+        };
+        let size = size as u64;
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        l.batch_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        l.batch_sum.fetch_add(size, Ordering::Relaxed);
+        l.batch_ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Steals recorded for lane `lane` so far (test hook).
+    pub fn lane_steals(&self, lane: usize) -> u64 {
+        self.lanes
+            .get(lane)
+            .map_or(0, |l| l.steals.load(Ordering::Relaxed))
+    }
+
+    /// Steals summed over every lane (test hook).
+    pub fn total_lane_steals(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.steals.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Ticks recorded for lane `lane` so far (test hook).
+    pub fn lane_ticks(&self, lane: usize) -> u64 {
+        self.lanes
+            .get(lane)
+            .map_or(0, |l| l.batch_ticks.load(Ordering::Relaxed))
     }
 
     /// Records one completed request for `endpoint` with `status`.
@@ -204,6 +291,51 @@ impl Metrics {
             self.batch_ticks.load(Ordering::Relaxed)
         );
 
+        if !self.lanes.is_empty() {
+            out.push_str("# TYPE passflow_lane_depth gauge\n");
+            for (i, lane) in self.lanes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "passflow_lane_depth{{lane=\"{i}\"}} {}",
+                    lane.depth.load(Ordering::Relaxed)
+                );
+            }
+            out.push_str("# TYPE passflow_lane_steals_total counter\n");
+            for (i, lane) in self.lanes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "passflow_lane_steals_total{{lane=\"{i}\"}} {}",
+                    lane.steals.load(Ordering::Relaxed)
+                );
+            }
+            out.push_str("# TYPE passflow_lane_batch_size histogram\n");
+            for (i, lane) in self.lanes.iter().enumerate() {
+                let mut cumulative = 0u64;
+                for (b, bound) in BATCH_BUCKETS.iter().enumerate() {
+                    cumulative += lane.batch_buckets[b].load(Ordering::Relaxed);
+                    let _ = writeln!(
+                        out,
+                        "passflow_lane_batch_size_bucket{{lane=\"{i}\",le=\"{bound}\"}} {cumulative}"
+                    );
+                }
+                cumulative += lane.batch_buckets[BATCH_BUCKETS.len()].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "passflow_lane_batch_size_bucket{{lane=\"{i}\",le=\"+Inf\"}} {cumulative}"
+                );
+                let _ = writeln!(
+                    out,
+                    "passflow_lane_batch_size_sum{{lane=\"{i}\"}} {}",
+                    lane.batch_sum.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "passflow_lane_batch_size_count{{lane=\"{i}\"}} {}",
+                    lane.batch_ticks.load(Ordering::Relaxed)
+                );
+            }
+        }
+
         out.push_str("# TYPE passflow_request_latency_seconds summary\n");
         for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
             let _ = writeln!(
@@ -306,6 +438,40 @@ mod tests {
         let text = m.render();
         assert!(text.contains("passflow_request_latency_seconds{quantile=\"0.5\"} 0.000100"));
         assert!(text.contains("passflow_request_latency_seconds_count 100"));
+    }
+
+    #[test]
+    fn lane_series_render_only_when_lanes_exist() {
+        let plain = Metrics::new();
+        assert_eq!(plain.lane_count(), 0);
+        // Lane methods on a lane-less sink are no-ops, not panics.
+        plain.set_lane_depth(3, 9);
+        plain.record_lane_steal(3);
+        plain.record_lane_batch(3, 5);
+        assert!(!plain.render().contains("passflow_lane_"));
+
+        let m = Metrics::with_lanes(2);
+        assert_eq!(m.lane_count(), 2);
+        m.set_lane_depth(0, 7);
+        m.record_lane_steal(1);
+        m.record_lane_steal(1);
+        m.record_lane_batch(0, 3);
+        m.record_lane_batch(0, 64);
+        m.record_lane_batch(1, 1);
+        let text = m.render();
+        assert!(text.contains("passflow_lane_depth{lane=\"0\"} 7"));
+        assert!(text.contains("passflow_lane_depth{lane=\"1\"} 0"));
+        assert!(text.contains("passflow_lane_steals_total{lane=\"1\"} 2"));
+        assert!(text.contains("passflow_lane_batch_size_bucket{lane=\"0\",le=\"4\"} 1"));
+        assert!(text.contains("passflow_lane_batch_size_bucket{lane=\"0\",le=\"64\"} 2"));
+        assert!(text.contains("passflow_lane_batch_size_sum{lane=\"0\"} 67"));
+        assert!(text.contains("passflow_lane_batch_size_count{lane=\"1\"} 1"));
+        assert_eq!(m.lane_steals(1), 2);
+        assert_eq!(m.total_lane_steals(), 2);
+        assert_eq!(m.lane_ticks(0), 2);
+        // Out-of-range lanes stay no-ops.
+        m.record_lane_batch(9, 1);
+        assert_eq!(m.lane_ticks(9), 0);
     }
 
     #[test]

@@ -1,33 +1,40 @@
 //! The TCP accept loop, router and request handlers.
 //!
-//! Connections are handled thread-per-connection (bounded by
-//! [`ServerConfig::max_connections`]): each handler loops over keep-alive
-//! requests, parses them through the [`crate::http`] layer, and
-//! dispatches:
+//! Connections are *multiplexed* (see `crate::conn`): the accept loop
+//! registers each socket with the connection multiplexer, a poller thread
+//! watches parked keep-alive sockets for readiness, and a bounded pool of
+//! [`ServerConfig::handler_threads`] workers serves one request at a time
+//! per checkout. Idle connections therefore cost no threads — only an
+//! in-flight request does. Each request parses through the
+//! [`crate::http`] layer (per-read timeouts, slow-loris read budget,
+//! write timeouts) and dispatches:
 //!
 //! * `POST /v1/score` — single or multi-password strength scoring through
-//!   the adaptive micro-batcher,
+//!   the sharded adaptive micro-batcher,
 //! * `POST /v1/logprob` — batch log-probabilities (the request body *is*
 //!   the batch, so it goes straight to the model),
-//! * `GET /healthz` — liveness plus registered model names,
+//! * `GET /healthz` — liveness plus registered model names and per-lane
+//!   batcher health,
 //! * `GET /metrics` — text exposition of the serving metrics,
 //! * `POST /admin/shutdown` — graceful stop, when enabled in the config.
 //!
 //! Shutdown (via [`ServerHandle::shutdown`] or the admin endpoint) stops
-//! the accept loop, lets in-flight handlers finish their current request,
-//! drains the batcher queue, and joins every thread before
+//! the accept loop, closes sockets parked idle or mid-request-read
+//! (nothing fully received is dropped), lets workers flush in-flight
+//! responses, drains the batcher lanes, and joins every thread before
 //! [`ServerHandle::join`] returns — "clean shutdown" is an assertable
 //! property, and CI asserts it.
 
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use crate::batcher::{Batcher, BatcherConfig, BatcherHandle, EnqueueError, ScoreJob, ScoreOutcome};
 use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
-use crate::http::{self, BudgetReader, HttpError, ReadOutcome, Request};
+use crate::conn::{Conn, Mux};
+use crate::http::{self, HttpError, ReadOutcome, Request};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::registry::{ModelRegistry, ServedModel};
@@ -43,11 +50,21 @@ pub const MAX_REQUEST_PASSWORDS: usize = 256;
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: SocketAddr,
-    /// Batcher tuning (micro-batch size, straggler wait, queue bound).
+    /// Batcher tuning (lanes, micro-batch size, straggler wait, per-lane
+    /// queue bound).
     pub batcher: BatcherConfig,
-    /// Maximum concurrently handled connections; excess connections are
-    /// answered with 503 and closed instead of piling up threads.
+    /// Maximum concurrently *registered* connections; excess connections
+    /// are answered with 503 and closed instead of piling up sockets.
+    /// Unlike the old thread-per-connection bound this does not cap
+    /// threads (the handler pool does) — it caps file descriptors.
     pub max_connections: usize,
+    /// Request handler pool size: the maximum number of requests being
+    /// read/routed/written at once. Idle connections beyond this count
+    /// cost no threads — they park in the multiplexer.
+    pub handler_threads: usize,
+    /// Parked keep-alive sockets idle longer than this are closed; a
+    /// well-behaved client simply reconnects.
+    pub idle_timeout: Duration,
     /// Per-connection read timeout (a stalled peer cannot pin a handler).
     pub read_timeout: Duration,
     /// Per-connection write timeout (a peer that stops *reading* cannot
@@ -80,7 +97,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".parse().expect("valid literal address"),
             batcher: BatcherConfig::default(),
-            max_connections: 256,
+            max_connections: 2048,
+            handler_threads: 64,
+            idle_timeout: Duration::from_secs(60),
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             request_read_budget: Duration::from_secs(10),
@@ -92,92 +111,34 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared server state handed to every connection handler.
+/// Shared server state handed to every handler worker.
 struct Shared {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     batcher: BatcherHandle,
+    mux: Arc<Mux>,
     addr: SocketAddr,
     stop: AtomicBool,
-    active_connections: AtomicUsize,
     allow_shutdown: bool,
     digest: Option<Arc<DigestStore>>,
     /// Circuit breaker in front of every digest-store read.
     breaker: CircuitBreaker,
     /// Server default for per-request deadlines.
     default_deadline: Duration,
-    /// Wall-clock budget for reading one request (slow-loris bound).
-    read_budget: Duration,
-    /// Live sockets by connection id, so shutdown can close *idle* peers
-    /// (parked in a read) instead of waiting out their read timeout. A
-    /// connection whose handler is mid-request is spared — its response is
-    /// written first; the `busy` transitions share this map's lock, so
-    /// shutdown and a handler can never race on the same socket.
-    live: std::sync::Mutex<std::collections::HashMap<u64, LiveConn>>,
-    next_conn_id: AtomicUsize,
-}
-
-struct LiveConn {
-    stream: TcpStream,
-    /// Whether the handler is between "request fully read" and "response
-    /// flushed". Only mutated under the `live` map lock.
-    busy: bool,
 }
 
 impl Shared {
-    /// Sets the stop flag and nudges every blocked thread: closes sockets
-    /// whose handlers are idle (parked in a read — their next request has
-    /// not arrived, so nothing is dropped) and pokes the accept loop awake.
-    /// Busy handlers keep their socket, finish the in-flight request, then
-    /// observe the stop flag and exit. `except` spares the calling
-    /// connection so the shutdown response itself can still be written.
-    fn begin_shutdown(&self, except: Option<u64>) {
+    /// Sets the stop flag and nudges every blocked thread: the multiplexer
+    /// closes sockets parked idle or blocked in a request *read* (their
+    /// next request has not fully arrived, so nothing is dropped), wakes
+    /// the poller and workers, and a dummy connect pokes the accept loop
+    /// awake. A worker that has fully read a request keeps its socket and
+    /// flushes the response first — including the `/admin/shutdown`
+    /// response itself.
+    fn begin_shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Ok(live) = self.live.lock() {
-            for (id, conn) in live.iter() {
-                if Some(*id) != except && !conn.busy {
-                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                }
-            }
-        }
+        self.mux.begin_stop();
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-    }
-
-    fn register_connection(&self, stream: &TcpStream) -> u64 {
-        let id = self.next_conn_id.fetch_add(1, Ordering::SeqCst) as u64;
-        if let (Ok(mut live), Ok(clone)) = (self.live.lock(), stream.try_clone()) {
-            live.insert(
-                id,
-                LiveConn {
-                    stream: clone,
-                    busy: false,
-                },
-            );
-        }
-        id
-    }
-
-    /// Marks the connection busy (request read, response pending). Returns
-    /// `false` if shutdown already closed this socket — the handler should
-    /// bail instead of processing a request whose reply cannot be written.
-    fn set_busy(&self, id: u64, busy: bool) -> bool {
-        if self.stop.load(Ordering::SeqCst) && busy {
-            return false;
-        }
-        if let Ok(mut live) = self.live.lock() {
-            if let Some(conn) = live.get_mut(&id) {
-                conn.busy = busy;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn unregister_connection(&self, id: u64) {
-        if let Ok(mut live) = self.live.lock() {
-            live.remove(&id);
-        }
-        self.active_connections.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Mirrors the breaker's state into the metrics gauge (0 closed,
@@ -222,6 +183,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    poll_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     batcher: Option<Batcher>,
 }
 
@@ -236,26 +199,43 @@ impl ServerHandle {
         Arc::clone(&self.shared.metrics)
     }
 
-    /// Signals the accept loop to stop. Idempotent; does not wait.
-    pub fn shutdown(&self) {
-        self.shared.begin_shutdown(None);
+    /// A handle to the sharded batcher — lane counts, steal counters and
+    /// the [`BatcherHandle::kill_lane`] chaos hook for fault-injection
+    /// tests.
+    pub fn batcher(&self) -> BatcherHandle {
+        self.shared.batcher.clone()
     }
 
-    /// Waits for the accept loop, all connection handlers and the batcher
-    /// to finish. Call [`shutdown`](Self::shutdown) first (or rely on the
-    /// admin endpoint); `join` on a live server blocks until someone does.
+    /// Signals the accept loop, poller and workers to stop. Idempotent;
+    /// does not wait.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the accept loop, poller, every handler worker and the
+    /// batcher to finish. Call [`shutdown`](Self::shutdown) first (or rely
+    /// on the admin endpoint); `join` on a live server blocks until
+    /// someone does.
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Handlers observed the stop flag and finished their in-flight
-        // request before the accept thread joined them; dropping the
-        // batcher drains whatever is still queued.
+        if let Some(t) = self.poll_thread.take() {
+            let _ = t.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers flushed their in-flight responses before exiting; any
+        // connection still registered is parked or queued and gets
+        // dropped here. Dropping the batcher drains its lane queues.
+        self.shared.mux.drain();
         drop(self.batcher.take());
     }
 }
 
-/// Starts the server: binds, spawns the batcher and the accept loop.
+/// Starts the server: binds, spawns the batcher lanes, the connection
+/// poller, the handler pool and the accept loop.
 ///
 /// # Errors
 ///
@@ -263,40 +243,56 @@ impl ServerHandle {
 pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr)?;
     let addr = listener.local_addr()?;
-    let metrics = Arc::new(Metrics::new());
+    let metrics = Arc::new(Metrics::with_lanes(config.batcher.lanes));
     let batcher = Batcher::spawn(config.batcher, Arc::clone(&metrics));
+    let mux = Arc::new(Mux::new(config.idle_timeout));
     let shared = Arc::new(Shared {
         registry,
         metrics,
         batcher: batcher.handle(),
+        mux: Arc::clone(&mux),
         addr,
         stop: AtomicBool::new(false),
-        active_connections: AtomicUsize::new(0),
         allow_shutdown: config.allow_shutdown,
         digest: config.digest.clone(),
         breaker: CircuitBreaker::new(config.breaker),
         default_deadline: config.default_deadline,
-        read_budget: config.request_read_budget,
-        live: std::sync::Mutex::new(std::collections::HashMap::new()),
-        next_conn_id: AtomicUsize::new(0),
     });
 
     let accept_shared = Arc::clone(&shared);
+    let accept_config = config.clone();
     let accept_thread = std::thread::Builder::new()
         .name("passflow-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_shared, &config))
+        .spawn(move || accept_loop(&listener, &accept_shared, &accept_config))
         .expect("spawning the accept thread");
+
+    let poll_mux = Arc::clone(&mux);
+    let poll_thread = std::thread::Builder::new()
+        .name("passflow-poll".to_string())
+        .spawn(move || poll_mux.poll_loop())
+        .expect("spawning the connection poller");
+
+    let workers = (0..config.handler_threads.max(1))
+        .map(|i| {
+            let worker_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("passflow-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .expect("spawning a handler worker")
+        })
+        .collect();
 
     Ok(ServerHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
+        poll_thread: Some(poll_thread),
+        workers,
         batcher: Some(batcher),
     })
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConfig) {
-    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
         let (stream, _) = match listener.accept() {
             Ok(conn) => conn,
@@ -310,8 +306,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
         if shared.stop.load(Ordering::SeqCst) {
             break; // the wake-up connection itself
         }
-        handlers.retain(|h| !h.is_finished());
-        if shared.active_connections.load(Ordering::SeqCst) >= config.max_connections {
+        if shared.mux.active_connections() >= config.max_connections {
             let mut writer = BufWriter::new(&stream);
             let _ = respond_error(
                 &mut writer,
@@ -325,69 +320,66 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
         let _ = stream.set_read_timeout(Some(config.read_timeout));
         let _ = stream.set_write_timeout(Some(config.write_timeout));
         let _ = stream.set_nodelay(true);
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        let conn_id = shared.register_connection(&stream);
-        let conn_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("passflow-conn".to_string())
-            .spawn(move || {
-                handle_connection(stream, conn_id, &conn_shared);
-                conn_shared.unregister_connection(conn_id);
-            })
-            .expect("spawning a connection handler");
-        handlers.push(handle);
-    }
-    for handle in handlers {
-        let _ = handle.join();
+        // Registration parks the socket; the poller dispatches it to a
+        // worker on the request's first byte.
+        let _ = shared.mux.register(stream, config.request_read_budget);
     }
 }
 
-fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BudgetReader::new(BufReader::new(read_half), shared.read_budget);
-    let mut writer = BufWriter::new(stream);
+/// One handler worker: check out ready connections until shutdown.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(conn) = shared.mux.next_ready() {
+        handle_one(conn, shared);
+    }
+}
 
-    loop {
-        // Each request gets a fresh read budget; idle keep-alive gaps
-        // between requests cost nothing.
-        reader.rearm();
-        let started = Instant::now();
-        match http::read_request(&mut reader) {
-            ReadOutcome::Closed => return,
-            ReadOutcome::Error(err) => {
-                // Protocol errors poison the byte stream: respond, close.
-                shared.metrics.record_request("other", err.status);
-                let _ = respond_error(&mut writer, &err);
+/// Serves exactly one request on a checked-out connection, then returns
+/// it to the multiplexer: parked if keep-alive and quiescent, requeued if
+/// pipelined bytes are already buffered, dropped otherwise.
+fn handle_one(mut conn: Conn, shared: &Arc<Shared>) {
+    // Each request gets a fresh read budget; the time a connection spent
+    // parked between requests cost nothing.
+    conn.reader.rearm();
+    let started = Instant::now();
+    // While blocked reading, the socket is registered so shutdown can cut
+    // the read short instead of waiting out its timeout.
+    shared.mux.note_reading(&conn);
+    let outcome = http::read_request(&mut conn.reader);
+    shared.mux.done_reading(conn.id);
+    match outcome {
+        ReadOutcome::Closed => shared.mux.discard(conn),
+        ReadOutcome::Error(err) => {
+            // Protocol errors poison the byte stream: respond, close.
+            shared.metrics.record_request("other", err.status);
+            let _ = respond_error(&mut conn.writer, &err);
+            shared.mux.discard(conn);
+        }
+        ReadOutcome::Request(request) => {
+            if shared.stop.load(Ordering::SeqCst) {
+                // Shutdown raced the read; the socket may already be cut.
+                shared.mux.discard(conn);
                 return;
             }
-            ReadOutcome::Request(request) => {
-                // Mark busy so shutdown spares this socket until the
-                // response is flushed; bail if shutdown beat us to it (the
-                // socket is already closed, no reply can be written).
-                if !shared.set_busy(conn_id, true) {
-                    return;
-                }
-                let (endpoint, response) = route(&request, conn_id, shared);
-                let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
-                shared.metrics.record_request(endpoint, response.status);
-                shared.metrics.record_latency(started.elapsed());
-                let written = http::write_response(
-                    &mut writer,
-                    response.status,
-                    response.content_type,
-                    response.body.as_bytes(),
-                    keep_alive,
-                );
-                shared.set_busy(conn_id, false);
-                if written.is_err() || !keep_alive {
-                    return;
-                }
+            let (endpoint, response) = route(&request, shared);
+            let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+            shared.metrics.record_request(endpoint, response.status);
+            shared.metrics.record_latency(started.elapsed());
+            let written = http::write_response(
+                &mut conn.writer,
+                response.status,
+                response.content_type,
+                response.body.as_bytes(),
+                keep_alive,
+            );
+            if written.is_err() || !keep_alive {
+                shared.mux.discard(conn);
+            } else if conn.has_buffered_input() {
+                // A pipelined request is already in the userspace buffer
+                // where the poller's socket peek could never see it.
+                shared.mux.enqueue_ready(conn);
+            } else {
+                shared.mux.park(conn);
             }
-        }
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
         }
     }
 }
@@ -429,7 +421,7 @@ fn respond_error<W: std::io::Write>(writer: &mut W, err: &HttpError) -> std::io:
 }
 
 /// Dispatches one request; returns the metrics endpoint label and response.
-fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str, Response) {
+fn route(request: &Request, shared: &Arc<Shared>) -> (&'static str, Response) {
     if let Some(prefix) = request.path.strip_prefix("/v1/range/") {
         return if request.method == "GET" {
             ("range", range(prefix, shared))
@@ -451,7 +443,7 @@ fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str
         ("POST", "/v1/score") => ("score", score(request, shared, ScoreMode::Strength)),
         ("POST", "/v1/logprob") => ("logprob", score(request, shared, ScoreMode::LogProb)),
         ("POST", "/v1/screen") => ("screen", screen(request, shared)),
-        ("POST", "/admin/shutdown") => ("other", admin_shutdown(conn_id, shared)),
+        ("POST", "/admin/shutdown") => ("other", admin_shutdown(shared)),
         (
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/score" | "/v1/logprob" | "/v1/screen"
@@ -465,13 +457,34 @@ fn route(request: &Request, conn_id: u64, shared: &Arc<Shared>) -> (&'static str
 /// process is alive and answering; *content* says how well): orchestrators
 /// and the CI smoke test key off the JSON, and a degraded-but-serving
 /// process must not be restart-looped by a naive probe. Top-level `status`
-/// is `"ok"` only when every component is healthy.
+/// is `"ok"` only when every component is healthy — including every
+/// batcher lane.
 fn healthz(shared: &Arc<Shared>) -> Response {
     let names = shared.registry.names();
     let registry_ok = !names.is_empty();
-    let batcher_ok = shared.batcher.is_alive();
     let models = names.into_iter().map(Json::Str).collect();
     let ok_or = |ok: bool, degraded: &str| Json::Str(if ok { "ok" } else { degraded }.to_string());
+
+    // The batcher component is per-lane: a dead lane degrades the server
+    // (capacity is reduced) but only losing *every* lane makes it dead.
+    let total_lanes = shared.batcher.lanes();
+    let alive_lanes = shared.batcher.alive_lanes();
+    let lanes: Vec<Json> = (0..total_lanes)
+        .map(|lane| {
+            Json::obj([
+                ("lane", Json::Num(lane as f64)),
+                ("status", ok_or(shared.batcher.lane_alive(lane), "dead")),
+            ])
+        })
+        .collect();
+    let batcher_ok = alive_lanes == total_lanes;
+    let batcher_status = if batcher_ok {
+        "ok"
+    } else if alive_lanes > 0 {
+        "degraded"
+    } else {
+        "dead"
+    };
 
     let digest_component = match shared.digest.as_ref() {
         None => Json::obj([("status", Json::Str("absent".to_string()))]),
@@ -503,7 +516,18 @@ fn healthz(shared: &Arc<Shared>) -> Response {
                     ),
                     (
                         "batcher",
-                        Json::obj([("status", ok_or(batcher_ok, "dead"))]),
+                        Json::obj([
+                            ("lanes", Json::Arr(lanes)),
+                            ("status", Json::Str(batcher_status.to_string())),
+                        ]),
+                    ),
+                    (
+                        "connections",
+                        Json::obj([
+                            ("active", Json::Num(shared.mux.active_connections() as f64)),
+                            ("idle", Json::Num(shared.mux.idle_connections() as f64)),
+                            ("status", Json::Str("ok".to_string())),
+                        ]),
                     ),
                     ("digest_store", digest_component),
                 ]),
@@ -512,13 +536,15 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     )
 }
 
-fn admin_shutdown(conn_id: u64, shared: &Arc<Shared>) -> Response {
+fn admin_shutdown(shared: &Arc<Shared>) -> Response {
     if !shared.allow_shutdown {
         return Response::error(404, "no such endpoint");
     }
-    // Spare this connection so the response below still reaches the caller
-    // (the handler closes it right after: stop forces keep_alive off).
-    shared.begin_shutdown(Some(conn_id));
+    // This connection's request is fully read (it left the reading
+    // registry), so shutdown spares its socket and the response below
+    // still reaches the caller; stop then forces keep_alive off and the
+    // worker drops the connection after flushing.
+    shared.begin_shutdown();
     Response::json(
         200,
         &Json::obj([("status", Json::Str("stopping".to_string()))]),

@@ -1,5 +1,6 @@
 //! Chaos suite: the serving stack under injected store faults, expired
-//! deadlines, hostile clients and queue saturation.
+//! deadlines, hostile clients, queue saturation, killed batcher lanes and
+//! idle-connection floods.
 //!
 //! Every test drives a **live server** (real sockets, real threads) while
 //! one failure domain misbehaves, and holds the same bar throughout:
@@ -442,6 +443,63 @@ fn slow_loris_and_torn_bodies_cannot_pin_a_handler() {
     server.join();
 }
 
+/// Rude drops against the *multiplexed* reader: connections that complete
+/// a request, park in the poller, then vanish without a close handshake
+/// must be reaped — no thread leak, no stuck `/healthz` connection count.
+#[test]
+fn parked_connections_that_vanish_are_reaped() {
+    let (server, _flow) = start_server(
+        ServerConfig {
+            idle_timeout: Duration::from_secs(60),
+            ..chaos_config()
+        },
+        65,
+    );
+    let addr = server.addr();
+
+    // 20 connections each serve one request (so they are parked, not
+    // mid-read), then drop rudely.
+    for i in 0..20 {
+        let mut conn = Connection::open(addr, Duration::from_secs(5)).unwrap();
+        let body = format!("{{\"passwords\":[\"van{i}\"]}}");
+        let response = conn.request("POST", "/v1/score", Some(&body)).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        drop(conn); // no graceful goodbye
+    }
+
+    // The poller's peek sweep sees EOF on each and unregisters it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut active = usize::MAX;
+    // ≤ 2: the healthz probe itself plus at most one not-yet-reaped
+    // predecessor probe.
+    while active > 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+        let health = client::request(addr, "GET", "/healthz", None)
+            .unwrap()
+            .text();
+        // `"active":N` inside the connections component — N includes the
+        // probe connection itself.
+        active = health
+            .split("\"connections\":{\"active\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(usize::MAX);
+    }
+    assert!(
+        active <= 2,
+        "vanished parked connections must be reaped (still {active} active)"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
 // ---------------------------------------------------------------------------
 // Saturation: load beyond the queue sheds cleanly and recovers
 // ---------------------------------------------------------------------------
@@ -523,6 +581,192 @@ fn saturated_batcher_sheds_503_and_serves_on() {
         response.text()
     );
 
+    server.shutdown();
+    server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Lane death: a killed batcher lane degrades, survivors serve exactly
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_lane_under_live_load_degrades_and_survivors_serve_exactly() {
+    let (server, flow) = start_server(
+        ServerConfig {
+            batcher: BatcherConfig {
+                lanes: 3,
+                max_batch: 32,
+                max_wait: Duration::from_millis(3),
+                queue_capacity: 1024,
+                ..BatcherConfig::default()
+            },
+            ..chaos_config()
+        },
+        66,
+    );
+    let addr = server.addr();
+    let handle = server.batcher();
+
+    // Live load across the kill: 4 clients, each sending 30 requests. The
+    // kill lands mid-stream; every client must get an answer for every
+    // request — scored bit-exact or (for jobs caught inside the dying
+    // lane at the instant of death) a clean 500 — never a hang.
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut dropped = 0u64;
+                for i in 0..30 {
+                    let pw = format!("ch{t}x{i}");
+                    let body = format!("{{\"passwords\":[\"{pw}\"]}}");
+                    let response = client::request(addr, "POST", "/v1/score", Some(&body)).unwrap();
+                    match response.status {
+                        200 => got.push((pw, response.text())),
+                        500 => dropped += 1,
+                        other => panic!("unexpected status {other}: {}", response.text()),
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                (got, dropped)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    handle.kill_lane(1);
+
+    let mut scored = 0usize;
+    for thread in clients {
+        let (got, _dropped) = thread.join().expect("no client may hang or panic");
+        for (pw, text) in got {
+            let expected = flow.password_log_prob(&pw).unwrap().to_bits();
+            assert!(
+                text.contains(&format!("\"log_prob_bits\":\"{expected:016x}\"")),
+                "{pw} drifted across the lane kill: {text}"
+            );
+            scored += 1;
+        }
+    }
+    assert!(scored > 0, "surviving lanes must keep scoring");
+
+    // The corpse is visible and correctly attributed.
+    assert!(!handle.lane_alive(1), "killed lane must report dead");
+    assert_eq!(handle.alive_lanes(), 2);
+    let health = client::request(addr, "GET", "/healthz", None)
+        .unwrap()
+        .text();
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(
+        health.contains("{\"lane\":1,\"status\":\"dead\"}"),
+        "{health}"
+    );
+    assert!(
+        health.contains("{\"lane\":0,\"status\":\"ok\"}"),
+        "{health}"
+    );
+    assert!(
+        health.contains("{\"lane\":2,\"status\":\"ok\"}"),
+        "{health}"
+    );
+
+    // No phantom failure metrics: nothing expired, nothing shed, and the
+    // metrics endpoint still renders every lane series.
+    assert_eq!(server.metrics().deadline_expired_total(), 0);
+    assert_eq!(server.metrics().shed_total(), 0);
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .unwrap()
+        .text();
+    for lane in 0..3 {
+        assert!(
+            metrics.contains(&format!("passflow_lane_depth{{lane=\"{lane}\"}}")),
+            "{metrics}"
+        );
+    }
+
+    // Post-kill service is exact, and shutdown with a dead lane is clean.
+    let response = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["jimmy91"]}"#),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let expected = flow.password_log_prob("jimmy91").unwrap().to_bits();
+    assert!(
+        response
+            .text()
+            .contains(&format!("\"log_prob_bits\":\"{expected:016x}\"")),
+        "{}",
+        response.text()
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Idle-connection flood: parked keep-alive sockets cost ~0 threads
+// ---------------------------------------------------------------------------
+
+/// `/proc/self/status` Threads count (0 off-Linux, skipping the assert).
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn hundreds_of_idle_keepalive_connections_cost_no_threads() {
+    let (server, flow) = start_server(chaos_config(), 67);
+    let addr = server.addr();
+
+    let before = process_threads();
+    // 200 connections each complete one request (so they are genuinely
+    // parked keep-alive peers, not half-open sockets) and then sit idle.
+    let mut parked: Vec<Connection> = (0..200)
+        .map(|i| {
+            let mut conn = Connection::open(addr, Duration::from_secs(10)).unwrap();
+            let body = format!("{{\"passwords\":[\"idle{i}\"]}}");
+            let response = conn.request("POST", "/v1/score", Some(&body)).unwrap();
+            assert_eq!(response.status, 200, "{}", response.text());
+            conn
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    let after = process_threads();
+
+    if before > 0 {
+        let delta = after.saturating_sub(before);
+        assert!(
+            delta < 8,
+            "200 idle keep-alive connections must cost ~0 threads \
+             (thread-per-connection would cost 200; measured +{delta})"
+        );
+    }
+
+    // Parked is not dead: every sampled connection still serves, exactly.
+    let expected = flow.password_log_prob("jimmy91").unwrap().to_bits();
+    for conn in parked.iter_mut().step_by(37) {
+        let response = conn
+            .request("POST", "/v1/score", Some(r#"{"passwords":["jimmy91"]}"#))
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert!(
+            response
+                .text()
+                .contains(&format!("\"log_prob_bits\":\"{expected:016x}\"")),
+            "{}",
+            response.text()
+        );
+    }
+
+    drop(parked);
     server.shutdown();
     server.join();
 }

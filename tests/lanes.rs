@@ -1,0 +1,230 @@
+//! Sharded-batcher suite: multi-lane serving must be indistinguishable —
+//! bit for bit — from single-lane serving and from offline scoring.
+//!
+//! The bar matches `tests/serve.rs`: at every lane count, every score
+//! produced through the lane fan-out (round-robin dispatch, submit-side
+//! failover, work stealing) is **bit-identical** (0 ULP) to the serial
+//! oracle. Lanes change *throughput topology*, never results. The suite
+//! also forces the stealing path with one-slot lane queues and asserts it
+//! actually fired via the steal counters, and checks the per-lane
+//! observability surfaces (`/healthz` lane entries, `passflow_lane_*`
+//! metric series).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use passflow::serve::client;
+use passflow::serve::{serve, BatcherConfig, ModelRegistry, ServedModel, ServerConfig};
+use passflow::{FlowConfig, PassFlow, ProbabilityModel};
+
+fn tiny_flow(seed: u64) -> PassFlow {
+    let mut rng = passflow::nn::rng::seeded(seed);
+    PassFlow::new(FlowConfig::tiny(), &mut rng).unwrap()
+}
+
+fn lane_config(lanes: usize) -> ServerConfig {
+    ServerConfig {
+        batcher: BatcherConfig {
+            lanes,
+            max_batch: 32,
+            max_wait: Duration::from_millis(3),
+            ..BatcherConfig::default()
+        },
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_server(config: ServerConfig, seed: u64) -> (passflow::serve::ServerHandle, PassFlow) {
+    let flow = tiny_flow(seed);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(ServedModel::from_flow("default", &flow, 1, None));
+    let server = serve(config, registry).expect("bind on loopback");
+    (server, flow)
+}
+
+/// Extracts `"log_prob_bits"` hex fields from a score response, in order.
+fn response_bits(body: &str) -> Vec<u64> {
+    body.split("\"log_prob_bits\":\"")
+        .skip(1)
+        .map(|rest| u64::from_str_radix(&rest[..16], 16).expect("16 hex digits"))
+        .collect()
+}
+
+#[test]
+fn every_lane_count_scores_bit_identical_to_offline() {
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 12;
+
+    for lanes in [1usize, 2, 4] {
+        let (server, flow) = start_server(lane_config(lanes), 80);
+        let addr = server.addr();
+
+        let clients: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..REQUESTS {
+                        let pw = format!("lane{t}x{i}");
+                        let body = format!("{{\"passwords\":[\"{pw}\"]}}");
+                        let response =
+                            client::request(addr, "POST", "/v1/score", Some(&body)).unwrap();
+                        assert_eq!(response.status, 200, "{}", response.text());
+                        let bits = response_bits(&response.text());
+                        assert_eq!(bits.len(), 1, "{}", response.text());
+                        got.push((pw, bits[0]));
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        for thread in clients {
+            for (pw, served) in thread.join().expect("no client may panic") {
+                let expected = flow
+                    .password_log_prob(&pw)
+                    .unwrap_or_else(|| panic!("{pw} must be encodable"));
+                assert_eq!(
+                    served,
+                    expected.to_bits(),
+                    "lanes={lanes}: {pw} drifted from the offline oracle"
+                );
+            }
+        }
+
+        // The fan-out actually fanned out: every lane is alive and the
+        // request count adds up.
+        assert_eq!(server.batcher().lanes(), lanes);
+        assert_eq!(server.batcher().alive_lanes(), lanes);
+        assert!(server.metrics().total_requests() >= (THREADS * REQUESTS) as u64);
+
+        server.shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn one_slot_lane_queues_force_stealing_and_results_stay_exact() {
+    // Each lane holds ONE job and waits a long straggler window, so a
+    // burst from 8 clients must overflow into siblings' queues: failover
+    // on submit, stealing on drain. The steal counter proves the path ran.
+    let config = ServerConfig {
+        batcher: BatcherConfig {
+            lanes: 2,
+            max_batch: 32,
+            max_wait: Duration::from_millis(50),
+            queue_capacity: 1,
+            ..BatcherConfig::default()
+        },
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let (server, flow) = start_server(config, 81);
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in 0..10 {
+                    let pw = format!("st{t}x{i}");
+                    let body = format!("{{\"passwords\":[\"{pw}\"]}}");
+                    let response = client::request(addr, "POST", "/v1/score", Some(&body)).unwrap();
+                    // One-slot queues may shed under the burst; a shed is
+                    // clean, a scored answer must be exact.
+                    match response.status {
+                        200 => got.push((pw, response_bits(&response.text())[0])),
+                        503 => {}
+                        other => panic!("unexpected status {other}: {}", response.text()),
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let mut scored = 0usize;
+    for thread in clients {
+        for (pw, served) in thread.join().expect("no client may panic") {
+            let expected = flow.password_log_prob(&pw).unwrap();
+            assert_eq!(served, expected.to_bits(), "{pw} drifted under stealing");
+            scored += 1;
+        }
+    }
+    assert!(scored > 0, "some requests must get through the burst");
+
+    let handle = server.batcher();
+    assert!(
+        handle.total_steals() > 0,
+        "one-slot lanes under an 8-client burst must exercise the steal path"
+    );
+    assert_eq!(
+        handle.total_steals(),
+        (0..handle.lanes()).map(|i| handle.lane_steals(i)).sum(),
+        "per-lane steal counters must sum to the total"
+    );
+    // The steals surface in the Prometheus exposition too.
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .unwrap()
+        .text();
+    assert!(
+        metrics.contains("passflow_lane_steals_total{lane=\"0\"}"),
+        "{metrics}"
+    );
+    assert_eq!(
+        server.metrics().total_lane_steals(),
+        handle.total_steals(),
+        "metrics and batcher counters must agree"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn healthz_and_metrics_expose_per_lane_state() {
+    let (server, _flow) = start_server(lane_config(4), 82);
+    let addr = server.addr();
+
+    let health = client::request(addr, "GET", "/healthz", None)
+        .unwrap()
+        .text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    for lane in 0..4 {
+        assert!(
+            health.contains(&format!("{{\"lane\":{lane},\"status\":\"ok\"}}")),
+            "lane {lane} missing from {health}"
+        );
+    }
+    assert!(health.contains("\"connections\":{"), "{health}");
+
+    // Generate one scored request so the lane batch histogram is live.
+    let response = client::request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(r#"{"passwords":["jimmy91"]}"#),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+
+    let metrics = client::request(addr, "GET", "/metrics", None)
+        .unwrap()
+        .text();
+    for lane in 0..4 {
+        assert!(
+            metrics.contains(&format!("passflow_lane_depth{{lane=\"{lane}\"}}")),
+            "lane {lane} depth gauge missing from {metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("passflow_lane_steals_total{{lane=\"{lane}\"}}")),
+            "lane {lane} steal counter missing from {metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("passflow_lane_batch_size_bucket{lane=\"0\",le=\"1\"}"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    server.join();
+}

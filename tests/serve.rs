@@ -722,9 +722,11 @@ fn healthz_reports_per_component_status() {
         "{health}"
     );
     assert!(
-        health.contains("\"batcher\":{\"status\":\"ok\"}"),
+        health
+            .contains("\"batcher\":{\"lanes\":[{\"lane\":0,\"status\":\"ok\"}],\"status\":\"ok\"}"),
         "{health}"
     );
+    assert!(health.contains("\"connections\":{"), "{health}");
     assert!(
         health.contains("\"digest_store\":{\"status\":\"absent\"}"),
         "{health}"

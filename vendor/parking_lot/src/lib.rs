@@ -47,6 +47,87 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A mutex with `parking_lot`'s panic-free guard API: `lock()` returns the
+/// guard directly, and poisoning (a holder panicked) is ignored rather than
+/// propagated — exactly what the serve crate's lane queues need, where a
+/// deliberately killed lane must not cascade panics into its siblings.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A condition variable pairing with [`Mutex`], poison-transparent like the
+/// rest of this shim. Only the operations the workspace uses are exposed.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, reacquiring the guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.0.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns the guard and
+    /// whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(poisoned) => {
+                let (guard, result) = poisoned.into_inner();
+                (guard, result.timed_out())
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::RwLock;
@@ -58,6 +139,31 @@ mod tests {
         *lock.write() += 41;
         assert_eq!(*lock.read(), 42);
         assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_and_condvar_round_trip() {
+        use super::{Condvar, Mutex};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *signaller.0.lock() = true;
+            signaller.1.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            let (guard, _timed_out) = cv.wait_timeout(done, Duration::from_millis(50));
+            done = guard;
+        }
+        // The guard must be released before relocking below — std mutexes
+        // are not reentrant and a live guard would self-deadlock.
+        drop(done);
+        t.join().unwrap();
+        assert!(*lock.lock());
     }
 
     #[test]
