@@ -1,6 +1,7 @@
 //! The [`Attack`] builder and the [`AttackEngine`] executing it.
 
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
@@ -9,10 +10,13 @@ use passflow_nn::rng as nnrng;
 use passflow_nn::Tensor;
 use rand::RngCore;
 
+use passflow_store::{GuessArchiveWriter, GuessConfig};
+
 use crate::error::{FlowError, Result};
 use crate::prior::{GaussianMixturePrior, StandardGaussianPrior};
 use crate::sample::{GaussianSmoothing, GuessingStrategy, MatchedLatents};
 
+use super::checkpoint::{self, CheckpointState};
 use super::guesser::{
     GuessSession, Guesser, LatentGuesser, LatentSession, StatelessLatentSession, StatelessSession,
 };
@@ -61,8 +65,20 @@ impl AttackOutcome {
     }
 
     /// The report at the given budget, if that budget was a checkpoint.
+    ///
+    /// Budgets beyond the final report resolve to the final entry: requested
+    /// checkpoints past the attack budget are clamped to the budget when the
+    /// attack is planned (see [`Attack::checkpoints`]), so the final report
+    /// *is* the answer for any `guesses >= budget`.
     pub fn at_budget(&self, guesses: u64) -> Option<&CheckpointReport> {
-        self.checkpoints.iter().find(|c| c.guesses == guesses)
+        self.checkpoints
+            .iter()
+            .find(|c| c.guesses == guesses)
+            .or_else(|| {
+                self.checkpoints
+                    .last()
+                    .filter(|last| guesses > last.guesses)
+            })
     }
 }
 
@@ -99,6 +115,11 @@ pub struct Attack<'a> {
     sync_every: usize,
     nonmatched_sample_size: usize,
     observer: Option<Observer<'a>>,
+    checkpoint_every: u64,
+    checkpoint_path: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
+    halt_after: Option<u64>,
+    archive_path: Option<PathBuf>,
 }
 
 impl<'a> Attack<'a> {
@@ -120,6 +141,11 @@ impl<'a> Attack<'a> {
             sync_every: 1,
             nonmatched_sample_size: 40,
             observer: None,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume_from: None,
+            halt_after: None,
+            archive_path: None,
         }
     }
 
@@ -146,8 +172,10 @@ impl<'a> Attack<'a> {
 
     /// Sets the intermediate budgets at which a [`CheckpointReport`] is
     /// emitted. They are sorted and deduplicated; checkpoints beyond the
-    /// budget are dropped, and the final budget is always reported whether
-    /// listed here or not.
+    /// budget are clamped to the final-budget report (so asking for a
+    /// report "at 10⁹" of a 10⁶-guess attack answers with the final
+    /// state instead of silently vanishing), and the final budget is
+    /// always reported whether listed here or not.
     #[must_use]
     pub fn checkpoints(mut self, checkpoints: Vec<u64>) -> Self {
         self.checkpoints = checkpoints;
@@ -203,9 +231,76 @@ impl<'a> Attack<'a> {
     /// Registers a callback invoked with every [`CheckpointReport`] as soon
     /// as it is produced, so long attacks stream progress instead of
     /// materializing everything at the end.
+    ///
+    /// On a resumed attack the observer only sees reports produced by the
+    /// resuming process; reports emitted before the checkpoint was written
+    /// are restored into the outcome but not replayed through the callback.
     #[must_use]
     pub fn observer<F: FnMut(&CheckpointReport) + 'a>(mut self, observer: F) -> Self {
         self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Enables periodic `PFATTACK v1` checkpointing: whenever roughly `n`
+    /// more guesses have been generated (snapped to the next wave
+    /// boundary), the engine persists its full state to the
+    /// [`checkpoint_to`](Attack::checkpoint_to) path. `0` (the default)
+    /// disables the cadence; a final checkpoint is still written on
+    /// completion whenever a checkpoint path is set.
+    #[must_use]
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Sets the path checkpoints are written to (atomically, via a `.tmp`
+    /// sibling — a killed writer never leaves a torn checkpoint behind).
+    #[must_use]
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from a `PFATTACK v1` checkpoint written by an earlier run.
+    ///
+    /// Every configuration knob is validated against the checkpoint on
+    /// load — budget, batch size, seed, strategy, sync cadence, checkpoint
+    /// budgets, the target set (count + digest), the guesser name and (when
+    /// available) its weight digest. Any divergence is a typed
+    /// [`FlowError::CheckpointMismatch`], because resuming with different
+    /// knobs would silently change the results. The shard count is *not*
+    /// validated: results are shard-count invariant, so a 2-shard run may
+    /// resume an 8-shard checkpoint.
+    ///
+    /// The contract: an attack killed at any checkpoint and resumed
+    /// produces the byte-identical [`AttackOutcome`] (and `PFGUESS`
+    /// archive) of an uninterrupted run.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Halts the attack at the first wave boundary after `n` guesses have
+    /// been generated, writes a checkpoint (when
+    /// [`checkpoint_to`](Attack::checkpoint_to) is set) and returns the
+    /// partial outcome. The kill→resume test hook: `halt_after` then
+    /// [`resume`](Attack::resume) must reproduce an uninterrupted run
+    /// exactly.
+    #[must_use]
+    pub fn halt_after(mut self, n: u64) -> Self {
+        self.halt_after = Some(n);
+        self
+    }
+
+    /// On completion, writes every distinct guess the attack generated —
+    /// with its emission count — as a `PFGUESS v1` sorted guess archive at
+    /// `path`. The archive is a pure function of the final guess multiset,
+    /// so interrupted-and-resumed attacks and shard merges reproduce it
+    /// byte-for-byte. Halted (partial) runs skip the archive.
+    #[must_use]
+    pub fn archive_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.archive_path = Some(path.into());
         self
     }
 
@@ -215,7 +310,11 @@ impl<'a> Attack<'a> {
     ///
     /// Returns [`FlowError::LatentAccessRequired`] if the strategy needs
     /// dynamic sampling or smoothing but the guesser has no latent space
-    /// ([`Guesser::as_latent`] returns `None`).
+    /// ([`Guesser::as_latent`] returns `None`);
+    /// [`FlowError::AttackPersistence`] if a checkpoint or archive could
+    /// not be written, or a resumed checkpoint is corrupt; and
+    /// [`FlowError::CheckpointMismatch`] if a resumed checkpoint was
+    /// written under different attack knobs.
     pub fn run(self, guesser: &dyn Guesser) -> Result<AttackOutcome> {
         let engine = AttackEngine::plan(&self);
         engine.execute(self, guesser)
@@ -299,11 +398,16 @@ pub struct AttackEngine {
 
 impl AttackEngine {
     fn plan(attack: &Attack<'_>) -> AttackEngine {
+        // Requested checkpoints past the budget are clamped to the budget
+        // (deduplicating into the always-present final report) rather than
+        // dropped, so `AttackOutcome::at_budget` can answer for them.
         let mut checkpoints: Vec<u64> = attack
             .checkpoints
             .iter()
             .copied()
-            .filter(|&c| c > 0 && c <= attack.budget)
+            .filter(|&c| c > 0)
+            .map(|c| c.min(attack.budget))
+            .filter(|&c| c > 0)
             .collect();
         if attack.budget > 0 && !checkpoints.contains(&attack.budget) {
             checkpoints.push(attack.budget);
@@ -367,6 +471,8 @@ impl AttackEngine {
         } else {
             None
         };
+        let guesser_digest = guesser.state_digest();
+        let latent_dim = latent.map_or(0u32, |lg| lg.latent_dim() as u32);
 
         let mut state = ReduceState {
             targets: attack.targets,
@@ -381,13 +487,37 @@ impl AttackEngine {
             next_checkpoint: 0,
         };
 
-        // Without dynamic feedback every chunk is independent: one epoch.
-        // With feedback, `sync_every` chunks share a prior snapshot.
+        // The resume cursor: chunks [0, chunks_done) are already folded.
+        // Each chunk draws from its own RNG stream keyed by the chunk
+        // index, so `chunks_done` fully captures the RNG position.
+        let mut chunks_done = 0usize;
+        if let Some(path) = attack.resume_from.take() {
+            chunks_done =
+                self.restore(&mut state, &attack, guesser, guesser_digest, latent, &path)?;
+        }
+
+        // Without dynamic feedback every chunk is independent, but waves
+        // are still bounded so checkpoints land at a useful cadence; fold
+        // order equals chunk order either way, so the wave size never
+        // changes results. With feedback, `sync_every` chunks share a
+        // prior snapshot — the wave size *is* the algorithm's cadence, and
+        // checkpoints only ever land on its boundaries.
         let epoch_len = if dynamic.is_some() {
-            self.sync_every
+            self.sync_every.max(1)
         } else {
-            self.chunks.len().max(1)
+            64.max(self.shards)
         };
+
+        // Next multiple of the cadence strictly past `made` (never fires
+        // when the cadence is disabled: 0 divides to None).
+        let every = attack.checkpoint_every;
+        let next_due_after = |made: u64| {
+            made.checked_div(every)
+                .map_or(u64::MAX, |q| (q + 1) * every)
+        };
+        let mut next_due = next_due_after(state.guesses_made);
+        let total = self.chunks.len();
+        let mut halted = false;
 
         // One context per worker, kept warm across epochs. Sessions are
         // started lazily inside whichever thread ends up owning the context.
@@ -395,7 +525,9 @@ impl AttackEngine {
             (0..self.shards.max(1)).map(|_| WorkerCtx::new()).collect();
 
         let mut dynamic_params = dynamic;
-        for epoch in self.chunks.chunks(epoch_len) {
+        while chunks_done < total {
+            let wave_end = total.min(chunks_done + epoch_len);
+            let epoch = &self.chunks[chunks_done..wave_end];
             // Build the epoch's prior snapshot from the matches so far.
             let prior = match (latent, dynamic_params.as_mut()) {
                 (Some(lg), Some(params)) => match state.matched_latents.build_prior(params) {
@@ -457,6 +589,46 @@ impl AttackEngine {
             for output in outputs {
                 state.fold_chunk(output, &self.checkpoints, attack.observer.as_deref_mut());
             }
+            chunks_done = wave_end;
+
+            halted =
+                attack.halt_after.is_some_and(|h| state.guesses_made >= h) && chunks_done < total;
+            if halted || state.guesses_made >= next_due {
+                if let Some(path) = attack.checkpoint_path.as_deref() {
+                    let snapshot = self.snapshot_state(
+                        &attack,
+                        &state,
+                        guesser,
+                        guesser_digest,
+                        latent_dim,
+                        chunks_done,
+                    );
+                    checkpoint::save(&snapshot, path)?;
+                }
+                next_due = next_due_after(state.guesses_made);
+            }
+            if halted {
+                break;
+            }
+        }
+
+        if !halted {
+            // Completion: persist the final state (so resuming a finished
+            // checkpoint reproduces the outcome) and the guess archive.
+            if let Some(path) = attack.checkpoint_path.as_deref() {
+                let snapshot = self.snapshot_state(
+                    &attack,
+                    &state,
+                    guesser,
+                    guesser_digest,
+                    latent_dim,
+                    chunks_done,
+                );
+                checkpoint::save(&snapshot, path)?;
+            }
+            if let Some(path) = attack.archive_path.as_deref() {
+                write_guess_archive(&state.generated, path)?;
+            }
         }
 
         // A zero budget still reports nothing — mirror the historical
@@ -468,6 +640,191 @@ impl AttackEngine {
             nonmatched_samples: state.nonmatched_samples,
         })
     }
+
+    /// Captures everything `PFATTACK v1` persists at a wave boundary.
+    fn snapshot_state(
+        &self,
+        attack: &Attack<'_>,
+        state: &ReduceState<'_>,
+        guesser: &dyn Guesser,
+        guesser_digest: Option<u64>,
+        latent_dim: u32,
+        chunks_done: usize,
+    ) -> CheckpointState {
+        let mut generated: Vec<(Vec<u8>, u64)> = state
+            .generated
+            .iter_counted()
+            .map(|(guess, count)| (guess.as_bytes().to_vec(), count))
+            .collect();
+        generated.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        CheckpointState {
+            budget: attack.budget,
+            batch_size: attack.batch_size as u64,
+            seed: attack.seed,
+            sync_every: attack.sync_every as u64,
+            nonmatched_cap: attack.nonmatched_sample_size as u64,
+            strategy: attack.strategy.clone(),
+            checkpoints: self.checkpoints.clone(),
+            target_count: attack.targets.len() as u64,
+            target_digest: checkpoint::target_set_digest(attack.targets.iter()),
+            guesser_name: guesser.name().to_string(),
+            guesser_digest,
+            chunks_done: chunks_done as u64,
+            guesses_made: state.guesses_made,
+            next_checkpoint: state.next_checkpoint as u64,
+            reports: state.reports.clone(),
+            matched_passwords: state.matched_in_order.clone(),
+            nonmatched_samples: state.nonmatched_samples.clone(),
+            latent_dim,
+            matched_points: state.matched_latents.points().to_vec(),
+            matched_usage: state.matched_latents.usage_counts().to_vec(),
+            generated,
+        }
+    }
+
+    /// Loads a checkpoint, validates it knob-by-knob against this plan, and
+    /// restores the reduce state; returns the resume cursor (`chunks_done`).
+    fn restore(
+        &self,
+        state: &mut ReduceState<'_>,
+        attack: &Attack<'_>,
+        guesser: &dyn Guesser,
+        guesser_digest: Option<u64>,
+        latent: Option<&dyn LatentGuesser>,
+        path: &Path,
+    ) -> Result<usize> {
+        let cp = checkpoint::load(path)?;
+
+        ensure_knob("budget", cp.budget, attack.budget)?;
+        ensure_knob("batch_size", cp.batch_size, attack.batch_size as u64)?;
+        ensure_knob("seed", cp.seed, attack.seed)?;
+        ensure_knob("sync_every", cp.sync_every, attack.sync_every as u64)?;
+        ensure_knob(
+            "nonmatched_samples",
+            cp.nonmatched_cap,
+            attack.nonmatched_sample_size as u64,
+        )?;
+        if cp.strategy != attack.strategy {
+            return Err(FlowError::CheckpointMismatch {
+                field: "strategy".to_string(),
+                checkpoint: format!("{:?}", cp.strategy),
+                requested: format!("{:?}", attack.strategy),
+            });
+        }
+        if cp.checkpoints != self.checkpoints {
+            return Err(FlowError::CheckpointMismatch {
+                field: "checkpoints".to_string(),
+                checkpoint: format!("{:?}", cp.checkpoints),
+                requested: format!("{:?}", self.checkpoints),
+            });
+        }
+        ensure_knob("target count", cp.target_count, attack.targets.len() as u64)?;
+        ensure_knob(
+            "target digest",
+            cp.target_digest,
+            checkpoint::target_set_digest(attack.targets.iter()),
+        )?;
+        ensure_knob("guesser", cp.guesser_name.as_str(), guesser.name())?;
+        if let (Some(stored), Some(current)) = (cp.guesser_digest, guesser_digest) {
+            ensure_knob("guesser digest", stored, current)?;
+        }
+        if let Some(lg) = latent {
+            ensure_knob(
+                "latent dim",
+                u64::from(cp.latent_dim),
+                lg.latent_dim() as u64,
+            )?;
+        }
+
+        // Internal-consistency checks: these can only fail on a corrupt (or
+        // hand-edited) file, never on a knob mismatch.
+        let corrupt = |msg: String| Err(FlowError::AttackPersistence(msg));
+        let chunks_done = cp.chunks_done as usize;
+        if chunks_done > self.chunks.len() {
+            return corrupt(format!(
+                "checkpoint claims {chunks_done} chunks done of {}",
+                self.chunks.len()
+            ));
+        }
+        let expected_guesses: u64 = self.chunks[..chunks_done]
+            .iter()
+            .map(|c| c.len as u64)
+            .sum();
+        if cp.guesses_made != expected_guesses {
+            return corrupt(format!(
+                "checkpoint guess count {} disagrees with its chunk cursor ({expected_guesses})",
+                cp.guesses_made
+            ));
+        }
+        if cp.reports.len() != cp.next_checkpoint as usize
+            || cp.reports.len() > self.checkpoints.len()
+        {
+            return corrupt("checkpoint report list disagrees with its cursor".to_string());
+        }
+        if attack.strategy.dynamic_params().is_some()
+            && !chunks_done.is_multiple_of(self.sync_every.max(1))
+            && chunks_done != self.chunks.len()
+        {
+            return corrupt(format!(
+                "checkpoint cursor {chunks_done} is not aligned to sync_every={}",
+                self.sync_every
+            ));
+        }
+        if cp
+            .matched_points
+            .iter()
+            .any(|p| p.len() != cp.latent_dim as usize)
+        {
+            return corrupt("matched latent points disagree with the stored dim".to_string());
+        }
+
+        state.guesses_made = cp.guesses_made;
+        state.next_checkpoint = cp.next_checkpoint as usize;
+        state.reports = cp.reports;
+        state.matched_in_order = cp.matched_passwords;
+        state.nonmatched_samples = cp.nonmatched_samples;
+        state.matched_latents = MatchedLatents::from_parts(cp.matched_points, cp.matched_usage);
+        for (guess, count) in cp.generated {
+            let guess = String::from_utf8(guess).map_err(|_| {
+                FlowError::AttackPersistence("dedup set contains invalid UTF-8".to_string())
+            })?;
+            state.generated.insert_with_count(guess, count);
+        }
+        Ok(chunks_done)
+    }
+}
+
+/// One knob compared between a checkpoint and a resuming attack.
+fn ensure_knob<T: PartialEq + std::fmt::Display>(
+    field: &str,
+    checkpoint: T,
+    requested: T,
+) -> Result<()> {
+    if checkpoint != requested {
+        return Err(FlowError::CheckpointMismatch {
+            field: field.to_string(),
+            checkpoint: checkpoint.to_string(),
+            requested: requested.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Writes the attack's dedup'd guess multiset as a `PFGUESS v1` archive —
+/// a pure function of the multiset, so any interrupted/resumed/merged path
+/// to the same final state produces byte-identical files.
+fn write_guess_archive(generated: &ShardedSet, path: &Path) -> Result<()> {
+    let archive_err =
+        |e: passflow_store::StoreError| FlowError::AttackPersistence(format!("{path:?}: {e}"));
+    let mut records: Vec<(&String, u64)> = generated.iter_counted().collect();
+    records.sort_unstable_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    let mut writer =
+        GuessArchiveWriter::create(path, GuessConfig::default()).map_err(archive_err)?;
+    for (guess, count) in records {
+        writer.push(guess, count).map_err(archive_err)?;
+    }
+    writer.finish().map_err(archive_err)?;
+    Ok(())
 }
 
 /// Pins the worker closure's signature so the session lifetime inside
@@ -620,11 +977,12 @@ impl ReduceState<'_> {
             };
             // Every guess the attack has ever produced is in `generated`,
             // and every target in `generated` was counted as a match when it
-            // first appeared — so one membership probe classifies repeats,
-            // and the string itself is *moved* into whichever set keeps it:
-            // matched guesses are cloned exactly once (dedup set + match
-            // list), unmatched ones not at all (beyond the ≤cap samples).
-            if self.generated.contains(&guess) {
+            // first appeared — so one probe classifies repeats (bumping the
+            // emission count the `PFGUESS` archive persists), and the string
+            // itself is *moved* into whichever set keeps it: matched guesses
+            // are cloned exactly once (dedup set + match list), unmatched
+            // ones not at all (beyond the ≤cap samples).
+            if self.generated.increment(&guess) {
                 continue;
             }
             if self.targets.contains(&guess) {
@@ -682,8 +1040,12 @@ mod tests {
             "cycler"
         }
         fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+            // Rejection-sampled draw: a plain `next_u32() % len` skews
+            // toward low indices whenever `len` isn't a power of two. The
+            // fixture's 64 entries keep the RNG stream identical to the old
+            // modulo draw, so the seeded expectations below are unchanged.
             (0..n)
-                .map(|_| self.0[(rng.next_u32() as usize) % self.0.len()].clone())
+                .map(|_| self.0[nnrng::uniform_index(rng, self.0.len())].clone())
                 .collect()
         }
     }
@@ -739,6 +1101,26 @@ mod tests {
             outcome.final_report().matched as usize,
             outcome.matched_passwords.len()
         );
+    }
+
+    #[test]
+    fn at_budget_clamps_requests_beyond_the_final_report() {
+        let targets = targets();
+        let outcome = Attack::new(&targets)
+            .budget(5_000)
+            .batch_size(128)
+            .checkpoints(vec![1_000, 9_999_999])
+            .run(&cycler())
+            .unwrap();
+        assert_eq!(outcome.at_budget(1_000).unwrap().guesses, 1_000);
+        // The over-budget request was clamped into the final report…
+        assert_eq!(outcome.at_budget(5_000).unwrap().guesses, 5_000);
+        // …and queries beyond the budget answer with the final state
+        // instead of silently returning None.
+        assert_eq!(outcome.at_budget(9_999_999), Some(outcome.final_report()));
+        assert_eq!(outcome.at_budget(u64::MAX), Some(outcome.final_report()));
+        // Budgets that were never checkpoints still answer None.
+        assert_eq!(outcome.at_budget(3_000), None);
     }
 
     #[test]

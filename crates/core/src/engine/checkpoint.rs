@@ -1,0 +1,639 @@
+//! `PFATTACK v1` — the attack checkpoint artifact.
+//!
+//! A checkpoint captures everything a killed attack needs to continue as if
+//! it had never stopped: the full knob configuration (validated knob-by-knob
+//! on resume), digests of the target set and the guesser's weights, the
+//! chunk-level progress cursor (per-chunk RNG streams are keyed by the chunk
+//! index, so `chunks_done` *is* the RNG position), the dedup multiset as a
+//! sorted [`GuessStreamWriter`] stream, the matched-latent mixture state of
+//! Dynamic Sampling, and the report/match accounting accumulated so far.
+//!
+//! The contract (asserted by `tests/resume_attack.rs`): an attack killed at
+//! any checkpoint and resumed produces the byte-identical
+//! [`AttackOutcome`](super::AttackOutcome) — and the byte-identical
+//! `PFGUESS v1` archive — as an uninterrupted run.
+//!
+//! ## Byte layout
+//!
+//! Little-endian throughout.
+//!
+//! ```text
+//! [0..8)   magic  "PFATTACK"
+//! [8..12)  version (1)
+//! [12..16) reserved (0)
+//! [16..N)  payload (sections below)
+//! [N..N+8) FNV-1a checksum of the payload
+//! ```
+//!
+//! Payload sections, in order: config knobs (budget, batch size, seed,
+//! sync cadence, non-matched cap — u64 each), the strategy (tag byte plus
+//! dynamic/smoothing parameters, f32s as raw bits), normalized checkpoint
+//! budgets, target-set count + order-independent digest, guesser name +
+//! optional weight digest, the progress cursor (`chunks_done`,
+//! `guesses_made`, `next_checkpoint`), emitted reports, matched passwords in
+//! match order, non-matched samples, matched latents (dim, rows as f32
+//! bits, usage counts), and the dedup multiset (record count, byte length,
+//! then a counts-bearing `PFGUESS` stream plus its running checksum).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use passflow_store::{GuessStreamReader, GuessStreamWriter};
+
+use crate::error::{FlowError, Result};
+use crate::sample::{DynamicParams, GaussianSmoothing, GuessingStrategy, Penalization};
+
+use super::attack::CheckpointReport;
+
+const MAGIC: &[u8; 8] = b"PFATTACK";
+const VERSION: u32 = 1;
+
+/// FNV-1a offset basis (shared with the store crate's artifact checksums).
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a hash.
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Order-independent digest of a target set: per-target FNV-1a hashes folded
+/// with wrapping addition, so iteration order never matters.
+pub(crate) fn target_set_digest<'a>(targets: impl Iterator<Item = &'a String>) -> u64 {
+    targets.fold(0u64, |acc, t| {
+        acc.wrapping_add(fnv1a(FNV_SEED, t.as_bytes()))
+    })
+}
+
+/// Helper for I/O and format failures.
+fn persist_err(msg: impl Into<String>) -> FlowError {
+    FlowError::AttackPersistence(msg.into())
+}
+
+/// Everything a `PFATTACK v1` file persists, in memory.
+pub(crate) struct CheckpointState {
+    // --- configuration (validated knob-by-knob on resume) ---
+    pub budget: u64,
+    pub batch_size: u64,
+    pub seed: u64,
+    pub sync_every: u64,
+    pub nonmatched_cap: u64,
+    pub strategy: GuessingStrategy,
+    /// Normalized checkpoint budgets (ascending, final budget last).
+    pub checkpoints: Vec<u64>,
+    pub target_count: u64,
+    pub target_digest: u64,
+    pub guesser_name: String,
+    pub guesser_digest: Option<u64>,
+    // --- progress cursor ---
+    pub chunks_done: u64,
+    pub guesses_made: u64,
+    pub next_checkpoint: u64,
+    pub reports: Vec<CheckpointReport>,
+    // --- accounting ---
+    pub matched_passwords: Vec<String>,
+    pub nonmatched_samples: Vec<String>,
+    /// Latent dimensionality of the matched points (0 when not tracked).
+    pub latent_dim: u32,
+    pub matched_points: Vec<Vec<f32>>,
+    pub matched_usage: Vec<u32>,
+    /// The dedup multiset: `(guess bytes, emission count)`, sorted by bytes.
+    pub generated: Vec<(Vec<u8>, u64)>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32_bits(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str16(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("string fits in u16");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn str32(&mut self, s: &str) {
+        let len = u32::try_from(s.len()).expect("string fits in u32");
+        self.u32(len);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| persist_err("checkpoint payload is truncated"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32_bits(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64_bits(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str16(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        string_from(self.take(len)?)
+    }
+    fn str32(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        string_from(self.take(len)?)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn string_from(bytes: &[u8]) -> Result<String> {
+    String::from_utf8(bytes.to_vec()).map_err(|_| persist_err("checkpoint contains invalid UTF-8"))
+}
+
+fn encode_strategy(enc: &mut Enc, strategy: &GuessingStrategy) {
+    let dynamic = |enc: &mut Enc, p: &DynamicParams| {
+        enc.u64(p.alpha as u64);
+        enc.f32_bits(p.sigma);
+        match p.penalization {
+            Penalization::Step { gamma } => {
+                enc.u8(0);
+                enc.u32(gamma);
+            }
+            Penalization::None => {
+                enc.u8(1);
+                enc.u32(0);
+            }
+        }
+    };
+    match strategy {
+        GuessingStrategy::Static => enc.u8(0),
+        GuessingStrategy::Dynamic(p) => {
+            enc.u8(1);
+            dynamic(enc, p);
+        }
+        GuessingStrategy::DynamicWithSmoothing { params, smoothing } => {
+            enc.u8(2);
+            dynamic(enc, params);
+            enc.f32_bits(smoothing.sigma);
+            enc.u64(smoothing.max_attempts as u64);
+        }
+    }
+}
+
+fn decode_strategy(dec: &mut Dec<'_>) -> Result<GuessingStrategy> {
+    let dynamic = |dec: &mut Dec<'_>| -> Result<DynamicParams> {
+        let alpha = dec.u64()? as usize;
+        let sigma = dec.f32_bits()?;
+        let penalization = match dec.u8()? {
+            0 => Penalization::Step { gamma: dec.u32()? },
+            1 => {
+                let _ = dec.u32()?;
+                Penalization::None
+            }
+            tag => return Err(persist_err(format!("unknown penalization tag {tag}"))),
+        };
+        // `<=` alone would wave NaN bits through; demand a real positive.
+        if sigma.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(persist_err("dynamic sigma is not positive"));
+        }
+        Ok(DynamicParams {
+            alpha,
+            sigma,
+            penalization,
+        })
+    };
+    match dec.u8()? {
+        0 => Ok(GuessingStrategy::Static),
+        1 => Ok(GuessingStrategy::Dynamic(dynamic(dec)?)),
+        2 => {
+            let params = dynamic(dec)?;
+            let sigma = dec.f32_bits()?;
+            let max_attempts = dec.u64()? as usize;
+            if sigma.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || max_attempts == 0 {
+                return Err(persist_err("smoothing parameters are invalid"));
+            }
+            Ok(GuessingStrategy::DynamicWithSmoothing {
+                params,
+                smoothing: GaussianSmoothing {
+                    sigma,
+                    max_attempts,
+                },
+            })
+        }
+        tag => Err(persist_err(format!("unknown strategy tag {tag}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+/// Writes `state` to `path` atomically (a `.tmp` sibling is renamed into
+/// place, so readers never observe a half-written checkpoint).
+pub(crate) fn save(state: &CheckpointState, path: &Path) -> Result<()> {
+    let mut enc = Enc { buf: Vec::new() };
+
+    // Section 1: config knobs.
+    enc.u64(state.budget);
+    enc.u64(state.batch_size);
+    enc.u64(state.seed);
+    enc.u64(state.sync_every);
+    enc.u64(state.nonmatched_cap);
+    encode_strategy(&mut enc, &state.strategy);
+    enc.u32(u32::try_from(state.checkpoints.len()).expect("checkpoint list fits in u32"));
+    for &cp in &state.checkpoints {
+        enc.u64(cp);
+    }
+    enc.u64(state.target_count);
+    enc.u64(state.target_digest);
+    enc.str16(&state.guesser_name);
+    match state.guesser_digest {
+        Some(digest) => {
+            enc.u8(1);
+            enc.u64(digest);
+        }
+        None => {
+            enc.u8(0);
+            enc.u64(0);
+        }
+    }
+
+    // Section 2: progress cursor + reports.
+    enc.u64(state.chunks_done);
+    enc.u64(state.guesses_made);
+    enc.u64(state.next_checkpoint);
+    enc.u32(u32::try_from(state.reports.len()).expect("report list fits in u32"));
+    for report in &state.reports {
+        enc.u64(report.guesses);
+        enc.u64(report.unique);
+        enc.u64(report.matched);
+        enc.f64_bits(report.matched_percent);
+    }
+
+    // Section 3: match accounting.
+    enc.u64(state.matched_passwords.len() as u64);
+    for p in &state.matched_passwords {
+        enc.str32(p);
+    }
+    enc.u64(state.nonmatched_samples.len() as u64);
+    for p in &state.nonmatched_samples {
+        enc.str32(p);
+    }
+
+    // Section 4: matched latents (the Dynamic Sampling mixture state).
+    enc.u32(state.latent_dim);
+    enc.u64(state.matched_points.len() as u64);
+    for point in &state.matched_points {
+        debug_assert_eq!(point.len(), state.latent_dim as usize);
+        for &v in point {
+            enc.f32_bits(v);
+        }
+    }
+    for &usage in &state.matched_usage {
+        enc.u32(usage);
+    }
+
+    // Section 5: the dedup multiset as a sorted PFGUESS stream.
+    debug_assert!(state.generated.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut stream = Vec::new();
+    let mut writer = GuessStreamWriter::new(&mut stream, true);
+    for (guess, count) in &state.generated {
+        writer
+            .push(guess, *count)
+            .map_err(|e| persist_err(format!("encoding dedup set: {e}")))?;
+    }
+    let stream_checksum = writer.checksum();
+    drop(writer);
+    enc.u64(state.generated.len() as u64);
+    enc.u64(stream.len() as u64);
+    enc.buf.extend_from_slice(&stream);
+    enc.u64(stream_checksum);
+
+    // Preamble + payload + trailing checksum, written atomically.
+    let payload = enc.buf;
+    let mut file_bytes = Vec::with_capacity(payload.len() + 24);
+    file_bytes.extend_from_slice(MAGIC);
+    file_bytes.extend_from_slice(&VERSION.to_le_bytes());
+    file_bytes.extend_from_slice(&0u32.to_le_bytes());
+    file_bytes.extend_from_slice(&payload);
+    file_bytes.extend_from_slice(&fnv1a(FNV_SEED, &payload).to_le_bytes());
+
+    let mut tmp_os = path.to_path_buf().into_os_string();
+    tmp_os.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_os);
+    let write = |p: &Path| -> std::io::Result<()> {
+        let mut f = fs::File::create(p)?;
+        f.write_all(&file_bytes)?;
+        f.sync_all()
+    };
+    write(&tmp).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        persist_err(format!("writing checkpoint {tmp:?}: {e}"))
+    })?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        persist_err(format!("renaming checkpoint into {path:?}: {e}"))
+    })
+}
+
+/// Reads and fully validates a `PFATTACK v1` file (magic, version, payload
+/// checksum, section layout, dedup-stream checksum).
+pub(crate) fn load(path: &Path) -> Result<CheckpointState> {
+    let bytes =
+        fs::read(path).map_err(|e| persist_err(format!("reading checkpoint {path:?}: {e}")))?;
+    if bytes.len() < 24 {
+        return Err(persist_err("checkpoint is shorter than its preamble"));
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(persist_err("bad magic: not a PFATTACK file"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(persist_err(format!(
+            "unsupported PFATTACK version {version} (supported: {VERSION})"
+        )));
+    }
+    let payload = &bytes[16..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let computed = fnv1a(FNV_SEED, payload);
+    if stored != computed {
+        return Err(persist_err(format!(
+            "payload checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+        )));
+    }
+
+    let mut dec = Dec {
+        buf: payload,
+        pos: 0,
+    };
+
+    let budget = dec.u64()?;
+    let batch_size = dec.u64()?;
+    let seed = dec.u64()?;
+    let sync_every = dec.u64()?;
+    let nonmatched_cap = dec.u64()?;
+    let strategy = decode_strategy(&mut dec)?;
+    let n_checkpoints = dec.u32()? as usize;
+    let mut checkpoints = Vec::with_capacity(n_checkpoints.min(1 << 16));
+    for _ in 0..n_checkpoints {
+        checkpoints.push(dec.u64()?);
+    }
+    let target_count = dec.u64()?;
+    let target_digest = dec.u64()?;
+    let guesser_name = dec.str16()?;
+    let guesser_digest = match dec.u8()? {
+        0 => {
+            let _ = dec.u64()?;
+            None
+        }
+        1 => Some(dec.u64()?),
+        tag => return Err(persist_err(format!("unknown guesser-digest flag {tag}"))),
+    };
+
+    let chunks_done = dec.u64()?;
+    let guesses_made = dec.u64()?;
+    let next_checkpoint = dec.u64()?;
+    let n_reports = dec.u32()? as usize;
+    let mut reports = Vec::with_capacity(n_reports.min(1 << 16));
+    for _ in 0..n_reports {
+        reports.push(CheckpointReport {
+            guesses: dec.u64()?,
+            unique: dec.u64()?,
+            matched: dec.u64()?,
+            matched_percent: dec.f64_bits()?,
+        });
+    }
+
+    let n_matched = dec.u64()? as usize;
+    let mut matched_passwords = Vec::with_capacity(n_matched.min(1 << 16));
+    for _ in 0..n_matched {
+        matched_passwords.push(dec.str32()?);
+    }
+    let n_nonmatched = dec.u64()? as usize;
+    let mut nonmatched_samples = Vec::with_capacity(n_nonmatched.min(1 << 16));
+    for _ in 0..n_nonmatched {
+        nonmatched_samples.push(dec.str32()?);
+    }
+
+    let latent_dim = dec.u32()?;
+    let n_points = dec.u64()? as usize;
+    let mut matched_points = Vec::with_capacity(n_points.min(1 << 16));
+    for _ in 0..n_points {
+        let mut point = Vec::with_capacity(latent_dim as usize);
+        for _ in 0..latent_dim {
+            point.push(dec.f32_bits()?);
+        }
+        matched_points.push(point);
+    }
+    let mut matched_usage = Vec::with_capacity(n_points.min(1 << 16));
+    for _ in 0..n_points {
+        matched_usage.push(dec.u32()?);
+    }
+
+    let record_count = dec.u64()?;
+    let stream_len = dec.u64()? as usize;
+    let stream = dec.take(stream_len)?;
+    let stored_stream_checksum = dec.u64()?;
+    if !dec.done() {
+        return Err(persist_err("trailing bytes after the dedup section"));
+    }
+    let mut reader = GuessStreamReader::new(stream, true);
+    let mut generated = Vec::with_capacity((record_count as usize).min(1 << 20));
+    while let Some((guess, count)) = reader
+        .next_guess()
+        .map_err(|e| persist_err(format!("decoding dedup set: {e}")))?
+    {
+        generated.push((guess, count));
+    }
+    if reader.records() != record_count {
+        return Err(persist_err(format!(
+            "dedup set has {} records, header claims {record_count}",
+            reader.records()
+        )));
+    }
+    if reader.checksum() != stored_stream_checksum {
+        return Err(persist_err("dedup-stream checksum mismatch"));
+    }
+
+    Ok(CheckpointState {
+        budget,
+        batch_size,
+        seed,
+        sync_every,
+        nonmatched_cap,
+        strategy,
+        checkpoints,
+        target_count,
+        target_digest,
+        guesser_name,
+        guesser_digest,
+        chunks_done,
+        guesses_made,
+        next_checkpoint,
+        reports,
+        matched_passwords,
+        nonmatched_samples,
+        latent_dim,
+        matched_points,
+        matched_usage,
+        generated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CheckpointState {
+        CheckpointState {
+            budget: 10_000,
+            batch_size: 128,
+            seed: 7,
+            sync_every: 4,
+            nonmatched_cap: 40,
+            strategy: GuessingStrategy::DynamicWithSmoothing {
+                params: DynamicParams::new(5, 0.12, 2),
+                smoothing: GaussianSmoothing::default(),
+            },
+            checkpoints: vec![1_000, 5_000, 10_000],
+            target_count: 3,
+            target_digest: 0xdead_beef,
+            guesser_name: "PassFlow".to_string(),
+            guesser_digest: Some(42),
+            chunks_done: 8,
+            guesses_made: 1_024,
+            next_checkpoint: 1,
+            reports: vec![CheckpointReport {
+                guesses: 1_000,
+                unique: 900,
+                matched: 2,
+                matched_percent: 66.666,
+            }],
+            matched_passwords: vec!["hunter2".into(), "123456".into()],
+            nonmatched_samples: vec!["zzz".into()],
+            latent_dim: 2,
+            matched_points: vec![vec![0.5, -0.5], vec![1.0, 2.0]],
+            matched_usage: vec![3, 0],
+            generated: vec![
+                (b"123456".to_vec(), 1),
+                (b"hunter2".to_vec(), 4),
+                (b"zzz".to_vec(), 2),
+            ],
+        }
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pfattack-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_every_section() {
+        let state = sample_state();
+        let path = scratch("roundtrip.pfa");
+        save(&state, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.budget, state.budget);
+        assert_eq!(loaded.batch_size, state.batch_size);
+        assert_eq!(loaded.seed, state.seed);
+        assert_eq!(loaded.sync_every, state.sync_every);
+        assert_eq!(loaded.nonmatched_cap, state.nonmatched_cap);
+        assert_eq!(loaded.strategy, state.strategy);
+        assert_eq!(loaded.checkpoints, state.checkpoints);
+        assert_eq!(loaded.target_count, state.target_count);
+        assert_eq!(loaded.target_digest, state.target_digest);
+        assert_eq!(loaded.guesser_name, state.guesser_name);
+        assert_eq!(loaded.guesser_digest, state.guesser_digest);
+        assert_eq!(loaded.chunks_done, state.chunks_done);
+        assert_eq!(loaded.guesses_made, state.guesses_made);
+        assert_eq!(loaded.next_checkpoint, state.next_checkpoint);
+        assert_eq!(loaded.reports, state.reports);
+        assert_eq!(loaded.matched_passwords, state.matched_passwords);
+        assert_eq!(loaded.nonmatched_samples, state.nonmatched_samples);
+        assert_eq!(loaded.latent_dim, state.latent_dim);
+        assert_eq!(loaded.matched_points, state.matched_points);
+        assert_eq!(loaded.matched_usage, state.matched_usage);
+        assert_eq!(loaded.generated, state.generated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_persistence_error() {
+        let state = sample_state();
+        let path = scratch("corrupt.pfa");
+        save(&state, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Flip a payload byte: checksum must catch it.
+        bytes[30] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(FlowError::AttackPersistence(msg)) if msg.contains("checksum")
+        ));
+
+        // Truncate mid-payload.
+        bytes[30] ^= 0xff;
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(FlowError::AttackPersistence(_))));
+
+        // Wrong magic.
+        std::fs::write(&path, b"NOTATALLPFATTACKDATA....").unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(FlowError::AttackPersistence(msg)) if msg.contains("magic")
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn target_digest_is_order_independent() {
+        let a = ["alpha".to_string(), "beta".to_string()];
+        let b = ["beta".to_string(), "alpha".to_string()];
+        assert_eq!(target_set_digest(a.iter()), target_set_digest(b.iter()));
+        let c = ["alpha".to_string()];
+        assert_ne!(target_set_digest(a.iter()), target_set_digest(c.iter()));
+    }
+}

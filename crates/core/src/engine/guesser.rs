@@ -54,6 +54,14 @@ pub trait Guesser: Send + Sync {
     fn start_session(&self) -> Option<Box<dyn GuessSession + '_>> {
         None
     }
+
+    /// A digest of the guesser's generation-relevant state (typically its
+    /// weights), recorded in `PFATTACK v1` attack checkpoints so resuming
+    /// against a *different* model is a typed error instead of silently
+    /// divergent output. `None` (the default) skips the check.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A per-worker generation context created by [`Guesser::start_session`].
@@ -199,6 +207,17 @@ impl Guesser for PassFlow {
     fn start_session(&self) -> Option<Box<dyn GuessSession + '_>> {
         Some(Box::new(FlowSession::new(self)))
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // FNV over the canonical serialized form, so the digest moves with
+        // the weights (and with nothing else).
+        let mut bytes = Vec::new();
+        crate::persist::save_flow_to_writer(self, &mut bytes).ok()?;
+        Some(super::checkpoint::fnv1a(
+            super::checkpoint::FNV_SEED,
+            &bytes,
+        ))
+    }
 }
 
 impl LatentGuesser for PassFlow {
@@ -259,6 +278,15 @@ mod tests {
             .map(|i| latent.decode_features(x.row_slice(i)))
             .collect();
         assert_eq!(decoded, flow.decode_batch(&x));
+    }
+
+    #[test]
+    fn state_digest_moves_with_the_weights() {
+        let flow_a = PassFlow::new(FlowConfig::tiny(), &mut nnrng::seeded(5)).unwrap();
+        let flow_b = PassFlow::new(FlowConfig::tiny(), &mut nnrng::seeded(6)).unwrap();
+        assert!(flow_a.state_digest().is_some());
+        assert_eq!(flow_a.state_digest(), flow_a.state_digest());
+        assert_ne!(flow_a.state_digest(), flow_b.state_digest());
     }
 
     #[test]

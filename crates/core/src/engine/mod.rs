@@ -17,6 +17,14 @@
 //!   dedup via a [`ShardedSet`], and streaming checkpoint reports through an
 //!   observer callback.
 //!
+//! Long-running distributed attacks persist their progress as `PFATTACK v1`
+//! checkpoints ([`Attack::checkpoint_every`] / [`Attack::resume`]) and their
+//! dedup'd guess streams as `PFGUESS v1` sorted archives
+//! ([`Attack::archive_to`]); a killed attack resumed from any checkpoint
+//! reproduces the byte-identical outcome and archive of an uninterrupted
+//! run, and shard archives merge order-independently (DESIGN.md,
+//! "Distributed attacks").
+//!
 //! ```rust
 //! use passflow_core::{Attack, FlowConfig, GuessingStrategy, PassFlow};
 //! use rand::SeedableRng;
@@ -37,6 +45,7 @@
 //! ```
 
 mod attack;
+mod checkpoint;
 mod guesser;
 mod sharded;
 

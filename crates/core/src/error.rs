@@ -38,6 +38,21 @@ pub enum FlowError {
         /// Name of the guesser that lacks it.
         guesser: String,
     },
+    /// An attack checkpoint (`PFATTACK v1`) or guess archive could not be
+    /// written, read or parsed: I/O failures, truncation, checksum or
+    /// layout corruption.
+    AttackPersistence(String),
+    /// A resumed attack was configured differently from the attack that
+    /// wrote the checkpoint. Resuming with mismatched knobs would silently
+    /// change the outcome, so every divergence is a hard error.
+    CheckpointMismatch {
+        /// Which knob diverged (e.g. `"budget"`, `"seed"`, `"strategy"`).
+        field: String,
+        /// The value recorded in the checkpoint.
+        checkpoint: String,
+        /// The value the resuming attack requested.
+        requested: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -59,6 +74,19 @@ impl fmt::Display for FlowError {
                 write!(
                     f,
                     "strategy {strategy:?} requires latent access, but guesser {guesser:?} has none"
+                )
+            }
+            FlowError::AttackPersistence(msg) => {
+                write!(f, "attack persistence failed: {msg}")
+            }
+            FlowError::CheckpointMismatch {
+                field,
+                checkpoint,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "checkpoint mismatch on {field}: checkpoint has {checkpoint}, resume requested {requested}"
                 )
             }
         }
@@ -95,6 +123,18 @@ mod tests {
                     guesser: "Markov".into(),
                 },
                 "requires latent access",
+            ),
+            (
+                FlowError::AttackPersistence("bad magic".into()),
+                "attack persistence failed",
+            ),
+            (
+                FlowError::CheckpointMismatch {
+                    field: "budget".into(),
+                    checkpoint: "5000".into(),
+                    requested: "6000".into(),
+                },
+                "checkpoint mismatch on budget",
             ),
         ];
         for (err, needle) in cases {

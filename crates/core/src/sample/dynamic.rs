@@ -141,6 +141,26 @@ impl MatchedLatents {
         &self.usage
     }
 
+    /// The matched latent points, in match order.
+    pub fn points(&self) -> &[Vec<f32>] {
+        &self.points
+    }
+
+    /// Rebuilds the set from persisted points and usage counts (attack
+    /// checkpoint resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices disagree in length.
+    pub fn from_parts(points: Vec<Vec<f32>>, usage: Vec<u32>) -> Self {
+        assert_eq!(
+            points.len(),
+            usage.len(),
+            "points and usage counts must pair up"
+        );
+        MatchedLatents { points, usage }
+    }
+
     /// Builds the mixture prior of Equation 14 if dynamic sampling should be
     /// active, and advances the usage counter of every component included in
     /// the mixture.

@@ -5,7 +5,7 @@
 //! provides a few sampling utilities shared across crates.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Creates a deterministic RNG from a 64-bit seed.
 pub fn seeded(seed: u64) -> StdRng {
@@ -36,6 +36,30 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 /// Draws a normal sample with the given mean and standard deviation.
 pub fn normal<R: Rng + ?Sized>(mean: f32, std: f32, rng: &mut R) -> f32 {
     mean + std * standard_normal(rng)
+}
+
+/// Draws a uniform index in `[0, n)` without modulo bias.
+///
+/// A plain `next_u32() % n` over-represents the first `2^32 mod n` indices;
+/// this rejection-samples instead: draws below `2^32 mod n` are discarded,
+/// making every index exactly equally likely. For power-of-two `n` the
+/// rejection threshold is zero, so the RNG consumption (and therefore any
+/// seeded stream) is identical to the modulo draw.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or does not fit in `u32`.
+pub fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> usize {
+    assert!(n > 0, "n must be positive");
+    let n32 = u32::try_from(n).expect("n must fit in u32");
+    // `2^32 mod n`, computed without 64-bit arithmetic.
+    let threshold = n32.wrapping_neg() % n32;
+    loop {
+        let r = rng.next_u32();
+        if r >= threshold {
+            return (r % n32) as usize;
+        }
+    }
 }
 
 /// Samples an index from a discrete distribution given by unnormalized
@@ -100,6 +124,41 @@ mod tests {
         let samples: Vec<f32> = (0..20_000).map(|_| normal(3.0, 0.5, &mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
         assert!((mean - 3.0).abs() < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn uniform_index_has_no_modulo_bias() {
+        // n = 3 leaves 2^32 mod 3 = 1 rejected value; with plain modulo the
+        // first index would be over-represented by ~1 draw in 2^32 — too
+        // small to see — so instead verify the distribution is flat for a
+        // non-power-of-two n at test scale and that the stream matches the
+        // modulo draw for a power-of-two n (the compatibility guarantee the
+        // attack tests rely on).
+        let mut rng = seeded(21);
+        let n = 3;
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[uniform_index(&mut rng, n)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 400.0,
+                "index {i} drawn {c} times"
+            );
+        }
+
+        let mut a = seeded(22);
+        let mut b = seeded(22);
+        for _ in 0..1_000 {
+            assert_eq!(uniform_index(&mut a, 64), (b.next_u32() as usize) % 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn uniform_index_rejects_zero() {
+        let mut rng = seeded(1);
+        uniform_index(&mut rng, 0);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! `guess_archive` — build, merge, query, verify and extract `PFGUESS v1`
+//! sorted guess archives.
+//!
+//! ```text
+//! guess_archive build   --out run.pfg [--no-counts] [--block-records 1024]
+//!                       [--memory-records N] [wordlist…]   # stdin when no files
+//! guess_archive merge   --out merged.pfg shard1.pfg shard2.pfg …
+//! guess_archive query   --archive run.pfg --guess PASSWORD
+//! guess_archive extract --archive run.pfg --prefix STR     # (guess, count) lines
+//! guess_archive verify  --archive run.pfg
+//! ```
+//!
+//! Exit status is non-zero on any failure, so CI can drive the whole
+//! attack → checkpoint → merge → verify pipeline from a shell script.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use passflow_store::{merge_archives, GuessArchive, GuessArchiveBuilder, GuessConfig};
+
+fn usage() -> String {
+    "usage: guess_archive <build|merge|query|extract|verify> [options]\n\
+     \x20 build   --out FILE [--no-counts] [--block-records N] [--memory-records N] \
+     [wordlist…]\n\
+     \x20 merge   --out FILE shard.pfg…\n\
+     \x20 query   --archive FILE --guess PASSWORD\n\
+     \x20 extract --archive FILE --prefix STR\n\
+     \x20 verify  --archive FILE"
+        .to_string()
+}
+
+/// Pulls `--flag value` out of `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Pulls a bare `--flag` out of `args`, removing it.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_usize(value: Option<String>, flag: &str, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} must be a number")),
+    }
+}
+
+fn build(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_value(&mut args, "--out")?.ok_or("build needs --out")?;
+    let config = GuessConfig {
+        counts: !take_flag(&mut args, "--no-counts"),
+        records_per_block: parse_usize(
+            take_value(&mut args, "--block-records")?,
+            "--block-records",
+            1024,
+        )?,
+    };
+    let memory = parse_usize(
+        take_value(&mut args, "--memory-records")?,
+        "--memory-records",
+        passflow_store::DEFAULT_MEMORY_RECORDS,
+    )?;
+    let mut builder = GuessArchiveBuilder::new(config).with_memory_records(memory);
+    let mut total = 0u64;
+    if args.is_empty() {
+        total += builder
+            .add_wordlist(std::io::stdin().lock())
+            .map_err(|e| e.to_string())?;
+    } else {
+        for path in &args {
+            let file = std::fs::File::open(path).map_err(|e| format!("opening {path:?}: {e}"))?;
+            total += builder
+                .add_wordlist(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    let stats = builder.finish(&out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} unique guesses from {total} lines, {} blocks, {} bytes",
+        stats.record_count, stats.block_count, stats.bytes
+    );
+    Ok(())
+}
+
+fn merge(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_value(&mut args, "--out")?.ok_or("merge needs --out")?;
+    if args.is_empty() {
+        return Err("merge needs at least one input archive".to_string());
+    }
+    let stats = merge_archives(&args, &out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} unique guesses from {} shards, {} blocks, {} bytes",
+        stats.record_count,
+        args.len(),
+        stats.block_count,
+        stats.bytes
+    );
+    Ok(())
+}
+
+fn query(mut args: Vec<String>) -> Result<(), String> {
+    let path = take_value(&mut args, "--archive")?.ok_or("query needs --archive")?;
+    let guess = take_value(&mut args, "--guess")?.ok_or("query needs --guess")?;
+    let archive = GuessArchive::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    match archive.contains(&guess).map_err(|e| e.to_string())? {
+        Some(count) => println!("PRESENT {guess} count={count}"),
+        None => println!("ABSENT {guess}"),
+    }
+    Ok(())
+}
+
+fn extract(mut args: Vec<String>) -> Result<(), String> {
+    let path = take_value(&mut args, "--archive")?.ok_or("extract needs --archive")?;
+    let prefix = take_value(&mut args, "--prefix")?.ok_or("extract needs --prefix")?;
+    let archive = GuessArchive::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let entries = archive.extract_prefix(&prefix).map_err(|e| e.to_string())?;
+    for (guess, count) in &entries {
+        println!("{guess}:{count}");
+    }
+    eprintln!("{} guesses under prefix {prefix:?}", entries.len());
+    Ok(())
+}
+
+fn verify(mut args: Vec<String>) -> Result<(), String> {
+    let path = take_value(&mut args, "--archive")?.ok_or("verify needs --archive")?;
+    let archive = GuessArchive::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let report = archive.verify().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "ok: {} records in {} blocks, {} bytes, checksum {:016x} ({:?})",
+        report.record_count,
+        report.block_count,
+        archive.file_len(),
+        report.checksum,
+        archive.config(),
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "build" => build(args),
+        "merge" => merge(args),
+        "query" => query(args),
+        "extract" => extract(args),
+        "verify" => verify(args),
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("guess_archive: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

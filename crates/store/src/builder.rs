@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::format::{format_err, ArtifactWriter, DigestConfig, DigestStats, RawDigest, Result};
-use crate::merge::{merge_sources, RecordSource};
+use crate::io::{FaultyWrite, ScratchFile};
+use crate::merge::{merge_sources, KeyedSource};
 use crate::sha1;
 
 /// Default spill threshold: ~28 MB of buffered records.
@@ -26,14 +27,28 @@ pub const DEFAULT_MEMORY_RECORDS: usize = 1 << 20;
 /// Monotonic suffix so concurrent builders never collide on scratch names.
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Next unique scratch-run sequence number (shared by every builder in the
+/// crate, so digest and guess runs never collide either).
+pub(crate) fn next_run_seq() -> u64 {
+    RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Streaming artifact builder with external-merge-sort spills.
+///
+/// Every spill run lives behind a `ScratchFile` drop-guard, so runs are
+/// unlinked when the builder goes away on *any* path — normal completion,
+/// a spill dying mid-write, or the final k-way merge failing.
 pub struct DigestStoreBuilder {
     config: DigestConfig,
     memory_records: usize,
     scratch_dir: PathBuf,
     buffer: Vec<(RawDigest, u64)>,
-    runs: Vec<PathBuf>,
+    runs: Vec<ScratchFile>,
     ingested: u64,
+    /// Chaos seam: `(nth_spill, byte_budget)` — the nth spill (0-based)
+    /// writes through a [`FaultyWrite`] capped at `byte_budget` bytes.
+    spill_fault: Option<(u64, u64)>,
+    spills: u64,
 }
 
 impl DigestStoreBuilder {
@@ -46,6 +61,8 @@ impl DigestStoreBuilder {
             buffer: Vec::new(),
             runs: Vec::new(),
             ingested: 0,
+            spill_fault: None,
+            spills: 0,
         }
     }
 
@@ -60,6 +77,15 @@ impl DigestStoreBuilder {
     #[must_use]
     pub fn with_scratch_dir(mut self, dir: impl Into<PathBuf>) -> DigestStoreBuilder {
         self.scratch_dir = dir.into();
+        self
+    }
+
+    /// Chaos seam: make the `nth` spill (0-based) fail after `byte_budget`
+    /// bytes. The chaos suite uses this to prove spill files never outlive
+    /// a builder whose write path died.
+    #[must_use]
+    pub fn with_injected_spill_fault(mut self, nth: u64, byte_budget: u64) -> DigestStoreBuilder {
+        self.spill_fault = Some((nth, byte_budget));
         self
     }
 
@@ -138,19 +164,34 @@ impl DigestStoreBuilder {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let seq = next_run_seq();
         let path = self
             .scratch_dir
             .join(format!("pfdigest-run-{}-{seq}.tmp", std::process::id()));
-        let mut out = BufWriter::new(File::create(&path)?);
+        // Guard before create: a write failure below (or any later error
+        // in the builder's life) unlinks the partial run on drop.
+        let guard = ScratchFile::new(path);
+        let file = File::create(guard.path())?;
+        let fault = self.spill_fault.filter(|&(nth, _)| nth == self.spills);
+        self.spills += 1;
         let db = self.config.digest_bytes;
-        for (digest, count) in &self.buffer {
-            out.write_all(&digest[..db])?;
-            out.write_all(&count.to_le_bytes())?;
+        let buffer = &self.buffer;
+        let write_records = |out: &mut dyn Write| -> Result<()> {
+            for (digest, count) in buffer {
+                out.write_all(&digest[..db])?;
+                out.write_all(&count.to_le_bytes())?;
+            }
+            out.flush()?;
+            Ok(())
+        };
+        match fault {
+            Some((_, budget)) => {
+                write_records(&mut BufWriter::new(FaultyWrite::new(file, budget)))?;
+            }
+            None => write_records(&mut BufWriter::new(file))?,
         }
-        out.flush()?;
         self.buffer.clear();
-        self.runs.push(path);
+        self.runs.push(guard);
         Ok(())
     }
 
@@ -166,10 +207,11 @@ impl DigestStoreBuilder {
         let buffer = std::mem::take(&mut self.buffer);
         let db = self.config.digest_bytes;
 
-        let mut sources: Vec<Box<dyn RecordSource>> = Vec::with_capacity(self.runs.len() + 1);
+        let mut sources: Vec<Box<dyn KeyedSource<RawDigest>>> =
+            Vec::with_capacity(self.runs.len() + 1);
         for run in &self.runs {
             sources.push(Box::new(RunReader {
-                reader: BufReader::new(File::open(run)?),
+                reader: BufReader::new(File::open(run.path())?),
                 digest_bytes: db,
             }));
         }
@@ -180,15 +222,7 @@ impl DigestStoreBuilder {
         let mut writer = ArtifactWriter::create(path, self.config)?;
         merge_sources(sources, &mut writer)?;
         writer.finish()
-        // `self` drops here and removes the run files.
-    }
-}
-
-impl Drop for DigestStoreBuilder {
-    fn drop(&mut self) {
-        for run in &self.runs {
-            let _ = std::fs::remove_file(run);
-        }
+        // `self` drops here; the ScratchFile guards remove the run files.
     }
 }
 
@@ -198,7 +232,7 @@ struct RunReader {
     digest_bytes: usize,
 }
 
-impl RecordSource for RunReader {
+impl KeyedSource<RawDigest> for RunReader {
     fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
         let mut digest = [0u8; sha1::DIGEST_LEN];
         match self.reader.read_exact(&mut digest[..self.digest_bytes]) {
@@ -217,7 +251,7 @@ struct VecSource {
     iter: std::vec::IntoIter<(RawDigest, u64)>,
 }
 
-impl RecordSource for VecSource {
+impl KeyedSource<RawDigest> for VecSource {
     fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
         Ok(self.iter.next())
     }

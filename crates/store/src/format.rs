@@ -157,7 +157,7 @@ pub fn truncate_digest(digest: &[u8], digest_bytes: usize) -> RawDigest {
 // ---------------------------------------------------------------------------
 
 /// Appends a LEB128 varint.
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -170,7 +170,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads a LEB128 varint from `data[*pos..]`.
-fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+pub(crate) fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     for shift in (0..64).step_by(7) {
         let Some(&byte) = data.get(*pos) else {
@@ -186,7 +186,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
 }
 
 /// FNV-1a 64-bit, used for the whole-stream record checksum.
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -195,7 +195,7 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a offset basis (checksum seed).
-const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Folds one served record into the running checksum. The count hashed is
 /// the count a reader will *see* (1 when counts are disabled), so the

@@ -24,8 +24,8 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{self, ErrorKind};
-use std::path::Path;
+use std::io::{self, ErrorKind, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -334,6 +334,76 @@ impl StoreIo for FaultyIo {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Write-side fault injection and scratch-file lifetime guards
+// ---------------------------------------------------------------------------
+
+/// A [`Write`] decorator that fails deterministically once a byte budget is
+/// exhausted — the write-side counterpart of [`FaultyIo`]. The chaos suite
+/// wraps builder spill files in it to prove that a spill dying mid-write
+/// leaves no scratch files behind.
+#[derive(Debug)]
+pub struct FaultyWrite<W: Write> {
+    inner: W,
+    remaining: u64,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Wraps `inner`: the first `byte_budget` bytes are accepted, every
+    /// write after that fails permanently.
+    pub fn new(inner: W, byte_budget: u64) -> FaultyWrite<W> {
+        FaultyWrite {
+            inner,
+            remaining: byte_budget,
+        }
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other(
+                "injected write fault: byte budget exhausted",
+            ));
+        }
+        let allowed = buf
+            .len()
+            .min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        let written = self.inner.write(&buf[..allowed])?;
+        self.remaining -= written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A scratch file that unlinks itself on drop. Builders create the guard
+/// *before* the file, so a spill that errors mid-write — or a k-way merge
+/// that fails after some runs were spilled — still removes every run when
+/// the builder unwinds.
+#[derive(Debug)]
+pub(crate) struct ScratchFile {
+    path: PathBuf,
+}
+
+impl ScratchFile {
+    pub(crate) fn new(path: PathBuf) -> ScratchFile {
+        ScratchFile { path }
+    }
+
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +545,25 @@ mod tests {
         injector.set_active(true);
         assert_eq!(io.read_at(&mut buf, 0).unwrap(), 4, "short when active");
         assert!(injector.reads() >= 3);
+    }
+
+    #[test]
+    fn faulty_write_honors_its_byte_budget_exactly() {
+        let mut sink = FaultyWrite::new(Vec::new(), 10);
+        assert_eq!(sink.write(b"0123456").unwrap(), 7);
+        assert_eq!(sink.write(b"89abcdef").unwrap(), 3, "clipped to budget");
+        let err = sink.write(b"x").unwrap_err();
+        assert!(err.to_string().contains("injected write fault"));
+    }
+
+    #[test]
+    fn scratch_files_unlink_themselves_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("pf-scratch-guard-{}.tmp", std::process::id()));
+        let guard = ScratchFile::new(path.clone());
+        std::fs::write(guard.path(), b"run data").unwrap();
+        assert!(path.exists());
+        drop(guard);
+        assert!(!path.exists(), "guard must unlink the file");
     }
 }

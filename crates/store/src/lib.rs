@@ -13,10 +13,13 @@
 //!   `SHA1(password)` and matches the suffix locally) and
 //!   `POST /v1/screen` (model strength + breach membership in one
 //!   response) straight off an open [`DigestStore`];
-//! * **mergeable guess archives** — attack shards archive their guess
-//!   streams through the bounded-memory [`DigestStoreBuilder`] and later
-//!   union the shard artifacts with [`merge_artifacts`], dedup'ing guesses
-//!   and summing occurrence counts across runs.
+//! * **mergeable guess archives** — attack shards persist their dedup'd
+//!   guess streams as `PFGUESS v1` sorted archives ([`GuessArchiveBuilder`],
+//!   same external-merge-sort skeleton, keyed by raw guess bytes instead of
+//!   digests) and later union shard outputs with [`merge_archives`],
+//!   dedup'ing guesses and summing emission counts across runs. The
+//!   headerless form of the same codec ([`GuessStreamWriter`]) carries the
+//!   dedup-set state inside `PFATTACK v1` attack checkpoints.
 //!
 //! Everything is deterministic at the byte level: building in one pass and
 //! merging N shard builds of the same records produce identical files, so
@@ -47,6 +50,7 @@
 
 pub mod builder;
 pub mod format;
+pub mod guess;
 pub mod io;
 pub mod merge;
 pub mod sha1;
@@ -56,5 +60,9 @@ pub use format::{
     DigestConfig, DigestStats, DigestStore, RangeEntry, RawDigest, RecordCursor, Result,
     StoreError, VerifyReport,
 };
-pub use io::{FaultInjector, FaultPlan, FaultyIo, FileIo, RetryPolicy, StoreIo};
+pub use guess::{
+    merge_archives, GuessArchive, GuessArchiveBuilder, GuessArchiveWriter, GuessConfig,
+    GuessCursor, GuessStats, GuessStreamReader, GuessStreamWriter, MAX_GUESS_LEN,
+};
+pub use io::{FaultInjector, FaultPlan, FaultyIo, FaultyWrite, FileIo, RetryPolicy, StoreIo};
 pub use merge::merge_artifacts;

@@ -18,43 +18,46 @@ use crate::format::{
     format_err, ArtifactWriter, DigestStats, DigestStore, RawDigest, RecordCursor, Result,
 };
 
-/// A sorted, deduplicated record stream (runs, buffers, open artifacts).
-pub(crate) trait RecordSource {
-    /// The next record in ascending digest order, or `None` when drained.
-    fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>>;
+/// A sorted, deduplicated record stream (runs, buffers, open artifacts)
+/// over keys of type `K` — fixed-width digests for `PFDIGEST`, raw guess
+/// bytes for `PFGUESS`.
+pub(crate) trait KeyedSource<K> {
+    /// The next record in ascending key order, or `None` when drained.
+    fn next_record(&mut self) -> Result<Option<(K, u64)>>;
 }
 
-impl RecordSource for RecordCursor<'_> {
+impl KeyedSource<RawDigest> for RecordCursor<'_> {
     fn next_record(&mut self) -> Result<Option<(RawDigest, u64)>> {
         RecordCursor::next_record(self)
     }
 }
 
-/// Streams the union of `sources` into `writer`: strictly ascending
-/// digests, equal digests collapsed with saturating count sums.
-pub(crate) fn merge_sources(
-    mut sources: Vec<Box<dyn RecordSource + '_>>,
-    writer: &mut ArtifactWriter,
+/// Streams the union of `sources` into `emit`: strictly ascending keys,
+/// equal keys collapsed with saturating count sums. The shared engine
+/// behind both artifact formats' builders and N-way merges.
+pub(crate) fn merge_keyed<K: Ord>(
+    mut sources: Vec<Box<dyn KeyedSource<K> + '_>>,
+    mut emit: impl FnMut(K, u64) -> Result<()>,
 ) -> Result<()> {
-    // Heap of (next digest, source index); counts live in `heads`.
+    // Heap of (next key, source index); counts live in `heads`.
     let mut heads: Vec<Option<u64>> = vec![None; sources.len()];
-    let mut heap: BinaryHeap<Reverse<(RawDigest, usize)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
     for (i, source) in sources.iter_mut().enumerate() {
-        if let Some((digest, count)) = source.next_record()? {
+        if let Some((key, count)) = source.next_record()? {
             heads[i] = Some(count);
-            heap.push(Reverse((digest, i)));
+            heap.push(Reverse((key, i)));
         }
     }
 
-    while let Some(Reverse((digest, i))) = heap.pop() {
+    while let Some(Reverse((key, i))) = heap.pop() {
         let mut count = heads[i].take().expect("queued source has a head");
         if let Some((next, c)) = sources[i].next_record()? {
             heads[i] = Some(c);
             heap.push(Reverse((next, i)));
         }
-        // Absorb every other source currently sitting on the same digest.
-        while let Some(Reverse((d, j))) = heap.peek() {
-            if *d != digest {
+        // Absorb every other source currently sitting on the same key.
+        while let Some(Reverse((k, j))) = heap.peek() {
+            if *k != key {
                 break;
             }
             let j = *j;
@@ -65,9 +68,17 @@ pub(crate) fn merge_sources(
                 heap.push(Reverse((next, j)));
             }
         }
-        writer.push(&digest, count)?;
+        emit(key, count)?;
     }
     Ok(())
+}
+
+/// Streams the union of digest `sources` into `writer`.
+pub(crate) fn merge_sources(
+    sources: Vec<Box<dyn KeyedSource<RawDigest> + '_>>,
+    writer: &mut ArtifactWriter,
+) -> Result<()> {
+    merge_keyed(sources, |digest, count| writer.push(&digest, count))
 }
 
 /// Unions N shard artifacts into one at `out`.
@@ -98,9 +109,9 @@ pub fn merge_artifacts<P: AsRef<Path>>(inputs: &[P], out: impl AsRef<Path>) -> R
             ));
         }
     }
-    let sources: Vec<Box<dyn RecordSource + '_>> = stores
+    let sources: Vec<Box<dyn KeyedSource<RawDigest> + '_>> = stores
         .iter()
-        .map(|s| Box::new(s.records()) as Box<dyn RecordSource + '_>)
+        .map(|s| Box::new(s.records()) as Box<dyn KeyedSource<RawDigest> + '_>)
         .collect();
     let mut writer = ArtifactWriter::create(out, config)?;
     merge_sources(sources, &mut writer)?;

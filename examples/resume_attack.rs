@@ -1,0 +1,198 @@
+//! Kill → resume smoke test for `PFATTACK v1` attack checkpoints (run by
+//! CI, in two modes).
+//!
+//! With no arguments it is an in-process smoke: a reference attack runs
+//! uninterrupted, a second attack is halted mid-run at a checkpoint, a
+//! third resumes the checkpoint — and the resumed outcome and its
+//! `PFGUESS v1` guess archive must be byte-identical to the reference.
+//!
+//! With `--worker` it becomes one leg of a cross-process kill test:
+//!
+//! ```text
+//! resume_attack --worker --summary PATH --archive PATH
+//!               [--checkpoint PATH] [--checkpoint-every N] [--throttle-ms M]
+//! ```
+//!
+//! The worker runs one fixed attack campaign, checkpointing every `N`
+//! guesses, and writes a deterministic summary (atomically) plus the guess
+//! archive on completion. If the checkpoint file already exists the worker
+//! resumes from it — so CI can SIGKILL a throttled worker mid-run, rerun
+//! the same command line, and `diff`/`cmp` the outputs against an
+//! uninterrupted reference run.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use passflow::nn::rng as nnrng;
+use passflow::{Attack, AttackOutcome, Guesser};
+use rand::RngCore;
+
+/// A deterministic guesser cycling through a fixed wordlist, with an
+/// optional per-batch sleep so CI can reliably kill a run mid-flight.
+struct Cycler {
+    words: Vec<String>,
+    throttle: Duration,
+}
+
+impl Cycler {
+    fn new(throttle: Duration) -> Cycler {
+        Cycler {
+            words: (0..64).map(|i| format!("pw{i:03}")).collect(),
+            throttle,
+        }
+    }
+}
+
+impl Guesser for Cycler {
+    fn name(&self) -> &str {
+        "cycler"
+    }
+
+    fn generate_batch(&self, n: usize, rng: &mut dyn RngCore) -> Vec<String> {
+        if !self.throttle.is_zero() {
+            std::thread::sleep(self.throttle);
+        }
+        (0..n)
+            .map(|_| self.words[nnrng::uniform_index(rng, self.words.len())].clone())
+            .collect()
+    }
+}
+
+fn targets() -> HashSet<String> {
+    (0..16).map(|i| format!("pw{:03}", i * 4)).collect()
+}
+
+/// The one fixed campaign both worker invocations and the reference run
+/// share; resume validates every knob, so this must be identical each time.
+fn campaign(targets: &HashSet<String>) -> Attack<'_> {
+    Attack::new(targets)
+        .budget(200_000)
+        .batch_size(64)
+        .checkpoints(vec![10_000, 50_000, 100_000])
+        .seed(7)
+}
+
+/// A complete, deterministic text rendition of an [`AttackOutcome`] —
+/// `diff`-able across the reference and killed→resumed runs.
+fn summarize(outcome: &AttackOutcome) -> String {
+    let mut s = String::new();
+    for report in &outcome.checkpoints {
+        let _ = writeln!(
+            s,
+            "report guesses={} matched={} percent={:.6}",
+            report.guesses, report.matched, report.matched_percent
+        );
+    }
+    let mut matched = outcome.matched_passwords.clone();
+    matched.sort_unstable();
+    let _ = writeln!(s, "matched {}", matched.join(","));
+    s
+}
+
+/// Writes `contents` atomically: tmp sibling + rename, so a kill while the
+/// summary is mid-write can never leave a torn file for `diff` to read.
+fn write_atomic(path: &PathBuf, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+fn worker(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let summary = PathBuf::from(take_value(&mut args, "--summary").ok_or("need --summary")?);
+    let archive = PathBuf::from(take_value(&mut args, "--archive").ok_or("need --archive")?);
+    let checkpoint = take_value(&mut args, "--checkpoint").map(PathBuf::from);
+    let every: u64 = take_value(&mut args, "--checkpoint-every").map_or(Ok(0), |v| v.parse())?;
+    let throttle: u64 = take_value(&mut args, "--throttle-ms").map_or(Ok(0), |v| v.parse())?;
+    if !args.is_empty() {
+        return Err(format!("unknown arguments: {args:?}").into());
+    }
+
+    let targets = targets();
+    let guesser = Cycler::new(Duration::from_millis(throttle));
+    let mut attack = campaign(&targets).archive_to(&archive);
+    if let Some(cp) = checkpoint {
+        if cp.exists() {
+            eprintln!("worker: resuming from {}", cp.display());
+            attack = attack.resume(&cp);
+        }
+        attack = attack.checkpoint_to(&cp).checkpoint_every(every);
+    }
+    let outcome = attack.run(&guesser)?;
+    write_atomic(&summary, &summarize(&outcome))?;
+    eprintln!(
+        "worker: done, {} guesses, {} matched",
+        outcome.final_report().guesses,
+        outcome.matched_passwords.len()
+    );
+    Ok(())
+}
+
+fn smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("passflow_resume_attack_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let targets = targets();
+    let guesser = Cycler::new(Duration::ZERO);
+
+    // Uninterrupted reference run, archiving its deduplicated guesses.
+    let reference_archive = dir.join("reference.pfg");
+    let reference = campaign(&targets)
+        .archive_to(&reference_archive)
+        .run(&guesser)?;
+
+    // "Killed" run: halted at the first wave boundary past 70k guesses…
+    let cp = dir.join("halted.pfa");
+    let partial = campaign(&targets)
+        .checkpoint_to(&cp)
+        .halt_after(70_000)
+        .run(&guesser)?;
+    assert!(
+        partial.final_report().guesses < reference.final_report().guesses,
+        "the halted run must be a genuine partial run"
+    );
+
+    // …then resumed to completion from the checkpoint alone.
+    let resumed_archive = dir.join("resumed.pfg");
+    let resumed = campaign(&targets)
+        .resume(&cp)
+        .archive_to(&resumed_archive)
+        .run(&guesser)?;
+    assert_eq!(
+        resumed, reference,
+        "resumed outcome diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read(&resumed_archive)?,
+        std::fs::read(&reference_archive)?,
+        "resumed guess archive is not byte-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "attack resume smoke OK: {} guesses, {} matched, {} reports, \
+         outcome and PFGUESS archive byte-identical across kill/resume",
+        reference.final_report().guesses,
+        reference.matched_passwords.len(),
+        reference.checkpoints.len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--worker") {
+        args.remove(i);
+        worker(args)
+    } else if args.is_empty() {
+        smoke()
+    } else {
+        Err(format!("unknown arguments: {args:?} (try --worker)").into())
+    }
+}

@@ -22,7 +22,8 @@
 //!   adaptive micro-batching and hot-swappable models,
 //! * [`store`] — the breach-screening store: packed sorted digest
 //!   artifacts (`PFDIGEST v1`) with bounded-memory builds, shard merging
-//!   and k-anonymity range queries.
+//!   and k-anonymity range queries, plus the `PFGUESS v1` sorted guess
+//!   archives distributed attacks persist and merge.
 //!
 //! See the `examples/` directory for runnable end-to-end programs and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction notes.
@@ -65,7 +66,10 @@ pub use passflow_eval::{EvalScale, Workbench};
 pub use passflow_passwords::{
     Alphabet, CorpusConfig, CorpusSplit, PasswordCorpus, PasswordEncoder, SyntheticCorpusGenerator,
 };
-pub use passflow_store::{merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder};
+pub use passflow_store::{
+    merge_archives, merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder, GuessArchive,
+    GuessArchiveBuilder, GuessConfig,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,14 +1,17 @@
-//! Digest-store conformance suite: build → query round-trips against a
-//! `BTreeMap` oracle (with external-sort spills forced), byte-identical
-//! one-pass vs sharded-merge builds (merge associativity and
-//! commutativity), corruption and truncation detection on load, and
-//! boundary prefix queries.
+//! Store conformance suite: build → query round-trips against `BTreeMap`
+//! oracles (with external-sort spills forced), byte-identical one-pass vs
+//! sharded-merge builds (merge associativity and commutativity), corruption
+//! and truncation detection on load, and boundary prefix queries — for both
+//! the `PFDIGEST v1` digest stores and the `PFGUESS v1` guess archives.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use passflow::store::sha1;
-use passflow::{merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder};
+use passflow::{
+    merge_archives, merge_artifacts, DigestConfig, DigestStore, DigestStoreBuilder, GuessArchive,
+    GuessArchiveBuilder, GuessConfig,
+};
 
 /// A scratch dir that removes itself (and its artifacts) on drop.
 struct Scratch(PathBuf);
@@ -342,6 +345,147 @@ fn injected_faults_are_deterministic_and_outages_surface_typed_errors() {
         store.contains_password(member).unwrap(),
         clean.contains_password(member).unwrap()
     );
+}
+
+#[test]
+fn guess_archive_round_trip_matches_btreemap_oracle_with_spills_forced() {
+    let scratch = Scratch::new("guess-oracle");
+    let words = corpus(5_000);
+
+    // Oracle: per-guess emission counts, exactly the archive's semantics.
+    let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
+    for w in &words {
+        *oracle.entry(w.clone()).or_insert(0) += 1;
+    }
+
+    // 64-record spill threshold forces dozens of external-sort runs.
+    let mut builder = GuessArchiveBuilder::new(GuessConfig::default())
+        .with_memory_records(64)
+        .with_scratch_dir(&scratch.0);
+    for w in &words {
+        builder.add_guess(w, 1).unwrap();
+    }
+    let out = scratch.path("oracle.pfg");
+    let stats = builder.finish(&out).unwrap();
+    assert_eq!(stats.record_count, oracle.len() as u64);
+
+    let archive = GuessArchive::open(&out).unwrap();
+    archive.verify().unwrap();
+    assert_eq!(archive.record_count(), oracle.len() as u64);
+
+    // Point lookups agree with the oracle for members and non-members.
+    for (w, count) in &oracle {
+        assert_eq!(archive.contains(w).unwrap(), Some(*count), "{w}");
+    }
+    assert_eq!(archive.contains("definitely-absent").unwrap(), None);
+    assert_eq!(archive.contains("pw-").unwrap(), None, "prefix ≠ member");
+
+    // Every corpus word starts with "pw-", so one prefix extraction must
+    // reconstruct the whole oracle.
+    let extracted: BTreeMap<String, u64> =
+        archive.extract_prefix("pw-").unwrap().into_iter().collect();
+    assert_eq!(extracted, oracle);
+    assert!(archive.extract_prefix("zz").unwrap().is_empty());
+
+    // The sequential cursor serves the same records, sorted and deduped.
+    let mut cursor = archive.records();
+    let mut seen: Vec<(String, u64)> = Vec::new();
+    while let Some((bytes, count)) = cursor.next_record().unwrap() {
+        seen.push((String::from_utf8(bytes).unwrap(), count));
+    }
+    assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "sorted + deduped");
+    assert_eq!(seen.into_iter().collect::<BTreeMap<_, _>>(), oracle);
+}
+
+#[test]
+fn guess_archive_merge_trees_match_single_pass_byte_for_byte() {
+    let scratch = Scratch::new("guess-merge");
+    let words = corpus(4_000);
+
+    // One-pass build over everything.
+    let one_pass = scratch.path("one_pass.pfg");
+    let mut builder = GuessArchiveBuilder::new(GuessConfig::default());
+    for w in &words {
+        builder.add_guess(w, 1).unwrap();
+    }
+    builder.finish(&one_pass).unwrap();
+    let reference = std::fs::read(&one_pass).unwrap();
+
+    // Four overlapping shards (offset windows, so counts must sum).
+    let shard_paths: Vec<PathBuf> = (0..4).map(|s| scratch.path(&format!("s{s}.pfg"))).collect();
+    for (s, path) in shard_paths.iter().enumerate() {
+        let mut builder = GuessArchiveBuilder::new(GuessConfig::default());
+        for w in words.iter().skip(s).step_by(4) {
+            builder.add_guess(w, 1).unwrap();
+        }
+        builder.finish(path).unwrap();
+    }
+
+    // 4-way merge == one-pass, byte for byte.
+    let merged_4way = scratch.path("m4.pfg");
+    merge_archives(&shard_paths, &merged_4way).unwrap();
+    assert_eq!(std::fs::read(&merged_4way).unwrap(), reference, "4-way");
+
+    // Associativity: merge(merge(s0,s1), merge(s2,s3)) == one-pass.
+    let left = scratch.path("left.pfg");
+    let right = scratch.path("right.pfg");
+    merge_archives(&shard_paths[..2], &left).unwrap();
+    merge_archives(&shard_paths[2..], &right).unwrap();
+    let pairwise = scratch.path("pairwise.pfg");
+    merge_archives(&[left, right], &pairwise).unwrap();
+    assert_eq!(std::fs::read(&pairwise).unwrap(), reference, "associative");
+
+    // Commutativity: reversed shard order == one-pass.
+    let reversed: Vec<PathBuf> = shard_paths.iter().rev().cloned().collect();
+    let merged_rev = scratch.path("rev.pfg");
+    merge_archives(&reversed, &merged_rev).unwrap();
+    assert_eq!(
+        std::fs::read(&merged_rev).unwrap(),
+        reference,
+        "commutative"
+    );
+
+    // And the merged archive serves identical lookups.
+    let a = GuessArchive::open(&one_pass).unwrap();
+    let b = GuessArchive::open(&merged_4way).unwrap();
+    b.verify().unwrap();
+    for w in words.iter().take(64) {
+        assert_eq!(a.contains(w).unwrap(), b.contains(w).unwrap(), "{w}");
+    }
+}
+
+#[test]
+fn failed_guess_archive_builds_leave_no_scratch_debris() {
+    let scratch = Scratch::new("guess-fault");
+    let dir = scratch.path("spill-scratch");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    {
+        // The second spill (0-based nth = 1) dies after 16 bytes, after the
+        // first spill has already parked a healthy run file in `dir`.
+        let mut builder = GuessArchiveBuilder::new(GuessConfig::default())
+            .with_memory_records(32)
+            .with_scratch_dir(&dir)
+            .with_injected_spill_fault(1, 16);
+        let mut failed = false;
+        for w in corpus(2_000) {
+            if let Err(e) = builder.add_guess(&w, 1) {
+                assert!(e.to_string().contains("injected"), "unexpected: {e}");
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            builder.finish(scratch.path("out.pfg")).unwrap_err();
+        }
+        // While the builder lives, the healthy first run may still exist…
+    }
+    // …but its drop guard must unlink every pfguess-run-*.tmp.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert!(leftovers.is_empty(), "scratch debris: {leftovers:?}");
 }
 
 #[test]
